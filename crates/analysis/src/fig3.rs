@@ -1,0 +1,74 @@
+//! Figure 3: distribution of attacks during the four weeks — new attacks
+//! (previously unseen payload) vs repeated attacks with known payloads,
+//! per application over time.
+
+use crate::render::Table;
+use nokeys_apps::AppId;
+use nokeys_honeypot::StudyResult;
+use nokeys_netsim::SimTime;
+use std::collections::HashSet;
+
+/// Per-day counts of new/repeated attacks for one application.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    pub app: AppId,
+    /// `(new, repeated)` per study day (28 entries).
+    pub days: Vec<(u32, u32)>,
+}
+
+/// Compute the timeline of `app`.
+pub fn timeline(result: &StudyResult, app: AppId) -> Timeline {
+    let mut days = vec![(0u32, 0u32); 28];
+    let mut seen: HashSet<&str> = HashSet::new();
+    let mut ordered: Vec<_> = result.attacks_on(app).collect();
+    ordered.sort_by_key(|a| a.start);
+    for a in ordered {
+        let day = (a.start.since(SimTime::HONEYPOT_START).as_secs() / 86_400).clamp(0, 27) as usize;
+        let mut is_new = false;
+        for p in &a.payloads {
+            if seen.insert(p) {
+                is_new = true;
+            }
+        }
+        if is_new {
+            days[day].0 += 1;
+        } else {
+            days[day].1 += 1;
+        }
+    }
+    Timeline { app, days }
+}
+
+/// Render one week-row per app: `*` new attacks, `.` repeated (capped at
+/// 9 per day for display).
+pub fn build(result: &StudyResult) -> Table {
+    let mut t = Table::new(
+        "Figure 3 — Attack timeline (per day: new*/repeated count)",
+        &["App", "Week 1", "Week 2", "Week 3", "Week 4"],
+    );
+    for (app, _, _, _) in crate::table5::PAPER.map(|(a, x, y, z)| (a, x, y, z)) {
+        let tl = timeline(result, app);
+        let mut weeks: Vec<String> = Vec::new();
+        for w in 0..4 {
+            let mut cells: Vec<String> = Vec::new();
+            for d in 0..7 {
+                let (new, rep) = tl.days[w * 7 + d];
+                cells.push(match (new, rep) {
+                    (0, 0) => "·".to_string(),
+                    (n, 0) => format!("{}*", n.min(99)),
+                    (0, r) => format!("{}", r.min(99)),
+                    (n, r) => format!("{}*{}", n.min(99), r.min(99)),
+                });
+            }
+            weeks.push(cells.join(" "));
+        }
+        t.row(&[
+            app.name().to_string(),
+            weeks[0].clone(),
+            weeks[1].clone(),
+            weeks[2].clone(),
+            weeks[3].clone(),
+        ]);
+    }
+    t
+}

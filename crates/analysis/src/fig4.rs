@@ -1,0 +1,35 @@
+//! Figure 4: attackers targeting at least two applications, with their
+//! IP pools — the bipartite attacker/application view.
+
+use crate::render::Table;
+use nokeys_honeypot::StudyResult;
+
+/// Roman numerals for the attacker labels I..X.
+const ROMAN: [&str; 10] = ["I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"];
+
+/// Build Figure 4 from the *recovered* actor clusters: multi-application
+/// actors ordered by IP-pool size then attack count (attacker I is the
+/// one with the most addresses).
+pub fn build(result: &StudyResult) -> Table {
+    let mut multi: Vec<_> = result.actors.iter().filter(|c| c.is_multi_app()).collect();
+    multi.sort_by_key(|c| {
+        (
+            std::cmp::Reverse(c.ips.len()),
+            std::cmp::Reverse(c.attack_count),
+        )
+    });
+    let mut t = Table::new(
+        "Figure 4 — Multi-application attackers (recovered by payload/IP clustering)",
+        &["Attacker", "# IPs", "# Attacks", "Applications"],
+    );
+    for (i, c) in multi.iter().enumerate() {
+        let apps: Vec<&str> = c.apps.iter().map(|a| a.name()).collect();
+        t.row(&[
+            ROMAN.get(i).copied().unwrap_or("XI+").to_string(),
+            c.ips.len().to_string(),
+            c.attack_count.to_string(),
+            apps.join(" + "),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,38 @@
+//! Rendering of the scan-vs-compromise race (Section 5).
+
+use crate::render::Table;
+use nokeys_defend::{lost_races, race, CommercialScanner};
+use nokeys_honeypot::StudyResult;
+
+/// Build the race table for one scanner model.
+pub fn build(scanner: &CommercialScanner, study: &StudyResult) -> Table {
+    let outcomes = race(scanner, study);
+    let lost = lost_races(&outcomes);
+    let mut t = Table::new(
+        format!(
+            "Scan race — {} ({:.0}h sweep): {} honeypots compromised before the scanner arrived",
+            scanner.name, scanner.scan_duration_hours, lost
+        ),
+        &["App", "Scanner arrives", "First compromise", "Winner"],
+    );
+    for o in outcomes {
+        let compromise = o
+            .first_compromise_hours
+            .map(|h| format!("{h:.1} h"))
+            .unwrap_or_else(|| "never attacked".to_string());
+        let winner = if o.compromised_before_scan {
+            "attacker"
+        } else if o.first_compromise_hours.is_some() {
+            "scanner"
+        } else {
+            "—"
+        };
+        t.row(&[
+            o.app.name().to_string(),
+            format!("{:.1} h", o.scanner_arrives_hours),
+            compromise,
+            winner.to_string(),
+        ]);
+    }
+    t
+}

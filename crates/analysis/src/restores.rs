@@ -1,0 +1,116 @@
+//! Honeypot operational statistics: snapshot restores per application
+//! and reason (Section 4.1's monitoring procedures made visible).
+
+use crate::render::Table;
+use nokeys_apps::AppId;
+use nokeys_honeypot::study::RestoreReason;
+use nokeys_honeypot::StudyResult;
+
+/// Restore counts for one application.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RestoreCounts {
+    pub resource_threshold: u64,
+    pub compromise_detected: u64,
+    pub availability_lost: u64,
+}
+
+impl RestoreCounts {
+    pub fn total(&self) -> u64 {
+        self.resource_threshold + self.compromise_detected + self.availability_lost
+    }
+}
+
+/// Count restores for `app`.
+pub fn counts(result: &StudyResult, app: AppId) -> RestoreCounts {
+    let mut c = RestoreCounts::default();
+    for r in result.restores.iter().filter(|r| r.app == app) {
+        match r.reason {
+            RestoreReason::ResourceThreshold => c.resource_threshold += 1,
+            RestoreReason::CompromiseDetected => c.compromise_detected += 1,
+            RestoreReason::AvailabilityLost => c.availability_lost += 1,
+        }
+    }
+    c
+}
+
+/// Build the restores table (applications with at least one restore).
+pub fn build(result: &StudyResult) -> Table {
+    let mut t = Table::new(
+        "Honeypot snapshot restores (resource threshold / compromise / availability)",
+        &["App", "Resource", "Compromise", "Availability", "Total"],
+    );
+    let mut grand = RestoreCounts::default();
+    for app in AppId::in_scope() {
+        let c = counts(result, app);
+        if c.total() == 0 {
+            continue;
+        }
+        grand.resource_threshold += c.resource_threshold;
+        grand.compromise_detected += c.compromise_detected;
+        grand.availability_lost += c.availability_lost;
+        t.row(&[
+            app.name().to_string(),
+            c.resource_threshold.to_string(),
+            c.compromise_detected.to_string(),
+            c.availability_lost.to_string(),
+            c.total().to_string(),
+        ]);
+    }
+    t.row(&[
+        "Total".to_string(),
+        grand.resource_threshold.to_string(),
+        grand.compromise_detected.to_string(),
+        grand.availability_lost.to_string(),
+        grand.total().to_string(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_honeypot::study::RestoreEvent;
+    use nokeys_netsim::SimTime;
+
+    fn result_with(restores: Vec<(AppId, RestoreReason)>) -> StudyResult {
+        StudyResult {
+            plan: nokeys_attack::study_plan(1),
+            records: Vec::new(),
+            attacks: Vec::new(),
+            actors: Vec::new(),
+            restores: restores
+                .into_iter()
+                .map(|(app, reason)| RestoreEvent {
+                    time: SimTime(0),
+                    app,
+                    reason,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counting_by_reason() {
+        let r = result_with(vec![
+            (AppId::Hadoop, RestoreReason::ResourceThreshold),
+            (AppId::Hadoop, RestoreReason::ResourceThreshold),
+            (AppId::Hadoop, RestoreReason::CompromiseDetected),
+            (AppId::JupyterLab, RestoreReason::AvailabilityLost),
+        ]);
+        let hadoop = counts(&r, AppId::Hadoop);
+        assert_eq!(hadoop.resource_threshold, 2);
+        assert_eq!(hadoop.compromise_detected, 1);
+        assert_eq!(hadoop.total(), 3);
+        assert_eq!(counts(&r, AppId::JupyterLab).availability_lost, 1);
+        assert_eq!(counts(&r, AppId::Gocd).total(), 0);
+    }
+
+    #[test]
+    fn table_skips_untouched_apps_and_totals() {
+        let r = result_with(vec![(AppId::Docker, RestoreReason::CompromiseDetected)]);
+        let out = build(&r).render();
+        assert!(out.contains("Docker"));
+        assert!(!out.contains("Zeppelin"));
+        assert!(out.lines().last().unwrap().starts_with("Total"));
+    }
+}

@@ -1,0 +1,140 @@
+//! Scan-duration model (Section 3.2, "Experiment Setup").
+//!
+//! The paper scanned all of IPv4 in about 22 hours using 64 machines
+//! (48 cores / 384 GB each). The simulation completes in seconds, so
+//! wall-clock comparisons need a model: given per-machine probe and HTTP
+//! rates, how long would the *measured* workload have taken on the
+//! paper's fleet — and how long does the full IPv4 space take?
+
+use crate::render::{grouped, Table};
+use nokeys_scanner::ScanReport;
+
+/// Fleet and rate assumptions.
+#[derive(Debug, Clone, Copy)]
+pub struct ScanModel {
+    /// Number of scanning machines (paper: 64).
+    pub machines: u32,
+    /// SYN probes per second per machine (masscan class hardware easily
+    /// sustains hundreds of thousands; the fleet-wide effective rate is
+    /// what matters).
+    pub probes_per_sec_per_machine: f64,
+    /// Full HTTP exchanges per second per machine (stages II/III are
+    /// connection-bound, far slower than SYN probing).
+    pub http_per_sec_per_machine: f64,
+}
+
+impl Default for ScanModel {
+    fn default() -> Self {
+        // Calibrated so a full-IPv4 sweep lands near the paper's ~22 h.
+        ScanModel {
+            machines: 64,
+            probes_per_sec_per_machine: 9_000.0,
+            http_per_sec_per_machine: 120.0,
+        }
+    }
+}
+
+/// The paper's scannable address count (IPv4 minus IANA reservations).
+pub const SCANNABLE_IPV4: u64 = 3_500_000_000;
+/// Ports per address in the study.
+pub const PORTS: u64 = 12;
+
+impl ScanModel {
+    /// Modeled duration, in hours, of a workload of `probes` SYN probes
+    /// plus `http` full HTTP exchanges. The stages run as a pipeline, so
+    /// the slower aggregate dominates.
+    pub fn duration_hours(&self, probes: u64, http: u64) -> f64 {
+        let fleet = self.machines as f64;
+        let probe_secs = probes as f64 / (self.probes_per_sec_per_machine * fleet);
+        let http_secs = http as f64 / (self.http_per_sec_per_machine * fleet);
+        probe_secs.max(http_secs) / 3600.0
+    }
+
+    /// Modeled duration of the full-IPv4 study: every address probed on
+    /// 12 ports, with the measured HTTP-exchange ratio extrapolated.
+    pub fn full_internet_hours(&self, report: &ScanReport) -> f64 {
+        let probes = SCANNABLE_IPV4 * PORTS;
+        let http = if report.probes_sent == 0 {
+            // Paper ballpark: ~100M HTTP(S) responses plus verification.
+            120_000_000
+        } else {
+            // Scale the measured exchanges-per-probe ratio up.
+            let per_probe = report_http_exchanges(report) as f64 / report.probes_sent as f64;
+            (probes as f64 * per_probe) as u64
+        };
+        self.duration_hours(probes, http)
+    }
+}
+
+/// HTTP exchanges implied by a report (responses seen across stages).
+fn report_http_exchanges(report: &ScanReport) -> u64 {
+    report
+        .port_stats
+        .values()
+        .map(|s| s.http + s.https)
+        .sum::<u64>()
+        + report.findings.len() as u64 * 6 // plugin + fingerprint traffic
+}
+
+/// Build the model table.
+pub fn build(report: &ScanReport) -> Table {
+    let model = ScanModel::default();
+    let mut t = Table::new(
+        "Scan-duration model (paper: full IPv4 in ~22 h on 64 machines)",
+        &["Workload", "Probes", "HTTP", "Modeled duration"],
+    );
+    let measured_http = report_http_exchanges(report);
+    t.row(&[
+        "measured (simulated universe)".to_string(),
+        grouped(report.probes_sent),
+        grouped(measured_http),
+        format!(
+            "{:.2} h",
+            model.duration_hours(report.probes_sent, measured_http)
+        ),
+    ]);
+    t.row(&[
+        "full IPv4, paper fleet".to_string(),
+        grouped(SCANNABLE_IPV4 * PORTS),
+        "extrapolated".to_string(),
+        format!("{:.1} h", model.full_internet_hours(report)),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_internet_is_about_a_day() {
+        let hours = ScanModel::default().full_internet_hours(&ScanReport::default());
+        assert!(
+            (15.0..30.0).contains(&hours),
+            "modeled full-IPv4 duration should be near the paper's 22 h, got {hours:.1}"
+        );
+    }
+
+    #[test]
+    fn slower_stage_dominates() {
+        let m = ScanModel {
+            machines: 1,
+            probes_per_sec_per_machine: 1000.0,
+            http_per_sec_per_machine: 10.0,
+        };
+        // 1000 probes (1 s) vs 100 exchanges (10 s): HTTP dominates.
+        let hours = m.duration_hours(1000, 100);
+        assert!((hours * 3600.0 - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn more_machines_scan_faster() {
+        let base = ScanModel::default();
+        let double = ScanModel {
+            machines: 128,
+            ..base
+        };
+        let r = ScanReport::default();
+        assert!(double.full_internet_hours(&r) < base.full_internet_hours(&r));
+    }
+}

@@ -1,0 +1,66 @@
+//! Small statistics helpers.
+
+/// Arithmetic mean; 0 for empty input.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Median; 0 for empty input.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = sorted.len() / 2;
+    if sorted.len().is_multiple_of(2) {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    } else {
+        sorted[mid]
+    }
+}
+
+/// Consecutive differences (inter-arrival gaps).
+pub fn gaps(sorted_values: &[f64]) -> Vec<f64> {
+    sorted_values.windows(2).map(|w| w[1] - w[0]).collect()
+}
+
+/// Minimum; `None` for empty input.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::min)
+}
+
+/// Maximum; `None` for empty input.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().reduce(f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_median() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn gap_computation() {
+        assert_eq!(gaps(&[1.0, 3.0, 6.0]), vec![2.0, 3.0]);
+        assert!(gaps(&[5.0]).is_empty());
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(min(&[2.0, 1.0, 3.0]), Some(1.0));
+        assert_eq!(max(&[2.0, 1.0, 3.0]), Some(3.0));
+        assert_eq!(min(&[]), None);
+    }
+}

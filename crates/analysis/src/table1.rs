@@ -1,0 +1,51 @@
+//! Table 1: summary of all investigated applications with their
+//! corresponding attack vector and GitHub ranking.
+
+use crate::render::Table;
+use nokeys_apps::{DefaultPosture, CATALOG};
+
+/// Build Table 1 from the catalog.
+pub fn build() -> Table {
+    let mut t = Table::new(
+        "Table 1 — Investigated applications (attack vector, defaults, warnings)",
+        &["Type", "App", "Stars", "Vuln", "Default MAV", "Warn"],
+    );
+    for info in &CATALOG {
+        let vuln = info.vector.map(|v| v.as_str()).unwrap_or("—");
+        let default = match info.default_posture {
+            None => "—".to_string(),
+            Some(DefaultPosture::SecureByDefault) => "✗".to_string(),
+            Some(DefaultPosture::InsecureByDefault) => "✓".to_string(),
+            Some(DefaultPosture::ChangedOverTime { fixed_in, year }) => {
+                format!("< {fixed_in} ({year})")
+            }
+        };
+        t.row(&[
+            info.category.as_str().to_string(),
+            info.name.to_string(),
+            format!("{}k", info.stars_k),
+            vuln.to_string(),
+            default,
+            info.warning.symbol().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_25_rows_with_paper_values() {
+        let t = build();
+        assert_eq!(t.rows.len(), 25);
+        let rendered = t.render();
+        assert!(rendered.contains("GoCD"));
+        assert!(rendered.contains("< 2.0 (2016)"), "Jenkins default change");
+        assert!(
+            rendered.contains("< 4.6.3 (2018)"),
+            "Adminer default change"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! Table 2: open ports and corresponding HTTP(S) responses.
+
+use crate::render::{grouped, Table};
+use nokeys_netsim::calibration::PORT_POPULATIONS;
+use nokeys_scanner::ScanReport;
+
+/// Build Table 2 from a scan report, with the paper's values scaled by
+/// `background_divisor` for side-by-side comparison.
+pub fn build(report: &ScanReport, background_divisor: u64) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Table 2 — Open ports and HTTP(S) responses (paper values shown at 1:{background_divisor})"
+        ),
+        &["Port", "# Open", "# HTTP", "# HTTPS", "paper Open", "paper HTTP", "paper HTTPS"],
+    );
+    let mut totals = (0u64, 0u64, 0u64);
+    let mut paper_totals = (0u64, 0u64, 0u64);
+    for pop in &PORT_POPULATIONS {
+        let stat = report
+            .port_stats
+            .get(&pop.port)
+            .copied()
+            .unwrap_or_default();
+        totals.0 += stat.open;
+        totals.1 += stat.http;
+        totals.2 += stat.https;
+        let scale = |x: u64| x.checked_div(background_divisor).unwrap_or(x);
+        paper_totals.0 += scale(pop.open);
+        paper_totals.1 += scale(pop.http);
+        paper_totals.2 += scale(pop.https);
+        t.row(&[
+            pop.port.to_string(),
+            grouped(stat.open),
+            grouped(stat.http),
+            grouped(stat.https),
+            grouped(scale(pop.open)),
+            grouped(scale(pop.http)),
+            grouped(scale(pop.https)),
+        ]);
+    }
+    t.row(&[
+        "Total".to_string(),
+        grouped(totals.0),
+        grouped(totals.1),
+        grouped(totals.2),
+        grouped(paper_totals.0),
+        grouped(paper_totals.1),
+        grouped(paper_totals.2),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_twelve_ports_plus_total() {
+        let report = ScanReport::default();
+        let t = build(&report, 2000);
+        assert_eq!(t.rows.len(), 13);
+        let s = t.render();
+        assert!(s.contains("8153"));
+        assert!(s.contains("Total"));
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 8: autonomous systems with the most attacks.
+
+use crate::render::Table;
+use nokeys_honeypot::StudyResult;
+use std::collections::{BTreeSet, HashMap};
+use std::net::Ipv4Addr;
+
+/// Count attacks per AS, with the number of involved countries.
+pub fn as_counts(result: &StudyResult) -> Vec<(u32, &'static str, u64, usize)> {
+    let geo_of: HashMap<Ipv4Addr, _> = result.plan.attacks.iter().map(|a| (a.ip, a.geo)).collect();
+    let mut attacks_per: HashMap<(u32, &'static str), u64> = HashMap::new();
+    let mut countries_per: HashMap<(u32, &'static str), BTreeSet<&'static str>> = HashMap::new();
+    for a in &result.attacks {
+        let Some(rec) = geo_of.get(&a.source) else {
+            continue;
+        };
+        let key = (rec.asys.asn, rec.asys.name);
+        *attacks_per.entry(key).or_default() += 1;
+        countries_per.entry(key).or_default().insert(rec.country.0);
+    }
+    let mut rows: Vec<(u32, &str, u64, usize)> = attacks_per
+        .into_iter()
+        .map(|((asn, name), n)| (asn, name, n, countries_per[&(asn, name)].len()))
+        .collect();
+    rows.sort_by_key(|(asn, _, n, _)| (std::cmp::Reverse(*n), *asn));
+    rows
+}
+
+/// Paper values: top-5 ASes.
+pub const PAPER: [(&str, u64, usize); 5] = [
+    ("Serverion BV", 469, 2),
+    ("Gamers Club", 396, 2),
+    ("DigitalOcean", 351, 14),
+    ("Alexhost", 135, 1),
+    ("Amazon EC2", 78, 4),
+];
+
+/// Build Table 8.
+pub fn build(result: &StudyResult) -> Table {
+    let rows = as_counts(result);
+    let mut t = Table::new(
+        "Table 8 — Top attack-origin ASes (measured vs paper)",
+        &["AS", "Provider", "# Attacks", "# Countries", "paper"],
+    );
+    for (i, (asn, name, attacks, countries)) in rows.iter().take(5).enumerate() {
+        let paper = PAPER
+            .get(i)
+            .map(|(n, a, c)| format!("{n} {a} ({c})"))
+            .unwrap_or_default();
+        t.row(&[
+            format!("AS{asn}"),
+            name.to_string(),
+            attacks.to_string(),
+            countries.to_string(),
+            paper,
+        ]);
+    }
+    t
+}

@@ -1,0 +1,68 @@
+//! Table 9: the combined summary — defaults, prevalence, attacks and
+//! defender detection.
+
+use crate::render::Table;
+use nokeys_apps::AppId;
+use nokeys_defend::{Severity, VendorFinding};
+use nokeys_honeypot::StudyResult;
+use nokeys_scanner::ScanReport;
+
+/// Defender-detection cell for one app ("S1", "S2", "S1&2", "✗", or
+/// "info" suffixes).
+fn defend_cell(app: AppId, s1: &[VendorFinding], s2: &[VendorFinding]) -> String {
+    let hit =
+        |findings: &[VendorFinding]| findings.iter().find(|f| f.app == app).map(|f| f.severity);
+    match (hit(s1), hit(s2)) {
+        (Some(Severity::Vulnerability), Some(Severity::Vulnerability)) => "S1&2".into(),
+        (Some(Severity::Vulnerability), _) => "S1".into(),
+        (_, Some(Severity::Vulnerability)) => "S2".into(),
+        (_, Some(Severity::Informational)) => "S2 (info)".into(),
+        _ => "✗".into(),
+    }
+}
+
+/// Build Table 9. `benign_divisor`/`mav_divisor` are the universe
+/// scales; the vulnerable percentage is computed on rescaled counts,
+/// exactly as in Table 3.
+pub fn build(
+    report: &ScanReport,
+    study: &StudyResult,
+    s1: &[VendorFinding],
+    s2: &[VendorFinding],
+    benign_divisor: u64,
+    mav_divisor: u64,
+) -> Table {
+    let mut t = Table::new(
+        "Table 9 — Summary: defaults, vulnerable instances, attacks, defender detection",
+        &["Type", "App", "Default", "Vulnerable", "Attacks", "Defend"],
+    );
+    for app in AppId::in_scope() {
+        let posture = app
+            .info()
+            .default_posture
+            .map(|p| p.symbol())
+            .unwrap_or("—");
+        let hosts = report.hosts_running(app);
+        let mavs = report.mavs(app);
+        let rescaled = hosts.saturating_sub(mavs) * benign_divisor + mavs * mav_divisor;
+        let vulnerable = if hosts > 0 {
+            format!(
+                "{} ({:.1}%)",
+                mavs,
+                100.0 * (mavs * mav_divisor) as f64 / rescaled.max(1) as f64
+            )
+        } else {
+            format!("{mavs}")
+        };
+        let attacks = study.attacks_on(app).count();
+        t.row(&[
+            app.info().category.as_str().to_string(),
+            app.name().to_string(),
+            posture.to_string(),
+            vulnerable,
+            attacks.to_string(),
+            defend_cell(app, s1, s2),
+        ]);
+    }
+    t
+}

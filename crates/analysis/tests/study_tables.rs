@@ -1,0 +1,90 @@
+//! Unit-level tests of the honeypot-study tables over a hand-built
+//! `StudyResult` (the integration tests cover the full study; these pin
+//! the aggregation logic itself).
+
+use nokeys_analysis::{fig3, fig4, table5, table6, table7, table8};
+use nokeys_apps::AppId;
+use nokeys_honeypot::cluster::cluster_actors;
+use nokeys_honeypot::detect::Attack;
+use nokeys_honeypot::StudyResult;
+use nokeys_netsim::{SimDuration, SimTime};
+use std::net::Ipv4Addr;
+
+fn attack(app: AppId, ip: [u8; 4], hours: f64, payload: &str) -> Attack {
+    let start = SimTime::HONEYPOT_START + SimDuration::seconds((hours * 3600.0) as i64);
+    Attack {
+        app,
+        source: Ipv4Addr::from(ip),
+        start,
+        end: start,
+        payloads: vec![payload.to_string()],
+    }
+}
+
+/// Two Hadoop attackers and one Docker attacker; attacker "a" spans both
+/// applications through a shared payload.
+fn fixture() -> StudyResult {
+    let attacks = vec![
+        attack(AppId::Hadoop, [81, 2, 0, 1], 1.0, "payload-a"),
+        attack(AppId::Hadoop, [81, 2, 0, 1], 5.0, "payload-a"),
+        attack(AppId::Hadoop, [81, 2, 0, 2], 9.0, "payload-b"),
+        attack(AppId::Docker, [81, 2, 0, 3], 2.0, "payload-a"),
+    ];
+    let actors = cluster_actors(&attacks);
+    StudyResult {
+        plan: nokeys_attack::study_plan(3),
+        records: Vec::new(),
+        attacks,
+        actors,
+        restores: Vec::new(),
+    }
+}
+
+#[test]
+fn table5_counts_the_fixture() {
+    let t = table5::build(&fixture()).render();
+    let hadoop_row = t.lines().find(|l| l.contains("Hadoop")).expect("row");
+    // 3 attacks, 2 unique payloads, 2 IPs.
+    assert!(hadoop_row.contains('3'), "{hadoop_row}");
+    assert!(hadoop_row.contains('2'), "{hadoop_row}");
+}
+
+#[test]
+fn table6_timing_for_the_fixture() {
+    let timing = table6::timing(&fixture(), AppId::Hadoop).expect("attacked");
+    assert!((timing.first - 1.0).abs() < 1e-9);
+    // Gaps: 4h and 4h → average 4.
+    assert!((timing.average - 4.0).abs() < 1e-9);
+    // Unique attacks at 1.0 (payload-a) and 9.0 (payload-b); anchored at
+    // the study start: gaps 1.0 and 8.0.
+    assert!((timing.unique_shortest - 1.0).abs() < 1e-9);
+    assert!((timing.unique_longest - 8.0).abs() < 1e-9);
+    assert_eq!(table6::timing(&fixture(), AppId::Gocd), None);
+}
+
+#[test]
+fn fig3_bins_attacks_into_days() {
+    let tl = fig3::timeline(&fixture(), AppId::Hadoop);
+    assert_eq!(tl.days.len(), 28);
+    // All three Hadoop attacks land on day 0: payload-a (new), payload-a
+    // again (repeated), payload-b (new) → (2 new, 1 repeated).
+    assert_eq!(tl.days[0], (2, 1));
+    assert!(tl.days[1..].iter().all(|d| *d == (0, 0)));
+}
+
+#[test]
+fn fig4_lists_multi_app_actors() {
+    let rendered = fig4::build(&fixture()).render();
+    // payload-a links Hadoop ip .1 and Docker ip .3 into one actor.
+    assert!(rendered.contains("Docker + Hadoop"), "{rendered}");
+}
+
+#[test]
+fn table7_and_8_use_plan_geo() {
+    // The fixture's IPs come from the plan's pool, so geo lookups hit.
+    let result = fixture();
+    let t7 = table7::build(&result).render();
+    let t8 = table8::build(&result).render();
+    assert!(t7.contains("paper"));
+    assert!(t8.contains("Serverion BV 469 (2)"), "{t8}");
+}

@@ -1,0 +1,127 @@
+//! Shared plumbing for application models.
+
+use crate::assets::asset_content;
+use crate::catalog::AppId;
+use crate::config::AppConfig;
+use crate::version::Version;
+use nokeys_http::{Request, Response};
+
+/// State common to every application model: identity, version, live
+/// configuration and the deployment snapshot used by `restore`.
+#[derive(Debug, Clone)]
+pub struct BaseApp {
+    pub id: AppId,
+    pub version: Version,
+    pub config: AppConfig,
+    deployed: AppConfig,
+}
+
+impl BaseApp {
+    pub fn new(id: AppId, version: Version, config: AppConfig) -> Self {
+        BaseApp {
+            id,
+            version,
+            config,
+            deployed: config,
+        }
+    }
+
+    /// Restore the configuration to the deployment snapshot.
+    pub fn restore(&mut self) {
+        self.config = self.deployed;
+    }
+
+    /// Serve the static-asset corpus (`/static/...`) used by the
+    /// fingerprinter crawler. Returns `None` for non-asset paths.
+    pub fn serve_asset(&self, req: &Request) -> Option<Response> {
+        if !req.path().starts_with("/static/") {
+            return None;
+        }
+        match asset_content(self.id, &self.version, req.path()) {
+            Some(content) => {
+                let mime = if req.path().ends_with(".css") {
+                    "text/css"
+                } else if req.path().ends_with(".svg") {
+                    "image/svg+xml"
+                } else {
+                    "application/javascript"
+                };
+                Some(
+                    Response::new(nokeys_http::StatusCode::OK)
+                        .with_header("Content-Type", mime)
+                        .with_body(content),
+                )
+            }
+            None => Some(Response::not_found()),
+        }
+    }
+}
+
+/// Implement the boilerplate parts of [`crate::WebApp`] for a type with a
+/// `base: BaseApp` field; the type only supplies `route`.
+macro_rules! impl_webapp {
+    ($ty:ty) => {
+        impl $crate::traits::WebApp for $ty {
+            fn id(&self) -> $crate::catalog::AppId {
+                self.base.id
+            }
+            fn version(&self) -> $crate::version::Version {
+                self.base.version
+            }
+            fn config(&self) -> $crate::config::AppConfig {
+                self.base.config
+            }
+            fn handle(
+                &mut self,
+                req: &nokeys_http::Request,
+                peer: std::net::Ipv4Addr,
+            ) -> $crate::events::HandleOutcome {
+                if let Some(resp) = self.base.serve_asset(req) {
+                    return $crate::events::HandleOutcome::plain(resp);
+                }
+                self.route(req, peer)
+            }
+            fn restore(&mut self) {
+                self.base.restore();
+                self.reset_state();
+            }
+        }
+    };
+}
+pub(crate) use impl_webapp;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::release_history;
+
+    #[test]
+    fn restore_resets_config() {
+        let v = *release_history(AppId::Gocd).last().unwrap();
+        let cfg = AppConfig::vulnerable_for(AppId::Gocd, &v);
+        let mut base = BaseApp::new(AppId::Gocd, v, cfg);
+        base.config.auth_enabled = true;
+        base.restore();
+        assert_eq!(base.config, cfg);
+    }
+
+    #[test]
+    fn serves_assets_with_mime_types() {
+        let v = release_history(AppId::Hadoop)[0];
+        let base = BaseApp::new(AppId::Hadoop, v, AppConfig::secure_for(AppId::Hadoop, &v));
+        let resp = base
+            .serve_asset(&Request::get("/static/style.css"))
+            .unwrap();
+        assert_eq!(resp.headers.get("content-type"), Some("text/css"));
+        let resp = base.serve_asset(&Request::get("/static/app.js")).unwrap();
+        assert_eq!(
+            resp.headers.get("content-type"),
+            Some("application/javascript")
+        );
+        assert!(base.serve_asset(&Request::get("/other")).is_none());
+        let resp = base
+            .serve_asset(&Request::get("/static/missing.js"))
+            .unwrap();
+        assert_eq!(resp.status.as_u16(), 404);
+    }
+}

@@ -1,0 +1,8 @@
+//! Continuous-integration systems: Jenkins, GoCD (in scope); Gitlab,
+//! Drone, Travis (out of scope, modeled by [`crate::generic::LoginWalled`]).
+
+pub mod gocd;
+pub mod jenkins;
+
+pub use gocd::Gocd;
+pub use jenkins::Jenkins;

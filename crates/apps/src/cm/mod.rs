@@ -1,0 +1,15 @@
+//! Cluster-management systems: Kubernetes, Docker, Consul, Hadoop, Nomad.
+//! All five are in scope; all expose HTTP APIs that amount to remote code
+//! execution when reachable without authentication.
+
+pub mod consul;
+pub mod docker;
+pub mod hadoop;
+pub mod kubernetes;
+pub mod nomad;
+
+pub use consul::Consul;
+pub use docker::Docker;
+pub use hadoop::Hadoop;
+pub use kubernetes::Kubernetes;
+pub use nomad::Nomad;

@@ -1,0 +1,18 @@
+//! Content management systems: WordPress, Grav, Joomla, Drupal (in
+//! scope); Ghost (out of scope, modeled by
+//! [`crate::generic::LoginWalled`]).
+//!
+//! All four in-scope CMSes share the *installation hijack* attack vector:
+//! the first visitor of an unfinished installation chooses the admin
+//! credentials and can subsequently execute code by editing PHP templates
+//! or uploading extensions.
+
+pub mod drupal;
+pub mod grav;
+pub mod joomla;
+pub mod wordpress;
+
+pub use drupal::Drupal;
+pub use grav::Grav;
+pub use joomla::Joomla;
+pub use wordpress::WordPress;

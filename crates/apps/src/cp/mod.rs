@@ -1,0 +1,10 @@
+//! Control panels: Ajenti, phpMyAdmin, Adminer (in scope); VestaCP and
+//! OmniDB (out of scope, modeled by [`crate::generic::LoginWalled`]).
+
+pub mod adminer;
+pub mod ajenti;
+pub mod phpmyadmin;
+
+pub use adminer::Adminer;
+pub use ajenti::Ajenti;
+pub use phpmyadmin::PhpMyAdmin;

@@ -1,0 +1,79 @@
+//! Small HTML helpers shared by the application models.
+
+/// Wrap `body` in a minimal, valid HTML5 document with `title`.
+///
+/// Several detection plugins check that a response "is valid HTML"; the
+/// scanner side implements that check as "contains an `<html` and a
+/// matching `</html>` tag", which these pages satisfy.
+pub fn page(title: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n</head>\n<body>\n{body}\n</body>\n</html>\n"
+    )
+}
+
+/// A page with extra elements in `<head>` (generator metas, stylesheet
+/// links — the prefilter signatures often live there).
+pub fn page_with_head(title: &str, head_extra: &str, body: &str) -> String {
+    format!(
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n\
+         <title>{title}</title>\n{head_extra}\n</head>\n<body>\n{body}\n</body>\n</html>\n"
+    )
+}
+
+/// A `<link rel="stylesheet">` tag.
+pub fn css(href: &str) -> String {
+    format!("<link rel=\"stylesheet\" href=\"{href}\">")
+}
+
+/// A `<script src>` tag.
+pub fn script(src: &str) -> String {
+    format!("<script src=\"{src}\"></script>")
+}
+
+/// A generator `<meta>` tag as emitted by CMSes.
+pub fn generator(content: &str) -> String {
+    format!("<meta name=\"generator\" content=\"{content}\">")
+}
+
+/// A simple login form; products behind authentication serve this.
+pub fn login_form(product: &str, action: &str) -> String {
+    page(
+        &format!("Sign in - {product}"),
+        &format!(
+            "<form method=\"post\" action=\"{action}\" id=\"login\">\
+             <input type=\"text\" name=\"username\">\
+             <input type=\"password\" name=\"password\">\
+             <button type=\"submit\">Sign in</button></form>"
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_is_minimal_valid_html() {
+        let p = page("T", "<p>x</p>");
+        assert!(p.contains("<html"));
+        assert!(p.contains("</html>"));
+        assert!(p.contains("<title>T</title>"));
+        assert!(p.contains("<p>x</p>"));
+    }
+
+    #[test]
+    fn head_extra_lands_in_head() {
+        let p = page_with_head("T", &generator("WordPress 5.7"), "b");
+        let head_end = p.find("</head>").unwrap();
+        let meta_pos = p.find("generator").unwrap();
+        assert!(meta_pos < head_end);
+    }
+
+    #[test]
+    fn login_form_mentions_product() {
+        let p = login_form("GoCD", "/go/auth/security_check");
+        assert!(p.contains("Sign in - GoCD"));
+        assert!(p.contains("id=\"login\""));
+    }
+}

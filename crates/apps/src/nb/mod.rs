@@ -1,0 +1,10 @@
+//! Notebooks: Jupyter Lab, Jupyter Notebook, Zeppelin, Polynote (in
+//! scope); Spark Notebook (discontinued, out of scope).
+
+pub mod jupyter;
+pub mod polynote;
+pub mod zeppelin;
+
+pub use jupyter::Jupyter;
+pub use polynote::Polynote;
+pub use zeppelin::Zeppelin;

@@ -1,0 +1,52 @@
+//! The [`WebApp`] trait implemented by every application model.
+
+use crate::catalog::AppId;
+use crate::config::AppConfig;
+use crate::events::HandleOutcome;
+use crate::version::Version;
+use nokeys_http::Request;
+use std::net::Ipv4Addr;
+
+/// A modeled administrative web endpoint.
+///
+/// Handlers are synchronous state machines; the simulated transport and
+/// the real TCP server both drive them. `handle` takes `&mut self` because
+/// attacks change state (installations get hijacked, containers start,
+/// admin sessions appear).
+pub trait WebApp: Send {
+    /// Which of the 25 applications this is.
+    fn id(&self) -> AppId;
+
+    /// Deployed version.
+    fn version(&self) -> Version;
+
+    /// Current configuration.
+    fn config(&self) -> AppConfig;
+
+    /// Ground truth: does this instance carry a missing-authentication
+    /// vulnerability *right now*? (CMS installs completed by an attacker
+    /// stop being vulnerable, for example.)
+    fn is_vulnerable(&self) -> bool {
+        self.config().is_vulnerable(self.id(), &self.version())
+    }
+
+    /// Handle one HTTP request from `peer`.
+    fn handle(&mut self, req: &Request, peer: Ipv4Addr) -> HandleOutcome;
+
+    /// Restore the instance to its deployment state (the honeypot's
+    /// snapshot-restore after a compromise).
+    fn restore(&mut self);
+}
+
+/// Convenience: drive a `GET` against an app and return the outcome.
+pub fn get(app: &mut dyn WebApp, target: &str) -> HandleOutcome {
+    app.handle(&Request::get(target), Ipv4Addr::new(198, 51, 100, 1))
+}
+
+/// Convenience: drive a `POST` against an app and return the outcome.
+pub fn post(app: &mut dyn WebApp, target: &str, body: &str) -> HandleOutcome {
+    app.handle(
+        &Request::post(target, body.as_bytes().to_vec()),
+        Ipv4Addr::new(198, 51, 100, 1),
+    )
+}

@@ -1,0 +1,117 @@
+//! Property tests over the application models: no panics on arbitrary
+//! requests, ground-truth consistency, and scan-safety (GET requests
+//! never change state).
+
+use nokeys_apps::{build_instance, release_history, AppConfig, AppId};
+use nokeys_http::{Method, Request};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_app() -> impl Strategy<Value = AppId> {
+    let all: Vec<AppId> = AppId::all().collect();
+    proptest::sample::select(all)
+}
+
+fn arb_method() -> impl Strategy<Value = Method> {
+    proptest::sample::select(vec![
+        Method::Get,
+        Method::Head,
+        Method::Post,
+        Method::Put,
+        Method::Delete,
+    ])
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (
+        arb_method(),
+        "/[ -~]{0,48}",
+        proptest::collection::vec(any::<u8>(), 0..64),
+    )
+        .prop_map(|(method, target, body)| Request {
+            method,
+            target,
+            headers: Default::default(),
+            body: body.into(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No application model panics, whatever the request looks like.
+    #[test]
+    fn models_never_panic(
+        app in arb_app(),
+        version_pick in any::<u16>(),
+        vulnerable in any::<bool>(),
+        requests in proptest::collection::vec(arb_request(), 1..6),
+        peer in any::<u32>(),
+    ) {
+        let history = release_history(app);
+        let version = history[version_pick as usize % history.len()];
+        let cfg = if vulnerable {
+            AppConfig::vulnerable_for(app, &version)
+        } else {
+            AppConfig::secure_for(app, &version)
+        };
+        let mut inst = build_instance(app, version, cfg);
+        for req in requests {
+            let out = inst.handle(&req, Ipv4Addr::from(peer));
+            // Responses are always well-formed enough to serialize.
+            let _ = nokeys_http::encode::encode_response(&out.response);
+        }
+    }
+
+    /// Safe methods never produce state-changing events: the paper's
+    /// ethical constraint ("our scanner is limited to non-state-changing
+    /// GET requests") holds against every model.
+    #[test]
+    fn safe_methods_never_compromise(
+        app in arb_app(),
+        version_pick in any::<u16>(),
+        targets in proptest::collection::vec("/[ -~]{0,48}", 1..8),
+    ) {
+        let history = release_history(app);
+        let version = history[version_pick as usize % history.len()];
+        let cfg = AppConfig::vulnerable_for(app, &version);
+        let mut inst = build_instance(app, version, cfg);
+        let before = inst.is_vulnerable();
+        for target in targets {
+            let out = inst.handle(&Request::get(target), Ipv4Addr::new(198, 51, 100, 9));
+            prop_assert!(
+                out.events.iter().all(|e| !e.is_compromise()),
+                "{app}: GET produced a compromise event"
+            );
+        }
+        prop_assert_eq!(inst.is_vulnerable(), before, "{} changed state under GET", app);
+    }
+
+    /// `restore` always returns the instance to its deployment ground
+    /// truth, whatever happened before.
+    #[test]
+    fn restore_is_total(
+        app in arb_app(),
+        requests in proptest::collection::vec(arb_request(), 0..6),
+    ) {
+        let history = release_history(app);
+        let version = history[0];
+        let cfg = AppConfig::vulnerable_for(app, &version);
+        let mut inst = build_instance(app, version, cfg);
+        let deployed = inst.is_vulnerable();
+        for req in requests {
+            let _ = inst.handle(&req, Ipv4Addr::new(203, 0, 113, 1));
+        }
+        inst.restore();
+        prop_assert_eq!(inst.is_vulnerable(), deployed);
+    }
+
+    /// Version resolution: every version in a history resolves through
+    /// `version_at` to itself.
+    #[test]
+    fn version_indexing_is_consistent(app in arb_app(), pick in any::<u16>()) {
+        let history = release_history(app);
+        let idx = pick as usize % history.len();
+        prop_assert_eq!(nokeys_apps::version_at(app, idx), history[idx]);
+    }
+}

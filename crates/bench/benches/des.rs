@@ -1,0 +1,28 @@
+//! Discrete-event queue operations (the simulation substrate).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nokeys_netsim::{EventQueue, SimTime};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("schedule_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            // Pseudo-random times via a multiplicative hash.
+            for i in 0..10_000u64 {
+                q.schedule(SimTime((i.wrapping_mul(2654435761) % 100_000) as i64), i);
+            }
+            let mut last = SimTime(i64::MIN);
+            while let Some((t, e)) = q.pop() {
+                assert!(t >= last);
+                last = t;
+                black_box(e);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Fingerprinting ablation: voluntary disclosure vs knowledge-base crawl.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nokeys_apps::{build_instance, release_history, AppConfig, AppId};
+use nokeys_http::memory::HandlerTransport;
+use nokeys_http::{Client, Endpoint, Scheme};
+use nokeys_scanner::fingerprint::knowledge_base::KnowledgeBase;
+use nokeys_scanner::fingerprint::{crawler, voluntary};
+use nokeys_scanner::plugin::AppHandler;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn client_for(app: AppId) -> (Client<HandlerTransport>, Endpoint) {
+    let v = *release_history(app).last().unwrap();
+    let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 2), app.scan_ports()[0]);
+    let handler = Arc::new(AppHandler::new(build_instance(
+        app,
+        v,
+        AppConfig::secure_for(app, &v),
+    )));
+    (Client::new(HandlerTransport::new().with(ep, handler)), ep)
+}
+
+fn bench(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("fingerprint");
+
+    group.bench_function("knowledge_base_build", |b| b.iter(KnowledgeBase::build));
+
+    // Voluntary: one request (Consul version comment).
+    let (client, ep) = client_for(AppId::Consul);
+    group.bench_function("voluntary_consul", |b| {
+        b.iter(|| {
+            let v = rt.block_on(voluntary::extract(&client, AppId::Consul, ep, Scheme::Http));
+            assert!(v.is_some());
+        })
+    });
+
+    // Knowledge base: crawl four assets + hash + intersect (GoCD has no
+    // voluntary disclosure).
+    let kb = KnowledgeBase::build();
+    let (client, ep) = client_for(AppId::Gocd);
+    group.bench_function("knowledge_base_gocd", |b| {
+        b.iter(|| {
+            let id = rt.block_on(crawler::identify(&client, &kb, ep, Scheme::Http));
+            assert!(id.is_some());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

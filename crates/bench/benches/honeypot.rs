@@ -1,0 +1,27 @@
+//! Honeypot study throughput: the full four-week campaign replay
+//! (2,195 attacks, detection, clustering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nokeys_honeypot::{run_study, StudyConfig};
+
+fn bench(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("honeypot");
+    group.sample_size(10);
+    group.bench_function("four_week_study", |b| {
+        b.iter(|| {
+            let result = rt.block_on(run_study(&StudyConfig {
+                seed: 2022,
+                background_noise: false,
+            }));
+            assert_eq!(result.attacks.len(), 2195);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

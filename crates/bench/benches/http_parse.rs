@@ -1,0 +1,39 @@
+//! HTTP/1.1 parser and serializer throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nokeys_http::encode::{encode_request, encode_response};
+use nokeys_http::parse::{parse_request, parse_response, Limits, Parsed};
+use nokeys_http::{Request, Response};
+
+fn bench(c: &mut Criterion) {
+    let limits = Limits::default();
+    let response_wire = encode_response(&Response::html("<html>".repeat(200) + "</html>"));
+    let request_wire = encode_request(
+        &Request::post("/ws/v1/cluster/apps", "{\"command\":\"x\"}".repeat(20))
+            .with_header("Host", "10.0.0.1"),
+    );
+
+    let mut group = c.benchmark_group("http_parse");
+    group.throughput(Throughput::Bytes(response_wire.len() as u64));
+    group.bench_function("parse_response", |b| {
+        b.iter(|| {
+            let parsed = parse_response(black_box(&response_wire), false, false, &limits);
+            assert!(matches!(parsed, Ok(Parsed::Complete(_, _))));
+        })
+    });
+    group.throughput(Throughput::Bytes(request_wire.len() as u64));
+    group.bench_function("parse_request", |b| {
+        b.iter(|| {
+            let parsed = parse_request(black_box(&request_wire), &limits);
+            assert!(matches!(parsed, Ok(Parsed::Complete(_, _))));
+        })
+    });
+    group.bench_function("encode_response", |b| {
+        let resp = Response::html("x".repeat(2048));
+        b.iter(|| black_box(encode_response(black_box(&resp))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Signature-engine throughput: 90 signatures against representative
+//! response bodies (the per-body cost of stage II).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nokeys_scanner::pattern::PreparedBody;
+use nokeys_scanner::signatures::{all_signatures, match_candidates};
+
+fn bodies() -> Vec<(&'static str, String)> {
+    use nokeys_apps::{build_instance, release_history, AppConfig, AppId};
+    let mut out = Vec::new();
+    for (label, app) in [
+        ("wordpress", AppId::WordPress),
+        ("hadoop", AppId::Hadoop),
+        ("kubernetes", AppId::Kubernetes),
+    ] {
+        let v = *release_history(app).last().unwrap();
+        let mut inst = build_instance(app, v, AppConfig::secure_for(app, &v));
+        let body = inst
+            .handle(
+                &nokeys_http::Request::get("/"),
+                std::net::Ipv4Addr::LOCALHOST,
+            )
+            .response
+            .body_text();
+        out.push((label, body));
+    }
+    out.push((
+        "noise",
+        "<html><head><title>Welcome to nginx!</title></head></html>".repeat(8),
+    ));
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let signatures = all_signatures();
+    let mut group = c.benchmark_group("prefilter_signatures");
+    for (label, body) in bodies() {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let prepared = PreparedBody::new(black_box(body.clone()));
+                black_box(match_candidates(&signatures, &prepared))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

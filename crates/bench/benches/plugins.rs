@@ -1,0 +1,41 @@
+//! Stage III cost: one MAV-plugin verification per application
+//! (vulnerable instance served through the in-memory transport).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nokeys_apps::{build_instance, release_history, AppConfig, AppId};
+use nokeys_http::memory::HandlerTransport;
+use nokeys_http::{Client, Endpoint, Scheme};
+use nokeys_scanner::plugin::{detect_mav, AppHandler};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("mav_plugins");
+    for app in [
+        AppId::WordPress,
+        AppId::Hadoop,
+        AppId::Kubernetes,
+        AppId::Docker,
+    ] {
+        let history = release_history(app);
+        let version = history[0];
+        let cfg = AppConfig::vulnerable_for(app, &version);
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), app.scan_ports()[0]);
+        let handler = Arc::new(AppHandler::new(build_instance(app, version, cfg)));
+        let client = Client::new(HandlerTransport::new().with(ep, handler));
+        group.bench_function(app.name(), |b| {
+            b.iter(|| {
+                let found = rt.block_on(detect_mav(&client, app, ep, Scheme::Http));
+                assert!(found);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Stage I throughput: masscan-style sweep of the tiny universe
+//! (65,536 addresses × 12 ports = 786k probes per iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nokeys_bench::{tiny_space, tiny_transport};
+use nokeys_scanner::{PortScanConfig, PortScanner};
+
+fn bench(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+        .unwrap();
+    let transport = tiny_transport(42);
+    let scanner = PortScanner::new(PortScanConfig::new(vec![tiny_space()]));
+
+    let mut group = c.benchmark_group("portscan");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(65_536 * 12));
+    group.bench_function("sweep_slash16", |b| {
+        b.iter(|| {
+            let result = rt.block_on(scanner.scan(&transport));
+            assert!(!result.open.is_empty());
+        })
+    });
+    group.bench_function("shuffle_blocks", |b| b.iter(|| scanner.shuffled_blocks()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Shared fixtures and ablation harnesses for the Criterion benchmarks.
+//!
+//! The ablations quantify the design choices `DESIGN.md` calls out:
+//!
+//! * **Prefilter ablation** — stage II exists so that stage III's
+//!   per-application plugins only run on plausible candidates.
+//!   [`scan_without_prefilter`] runs every plugin against every open
+//!   endpoint instead; the benchmark shows the request blow-up.
+//! * **Batching ablation** — the paper processes /24 batches with the
+//!   full pipeline while the sweep continues; [`run_pipeline_batched`]
+//!   exposes the batch size so throughput can be compared.
+//! * **Fingerprint ablation** — voluntary extraction vs the
+//!   knowledge-base crawl (accuracy is tested in `nokeys-scanner`; the
+//!   benchmark measures cost).
+
+use nokeys_apps::AppId;
+use nokeys_http::{Client, Endpoint};
+use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+use nokeys_scanner::plugin::detect_mav;
+use nokeys_scanner::{Pipeline, PipelineConfig, PortScanConfig, PortScanner, ScanReport};
+use std::sync::Arc;
+
+/// A small, deterministic simulated-Internet fixture.
+pub fn tiny_transport(seed: u64) -> SimTransport {
+    SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(seed))))
+}
+
+/// The tiny universe's scan space.
+pub fn tiny_space() -> nokeys_scanner::portscan::Cidr {
+    "20.0.0.0/16".parse().expect("static CIDR")
+}
+
+/// Run the full pipeline with a given stage-I batch size.
+pub async fn run_pipeline_batched(transport: &SimTransport, blocks_per_batch: usize) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let mut config = PipelineConfig::new(vec![tiny_space()]);
+    config.blocks_per_batch = blocks_per_batch;
+    Pipeline::new(config).run(&client).await
+}
+
+/// Ablation: no stage II — every open, non-tarpit endpoint gets every
+/// application's plugin. Returns (findings, plugin invocations).
+pub async fn scan_without_prefilter(transport: &SimTransport) -> (u64, u64) {
+    let client = Client::new(transport.clone());
+    let scanner = PortScanner::new(PortScanConfig::new(vec![tiny_space()]));
+    let scan = scanner.scan(transport).await;
+    let mut vulnerable = 0u64;
+    let mut invocations = 0u64;
+    'host: for (ip, ports) in scan.by_host() {
+        if ports.len() >= 12 {
+            continue; // same artifact exclusion as the real pipeline
+        }
+        for port in ports {
+            for app in AppId::in_scope() {
+                for &scheme in nokeys_scanner::Prefilter::schemes_for_port(port) {
+                    invocations += 1;
+                    if detect_mav(&client, app, Endpoint::new(ip, port), scheme).await {
+                        // Count each host once, like the pipeline does.
+                        vulnerable += 1;
+                        continue 'host;
+                    }
+                }
+            }
+        }
+    }
+    (vulnerable, invocations)
+}
+
+/// HTTP-exchange count of a transport (for reporting request blow-ups).
+pub fn request_count(transport: &SimTransport) -> u64 {
+    transport.stats().requests()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn ablation_agrees_with_pipeline_on_vulnerable_counts() {
+        let t = tiny_transport(42);
+        let report = run_pipeline_batched(&t, 64).await;
+        let baseline_requests = request_count(&t);
+
+        let t2 = tiny_transport(42);
+        let (vulnerable, invocations) = scan_without_prefilter(&t2).await;
+        assert_eq!(
+            vulnerable,
+            report.total_mavs(),
+            "both approaches find the same MAVs"
+        );
+        assert!(invocations > 1000, "plugin blow-up without the prefilter");
+        assert!(
+            request_count(&t2) > baseline_requests,
+            "the prefilter saves HTTP requests: {} vs {}",
+            request_count(&t2),
+            baseline_requests
+        );
+    }
+
+    #[tokio::test]
+    async fn batch_size_does_not_change_results() {
+        let t8 = tiny_transport(7);
+        let t256 = tiny_transport(7);
+        let a = run_pipeline_batched(&t8, 8).await;
+        let b = run_pipeline_batched(&t256, 256).await;
+        assert_eq!(a.total_hosts(), b.total_hosts());
+        assert_eq!(a.total_mavs(), b.total_mavs());
+    }
+}

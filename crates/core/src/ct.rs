@@ -1,0 +1,357 @@
+//! Certificate-Transparency-driven scanning (the paper's §6.2 warning).
+//!
+//! "Attackers could increase the likelihood to discover unsecured
+//! applications and unfinished installations by using Certificate
+//! Transparency (CT) logs to discover newly registered domains and scan
+//! those preferably instead of a full sweep of the IPv4 space."
+//!
+//! This module implements that strategy: consume `(domain, ip, time)`
+//! entries, probe each domain *by name* (`Host` header on the shared IP)
+//! shortly after it appears in the log, and run the installation-hijack
+//! plugins against it. Comparing its yield against the IP-wide sweep
+//! quantifies the paper's "our results are a lower bound" claim.
+
+use crate::plugin::detect_mav;
+use nokeys_apps::AppId;
+use nokeys_http::{Client, Endpoint, Request, Scheme, Transport, Url};
+use serde::Serialize;
+use std::net::Ipv4Addr;
+
+/// A CT log entry as consumed by the scanner (mirrors
+/// `nokeys_netsim::CtEntry` without depending on the simulation crate).
+#[derive(Debug, Clone, Serialize)]
+pub struct DomainTarget {
+    pub domain: String,
+    pub ip: Ipv4Addr,
+    /// Seconds (since scan start) the entry appeared in the log.
+    pub logged_at_secs: i64,
+}
+
+/// Result of probing one freshly logged domain.
+#[derive(Debug, Clone, Serialize)]
+pub struct CtFinding {
+    pub domain: String,
+    pub ip: Ipv4Addr,
+    /// The CMS identified behind the name, if any.
+    pub app: Option<AppId>,
+    /// Whether the installation was still hijackable when probed.
+    pub vulnerable: bool,
+    /// Seconds since scan start when the probe ran.
+    pub probed_at_secs: i64,
+}
+
+/// Fetch a path from a *named* virtual host: request goes to the IP, the
+/// `Host` header carries the domain, and redirects are followed with the
+/// header preserved.
+pub async fn fetch_vhost<T: Transport>(
+    client: &Client<T>,
+    ip: Ipv4Addr,
+    domain: &str,
+    path: &str,
+) -> Option<nokeys_http::Response> {
+    let mut current = path.to_string();
+    for _ in 0..client.config().max_redirects {
+        let url = Url::for_ip(Scheme::Http, ip, 80, &current);
+        let req = Request::get(current.clone()).with_header("Host", domain);
+        let resp = client.execute(&url, req).await.ok()?;
+        if let Some(location) = resp.location() {
+            if resp.status.is_redirect() && location.starts_with('/') {
+                current = location.to_string();
+                continue;
+            }
+        }
+        return Some(resp);
+    }
+    None
+}
+
+/// The four installation-hijack detection probes, addressed by name.
+/// Returns `(app, vulnerable)` for the first CMS that answers.
+pub async fn probe_domain<T: Transport>(
+    client: &Client<T>,
+    ip: Ipv4Addr,
+    domain: &str,
+) -> (Option<AppId>, bool) {
+    // Identify the CMS from its root page signatures first.
+    let Some(root) = fetch_vhost(client, ip, domain, "/").await else {
+        return (None, false);
+    };
+    let body = crate::pattern::PreparedBody::new(root.body_text());
+    let candidates =
+        crate::signatures::match_candidates(&crate::signatures::all_signatures(), &body);
+    let cms = candidates.into_iter().find(|app| {
+        matches!(
+            app,
+            AppId::WordPress | AppId::Joomla | AppId::Drupal | AppId::Grav
+        )
+    });
+    let Some(app) = cms else {
+        return (None, false);
+    };
+    // Verify the hijackable state with the app's own plugin, addressed by
+    // name. The vhost-aware client wrapper reuses `detect_mav` through a
+    // Host-pinning transport adapter.
+    let pinned = HostPinned {
+        inner: client.transport(),
+        domain: domain.to_string(),
+    };
+    let pinned_client = Client::with_config(pinned, client.config().clone());
+    let vulnerable = detect_mav(&pinned_client, app, Endpoint::new(ip, 80), Scheme::Http).await;
+    (Some(app), vulnerable)
+}
+
+/// Transport adapter that pins every request's `Host` header to a fixed
+/// domain by rewriting the stream at connect time is not possible at the
+/// byte level, so instead the adapter is a thin wrapper whose client
+/// callers set the header; `detect_mav` goes through `Client::execute`,
+/// which preserves caller headers — the pinning happens in
+/// `PinnedConn`'s write path by rewriting the serialized `Host` line.
+pub struct HostPinned<'a, T> {
+    inner: &'a T,
+    domain: String,
+}
+
+impl<'a, T: Transport> Transport for HostPinned<'a, T> {
+    type Conn = PinnedConn<T::Conn>;
+
+    async fn probe(&self, ep: Endpoint) -> nokeys_http::ProbeOutcome {
+        self.inner.probe(ep).await
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> nokeys_http::Result<Self::Conn> {
+        let conn = self.inner.connect(ep, scheme).await?;
+        Ok(PinnedConn {
+            conn,
+            domain: self.domain.clone(),
+            head_buf: Vec::new(),
+            out_queue: Vec::new(),
+            header_done: false,
+        })
+    }
+}
+
+/// Connection wrapper rewriting the `Host:` header of each request head
+/// that passes through. Bytes are buffered until the head is complete,
+/// rewritten, then drained to the inner connection (tolerating partial
+/// downstream writes).
+pub struct PinnedConn<C> {
+    conn: C,
+    domain: String,
+    head_buf: Vec<u8>,
+    out_queue: Vec<u8>,
+    header_done: bool,
+}
+
+impl<C: nokeys_http::transport::Connection> PinnedConn<C> {
+    fn try_drain(&mut self, cx: &mut std::task::Context<'_>) -> std::io::Result<()> {
+        while !self.out_queue.is_empty() {
+            match std::pin::Pin::new(&mut self.conn).poll_write(cx, &self.out_queue) {
+                std::task::Poll::Ready(Ok(n)) => {
+                    self.out_queue.drain(..n);
+                }
+                std::task::Poll::Ready(Err(e)) => return Err(e),
+                std::task::Poll::Pending => break,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<C: nokeys_http::transport::Connection> tokio::io::AsyncWrite for PinnedConn<C> {
+    fn poll_write(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+        buf: &[u8],
+    ) -> std::task::Poll<std::io::Result<usize>> {
+        let this = &mut *self;
+        if this.header_done {
+            if this.out_queue.is_empty() {
+                return std::pin::Pin::new(&mut this.conn).poll_write(cx, buf);
+            }
+            this.out_queue.extend_from_slice(buf);
+            this.try_drain(cx)?;
+            return std::task::Poll::Ready(Ok(buf.len()));
+        }
+        this.head_buf.extend_from_slice(buf);
+        if let Some(end) = this.head_buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            let head = String::from_utf8_lossy(&this.head_buf[..end]).into_owned();
+            let rest = this.head_buf[end..].to_vec();
+            let mut rewritten = String::new();
+            for (i, line) in head.split("\r\n").enumerate() {
+                if i > 0 && line.to_ascii_lowercase().starts_with("host:") {
+                    rewritten.push_str(&format!("Host: {}", this.domain));
+                } else {
+                    rewritten.push_str(line);
+                }
+                rewritten.push_str("\r\n");
+            }
+            let mut wire = rewritten.trim_end_matches("\r\n").as_bytes().to_vec();
+            wire.extend_from_slice(&rest);
+            this.header_done = true;
+            this.head_buf.clear();
+            this.out_queue = wire;
+            this.try_drain(cx)?;
+        }
+        std::task::Poll::Ready(Ok(buf.len()))
+    }
+
+    fn poll_flush(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        let this = &mut *self;
+        this.try_drain(cx)?;
+        if !this.out_queue.is_empty() {
+            return std::task::Poll::Pending;
+        }
+        std::pin::Pin::new(&mut this.conn).poll_flush(cx)
+    }
+
+    fn poll_shutdown(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::pin::Pin::new(&mut self.conn).poll_shutdown(cx)
+    }
+}
+
+impl<C: nokeys_http::transport::Connection> tokio::io::AsyncRead for PinnedConn<C> {
+    fn poll_read(
+        mut self: std::pin::Pin<&mut Self>,
+        cx: &mut std::task::Context<'_>,
+        buf: &mut tokio::io::ReadBuf<'_>,
+    ) -> std::task::Poll<std::io::Result<()>> {
+        std::pin::Pin::new(&mut self.conn).poll_read(cx, buf)
+    }
+}
+
+impl<C: nokeys_http::transport::Connection> nokeys_http::transport::Connection for PinnedConn<C> {
+    fn certificate(&self) -> Option<nokeys_http::transport::CertificateInfo> {
+        self.conn.certificate()
+    }
+}
+
+/// Scan every logged domain `delay_secs` after it appears (the CT
+/// watcher's reaction time), invoking `advance_clock` with the probe
+/// time.
+pub async fn ct_scan<T, F>(
+    client: &Client<T>,
+    entries: &[DomainTarget],
+    delay_secs: i64,
+    mut advance_clock: F,
+) -> Vec<CtFinding>
+where
+    T: Transport,
+    F: FnMut(i64),
+{
+    let mut sorted: Vec<&DomainTarget> = entries.iter().collect();
+    sorted.sort_by_key(|e| (e.logged_at_secs, &e.domain));
+    let mut findings = Vec::new();
+    for entry in sorted {
+        let probe_at = entry.logged_at_secs + delay_secs;
+        advance_clock(probe_at);
+        let (app, vulnerable) = probe_domain(client, entry.ip, &entry.domain).await;
+        findings.push(CtFinding {
+            domain: entry.domain.clone(),
+            ip: entry.ip,
+            app,
+            vulnerable,
+            probed_at_secs: probe_at,
+        });
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_http::memory::HandlerTransport;
+    use nokeys_http::{Client, Response};
+    use std::sync::Arc;
+
+    /// Handler that echoes the Host header it received.
+    struct HostEcho;
+    impl nokeys_http::server::Handler for HostEcho {
+        fn handle(&self, req: &Request, _peer: Ipv4Addr) -> Response {
+            Response::text(req.headers.get("host").unwrap_or("none").to_string())
+        }
+    }
+
+    #[tokio::test]
+    async fn host_pinned_transport_rewrites_the_header() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 20, 20, 20), 80);
+        let inner = HandlerTransport::new().with(ep, Arc::new(HostEcho));
+        let inner_client = Client::new(inner);
+        let pinned = HostPinned {
+            inner: inner_client.transport(),
+            domain: "pinned.example".into(),
+        };
+        let client = Client::new(pinned);
+        // The client writes `Host: 10.20.20.20`; the pinned connection
+        // rewrites it on the wire.
+        let fetched = client.get_path(ep, Scheme::Http, "/").await.unwrap();
+        assert_eq!(fetched.response.body_text(), "pinned.example");
+    }
+
+    #[tokio::test]
+    async fn host_pinned_handles_requests_with_bodies() {
+        struct BodyEcho;
+        impl nokeys_http::server::Handler for BodyEcho {
+            fn handle(&self, req: &Request, _peer: Ipv4Addr) -> Response {
+                Response::text(format!(
+                    "{}|{}",
+                    req.headers.get("host").unwrap_or("none"),
+                    req.body_text()
+                ))
+            }
+        }
+        let ep = Endpoint::new(Ipv4Addr::new(10, 20, 20, 21), 80);
+        let inner = HandlerTransport::new().with(ep, Arc::new(BodyEcho));
+        let inner_client = Client::new(inner);
+        let pinned = HostPinned {
+            inner: inner_client.transport(),
+            domain: "d.example".into(),
+        };
+        let client = Client::new(pinned);
+        let url = Url::for_ip(Scheme::Http, ep.ip, ep.port, "/x");
+        let resp = client
+            .execute(&url, Request::post("/x", "payload-body"))
+            .await
+            .unwrap();
+        assert_eq!(resp.body_text(), "d.example|payload-body");
+    }
+
+    #[tokio::test]
+    async fn fetch_vhost_follows_relative_redirects_with_host() {
+        struct Redirecting;
+        impl nokeys_http::server::Handler for Redirecting {
+            fn handle(&self, req: &Request, _peer: Ipv4Addr) -> Response {
+                match req.path() {
+                    "/" => Response::redirect("/installer"),
+                    "/installer" => Response::text(format!(
+                        "installer for {}",
+                        req.headers.get("host").unwrap_or("none")
+                    )),
+                    _ => Response::not_found(),
+                }
+            }
+        }
+        let ep = Endpoint::new(Ipv4Addr::new(10, 20, 20, 22), 80);
+        let transport = HandlerTransport::new().with(ep, Arc::new(Redirecting));
+        let client = Client::new(transport);
+        let resp = fetch_vhost(&client, ep.ip, "fresh.example", "/")
+            .await
+            .unwrap();
+        assert_eq!(resp.body_text(), "installer for fresh.example");
+    }
+
+    #[tokio::test]
+    async fn probe_domain_handles_unknown_sites() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 20, 20, 23), 80);
+        let transport = HandlerTransport::new().with(ep, Arc::new(HostEcho));
+        let client = Client::new(transport);
+        let (app, vulnerable) = probe_domain(&client, ep.ip, "whatever.example").await;
+        assert_eq!(app, None);
+        assert!(!vulnerable);
+    }
+}

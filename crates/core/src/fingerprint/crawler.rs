@@ -1,0 +1,100 @@
+//! The fingerprinting crawler: fetch static files from a target, hash
+//! them, and identify the application/version via the knowledge base.
+
+use super::knowledge_base::KnowledgeBase;
+use nokeys_apps::assets::fnv1a;
+use nokeys_apps::{AppId, Version};
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+/// Crawl the target's static files and return `(path, hash)` pairs for
+/// every file that exists.
+pub async fn crawl<T: Transport>(
+    client: &Client<T>,
+    kb: &KnowledgeBase,
+    ep: Endpoint,
+    scheme: Scheme,
+) -> Vec<(String, u64)> {
+    let mut out = Vec::new();
+    for path in kb.crawl_paths() {
+        let Ok(fetched) = client.get_path(ep, scheme, path).await else {
+            continue;
+        };
+        if !fetched.response.status.is_success() {
+            continue;
+        }
+        out.push((path.to_string(), fnv1a(&fetched.response.body)));
+    }
+    out
+}
+
+/// Crawl and identify in one step.
+pub async fn identify<T: Transport>(
+    client: &Client<T>,
+    kb: &KnowledgeBase,
+    ep: Endpoint,
+    scheme: Scheme,
+) -> Option<(AppId, Version)> {
+    let observations = crawl(client, kb, ep, scheme).await;
+    kb.identify(&observations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::AppHandler;
+    use nokeys_apps::{build_instance, release_history, AppConfig};
+    use nokeys_http::memory::HandlerTransport;
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    #[tokio::test]
+    async fn crawler_identifies_a_version_stripped_app() {
+        // GoCD discloses no version string; the crawler must identify it.
+        let app = AppId::Gocd;
+        let history = release_history(app);
+        let idx = history.len() - 2;
+        let version = history[idx];
+        let ep = Endpoint::new(Ipv4Addr::new(10, 3, 3, 3), 8153);
+        let handler = Arc::new(AppHandler::new(build_instance(
+            app,
+            version,
+            AppConfig::secure_for(app, &version),
+        )));
+        let client = Client::new(HandlerTransport::new().with(ep, handler));
+        let kb = KnowledgeBase::build();
+        let (found_app, found_version) = identify(&client, &kb, ep, Scheme::Http)
+            .await
+            .expect("identified");
+        assert_eq!(found_app, app);
+        assert_eq!(found_version.triple(), version.triple());
+    }
+
+    #[tokio::test]
+    async fn crawl_collects_only_existing_files() {
+        let app = AppId::Zeppelin;
+        let version = release_history(app)[0];
+        let ep = Endpoint::new(Ipv4Addr::new(10, 3, 3, 4), 8080);
+        let handler = Arc::new(AppHandler::new(build_instance(
+            app,
+            version,
+            AppConfig::secure_for(app, &version),
+        )));
+        let client = Client::new(HandlerTransport::new().with(ep, handler));
+        let kb = KnowledgeBase::build();
+        let obs = crawl(&client, &kb, ep, Scheme::Http).await;
+        assert_eq!(
+            obs.len(),
+            kb.crawl_paths().len(),
+            "model serves all corpus files"
+        );
+    }
+
+    #[tokio::test]
+    async fn unreachable_target_crawls_nothing() {
+        let client = Client::new(HandlerTransport::new());
+        let kb = KnowledgeBase::build();
+        let ep = Endpoint::new(Ipv4Addr::new(10, 3, 3, 5), 80);
+        assert!(crawl(&client, &kb, ep, Scheme::Http).await.is_empty());
+        assert!(identify(&client, &kb, ep, Scheme::Http).await.is_none());
+    }
+}

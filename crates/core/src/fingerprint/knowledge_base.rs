@@ -1,0 +1,227 @@
+//! Static-file hash knowledge base.
+//!
+//! "The knowledge base is built using the repositories of the open-source
+//! applications and includes hashes of their static files such as images,
+//! scripts and stylesheets." Here the repositories are the deterministic
+//! asset corpora of the application models.
+
+use nokeys_apps::assets::{fingerprint as asset_fingerprint, ASSET_PATHS};
+use nokeys_apps::{release_history, AppId, Version};
+use std::collections::HashMap;
+
+/// `(application, version index)` candidate.
+pub type Candidate = (AppId, usize);
+
+/// Hash → candidates index over every application and version.
+pub struct KnowledgeBase {
+    by_hash: HashMap<u64, Vec<Candidate>>,
+    entries: usize,
+}
+
+impl KnowledgeBase {
+    /// Build the base over all 25 applications and their full release
+    /// histories.
+    pub fn build() -> Self {
+        let mut by_hash: HashMap<u64, Vec<Candidate>> = HashMap::new();
+        let mut entries = 0;
+        for app in AppId::all() {
+            for (idx, version) in release_history(app).iter().enumerate() {
+                for (_path, hash) in asset_fingerprint(app, version) {
+                    by_hash.entry(hash).or_default().push((app, idx));
+                    entries += 1;
+                }
+            }
+        }
+        KnowledgeBase { by_hash, entries }
+    }
+
+    /// Candidates whose corpus contains a file with `hash`.
+    pub fn lookup(&self, hash: u64) -> &[Candidate] {
+        self.by_hash.get(&hash).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Number of (hash, candidate) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Identify an application and version from crawled `(path, hash)`
+    /// observations: intersect the candidate sets of every observed hash
+    /// and return the newest surviving version.
+    pub fn identify(&self, observations: &[(String, u64)]) -> Option<(AppId, Version)> {
+        let mut intersection: Option<Vec<Candidate>> = None;
+        for (_path, hash) in observations {
+            let candidates = self.lookup(*hash);
+            if candidates.is_empty() {
+                // Unknown file (e.g. user content) — ignore rather than
+                // wipe the intersection.
+                continue;
+            }
+            intersection = Some(match intersection {
+                None => candidates.to_vec(),
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|c| candidates.contains(c))
+                    .collect(),
+            });
+        }
+        let surviving = intersection?;
+        let (app, idx) = surviving.into_iter().max_by_key(|(_, idx)| *idx)?;
+        Some((app, release_history(app)[idx]))
+    }
+
+    /// Like [`KnowledgeBase::identify`], but returning the full candidate
+    /// *version range* (oldest and newest surviving version) instead of
+    /// just the newest — useful when reporting fingerprint confidence.
+    pub fn identify_range(
+        &self,
+        observations: &[(String, u64)],
+    ) -> Option<(AppId, Version, Version)> {
+        let mut intersection: Option<Vec<Candidate>> = None;
+        for (_path, hash) in observations {
+            let candidates = self.lookup(*hash);
+            if candidates.is_empty() {
+                continue;
+            }
+            intersection = Some(match intersection {
+                None => candidates.to_vec(),
+                Some(prev) => prev
+                    .into_iter()
+                    .filter(|c| candidates.contains(c))
+                    .collect(),
+            });
+        }
+        let surviving = intersection?;
+        let app = surviving.first()?.0;
+        if surviving.iter().any(|(a, _)| *a != app) {
+            // Ambiguous across applications: no single range.
+            return None;
+        }
+        let min = surviving.iter().map(|(_, i)| *i).min()?;
+        let max = surviving.iter().map(|(_, i)| *i).max()?;
+        let history = release_history(app);
+        Some((app, history[min], history[max]))
+    }
+
+    /// The asset paths the crawler should request.
+    pub fn crawl_paths(&self) -> &'static [&'static str] {
+        &ASSET_PATHS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_apps::assets::asset_hash;
+
+    #[test]
+    fn base_covers_all_apps_and_versions() {
+        let kb = KnowledgeBase::build();
+        let expected: usize = AppId::all()
+            .map(|app| release_history(app).len() * ASSET_PATHS.len())
+            .sum();
+        assert_eq!(kb.len(), expected);
+        assert!(!kb.is_empty());
+    }
+
+    #[test]
+    fn identifies_exact_version_from_full_observation() {
+        let kb = KnowledgeBase::build();
+        let app = AppId::Kubernetes;
+        let history = release_history(app);
+        let idx = 3;
+        let version = history[idx];
+        let obs: Vec<(String, u64)> = ASSET_PATHS
+            .iter()
+            .map(|p| (p.to_string(), asset_hash(app, &version, p).unwrap()))
+            .collect();
+        let (found_app, found_version) = kb.identify(&obs).unwrap();
+        assert_eq!(found_app, app);
+        assert_eq!(found_version.triple(), version.triple());
+    }
+
+    #[test]
+    fn partial_observation_narrows_to_a_version_range() {
+        let kb = KnowledgeBase::build();
+        let app = AppId::Hadoop;
+        let history = release_history(app);
+        let idx = 2;
+        let version = history[idx];
+        // Only the slow-churn asset: several adjacent versions share it;
+        // the newest of them is returned.
+        let obs = vec![(
+            "/static/logo.svg".to_string(),
+            asset_hash(app, &version, "/static/logo.svg").unwrap(),
+        )];
+        let (found_app, found_version) = kb.identify(&obs).unwrap();
+        assert_eq!(found_app, app);
+        // The returned version shares the asset generation with the true
+        // one (same 8-release bucket).
+        let found_idx = history
+            .iter()
+            .position(|v| v.triple() == found_version.triple())
+            .unwrap();
+        assert_eq!(found_idx / 8, idx / 8, "same asset generation");
+        assert!(found_idx >= idx, "newest candidate is returned");
+    }
+
+    #[test]
+    fn unknown_hashes_are_ignored() {
+        let kb = KnowledgeBase::build();
+        let app = AppId::Consul;
+        let version = release_history(app)[1];
+        let mut obs: Vec<(String, u64)> = ASSET_PATHS
+            .iter()
+            .map(|p| (p.to_string(), asset_hash(app, &version, p).unwrap()))
+            .collect();
+        obs.push(("/static/custom.css".to_string(), 0xdeadbeef));
+        let (found_app, found_version) = kb.identify(&obs).unwrap();
+        assert_eq!(found_app, app);
+        assert_eq!(found_version.triple(), version.triple());
+    }
+
+    #[test]
+    fn identify_range_narrows_with_more_assets() {
+        let kb = KnowledgeBase::build();
+        let app = AppId::Hadoop;
+        let history = release_history(app);
+        let idx = 3;
+        let version = history[idx];
+        // One slow-churn asset: a wide range.
+        let one = vec![(
+            "/static/logo.svg".to_string(),
+            asset_hash(app, &version, "/static/logo.svg").unwrap(),
+        )];
+        let (_, lo1, hi1) = kb.identify_range(&one).unwrap();
+        // All assets: the exact version.
+        let all: Vec<(String, u64)> = ASSET_PATHS
+            .iter()
+            .map(|p| (p.to_string(), asset_hash(app, &version, p).unwrap()))
+            .collect();
+        let (_, lo4, hi4) = kb.identify_range(&all).unwrap();
+        assert_eq!(lo4.triple(), version.triple());
+        assert_eq!(hi4.triple(), version.triple());
+        let width = |lo: Version, hi: Version| {
+            history
+                .iter()
+                .position(|v| v.triple() == hi.triple())
+                .unwrap()
+                - history
+                    .iter()
+                    .position(|v| v.triple() == lo.triple())
+                    .unwrap()
+        };
+        assert!(width(lo1, hi1) >= width(lo4, hi4), "range must narrow");
+    }
+
+    #[test]
+    fn no_known_hashes_yields_none() {
+        let kb = KnowledgeBase::build();
+        assert!(kb.identify(&[("/x".to_string(), 1)]).is_none());
+        assert!(kb.identify(&[]).is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Version fingerprinting.
+//!
+//! Two mechanisms, mirroring Section 3.1 "Version fingerprinting":
+//!
+//! 1. [`voluntary`]: extract versions the applications disclose
+//!    themselves (API endpoints, headers, generator metas, HTML
+//!    comments).
+//! 2. [`knowledge_base`] + [`crawler`]: for the remaining applications
+//!    (or stripped version strings), hash crawled static files and match
+//!    them against a knowledge base built from the applications'
+//!    repositories.
+
+pub mod crawler;
+pub mod knowledge_base;
+pub mod voluntary;
+
+use crate::report::FingerprintMethod;
+use knowledge_base::KnowledgeBase;
+use nokeys_apps::{AppId, Version};
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+/// The combined fingerprinter.
+pub struct Fingerprinter {
+    kb: KnowledgeBase,
+}
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    /// Build the fingerprinter (constructs the knowledge base over all
+    /// applications and versions).
+    pub fn new() -> Self {
+        Fingerprinter {
+            kb: KnowledgeBase::build(),
+        }
+    }
+
+    /// Access the knowledge base.
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Determine the deployed version of `app` at `ep`: voluntary
+    /// disclosure first, knowledge-base crawl as fallback.
+    pub async fn fingerprint<T: Transport>(
+        &self,
+        client: &Client<T>,
+        app: AppId,
+        ep: Endpoint,
+        scheme: Scheme,
+    ) -> Option<(Version, FingerprintMethod)> {
+        if let Some(version) = voluntary::extract(client, app, ep, scheme).await {
+            return Some((version, FingerprintMethod::Voluntary));
+        }
+        crawler::identify(client, &self.kb, ep, scheme)
+            .await
+            .filter(|(found_app, _)| *found_app == app)
+            .map(|(_, version)| (version, FingerprintMethod::KnowledgeBase))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::AppHandler;
+    use nokeys_apps::{build_instance, release_history, AppConfig};
+    use nokeys_http::memory::HandlerTransport;
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    fn client_for(app: AppId, version_index: usize) -> (Client<HandlerTransport>, Endpoint) {
+        let version = release_history(app)[version_index];
+        let ep = Endpoint::new(Ipv4Addr::new(10, 2, 2, 2), app.scan_ports()[0]);
+        let handler = Arc::new(AppHandler::new(build_instance(
+            app,
+            version,
+            AppConfig::secure_for(app, &version),
+        )));
+        (Client::new(HandlerTransport::new().with(ep, handler)), ep)
+    }
+
+    #[tokio::test]
+    async fn fingerprints_every_in_scope_app() {
+        let fp = Fingerprinter::new();
+        for app in AppId::in_scope() {
+            let history = release_history(app);
+            let idx = history.len() / 2;
+            let (client, ep) = client_for(app, idx);
+            let result = fp.fingerprint(&client, app, ep, Scheme::Http).await;
+            let Some((version, method)) = result else {
+                panic!("{app}: no fingerprint");
+            };
+            assert_eq!(
+                version.triple(),
+                history[idx].triple(),
+                "{app}: wrong version via {method:?}"
+            );
+        }
+    }
+
+    #[tokio::test]
+    async fn unreachable_host_yields_none() {
+        let fp = Fingerprinter::new();
+        let client = Client::new(HandlerTransport::new());
+        let ep = Endpoint::new(Ipv4Addr::new(10, 2, 2, 3), 80);
+        assert!(fp
+            .fingerprint(&client, AppId::WordPress, ep, Scheme::Http)
+            .await
+            .is_none());
+    }
+}

@@ -1,0 +1,214 @@
+//! Voluntary version disclosure.
+//!
+//! "We first try to extract the exact version number from the 13
+//! applications where this information is usually voluntarily revealed,
+//! e.g., Kubernetes has the /version API endpoint while Consul includes a
+//! HTML comment."
+
+use nokeys_apps::{release_history, AppId, Version};
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+/// Parse a leading `major.minor[.patch]` from `s`.
+pub fn parse_version_number(s: &str) -> Option<(u16, u16, u16)> {
+    let digits: String = s
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    let mut parts = digits.split('.');
+    let major: u16 = parts.next()?.parse().ok()?;
+    let minor: u16 = parts.next()?.parse().ok()?;
+    let patch: u16 = parts.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+    Some((major, minor, patch))
+}
+
+/// Resolve a parsed triple against the app's release history.
+fn resolve(app: AppId, triple: (u16, u16, u16)) -> Option<Version> {
+    release_history(app)
+        .into_iter()
+        .find(|v| v.triple() == triple)
+}
+
+/// Extract the substring following `marker` up to `terminator`.
+fn after<'a>(body: &'a str, marker: &str, terminator: char) -> Option<&'a str> {
+    let start = body.find(marker)? + marker.len();
+    let rest = &body[start..];
+    let end = rest.find(terminator).unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+async fn fetch_body<T: Transport>(
+    client: &Client<T>,
+    ep: Endpoint,
+    scheme: Scheme,
+    path: &str,
+) -> Option<String> {
+    let fetched = client.get_path(ep, scheme, path).await.ok()?;
+    Some(fetched.response.body_text())
+}
+
+/// Attempt voluntary version extraction for `app` at `ep`.
+pub async fn extract<T: Transport>(
+    client: &Client<T>,
+    app: AppId,
+    ep: Endpoint,
+    scheme: Scheme,
+) -> Option<Version> {
+    let triple = match app {
+        AppId::Jenkins => {
+            // `X-Jenkins` response header on every page.
+            let fetched = client.get_path(ep, scheme, "/").await.ok()?;
+            let header = fetched.response.headers.get("x-jenkins")?.to_string();
+            parse_version_number(&header)?
+        }
+        AppId::Kubernetes => {
+            let body = fetch_body(client, ep, scheme, "/version").await?;
+            let git = after(&body, "\"gitVersion\":\"v", '"')?.to_string();
+            parse_version_number(&git)?
+        }
+        AppId::Consul => {
+            let body = fetch_body(client, ep, scheme, "/ui/").await?;
+            let comment = after(&body, "CONSUL_VERSION: ", ' ')?.to_string();
+            parse_version_number(&comment)?
+        }
+        AppId::WordPress => {
+            let body = fetch_body(client, ep, scheme, "/").await?;
+            let meta = after(&body, "content=\"WordPress ", '"')?.to_string();
+            parse_version_number(&meta)?
+        }
+        AppId::Grav => {
+            let body = fetch_body(client, ep, scheme, "/").await?;
+            let meta = after(&body, "content=\"GravCMS ", '"')?.to_string();
+            parse_version_number(&meta)?
+        }
+        AppId::Zeppelin => {
+            let body = fetch_body(client, ep, scheme, "/api/version").await?;
+            let v = after(&body, "\"version\":\"", '"')?.to_string();
+            parse_version_number(&v)?
+        }
+        AppId::Nomad => {
+            // The UI shell's version meta works even with ACLs on.
+            let body = fetch_body(client, ep, scheme, "/ui/").await?;
+            let meta = after(&body, "name=\"nomad-version\" content=\"", '"')?.to_string();
+            parse_version_number(&meta)?
+        }
+        AppId::Docker => {
+            // Only open daemons answer /version.
+            let body = fetch_body(client, ep, scheme, "/version").await?;
+            let v = after(&body, "\"Version\":\"", '"')?.to_string();
+            parse_version_number(&v)?
+        }
+        AppId::Hadoop => {
+            let body = fetch_body(client, ep, scheme, "/ws/v1/cluster/info").await?;
+            let v = after(&body, "\"hadoopVersion\":\"", '"')?.to_string();
+            parse_version_number(&v)?
+        }
+        AppId::JupyterLab | AppId::JupyterNotebook => {
+            // /api/status answers only without auth.
+            let body = fetch_body(client, ep, scheme, "/api/status").await?;
+            let v = after(&body, "\"version\":\"", '"')?.to_string();
+            parse_version_number(&v)?
+        }
+        AppId::Polynote => {
+            let body = fetch_body(client, ep, scheme, "/").await?;
+            let meta = after(&body, "name=\"polynote-config\" content=\"", '"')?.to_string();
+            parse_version_number(&meta)?
+        }
+        AppId::PhpMyAdmin => {
+            let body = fetch_body(client, ep, scheme, "/").await?;
+            let title = after(&body, "phpMyAdmin ", '<')?.to_string();
+            parse_version_number(&title)?
+        }
+        AppId::Adminer => {
+            let body = fetch_body(client, ep, scheme, "/adminer.php").await?;
+            let title = after(&body, "- Adminer ", '<')?.to_string();
+            parse_version_number(&title)?
+        }
+        // GoCD, Joomla, Drupal (major only), Ajenti and the out-of-scope
+        // applications do not reveal a full version — knowledge base
+        // territory.
+        _ => return None,
+    };
+    resolve(app, triple)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plugin::AppHandler;
+    use nokeys_apps::{build_instance, AppConfig};
+    use nokeys_http::memory::HandlerTransport;
+    use std::net::Ipv4Addr;
+    use std::sync::Arc;
+
+    #[test]
+    fn version_number_parsing() {
+        assert_eq!(parse_version_number("1.21.3"), Some((1, 21, 3)));
+        assert_eq!(parse_version_number("4.8"), Some((4, 8, 0)));
+        assert_eq!(parse_version_number("2.0.0-rc1"), Some((2, 0, 0)));
+        assert_eq!(parse_version_number("latest"), None);
+        assert_eq!(parse_version_number(""), None);
+        assert_eq!(parse_version_number("7"), None, "major alone is not enough");
+    }
+
+    fn serve(app: AppId, idx: usize, vulnerable: bool) -> (Client<HandlerTransport>, Endpoint) {
+        let version = release_history(app)[idx];
+        let cfg = if vulnerable {
+            AppConfig::vulnerable_for(app, &version)
+        } else {
+            AppConfig::secure_for(app, &version)
+        };
+        let ep = Endpoint::new(Ipv4Addr::new(10, 4, 4, 4), app.scan_ports()[0]);
+        let handler = Arc::new(AppHandler::new(build_instance(app, version, cfg)));
+        (Client::new(HandlerTransport::new().with(ep, handler)), ep)
+    }
+
+    #[tokio::test]
+    async fn voluntary_apps_disclose_versions() {
+        for app in [
+            AppId::Jenkins,
+            AppId::Kubernetes,
+            AppId::Consul,
+            AppId::WordPress,
+            AppId::Grav,
+            AppId::Zeppelin,
+            AppId::Nomad,
+            AppId::Hadoop,
+            AppId::Polynote,
+            AppId::Adminer,
+        ] {
+            let idx = release_history(app).len() - 1;
+            // Hadoop/Docker/etc. disclose when open; use vulnerable
+            // configs where disclosure needs it.
+            let vulnerable = matches!(app, AppId::Hadoop | AppId::Polynote);
+            let (client, ep) = serve(app, idx, vulnerable);
+            let v = extract(&client, app, ep, Scheme::Http).await;
+            assert_eq!(
+                v.map(|v| v.triple()),
+                Some(release_history(app)[idx].triple()),
+                "{app}"
+            );
+        }
+    }
+
+    #[tokio::test]
+    async fn docker_disclosure_requires_open_daemon() {
+        let idx = release_history(AppId::Docker).len() - 1;
+        let (client, ep) = serve(AppId::Docker, idx, true);
+        assert!(extract(&client, AppId::Docker, ep, Scheme::Http)
+            .await
+            .is_some());
+        let (client, ep) = serve(AppId::Docker, idx, false);
+        assert!(extract(&client, AppId::Docker, ep, Scheme::Http)
+            .await
+            .is_none());
+    }
+
+    #[tokio::test]
+    async fn gocd_has_no_voluntary_disclosure() {
+        let (client, ep) = serve(AppId::Gocd, 0, false);
+        assert!(extract(&client, AppId::Gocd, ep, Scheme::Http)
+            .await
+            .is_none());
+    }
+}

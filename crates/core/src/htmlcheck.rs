@@ -1,0 +1,112 @@
+//! Tiny HTML checks used by detection plugins ("check that body is valid
+//! HTML", "verify that element `form#createItem` exists").
+
+/// Whether the body looks like an HTML document: has an opening `<html`
+/// and a closing `</html>` tag in order.
+pub fn is_valid_html(body: &str) -> bool {
+    match (body.find("<html"), body.rfind("</html>")) {
+        (Some(open), Some(close)) => open < close,
+        _ => false,
+    }
+}
+
+/// Check for an element selector of the form `tag#id` (the only selector
+/// shape the paper's plugins use), e.g. `form#createItem` or
+/// `form#setup input#pass1` (descendant combinator).
+pub fn has_element(body: &str, selector: &str) -> bool {
+    let mut search_from = 0usize;
+    for part in selector.split_whitespace() {
+        let Some((tag, id)) = part.split_once('#') else {
+            return false;
+        };
+        match find_tag_with_id(&body[search_from..], tag, id) {
+            Some(offset) => search_from += offset,
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Find `<tag ... id="id" ...>` in `body`; returns the offset just past
+/// the opening `<tag`.
+fn find_tag_with_id(body: &str, tag: &str, id: &str) -> Option<usize> {
+    let open = format!("<{tag}");
+    let id_attr_dq = format!("id=\"{id}\"");
+    let id_attr_sq = format!("id='{id}'");
+    let mut pos = 0usize;
+    while let Some(found) = body[pos..].find(&open) {
+        let start = pos + found;
+        // The character after the tag name must end the name.
+        let after = start + open.len();
+        let boundary_ok = body[after..]
+            .chars()
+            .next()
+            .map(|c| c.is_whitespace() || c == '>' || c == '/')
+            .unwrap_or(false);
+        if boundary_ok {
+            let tag_end = body[start..]
+                .find('>')
+                .map(|i| start + i)
+                .unwrap_or(body.len());
+            let tag_text = &body[start..tag_end];
+            if tag_text.contains(&id_attr_dq) || tag_text.contains(&id_attr_sq) {
+                return Some(after);
+            }
+        }
+        pos = start + open.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &str = r#"<!DOCTYPE html><html><body>
+        <form id="setup" method="post">
+            <input type="password" id="pass1" name="admin_password">
+        </form>
+        <form id="createItem" action="/createItem"></form>
+    </body></html>"#;
+
+    #[test]
+    fn valid_html_detection() {
+        assert!(is_valid_html(PAGE));
+        assert!(!is_valid_html("{\"json\":true}"));
+        assert!(!is_valid_html("</html> before <html"));
+        assert!(!is_valid_html(""));
+    }
+
+    #[test]
+    fn single_selector() {
+        assert!(has_element(PAGE, "form#setup"));
+        assert!(has_element(PAGE, "form#createItem"));
+        assert!(!has_element(PAGE, "form#login"));
+        assert!(!has_element(PAGE, "div#setup"));
+    }
+
+    #[test]
+    fn descendant_selector() {
+        assert!(has_element(PAGE, "form#setup input#pass1"));
+        // pass1 exists but not under (after) createItem.
+        assert!(!has_element(PAGE, "form#createItem input#pass1"));
+    }
+
+    #[test]
+    fn tag_name_boundaries_respected() {
+        // `<formula id="setup">` must not match `form#setup`.
+        let tricky = "<html><formula id=\"setup\"></formula></html>";
+        assert!(!has_element(tricky, "form#setup"));
+    }
+
+    #[test]
+    fn single_quoted_ids_match() {
+        let page = "<html><form id='x'></form></html>";
+        assert!(has_element(page, "form#x"));
+    }
+
+    #[test]
+    fn malformed_selector_is_false() {
+        assert!(!has_element(PAGE, "justatag"));
+    }
+}

@@ -1,0 +1,42 @@
+//! The paper's primary contribution: a three-stage Internet-wide scanning
+//! pipeline for **missing authentication vulnerabilities** (MAVs) in
+//! administrative web endpoints (AWEs), modeled after the Tsunami scanner.
+//!
+//! * **Stage I** ([`portscan`]): masscan-style port sweep — randomized
+//!   /24 block order, IANA reserved-range exclusion, 12 target ports.
+//! * **Stage II** ([`prefilter`]): HTTP(S) probe with redirect following
+//!   and 90 per-application [`signatures`] that discard out-of-scope
+//!   hosts.
+//! * **Stage III** ([`plugin`], [`plugins`]): per-application MAV
+//!   verification following the exact steps of the paper's Appendix
+//!   Table 10, restricted to non-state-changing `GET` requests.
+//! * **Version fingerprinting** ([`fingerprint`]): voluntary version
+//!   disclosure plus a static-file hash knowledge base with a crawler.
+//! * **Longevity observation** ([`observer`]): 3-hourly rescans of
+//!   vulnerable hosts over four weeks (Figure 2).
+//!
+//! The pipeline is generic over the [`Transport`](nokeys_http::Transport)
+//! abstraction: the same code scans the simulated universe
+//! (`nokeys-netsim`) and real sockets (`live_scan` example).
+
+pub mod ct;
+pub mod disclosure;
+pub mod fingerprint;
+pub mod htmlcheck;
+pub mod observer;
+pub mod pattern;
+pub mod pipeline;
+pub mod plugin;
+pub mod plugins;
+pub mod portscan;
+pub mod prefilter;
+pub mod rate;
+pub mod report;
+pub mod signatures;
+
+pub use pattern::{MatchMode, Pattern, PreparedBody};
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use plugin::{detect_mav, plugin_steps};
+pub use portscan::{PortScanConfig, PortScanResult, PortScanner};
+pub use prefilter::{Prefilter, PrefilterHit};
+pub use report::{FingerprintMethod, HostFinding, ScanReport};

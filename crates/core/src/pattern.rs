@@ -1,0 +1,194 @@
+//! The small text-matching engine behind the prefilter signatures and
+//! the plugin checks.
+//!
+//! Three match modes cover everything the paper's checks need:
+//! exact substring, ASCII-case-insensitive substring (Docker, Hadoop),
+//! and whitespace-stripped substring (Drupal, Kubernetes — "remove all
+//! whitespace from response, as their placement differs across
+//! versions"). [`PreparedBody`] precomputes the lowered and squashed
+//! views once so that running 90 signatures against a body costs 90
+//! substring searches, not 90 transformations.
+
+use serde::Serialize;
+
+/// How a pattern is compared against a body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum MatchMode {
+    /// Byte-exact substring.
+    Exact,
+    /// ASCII-case-insensitive substring.
+    IgnoreCase,
+    /// Substring after stripping *all* whitespace from both sides.
+    IgnoreWhitespace,
+}
+
+/// A search pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct Pattern {
+    pub needle: &'static str,
+    pub mode: MatchMode,
+}
+
+impl Pattern {
+    /// Exact substring pattern.
+    pub const fn exact(needle: &'static str) -> Self {
+        Pattern {
+            needle,
+            mode: MatchMode::Exact,
+        }
+    }
+
+    /// Case-insensitive pattern (the needle itself must be lowercase).
+    pub const fn nocase(needle: &'static str) -> Self {
+        Pattern {
+            needle,
+            mode: MatchMode::IgnoreCase,
+        }
+    }
+
+    /// Whitespace-insensitive pattern (the needle must already contain no
+    /// whitespace).
+    pub const fn nospace(needle: &'static str) -> Self {
+        Pattern {
+            needle,
+            mode: MatchMode::IgnoreWhitespace,
+        }
+    }
+
+    /// Match against a prepared body.
+    pub fn matches(&self, body: &PreparedBody) -> bool {
+        match self.mode {
+            MatchMode::Exact => body.raw.contains(self.needle),
+            MatchMode::IgnoreCase => {
+                debug_assert_eq!(
+                    self.needle,
+                    self.needle.to_ascii_lowercase(),
+                    "nocase needles must be lowercase"
+                );
+                body.lower().contains(self.needle)
+            }
+            MatchMode::IgnoreWhitespace => {
+                debug_assert!(
+                    !self.needle.chars().any(|c| c.is_whitespace()),
+                    "nospace needles must contain no whitespace"
+                );
+                body.squashed().contains(self.needle)
+            }
+        }
+    }
+
+    /// Match directly against a string (one-off use).
+    pub fn matches_str(&self, body: &str) -> bool {
+        self.matches(&PreparedBody::new(body.to_string()))
+    }
+}
+
+/// A body with lazily computed lowered / whitespace-stripped views.
+#[derive(Debug)]
+pub struct PreparedBody {
+    pub raw: String,
+    lower: std::cell::OnceCell<String>,
+    squashed: std::cell::OnceCell<String>,
+}
+
+impl PreparedBody {
+    pub fn new(raw: String) -> Self {
+        PreparedBody {
+            raw,
+            lower: Default::default(),
+            squashed: Default::default(),
+        }
+    }
+
+    /// Lowercased view (computed once).
+    pub fn lower(&self) -> &str {
+        self.lower.get_or_init(|| self.raw.to_ascii_lowercase())
+    }
+
+    /// Whitespace-stripped view (computed once).
+    pub fn squashed(&self) -> &str {
+        self.squashed
+            .get_or_init(|| self.raw.chars().filter(|c| !c.is_whitespace()).collect())
+    }
+}
+
+impl From<&str> for PreparedBody {
+    fn from(s: &str) -> Self {
+        PreparedBody::new(s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_matching() {
+        let body = PreparedBody::from("The Admin plugin has been installed");
+        assert!(Pattern::exact("Admin plugin").matches(&body));
+        assert!(!Pattern::exact("admin plugin").matches(&body));
+    }
+
+    #[test]
+    fn case_insensitive_matching() {
+        let body = PreparedBody::from("MinAPIVersion: 1.12, KernelVersion: 5.4");
+        assert!(Pattern::nocase("minapiversion").matches(&body));
+        assert!(Pattern::nocase("kernelversion").matches(&body));
+        assert!(!Pattern::nocase("dockerversion").matches(&body));
+    }
+
+    #[test]
+    fn whitespace_stripped_matching() {
+        let body = PreparedBody::from("<li class=\"is-active\">\n    Set up database\n  </li>");
+        assert!(Pattern::nospace("<liclass=\"is-active\">Setupdatabase").matches(&body));
+        // Newlines inside the needle region don't matter.
+        let tight = PreparedBody::from("<li class=\"is-active\">Set up database</li>");
+        assert!(Pattern::nospace("<liclass=\"is-active\">Setupdatabase").matches(&tight));
+    }
+
+    #[test]
+    fn prepared_views_are_cached_and_consistent() {
+        let body = PreparedBody::from("A b\tC\nd");
+        assert_eq!(body.lower(), "a b\tc\nd");
+        assert_eq!(body.squashed(), "AbCd");
+        // Second call returns the same data (cache hit).
+        assert_eq!(body.lower(), "a b\tc\nd");
+    }
+
+    proptest! {
+        /// Exact mode agrees with `str::contains`.
+        #[test]
+        fn exact_agrees_with_reference(haystack in ".{0,100}") {
+            let needle = "Jenkins";
+            let p = Pattern::exact(needle);
+            prop_assert_eq!(p.matches_str(&haystack), haystack.contains(needle));
+        }
+
+        /// Case-insensitive mode agrees with lowercase reference.
+        #[test]
+        fn nocase_agrees_with_reference(haystack in "[a-zA-Z0-9 ]{0,100}") {
+            let needle = "hadoop";
+            let p = Pattern::nocase(needle);
+            prop_assert_eq!(
+                p.matches_str(&haystack),
+                haystack.to_ascii_lowercase().contains(needle)
+            );
+        }
+
+        /// Whitespace mode is invariant under whitespace insertion.
+        #[test]
+        fn nospace_invariant_under_whitespace(
+            prefix in "[a-z]{0,10}",
+            ws in proptest::collection::vec(prop_oneof![Just(' '), Just('\n'), Just('\t')], 0..5),
+        ) {
+            // Insert whitespace into the middle of the marker.
+            let marker = "certificates.k8s.io";
+            let mid = 5;
+            let ws_str: String = ws.iter().collect();
+            let body = format!("{prefix}{}{}{}", &marker[..mid], ws_str, &marker[mid..]);
+            let p = Pattern::nospace(marker);
+            prop_assert!(p.matches_str(&body));
+        }
+    }
+}

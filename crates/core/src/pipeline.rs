@@ -1,0 +1,281 @@
+//! The full three-stage pipeline.
+//!
+//! Orchestrates stage I (port scan), artifact exclusion ("3.0M hosts that
+//! appeared to always have all ports open ... we excluded them"), stage
+//! II (prefilter), stage III (MAV plugins) and version fingerprinting
+//! into a single [`ScanReport`].
+
+use crate::fingerprint::Fingerprinter;
+use crate::plugin::detect_mav;
+use crate::portscan::{Cidr, PortScanConfig, PortScanResult, PortScanner};
+use crate::prefilter::{Prefilter, PrefilterHit};
+use crate::report::{HostFinding, ScanReport};
+use nokeys_apps::AppId;
+use nokeys_http::{Client, Transport};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Stage-I configuration.
+    pub portscan: PortScanConfig,
+    /// /24 blocks per batch ("we always selected and scanned a fraction
+    /// of all hosts with our full pipeline before we continued").
+    pub blocks_per_batch: usize,
+    /// Hosts with at least this many open scan ports are treated as
+    /// all-ports-open artifacts and excluded.
+    pub tarpit_port_threshold: usize,
+    /// Run the version fingerprinter on identified hosts.
+    pub fingerprint: bool,
+    /// Run stage III plugins (disabling this is only useful for the
+    /// prefilter ablation bench).
+    pub verify: bool,
+}
+
+impl PipelineConfig {
+    pub fn new(targets: Vec<Cidr>) -> Self {
+        let portscan = PortScanConfig::new(targets);
+        let tarpit_port_threshold = portscan.ports.len();
+        PipelineConfig {
+            portscan,
+            blocks_per_batch: 64,
+            tarpit_port_threshold,
+            fingerprint: true,
+            verify: true,
+        }
+    }
+}
+
+/// The pipeline.
+pub struct Pipeline {
+    config: PipelineConfig,
+    scanner: PortScanner,
+    prefilter: Prefilter,
+    fingerprinter: Fingerprinter,
+}
+
+impl Pipeline {
+    pub fn new(config: PipelineConfig) -> Self {
+        let scanner = PortScanner::new(config.portscan.clone());
+        Pipeline {
+            config,
+            scanner,
+            prefilter: Prefilter::new(),
+            fingerprinter: Fingerprinter::new(),
+        }
+    }
+
+    /// Run the full pipeline over the configured target space.
+    pub async fn run<T: Transport>(&self, client: &Client<T>) -> ScanReport {
+        let mut report = ScanReport::default();
+        // Stage I, batched: collect per-batch endpoint sets and process
+        // each with stages II/III before the sweep continues.
+        let mut batches: Vec<PortScanResult> = Vec::new();
+        let total = self
+            .scanner
+            .scan_batched(client.transport(), self.config.blocks_per_batch, |batch| {
+                batches.push(batch.clone());
+            })
+            .await;
+        report.addresses_probed = total.addresses_probed;
+        report.probes_sent = total.probes_sent;
+        for (port, n) in &total.open_per_port {
+            report.port_stats.entry(*port).or_default().open = *n;
+        }
+
+        for batch in batches {
+            self.process_batch(client, &batch, &mut report).await;
+        }
+        report
+    }
+
+    /// Stages II + III for one batch of stage-I results.
+    async fn process_batch<T: Transport>(
+        &self,
+        client: &Client<T>,
+        batch: &PortScanResult,
+        report: &mut ScanReport,
+    ) {
+        // Exclude all-ports-open artifacts.
+        let by_host = batch.by_host();
+        let mut endpoints = Vec::new();
+        for (ip, ports) in &by_host {
+            if ports.len() >= self.config.tarpit_port_threshold {
+                report.excluded_all_ports_open += 1;
+                continue;
+            }
+            for port in ports {
+                endpoints.push(nokeys_http::Endpoint::new(*ip, *port));
+            }
+        }
+
+        // Stage II.
+        let prefilter_result = self.prefilter.run(client, &endpoints).await;
+        report.prefilter_discarded += prefilter_result.discarded;
+        report.prefilter_silent += prefilter_result.silent;
+        report.prefilter_hits += prefilter_result.hits.len() as u64;
+        for (port, stats) in &prefilter_result.per_port {
+            let entry = report.port_stats.entry(*port).or_default();
+            entry.http += stats.http;
+            entry.https += stats.https;
+        }
+
+        // Group hits per host: one finding per (host, application).
+        let mut per_host: BTreeMap<Ipv4Addr, Vec<&PrefilterHit>> = BTreeMap::new();
+        for hit in &prefilter_result.hits {
+            per_host.entry(hit.endpoint.ip).or_default().push(hit);
+        }
+
+        // Stage III + fingerprinting.
+        for (_ip, hits) in per_host {
+            report
+                .findings
+                .extend(self.verify_host(client, &hits).await);
+        }
+    }
+
+    /// Verify one host, producing one finding per *application* the host
+    /// runs. An application running on several ports of the host is
+    /// counted once (the paper's counting rule); distinct applications on
+    /// distinct ports each count.
+    async fn verify_host<T: Transport>(
+        &self,
+        client: &Client<T>,
+        hits: &[&PrefilterHit],
+    ) -> Vec<HostFinding> {
+        // Which endpoints does each candidate application appear on, and
+        // which application is each endpoint's *strongest* match?
+        let mut endpoints_of: BTreeMap<AppId, Vec<&PrefilterHit>> = BTreeMap::new();
+        let mut primary_of: BTreeMap<AppId, &PrefilterHit> = BTreeMap::new();
+        for hit in hits {
+            for &app in &hit.candidates {
+                endpoints_of.entry(app).or_default().push(hit);
+            }
+            if let Some(&best) = hit.candidates.first() {
+                primary_of.entry(best).or_insert(hit);
+            }
+        }
+
+        let mut findings = Vec::new();
+        for (app, app_hits) in endpoints_of {
+            // Stage III: a MAV on any of the app's endpoints confirms it.
+            let mut confirmed: Option<&PrefilterHit> = None;
+            if self.config.verify {
+                for hit in &app_hits {
+                    if detect_mav(client, app, hit.endpoint, hit.scheme).await {
+                        confirmed = Some(hit);
+                        break;
+                    }
+                }
+            }
+            // Attribute the host to this application if a plugin
+            // confirmed it, or if it is the strongest match of one of
+            // the host's endpoints (weak secondary matches alone do not
+            // create findings).
+            let hit = match (confirmed, primary_of.get(&app)) {
+                (Some(hit), _) => hit,
+                (None, Some(hit)) => hit,
+                (None, None) => continue,
+            };
+            let mut finding = HostFinding {
+                endpoint: hit.endpoint,
+                scheme: hit.scheme,
+                app,
+                vulnerable: confirmed.is_some(),
+                version: None,
+                fingerprint_method: None,
+            };
+            if self.config.fingerprint {
+                if let Some((version, method)) = self
+                    .fingerprinter
+                    .fingerprint(client, app, hit.endpoint, hit.scheme)
+                    .await
+                {
+                    finding.version = Some(version);
+                    finding.fingerprint_method = Some(method);
+                }
+            }
+            findings.push(finding);
+        }
+        findings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+    use std::sync::Arc;
+
+    async fn run_tiny() -> (Client<SimTransport>, ScanReport) {
+        let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))));
+        let client = Client::new(t);
+        let pipeline = Pipeline::new(PipelineConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let report = pipeline.run(&client).await;
+        (client, report)
+    }
+
+    #[tokio::test]
+    async fn pipeline_matches_ground_truth_per_app() {
+        let (client, report) = run_tiny().await;
+        let universe = client.transport().universe();
+
+        for app in AppId::in_scope() {
+            let truth_hosts = universe
+                .hosts()
+                .filter(|h| h.awe().map(|(_, a)| a) == Some(app))
+                .count() as u64;
+            let truth_mavs = universe
+                .vulnerable_hosts()
+                .filter(|h| h.awe().map(|(_, a)| a) == Some(app))
+                .count() as u64;
+            assert_eq!(
+                report.hosts_running(app),
+                truth_hosts,
+                "{app}: host count mismatch"
+            );
+            assert_eq!(report.mavs(app), truth_mavs, "{app}: MAV count mismatch");
+        }
+    }
+
+    #[tokio::test]
+    async fn pipeline_excludes_tarpits() {
+        let (client, report) = run_tiny().await;
+        let tarpits = client
+            .transport()
+            .universe()
+            .hosts()
+            .filter(|h| h.tarpit)
+            .count() as u64;
+        assert_eq!(report.excluded_all_ports_open, tarpits);
+    }
+
+    #[tokio::test]
+    async fn pipeline_discards_background_noise() {
+        let (_, report) = run_tiny().await;
+        assert!(report.prefilter_discarded > 0);
+        // Nothing in the findings is a background host.
+        for f in &report.findings {
+            assert!(AppId::in_scope().any(|a| a == f.app));
+        }
+    }
+
+    #[tokio::test]
+    async fn fingerprints_cover_most_findings() {
+        let (_, report) = run_tiny().await;
+        assert!(
+            report.fingerprint_coverage() > 0.9,
+            "coverage = {}",
+            report.fingerprint_coverage()
+        );
+    }
+
+    #[tokio::test]
+    async fn port_stats_have_open_counts() {
+        let (_, report) = run_tiny().await;
+        assert!(report.port_stats.get(&80).map(|s| s.open).unwrap_or(0) > 0);
+        // Port 80 never records HTTPS.
+        assert_eq!(report.port_stats.get(&80).map(|s| s.https).unwrap_or(0), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Consul script-checks detection.
+
+use crate::plugins::ok_body_of;
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+pub const STEPS: &[&str] = &[
+    "Visit '/v1/agent/self' and check that response is valid JSON",
+    "Parse JSON response and check that the 'DebugConfig' property does exist",
+    "Check that at least one of 'DebugConfig.EnableScriptChecks' and \
+     'DebugConfig.EnableRemoteScriptChecks' is enabled",
+];
+
+pub async fn detect<T: Transport>(client: &Client<T>, ep: Endpoint, scheme: Scheme) -> bool {
+    let Some(body) = ok_body_of(client, ep, scheme, "/v1/agent/self").await else {
+        return false;
+    };
+    let Ok(json) = serde_json::from_str::<serde_json::Value>(&body) else {
+        return false;
+    };
+    let Some(debug) = json.get("DebugConfig") else {
+        return false;
+    };
+    ["EnableScriptChecks", "EnableRemoteScriptChecks"]
+        .iter()
+        .any(|k| debug.get(*k).and_then(|v| v.as_bool()).unwrap_or(false))
+}

@@ -1,0 +1,24 @@
+//! Docker exposed-daemon detection.
+
+use crate::plugins::body_of;
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+pub const STEPS: &[&str] = &[
+    "Visit '/' and check that body contains '{\"message\":\"page not found\"}'",
+    "Visit '/version', convert response to lower case and check that it contains \
+     'minapiversion' and 'kernelversion'",
+];
+
+pub async fn detect<T: Transport>(client: &Client<T>, ep: Endpoint, scheme: Scheme) -> bool {
+    let Some(root) = body_of(client, ep, scheme, "/").await else {
+        return false;
+    };
+    if !root.contains("{\"message\":\"page not found\"}") {
+        return false;
+    }
+    let Some(version) = body_of(client, ep, scheme, "/version").await else {
+        return false;
+    };
+    let lower = version.to_ascii_lowercase();
+    lower.contains("minapiversion") && lower.contains("kernelversion")
+}

@@ -1,0 +1,32 @@
+//! Hadoop YARN ResourceManager detection.
+
+use crate::plugins::ok_body_of;
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+pub const STEPS: &[&str] = &[
+    "Visit '/cluster/cluster' and convert response to lower case",
+    "Check that response contains 'hadoop', 'resourcemanager' and 'logged in as: dr.who'",
+    "Visit '/ws/v1/cluster/apps/new-application' and check that it is valid JSON",
+    "Parse the JSON response and check that it contains the 'application-id' object",
+];
+
+pub async fn detect<T: Transport>(client: &Client<T>, ep: Endpoint, scheme: Scheme) -> bool {
+    let Some(cluster) = ok_body_of(client, ep, scheme, "/cluster/cluster").await else {
+        return false;
+    };
+    let lower = cluster.to_ascii_lowercase();
+    if !(lower.contains("hadoop")
+        && lower.contains("resourcemanager")
+        && lower.contains("logged in as: dr.who"))
+    {
+        return false;
+    }
+    let Some(new_app) = ok_body_of(client, ep, scheme, "/ws/v1/cluster/apps/new-application").await
+    else {
+        return false;
+    };
+    let Ok(json) = serde_json::from_str::<serde_json::Value>(&new_app) else {
+        return false;
+    };
+    json.get("application-id").is_some()
+}

@@ -1,0 +1,33 @@
+//! Kubernetes anonymous-API detection.
+
+use crate::plugins::{ok_body_of, squash};
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+
+pub const STEPS: &[&str] = &[
+    "Visit '/' and check that body contains 'certificates.k8s.io' and 'healthz/ping'",
+    "Visit '/api/v1/pods', remove all whitespace from the response and check that it \
+     contains '\"phase\":\"Running\"'",
+    "Parse the response as JSON and check that the 'items' array exists and is not empty",
+];
+
+pub async fn detect<T: Transport>(client: &Client<T>, ep: Endpoint, scheme: Scheme) -> bool {
+    let Some(root) = ok_body_of(client, ep, scheme, "/").await else {
+        return false;
+    };
+    if !(root.contains("certificates.k8s.io") && root.contains("healthz/ping")) {
+        return false;
+    }
+    let Some(pods) = ok_body_of(client, ep, scheme, "/api/v1/pods").await else {
+        return false;
+    };
+    if !squash(&pods).contains("\"phase\":\"Running\"") {
+        return false;
+    }
+    let Ok(json) = serde_json::from_str::<serde_json::Value>(&pods) else {
+        return false;
+    };
+    json.get("items")
+        .and_then(|i| i.as_array())
+        .map(|a| !a.is_empty())
+        .unwrap_or(false)
+}

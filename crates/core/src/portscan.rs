@@ -1,0 +1,425 @@
+//! Stage I: masscan-style port sweep.
+//!
+//! Mirrors the paper's setup: the target space is decomposed into /24
+//! blocks which are scanned in a deterministic *shuffled* order (to avoid
+//! flooding any single network), IANA reserved ranges are excluded, and
+//! only the 12 study ports are probed. Results are delivered in batches
+//! so later (slower) stages can run on fresh data while the sweep
+//! continues — the paper's answer to scan-vs-verify staleness.
+
+use nokeys_apps::SCAN_PORTS;
+use nokeys_http::{Endpoint, ProbeOutcome, Transport};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+pub use nokeys_http::ip::{Cidr, ReservedRanges};
+
+/// Port-scan configuration.
+#[derive(Debug, Clone)]
+pub struct PortScanConfig {
+    /// Target blocks to sweep.
+    pub targets: Vec<Cidr>,
+    /// Ports to probe (defaults to the paper's 12).
+    pub ports: Vec<u16>,
+    /// Seed for the /24 shuffle.
+    pub seed: u64,
+    /// Exclude IANA reserved ranges.
+    pub exclude_reserved: bool,
+    /// Probe-rate ceiling in probes/second (token bucket); `None` scans
+    /// at full speed. The paper paced its sweep to stay polite.
+    pub max_probes_per_sec: Option<f64>,
+}
+
+impl PortScanConfig {
+    pub fn new(targets: Vec<Cidr>) -> Self {
+        PortScanConfig {
+            targets,
+            ports: SCAN_PORTS.to_vec(),
+            seed: 0x6e6f6b657973, // "nokeys"
+            exclude_reserved: true,
+            max_probes_per_sec: None,
+        }
+    }
+}
+
+/// Result of sweeping one batch (or the whole space).
+#[derive(Debug, Clone, Default)]
+pub struct PortScanResult {
+    /// Open endpoints in discovery order.
+    pub open: Vec<Endpoint>,
+    /// Open-port counts per port (Table 2, column "# Open").
+    pub open_per_port: BTreeMap<u16, u64>,
+    /// Number of addresses probed.
+    pub addresses_probed: u64,
+    /// Number of individual (address, port) probes sent.
+    pub probes_sent: u64,
+}
+
+impl PortScanResult {
+    fn absorb(&mut self, other: PortScanResult) {
+        self.open.extend(other.open);
+        for (port, n) in other.open_per_port {
+            *self.open_per_port.entry(port).or_default() += n;
+        }
+        self.addresses_probed += other.addresses_probed;
+        self.probes_sent += other.probes_sent;
+    }
+
+    /// Group open endpoints by address (hosts with several open ports).
+    pub fn by_host(&self) -> BTreeMap<Ipv4Addr, Vec<u16>> {
+        let mut map: BTreeMap<Ipv4Addr, Vec<u16>> = BTreeMap::new();
+        for ep in &self.open {
+            map.entry(ep.ip).or_default().push(ep.port);
+        }
+        map
+    }
+}
+
+/// The stage-I scanner.
+#[derive(Debug, Clone)]
+pub struct PortScanner {
+    config: PortScanConfig,
+    reserved: ReservedRanges,
+}
+
+impl PortScanner {
+    pub fn new(config: PortScanConfig) -> Self {
+        PortScanner {
+            config,
+            reserved: ReservedRanges::iana(),
+        }
+    }
+
+    /// The subset of shuffled /24 blocks assigned to shard `k` of `n` —
+    /// how the paper's 64 machines split the address space. Shards
+    /// partition the block list: every block belongs to exactly one
+    /// shard, and the shuffle keeps each shard's load statistically even.
+    pub fn shard_blocks(&self, k: usize, n: usize) -> Vec<Cidr> {
+        assert!(n > 0 && k < n, "shard index {k} out of {n}");
+        self.shuffled_blocks()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| i % n == k)
+            .map(|(_, b)| b)
+            .collect()
+    }
+
+    /// Sweep only shard `k` of `n` (for running one member of a scanning
+    /// fleet).
+    pub async fn scan_shard<T: Transport>(
+        &self,
+        transport: &T,
+        k: usize,
+        n: usize,
+    ) -> PortScanResult {
+        let mut pacer = self
+            .config
+            .max_probes_per_sec
+            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let mut total = PortScanResult::default();
+        for block in self.shard_blocks(k, n) {
+            total.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+        }
+        total
+    }
+
+    /// The /24 blocks of all targets in the deterministic shuffled scan
+    /// order.
+    pub fn shuffled_blocks(&self) -> Vec<Cidr> {
+        let mut blocks: Vec<Cidr> = self
+            .config
+            .targets
+            .iter()
+            .flat_map(|t| t.slash24_blocks().collect::<Vec<_>>())
+            .collect();
+        // Fisher–Yates with a splitmix-style PRNG; deterministic in the
+        // seed and independent of the `rand` crate's version.
+        let mut state = self.config.seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in (1..blocks.len()).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            blocks.swap(i, j);
+        }
+        blocks
+    }
+
+    /// Sweep one /24 block.
+    pub async fn scan_block<T: Transport>(&self, transport: &T, block: Cidr) -> PortScanResult {
+        let mut pacer = self
+            .config
+            .max_probes_per_sec
+            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        self.scan_block_paced(transport, block, &mut pacer).await
+    }
+
+    /// Sweep one /24 block, drawing probe tokens from `pacer` if present.
+    pub async fn scan_block_paced<T: Transport>(
+        &self,
+        transport: &T,
+        block: Cidr,
+        pacer: &mut Option<crate::rate::Pacer>,
+    ) -> PortScanResult {
+        let mut result = PortScanResult::default();
+        for ip in block.addresses() {
+            if self.config.exclude_reserved && self.reserved.contains(ip) {
+                continue;
+            }
+            result.addresses_probed += 1;
+            for &port in &self.config.ports {
+                if let Some(p) = pacer.as_mut() {
+                    p.acquire().await;
+                }
+                result.probes_sent += 1;
+                let ep = Endpoint::new(ip, port);
+                if transport.probe(ep).await == ProbeOutcome::Open {
+                    result.open.push(ep);
+                    *result.open_per_port.entry(port).or_default() += 1;
+                }
+            }
+        }
+        result
+    }
+
+    /// Sweep the whole target space sequentially (deterministic; used
+    /// with the simulated transport where probes are immediate).
+    pub async fn scan<T: Transport>(&self, transport: &T) -> PortScanResult {
+        let mut pacer = self
+            .config
+            .max_probes_per_sec
+            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let mut total = PortScanResult::default();
+        for block in self.shuffled_blocks() {
+            total.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+        }
+        total
+    }
+
+    /// Sweep in batches of `blocks_per_batch` /24 blocks, invoking
+    /// `on_batch` after each so the full pipeline can process fresh
+    /// results before the sweep continues.
+    pub async fn scan_batched<T, F>(
+        &self,
+        transport: &T,
+        blocks_per_batch: usize,
+        mut on_batch: F,
+    ) -> PortScanResult
+    where
+        T: Transport,
+        F: FnMut(&PortScanResult),
+    {
+        assert!(blocks_per_batch > 0, "batch size must be positive");
+        let mut total = PortScanResult::default();
+        let mut batch = PortScanResult::default();
+        for (i, block) in self.shuffled_blocks().into_iter().enumerate() {
+            batch.absorb(self.scan_block(transport, block).await);
+            if (i + 1) % blocks_per_batch == 0 {
+                on_batch(&batch);
+                total.absorb(std::mem::take(&mut batch));
+            }
+        }
+        if !batch.open.is_empty() || batch.probes_sent > 0 {
+            on_batch(&batch);
+            total.absorb(batch);
+        }
+        total
+    }
+
+    /// Concurrent sweep for real transports: `parallelism` blocks in
+    /// flight at once. Result order differs from the sequential sweep but
+    /// contents are identical.
+    pub async fn scan_concurrent<T>(
+        &self,
+        transport: std::sync::Arc<T>,
+        parallelism: usize,
+    ) -> PortScanResult
+    where
+        T: Transport + Send + Sync + 'static,
+    {
+        assert!(parallelism > 0, "parallelism must be positive");
+        let mut total = PortScanResult::default();
+        let mut join_set = tokio::task::JoinSet::new();
+        let mut blocks = self.shuffled_blocks().into_iter();
+        // Split the aggregate rate ceiling across the in-flight blocks.
+        let mut per_task = self.clone();
+        if let Some(rate) = per_task.config.max_probes_per_sec {
+            per_task.config.max_probes_per_sec = Some((rate / parallelism as f64).max(1.0));
+        }
+        loop {
+            while join_set.len() < parallelism {
+                let Some(block) = blocks.next() else { break };
+                let scanner = per_task.clone();
+                let transport = std::sync::Arc::clone(&transport);
+                join_set.spawn(async move { scanner.scan_block(transport.as_ref(), block).await });
+            }
+            match join_set.join_next().await {
+                Some(res) => total.absorb(res.expect("scan task panicked")),
+                None => break,
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+    use std::sync::Arc;
+
+    fn sim() -> SimTransport {
+        SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))))
+    }
+
+    fn config_for_tiny() -> PortScanConfig {
+        PortScanConfig::new(vec!["20.0.0.0/16".parse().unwrap()])
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_complete() {
+        let s = PortScanner::new(config_for_tiny());
+        let a = s.shuffled_blocks();
+        let b = s.shuffled_blocks();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 256, "a /16 has 256 /24 blocks");
+        // It is actually shuffled (first few blocks not in natural order).
+        let natural: Vec<Cidr> = "20.0.0.0/16"
+            .parse::<Cidr>()
+            .unwrap()
+            .slash24_blocks()
+            .collect();
+        assert_ne!(a, natural);
+        let mut sorted = a.clone();
+        sorted.sort_by_key(|c| c.base);
+        assert_eq!(sorted, natural);
+    }
+
+    #[tokio::test]
+    async fn finds_every_populated_endpoint() {
+        let t = sim();
+        let scanner = PortScanner::new(config_for_tiny());
+        let result = scanner.scan(&t).await;
+        // Every non-tarpit host's service ports must be discovered.
+        let expected: u64 = t
+            .universe()
+            .hosts()
+            .filter(|h| !h.tarpit)
+            .map(|h| h.services.len() as u64)
+            .sum();
+        let tarpit_ports: u64 =
+            t.universe().hosts().filter(|h| h.tarpit).count() as u64 * SCAN_PORTS.len() as u64;
+        assert_eq!(result.open.len() as u64, expected + tarpit_ports);
+        assert_eq!(result.probes_sent, result.addresses_probed * 12);
+    }
+
+    #[tokio::test]
+    async fn reserved_ranges_are_skipped() {
+        let t = sim();
+        let mut cfg = PortScanConfig::new(vec!["10.0.0.0/24".parse().unwrap()]);
+        cfg.exclude_reserved = true;
+        let result = PortScanner::new(cfg).scan(&t).await;
+        assert_eq!(result.addresses_probed, 0, "10/8 is reserved");
+        assert_eq!(t.stats().probes(), 0);
+    }
+
+    #[tokio::test]
+    async fn batched_scan_covers_the_same_endpoints() {
+        let t = sim();
+        let scanner = PortScanner::new(config_for_tiny());
+        let full = scanner.scan(&t).await;
+        let mut batches = 0;
+        let batched = scanner
+            .scan_batched(&t, 32, |batch| {
+                batches += 1;
+                assert!(batch.probes_sent > 0);
+            })
+            .await;
+        assert_eq!(batches, 256 / 32);
+        let mut a = full.open.clone();
+        let mut b = batched.open.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[tokio::test]
+    async fn concurrent_scan_matches_sequential() {
+        let t = Arc::new(sim());
+        let scanner = PortScanner::new(config_for_tiny());
+        let seq = scanner.scan(t.as_ref()).await;
+        let conc = scanner.scan_concurrent(Arc::clone(&t), 8).await;
+        let mut a = seq.open.clone();
+        let mut b = conc.open.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(seq.probes_sent, conc.probes_sent);
+    }
+
+    #[tokio::test]
+    async fn shards_partition_the_sweep() {
+        let t = sim();
+        let scanner = PortScanner::new(config_for_tiny());
+        let full = scanner.scan(&t).await;
+        let n = 4;
+        let mut union: Vec<Endpoint> = Vec::new();
+        let mut total_probes = 0;
+        for k in 0..n {
+            let shard = scanner.scan_shard(&t, k, n).await;
+            union.extend(shard.open);
+            total_probes += shard.probes_sent;
+        }
+        union.sort();
+        let mut expected = full.open.clone();
+        expected.sort();
+        assert_eq!(union, expected, "shards must cover exactly the full sweep");
+        assert_eq!(total_probes, full.probes_sent);
+        // Block lists are disjoint.
+        let mut blocks: Vec<Cidr> = (0..n).flat_map(|k| scanner.shard_blocks(k, n)).collect();
+        let before = blocks.len();
+        blocks.sort_by_key(|b| b.base);
+        blocks.dedup();
+        assert_eq!(blocks.len(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard index")]
+    fn invalid_shard_is_rejected() {
+        let scanner = PortScanner::new(config_for_tiny());
+        let _ = scanner.shard_blocks(4, 4);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn rate_limit_paces_the_sweep() {
+        let t = sim();
+        let mut cfg = PortScanConfig::new(vec!["20.0.0.0/26".parse().unwrap()]);
+        cfg.ports = vec![80];
+        cfg.max_probes_per_sec = Some(32.0);
+        let scanner = PortScanner::new(cfg);
+        let start = tokio::time::Instant::now();
+        let result = scanner.scan(&t).await;
+        // 64 probes at 32/s with a 32-token burst: at least ~1s of
+        // (virtual) pacing time.
+        assert_eq!(result.probes_sent, 64);
+        let elapsed = tokio::time::Instant::now() - start;
+        assert!(
+            elapsed >= std::time::Duration::from_millis(900),
+            "{elapsed:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn by_host_groups_ports() {
+        let t = sim();
+        let scanner = PortScanner::new(config_for_tiny());
+        let result = scanner.scan(&t).await;
+        let by_host = result.by_host();
+        // Tarpit hosts have all 12 ports open.
+        let tarpits = by_host.values().filter(|ports| ports.len() == 12).count();
+        assert_eq!(tarpits as u64, 5, "tiny universe has 5 tarpits");
+    }
+}

@@ -1,0 +1,217 @@
+//! Stage II: HTTP(S) probe + signature prefilter.
+//!
+//! For each open port the prefilter checks whether it speaks HTTP and/or
+//! HTTPS — except port 80 (HTTP only) and 443 (HTTPS only) — follows
+//! redirects until a response body arrives, and matches the body against
+//! the 90 prefilter signatures. Hosts matching no signature are discarded
+//! before the expensive stage III.
+
+use crate::pattern::PreparedBody;
+use crate::signatures::{all_signatures, match_candidates, Signature};
+use nokeys_apps::AppId;
+use nokeys_http::{Client, Endpoint, Scheme, Transport};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A stage-II hit: an endpoint that speaks HTTP(S) and looks like one or
+/// more of the studied applications.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrefilterHit {
+    pub endpoint: Endpoint,
+    /// Scheme the body was obtained over.
+    pub scheme: Scheme,
+    /// Candidate applications (signature matches), catalog order.
+    pub candidates: Vec<AppId>,
+    /// Number of redirects followed before the body arrived.
+    pub redirects: usize,
+}
+
+/// Per-port protocol statistics (Table 2's "# HTTP" / "# HTTPS").
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PortProtocolStats {
+    pub http: u64,
+    pub https: u64,
+}
+
+/// Result of prefiltering a set of endpoints.
+#[derive(Debug, Default)]
+pub struct PrefilterResult {
+    pub hits: Vec<PrefilterHit>,
+    /// Endpoints that spoke HTTP(S) but matched no signature.
+    pub discarded: u64,
+    /// Endpoints that spoke neither protocol.
+    pub silent: u64,
+    /// Protocol stats per port.
+    pub per_port: BTreeMap<u16, PortProtocolStats>,
+}
+
+/// The stage-II prefilter.
+pub struct Prefilter {
+    signatures: Vec<Signature>,
+}
+
+impl Default for Prefilter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Prefilter {
+    pub fn new() -> Self {
+        Prefilter {
+            signatures: all_signatures(),
+        }
+    }
+
+    /// Schemes to try on `port` ("we checked if they speak HTTP or
+    /// HTTPS, except port 80 where we only tested HTTP, and port 443
+    /// where we only tested for HTTPS").
+    pub fn schemes_for_port(port: u16) -> &'static [Scheme] {
+        match port {
+            80 => &[Scheme::Http],
+            443 => &[Scheme::Https],
+            _ => &[Scheme::Http, Scheme::Https],
+        }
+    }
+
+    /// Probe a single endpoint; returns the hit (if any signature
+    /// matched) plus which schemes answered.
+    pub async fn probe_endpoint<T: Transport>(
+        &self,
+        client: &Client<T>,
+        ep: Endpoint,
+    ) -> (Option<PrefilterHit>, PortProtocolStats) {
+        let mut stats = PortProtocolStats::default();
+        let mut hit: Option<PrefilterHit> = None;
+        for &scheme in Self::schemes_for_port(ep.port) {
+            let Ok(fetched) = client.get_path(ep, scheme, "/").await else {
+                continue;
+            };
+            match scheme {
+                Scheme::Http => stats.http += 1,
+                Scheme::Https => stats.https += 1,
+            }
+            if hit.is_none() {
+                let body = PreparedBody::new(fetched.response.body_text());
+                let candidates = match_candidates(&self.signatures, &body);
+                if !candidates.is_empty() {
+                    hit = Some(PrefilterHit {
+                        endpoint: ep,
+                        scheme,
+                        candidates,
+                        redirects: fetched.redirects,
+                    });
+                }
+            }
+        }
+        (hit, stats)
+    }
+
+    /// Prefilter a batch of endpoints.
+    pub async fn run<T: Transport>(
+        &self,
+        client: &Client<T>,
+        endpoints: &[Endpoint],
+    ) -> PrefilterResult {
+        let mut result = PrefilterResult::default();
+        for &ep in endpoints {
+            let (hit, stats) = self.probe_endpoint(client, ep).await;
+            let spoke = stats.http + stats.https > 0;
+            let entry = result.per_port.entry(ep.port).or_default();
+            entry.http += stats.http;
+            entry.https += stats.https;
+            match hit {
+                Some(h) => result.hits.push(h),
+                None if spoke => result.discarded += 1,
+                None => result.silent += 1,
+            }
+        }
+        result
+    }
+
+    /// Number of loaded signatures (90 in the paper's configuration).
+    pub fn signature_count(&self) -> usize {
+        self.signatures.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::portscan::{PortScanConfig, PortScanner};
+    use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+    use std::sync::Arc;
+
+    fn client() -> Client<SimTransport> {
+        let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))));
+        Client::new(t)
+    }
+
+    #[test]
+    fn scheme_rules_match_the_paper() {
+        assert_eq!(Prefilter::schemes_for_port(80), &[Scheme::Http]);
+        assert_eq!(Prefilter::schemes_for_port(443), &[Scheme::Https]);
+        assert_eq!(
+            Prefilter::schemes_for_port(8080),
+            &[Scheme::Http, Scheme::Https]
+        );
+        assert_eq!(Prefilter::new().signature_count(), 90);
+    }
+
+    #[tokio::test]
+    async fn classifies_awe_noise_and_silence() {
+        let client = client();
+        let scanner = PortScanner::new(PortScanConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let scan = scanner.scan(client.transport()).await;
+        let prefilter = Prefilter::new();
+        let result = prefilter.run(&client, &scan.open).await;
+
+        // Every non-tarpit AWE endpoint that speaks HTTP or HTTPS must be
+        // identified as a candidate.
+        let universe = client.transport().universe();
+        let awe_services: u64 = universe
+            .hosts()
+            .filter(|h| h.awe().is_some())
+            .map(|h| h.services.len() as u64)
+            .sum();
+        assert!(
+            result.hits.len() as u64 >= awe_services / 2,
+            "most AWE endpoints hit"
+        );
+
+        // Background noise is discarded, tarpits and NotHttp are silent.
+        assert!(
+            result.discarded > 0,
+            "background noise present and discarded"
+        );
+        assert!(result.silent > 0, "silent services present");
+
+        // Candidate attribution is correct for each hit.
+        for hit in &result.hits {
+            let host = universe.host(hit.endpoint.ip).expect("hit host exists");
+            let (_, actual_app) = host.awe().expect("hits are AWE hosts");
+            assert!(
+                hit.candidates.contains(&actual_app),
+                "{} misattributed: {:?} (actual {actual_app})",
+                hit.endpoint,
+                hit.candidates
+            );
+        }
+    }
+
+    #[tokio::test]
+    async fn per_port_stats_accumulate() {
+        let client = client();
+        let scanner = PortScanner::new(PortScanConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let scan = scanner.scan(client.transport()).await;
+        let result = Prefilter::new().run(&client, &scan.open).await;
+        // Port 80 must have zero HTTPS responses, port 443 zero HTTP.
+        if let Some(p80) = result.per_port.get(&80) {
+            assert_eq!(p80.https, 0);
+            assert!(p80.http > 0);
+        }
+        if let Some(p443) = result.per_port.get(&443) {
+            assert_eq!(p443.http, 0);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Scan report types.
+
+use nokeys_apps::{AppId, ReleaseDate, Version};
+use nokeys_http::{Endpoint, Scheme};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// How a version was determined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FingerprintMethod {
+    /// The application voluntarily reveals its version (API endpoint,
+    /// header, generator meta, HTML comment).
+    Voluntary,
+    /// Matched against the static-file hash knowledge base.
+    KnowledgeBase,
+}
+
+/// One identified AWE host.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostFinding {
+    pub endpoint: Endpoint,
+    pub scheme: Scheme,
+    /// The application attributed to this host.
+    pub app: AppId,
+    /// Stage III verdict: does the host carry a MAV?
+    pub vulnerable: bool,
+    /// Fingerprinted version, if determinable.
+    pub version: Option<Version>,
+    pub fingerprint_method: Option<FingerprintMethod>,
+}
+
+impl HostFinding {
+    /// Release date of the fingerprinted version.
+    pub fn release_date(&self) -> Option<ReleaseDate> {
+        self.version.map(|v| v.released)
+    }
+}
+
+/// Per-port counters for Table 2.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct PortStat {
+    pub open: u64,
+    pub http: u64,
+    pub https: u64,
+}
+
+/// The complete output of one pipeline run.
+#[derive(Debug, Default, Serialize)]
+pub struct ScanReport {
+    /// Table 2 data.
+    pub port_stats: BTreeMap<u16, PortStat>,
+    /// Hosts excluded because every scanned port appeared open
+    /// (the paper's 3.0M network artifacts).
+    pub excluded_all_ports_open: u64,
+    /// Addresses probed in stage I.
+    pub addresses_probed: u64,
+    /// Individual SYN probes sent.
+    pub probes_sent: u64,
+    /// Endpoints that spoke HTTP(S) but matched no signature.
+    pub prefilter_discarded: u64,
+    /// Endpoints that answered neither HTTP nor HTTPS.
+    pub prefilter_silent: u64,
+    /// Endpoints whose body matched at least one signature.
+    pub prefilter_hits: u64,
+    /// Identified AWE hosts (one entry per host × application).
+    pub findings: Vec<HostFinding>,
+}
+
+impl ScanReport {
+    /// Hosts running `app` (Table 3, "# Hosts" at simulation scale).
+    pub fn hosts_running(&self, app: AppId) -> u64 {
+        self.findings.iter().filter(|f| f.app == app).count() as u64
+    }
+
+    /// Vulnerable hosts running `app` (Table 3, "# MAVs").
+    pub fn mavs(&self, app: AppId) -> u64 {
+        self.findings
+            .iter()
+            .filter(|f| f.app == app && f.vulnerable)
+            .count() as u64
+    }
+
+    /// All identified AWE hosts.
+    pub fn total_hosts(&self) -> u64 {
+        self.findings.len() as u64
+    }
+
+    /// All vulnerable hosts.
+    pub fn total_mavs(&self) -> u64 {
+        self.findings.iter().filter(|f| f.vulnerable).count() as u64
+    }
+
+    /// The vulnerable findings.
+    pub fn vulnerable_findings(&self) -> impl Iterator<Item = &HostFinding> {
+        self.findings.iter().filter(|f| f.vulnerable)
+    }
+
+    /// One-line description of the stage funnel: probes → open →
+    /// spoke HTTP(S) → signature hits → findings → MAVs.
+    pub fn funnel(&self) -> String {
+        let open: u64 = self.port_stats.values().map(|s| s.open).sum();
+        format!(
+            "probes {} → open {} → spoke {} → signature hits {} → AWE hosts {} → MAVs {}",
+            self.probes_sent,
+            open,
+            self.prefilter_hits + self.prefilter_discarded,
+            self.prefilter_hits,
+            self.total_hosts(),
+            self.total_mavs(),
+        )
+    }
+
+    /// Fraction of findings with a fingerprinted version.
+    pub fn fingerprint_coverage(&self) -> f64 {
+        if self.findings.is_empty() {
+            return 0.0;
+        }
+        self.findings.iter().filter(|f| f.version.is_some()).count() as f64
+            / self.findings.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_apps::release_history;
+    use std::net::Ipv4Addr;
+
+    fn finding(app: AppId, vulnerable: bool, with_version: bool) -> HostFinding {
+        HostFinding {
+            endpoint: Endpoint::new(Ipv4Addr::new(20, 0, 0, 1), 80),
+            scheme: Scheme::Http,
+            app,
+            vulnerable,
+            version: with_version.then(|| release_history(app)[0]),
+            fingerprint_method: with_version.then_some(FingerprintMethod::Voluntary),
+        }
+    }
+
+    #[test]
+    fn aggregation_counts() {
+        let report = ScanReport {
+            findings: vec![
+                finding(AppId::Docker, true, true),
+                finding(AppId::Docker, false, false),
+                finding(AppId::Hadoop, true, true),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(report.hosts_running(AppId::Docker), 2);
+        assert_eq!(report.mavs(AppId::Docker), 1);
+        assert_eq!(report.total_hosts(), 3);
+        assert_eq!(report.total_mavs(), 2);
+        assert_eq!(report.vulnerable_findings().count(), 2);
+        assert!((report.fingerprint_coverage() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn release_date_passthrough() {
+        let f = finding(AppId::Hadoop, true, true);
+        assert_eq!(
+            f.release_date(),
+            Some(release_history(AppId::Hadoop)[0].released)
+        );
+        let f = finding(AppId::Hadoop, true, false);
+        assert_eq!(f.release_date(), None);
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let report = ScanReport {
+            findings: vec![finding(AppId::Nomad, true, false)],
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"Nomad\""));
+        assert!(json.contains("\"vulnerable\":true"));
+    }
+}

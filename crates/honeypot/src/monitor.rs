@@ -1,0 +1,175 @@
+//! Per-honeypot monitoring: every request and the application events it
+//! triggers are shipped to the central log, stamped with virtual time.
+
+use crate::logserver::{AuditRecord, CentralLog};
+use crate::resource::ResourceGauge;
+use nokeys_apps::{AppId, WebApp};
+use nokeys_http::server::Handler;
+use nokeys_http::{Request, Response};
+use nokeys_netsim::SimTime;
+use parking_lot::{Mutex, RwLock};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A monitored application instance: implements [`Handler`] so it can be
+/// mounted on any transport; records everything to the central log and
+/// feeds the resource gauge.
+pub struct MonitoredApp {
+    app: AppId,
+    instance: Mutex<Box<dyn WebApp>>,
+    log: Arc<CentralLog>,
+    clock: Arc<RwLock<SimTime>>,
+    gauge: Arc<ResourceGauge>,
+    /// Service availability: a vigilante shutdown takes the app down
+    /// until the study's availability monitor restores it.
+    up: RwLock<bool>,
+}
+
+impl MonitoredApp {
+    pub fn new(
+        app: AppId,
+        instance: Box<dyn WebApp>,
+        log: Arc<CentralLog>,
+        clock: Arc<RwLock<SimTime>>,
+    ) -> Self {
+        MonitoredApp {
+            app,
+            instance: Mutex::new(instance),
+            log,
+            clock,
+            gauge: Arc::new(ResourceGauge::new()),
+            up: RwLock::new(true),
+        }
+    }
+
+    /// The resource gauge of this honeypot.
+    pub fn gauge(&self) -> &Arc<ResourceGauge> {
+        &self.gauge
+    }
+
+    /// Whether the service is currently up.
+    pub fn is_up(&self) -> bool {
+        *self.up.read()
+    }
+
+    /// Ground truth of the wrapped instance.
+    pub fn is_vulnerable(&self) -> bool {
+        self.instance.lock().is_vulnerable()
+    }
+
+    /// Restore the snapshot: reset application state, clear resource
+    /// usage, bring the service back up. Matches the paper's "we shut
+    /// down the infected machine and restored the snapshot".
+    pub fn restore(&self) {
+        self.instance.lock().restore();
+        self.gauge.reset();
+        *self.up.write() = true;
+    }
+}
+
+impl Handler for MonitoredApp {
+    fn handle(&self, req: &Request, peer: Ipv4Addr) -> Response {
+        if !self.is_up() {
+            return Response::new(nokeys_http::StatusCode::SERVICE_UNAVAILABLE)
+                .with_body("connection refused");
+        }
+        let outcome = self.instance.lock().handle(req, peer);
+        let time = *self.clock.read();
+        self.gauge.note_events(&outcome.events);
+        if outcome
+            .events
+            .iter()
+            .any(|e| matches!(e, nokeys_apps::AppEvent::ShutdownRequested))
+        {
+            *self.up.write() = false;
+        }
+        let mut body_excerpt = req.body_text();
+        body_excerpt.truncate(160);
+        self.log.append(AuditRecord {
+            time,
+            honeypot: self.app,
+            peer,
+            request_line: format!("{} {}", req.method, req.target),
+            body_excerpt,
+            events: outcome.events.clone(),
+        });
+        outcome.response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_apps::{build_instance, release_history, AppConfig};
+
+    fn monitored(app: AppId) -> (MonitoredApp, Arc<CentralLog>, Arc<RwLock<SimTime>>) {
+        let v = *release_history(app).last().unwrap();
+        let cfg = AppConfig::vulnerable_for(app, &v);
+        let log = Arc::new(CentralLog::new());
+        let clock = Arc::new(RwLock::new(SimTime::HONEYPOT_START));
+        let m = MonitoredApp::new(
+            app,
+            build_instance(app, v, cfg),
+            Arc::clone(&log),
+            Arc::clone(&clock),
+        );
+        (m, log, clock)
+    }
+
+    #[test]
+    fn requests_are_audited_with_time_and_peer() {
+        let (m, log, clock) = monitored(AppId::Hadoop);
+        *clock.write() = SimTime(1000);
+        let attacker = Ipv4Addr::new(81, 2, 0, 5);
+        m.handle(&Request::get("/cluster/cluster"), attacker);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].time, SimTime(1000));
+        assert_eq!(snap[0].peer, attacker);
+        assert_eq!(snap[0].request_line, "GET /cluster/cluster");
+        assert!(!snap[0].is_attack_evidence());
+    }
+
+    #[test]
+    fn executions_raise_the_gauge_and_are_evidence() {
+        let (m, log, _) = monitored(AppId::Hadoop);
+        let attacker = Ipv4Addr::new(81, 2, 0, 5);
+        m.handle(
+            &Request::post(
+                "/ws/v1/cluster/apps",
+                r#"{"am-container-spec":{"commands":{"command":"/tmp/xmrig -o pool"}}}"#,
+            ),
+            attacker,
+        );
+        assert!(m.gauge().cpu() > 0.9, "miner pegs the CPU");
+        assert!(log.snapshot()[0].is_attack_evidence());
+    }
+
+    #[test]
+    fn vigilante_takes_the_service_down_until_restore() {
+        let (m, _, _) = monitored(AppId::JupyterLab);
+        let attacker = Ipv4Addr::new(81, 2, 0, 9);
+        m.handle(&Request::post("/api/terminals/1", "shutdown"), attacker);
+        assert!(!m.is_up());
+        let resp = m.handle(&Request::get("/"), attacker);
+        assert_eq!(resp.status.as_u16(), 503);
+        m.restore();
+        assert!(m.is_up());
+        let resp = m.handle(&Request::get("/api/terminals"), attacker);
+        assert!(resp.body_text().contains("JupyterLab"));
+    }
+
+    #[test]
+    fn restore_reverts_trust_on_first_use_state() {
+        let (m, _, _) = monitored(AppId::WordPress);
+        let attacker = Ipv4Addr::new(81, 2, 0, 7);
+        assert!(m.is_vulnerable());
+        m.handle(
+            &Request::post("/wp-admin/install.php?step=2", "user_name=evil"),
+            attacker,
+        );
+        assert!(!m.is_vulnerable(), "installation completed");
+        m.restore();
+        assert!(m.is_vulnerable(), "snapshot restore reopens the hijack");
+    }
+}

@@ -1,0 +1,350 @@
+//! HTTP client generic over a [`Transport`].
+//!
+//! Mirrors the paper's scanning constraints: bounded redirects ("we
+//! followed redirects until we received a response body"), bounded body
+//! sizes, per-request timeouts, and a crawler-style `User-Agent`.
+
+use crate::encode::encode_request;
+use crate::error::{Error, Result};
+use crate::parse::{parse_response, Limits, Parsed};
+use crate::request::Request;
+use crate::response::Response;
+use crate::transport::{Connection, Endpoint, Scheme, Transport};
+use crate::url::{Host, Url};
+use bytes::BytesMut;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+/// Client configuration.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Maximum number of redirects to follow before giving up.
+    pub max_redirects: usize,
+    /// Overall deadline per individual exchange (connect + request +
+    /// response).
+    pub request_timeout: Duration,
+    /// Parser limits.
+    pub limits: Limits,
+    /// `User-Agent` header value.
+    pub user_agent: String,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            max_redirects: 5,
+            request_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+            user_agent: "nokeys-scanner/0.1 (research; non-intrusive)".to_string(),
+        }
+    }
+}
+
+/// The response together with the URL it was finally served from (after
+/// redirects) and the redirect-chain length.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    pub response: Response,
+    pub final_url: Url,
+    pub redirects: usize,
+}
+
+/// An HTTP client bound to a transport.
+#[derive(Debug, Clone)]
+pub struct Client<T> {
+    transport: T,
+    config: ClientConfig,
+}
+
+impl<T: Transport> Client<T> {
+    /// Create a client with default configuration.
+    pub fn new(transport: T) -> Self {
+        Client {
+            transport,
+            config: ClientConfig::default(),
+        }
+    }
+
+    /// Create a client with explicit configuration.
+    pub fn with_config(transport: T, config: ClientConfig) -> Self {
+        Client { transport, config }
+    }
+
+    /// Access the underlying transport.
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &ClientConfig {
+        &self.config
+    }
+
+    /// Issue a single request to `url` without following redirects.
+    ///
+    /// A caller-provided `Host` header is preserved — that is how
+    /// name-based virtual hosts behind a shared IP are addressed (the
+    /// paper's §6.2 "under counting" discussion).
+    pub async fn execute(&self, url: &Url, mut req: Request) -> Result<Response> {
+        let ep = endpoint_of(url)?;
+        if !req.headers.contains("host") {
+            req.headers.set("Host", url.host_header());
+        }
+        if !req.headers.contains("user-agent") {
+            req.headers
+                .set("User-Agent", self.config.user_agent.clone());
+        }
+        req.headers.set("Connection", "close");
+
+        let exchange = async {
+            let mut conn = self.transport.connect(ep, url.scheme).await?;
+            let wire = encode_request(&req);
+            conn.write_all(&wire).await?;
+            // Not all transports propagate flush, but it is correct to ask.
+            conn.flush().await?;
+            read_response(
+                &mut conn,
+                req.method == crate::Method::Head,
+                &self.config.limits,
+            )
+            .await
+        };
+        match tokio::time::timeout(self.config.request_timeout, exchange).await {
+            Ok(res) => res,
+            Err(_) => Err(Error::Timeout),
+        }
+    }
+
+    /// `GET` with redirect following. Returns the first response that is
+    /// not a followable redirect.
+    pub async fn get(&self, url: &Url) -> Result<Fetched> {
+        let mut current = url.clone();
+        for hop in 0..=self.config.max_redirects {
+            let resp = self
+                .execute(&current, Request::get(current.path.clone()))
+                .await?;
+            if resp.is_followable_redirect() {
+                let location = resp.location().expect("checked by is_followable_redirect");
+                current = current.join(location)?;
+                continue;
+            }
+            return Ok(Fetched {
+                response: resp,
+                final_url: current,
+                redirects: hop,
+            });
+        }
+        Err(Error::TooManyRedirects(self.config.max_redirects))
+    }
+
+    /// `GET` a path on a raw endpoint (scanner convenience).
+    pub async fn get_path(&self, ep: Endpoint, scheme: Scheme, path: &str) -> Result<Fetched> {
+        let url = Url::for_ip(scheme, ep.ip, ep.port, path);
+        self.get(&url).await
+    }
+}
+
+fn endpoint_of(url: &Url) -> Result<Endpoint> {
+    match &url.host {
+        Host::Ip(ip) => Ok(Endpoint::new(*ip, url.port)),
+        // The scanner operates on IPs; DNS would be an external dependency.
+        // Loopback names are mapped for the live examples' convenience.
+        Host::Name(n) if n == "localhost" => Ok(Endpoint::new(Ipv4Addr::LOCALHOST, url.port)),
+        Host::Name(_) => Err(Error::Connect("DNS resolution not supported".into())),
+    }
+}
+
+/// Read one response from `conn`, growing a buffer and re-running the
+/// incremental parser until it is complete.
+async fn read_response<C: Connection>(
+    conn: &mut C,
+    head_method: bool,
+    limits: &Limits,
+) -> Result<Response> {
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut eof = false;
+    loop {
+        match parse_response(&buf, eof, head_method, limits)? {
+            Parsed::Complete(resp, _) => return Ok(resp),
+            Parsed::Partial => {
+                if eof {
+                    return Err(Error::UnexpectedEof);
+                }
+            }
+        }
+        let n = conn.read_buf(&mut buf).await?;
+        if n == 0 {
+            eof = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_response;
+    use crate::status::StatusCode;
+
+    /// Spawn a TCP server that answers each connection with a canned
+    /// response produced by `f(path)`.
+    async fn canned_server<F>(f: F) -> u16
+    where
+        F: Fn(&str) -> Response + Send + Sync + 'static,
+    {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let port = listener.local_addr().unwrap().port();
+        tokio::spawn(async move {
+            loop {
+                let Ok((mut stream, _)) = listener.accept().await else {
+                    break;
+                };
+                let mut buf = vec![0u8; 4096];
+                let n = stream.read(&mut buf).await.unwrap_or(0);
+                let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+                let path = text.split_whitespace().nth(1).unwrap_or("/").to_string();
+                let resp = f(&path);
+                let _ = stream.write_all(&encode_response(&resp)).await;
+            }
+        });
+        port
+    }
+
+    #[tokio::test]
+    async fn get_fetches_body() {
+        let port = canned_server(|_| Response::html("<h1>hello</h1>")).await;
+        let client = Client::new(crate::transport::TcpTransport::default());
+        let url = Url::parse(&format!("http://127.0.0.1:{port}/")).unwrap();
+        let fetched = client.get(&url).await.unwrap();
+        assert_eq!(fetched.response.status, StatusCode::OK);
+        assert_eq!(fetched.response.body_text(), "<h1>hello</h1>");
+        assert_eq!(fetched.redirects, 0);
+    }
+
+    #[tokio::test]
+    async fn follows_redirects_to_final_body() {
+        let port = canned_server(|path| match path {
+            "/" => Response::redirect("/step1"),
+            "/step1" => Response::redirect("/step2"),
+            "/step2" => Response::html("done"),
+            _ => Response::not_found(),
+        })
+        .await;
+        let client = Client::new(crate::transport::TcpTransport::default());
+        let url = Url::parse(&format!("http://127.0.0.1:{port}/")).unwrap();
+        let fetched = client.get(&url).await.unwrap();
+        assert_eq!(fetched.response.body_text(), "done");
+        assert_eq!(fetched.redirects, 2);
+        assert_eq!(fetched.final_url.path, "/step2");
+    }
+
+    #[tokio::test]
+    async fn redirect_loops_are_bounded() {
+        let port = canned_server(|_| Response::redirect("/loop")).await;
+        let config = ClientConfig {
+            max_redirects: 3,
+            ..Default::default()
+        };
+        let client = Client::with_config(crate::transport::TcpTransport::default(), config);
+        let url = Url::parse(&format!("http://127.0.0.1:{port}/")).unwrap();
+        assert_eq!(
+            client.get(&url).await.unwrap_err(),
+            Error::TooManyRedirects(3)
+        );
+    }
+
+    #[tokio::test]
+    async fn connect_refused_is_reported() {
+        // Bind then drop to find a (very likely) closed port.
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let port = listener.local_addr().unwrap().port();
+        drop(listener);
+        let client = Client::new(crate::transport::TcpTransport::default());
+        let url = Url::parse(&format!("http://127.0.0.1:{port}/")).unwrap();
+        assert!(matches!(
+            client.get(&url).await.unwrap_err(),
+            Error::Connect(_)
+        ));
+    }
+
+    #[tokio::test]
+    async fn dns_names_are_rejected() {
+        let client = Client::new(crate::transport::TcpTransport::default());
+        let url = Url::parse("http://example.invalid/").unwrap();
+        assert!(matches!(
+            client.get(&url).await.unwrap_err(),
+            Error::Connect(_)
+        ));
+    }
+}
+
+#[cfg(test)]
+mod error_path_tests {
+    use super::*;
+    use crate::memory::HandlerTransport;
+    use crate::response::Response;
+    use std::sync::Arc;
+
+    #[tokio::test]
+    async fn body_cap_is_enforced_end_to_end() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 9), 80);
+        let big = Response::html("x".repeat(64 * 1024));
+        let handler = Arc::new(move |_: &Request, _| big.clone());
+        let transport = HandlerTransport::new().with(ep, handler);
+        let limits = crate::parse::Limits {
+            max_body: 1024,
+            ..Default::default()
+        };
+        let config = ClientConfig {
+            limits,
+            ..Default::default()
+        };
+        let client = Client::with_config(transport, config);
+        let err = client
+            .get(&Url::for_ip(Scheme::Http, ep.ip, ep.port, "/"))
+            .await
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::TooLarge { what: "body", .. }),
+            "{err:?}"
+        );
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn request_timeout_fires_on_a_stalled_server() {
+        // A real TCP server that accepts but never answers.
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let port = listener.local_addr().unwrap().port();
+        tokio::spawn(async move {
+            let (_stream, _) = listener.accept().await.unwrap();
+            // Hold the socket open forever.
+            std::future::pending::<()>().await;
+        });
+        let config = ClientConfig {
+            request_timeout: Duration::from_millis(200),
+            ..Default::default()
+        };
+        let client = Client::with_config(crate::transport::TcpTransport::default(), config);
+        let url = Url::parse(&format!("http://127.0.0.1:{port}/")).unwrap();
+        let err = client.get(&url).await.unwrap_err();
+        assert_eq!(err, Error::Timeout);
+    }
+
+    #[tokio::test]
+    async fn caller_host_header_is_preserved() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 8), 80);
+        let handler = Arc::new(|req: &Request, _| {
+            Response::text(req.headers.get("host").unwrap_or("none").to_string())
+        });
+        let transport = HandlerTransport::new().with(ep, handler);
+        let client = Client::new(transport);
+        let url = Url::for_ip(Scheme::Http, ep.ip, ep.port, "/");
+        // Default: the URL's host.
+        let resp = client.execute(&url, Request::get("/")).await.unwrap();
+        assert_eq!(resp.body_text(), "10.0.0.8");
+        // Caller override survives (virtual-host addressing).
+        let req = Request::get("/").with_header("Host", "named.example");
+        let resp = client.execute(&url, req).await.unwrap();
+        assert_eq!(resp.body_text(), "named.example");
+    }
+}

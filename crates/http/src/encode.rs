@@ -1,0 +1,121 @@
+//! HTTP/1.1 message serialization.
+
+use crate::request::Request;
+use crate::response::Response;
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Serialize a request in origin form. A `Content-Length` header is added
+/// for non-empty bodies unless the caller already set explicit framing.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(128 + req.body.len());
+    buf.put_slice(req.method.as_str().as_bytes());
+    buf.put_u8(b' ');
+    buf.put_slice(req.target.as_bytes());
+    buf.put_slice(b" HTTP/1.1\r\n");
+    for (n, v) in req.headers.iter() {
+        buf.put_slice(n.as_bytes());
+        buf.put_slice(b": ");
+        buf.put_slice(v.as_bytes());
+        buf.put_slice(b"\r\n");
+    }
+    if !req.body.is_empty() && !req.headers.contains("content-length") && !req.headers.is_chunked()
+    {
+        buf.put_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+    }
+    buf.put_slice(b"\r\n");
+    buf.put_slice(&req.body);
+    buf.freeze()
+}
+
+/// Serialize a response. `Content-Length` is always emitted (even for empty
+/// bodies) unless the message is chunked, so clients never need
+/// read-to-close framing for our own servers.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::with_capacity(128 + resp.body.len());
+    buf.put_slice(b"HTTP/1.1 ");
+    buf.put_slice(resp.status.as_u16().to_string().as_bytes());
+    let reason = resp.status.reason();
+    if !reason.is_empty() {
+        buf.put_u8(b' ');
+        buf.put_slice(reason.as_bytes());
+    }
+    buf.put_slice(b"\r\n");
+    for (n, v) in resp.headers.iter() {
+        buf.put_slice(n.as_bytes());
+        buf.put_slice(b": ");
+        buf.put_slice(v.as_bytes());
+        buf.put_slice(b"\r\n");
+    }
+    // 1xx, 204 and 304 responses never carry a body (RFC 9110 §6.4.1).
+    let code = resp.status.as_u16();
+    let bodyless = (100..200).contains(&code) || code == 204 || code == 304;
+    if !bodyless && !resp.headers.contains("content-length") && !resp.headers.is_chunked() {
+        buf.put_slice(format!("Content-Length: {}\r\n", resp.body.len()).as_bytes());
+    }
+    buf.put_slice(b"\r\n");
+    if !bodyless {
+        buf.put_slice(&resp.body);
+    }
+    buf.freeze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_request, parse_response, Limits, Parsed};
+    use crate::status::StatusCode;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request::post("/run", "id").with_header("Host", "10.0.0.1");
+        let wire = encode_request(&req);
+        let Parsed::Complete(back, used) = parse_request(&wire, &Limits::default()).unwrap() else {
+            panic!();
+        };
+        assert_eq!(used, wire.len());
+        assert_eq!(back.method, req.method);
+        assert_eq!(back.target, req.target);
+        assert_eq!(back.body, req.body);
+        assert_eq!(back.headers.content_length(), Some(2));
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let resp = Response::html("<title>Polynote</title>").with_header("Server", "sim");
+        let wire = encode_response(&resp);
+        let Parsed::Complete(back, used) =
+            parse_response(&wire, false, false, &Limits::default()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(used, wire.len());
+        assert_eq!(back.status, StatusCode::OK);
+        assert_eq!(back.body, resp.body);
+        assert_eq!(back.headers.get("server"), Some("sim"));
+    }
+
+    #[test]
+    fn empty_body_still_has_explicit_length() {
+        let wire = encode_response(&Response::new(StatusCode::NOT_FOUND));
+        let text = String::from_utf8(wire.to_vec()).unwrap();
+        assert!(text.contains("Content-Length: 0\r\n"), "{text}");
+    }
+
+    #[test]
+    fn explicit_content_length_not_duplicated() {
+        let resp = Response::new(StatusCode::OK)
+            .with_header("Content-Length", "2")
+            .with_body("ok");
+        let wire = encode_response(&resp);
+        let text = String::from_utf8(wire.to_vec()).unwrap();
+        assert_eq!(text.matches("Content-Length").count(), 1);
+    }
+
+    #[test]
+    fn get_request_has_no_length_header() {
+        let wire = encode_request(&Request::get("/"));
+        let text = String::from_utf8(wire.to_vec()).unwrap();
+        assert!(!text.contains("Content-Length"));
+        assert!(text.starts_with("GET / HTTP/1.1\r\n"));
+    }
+}

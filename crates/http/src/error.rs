@@ -1,0 +1,90 @@
+//! Error types shared across the HTTP stack.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by parsing, transport or client logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The peer closed the connection before a full message was received.
+    UnexpectedEof,
+    /// The bytes on the wire are not valid HTTP/1.x.
+    Malformed(&'static str),
+    /// A message exceeded a configured size limit.
+    TooLarge {
+        /// Which part of the message overflowed ("head" or "body").
+        what: &'static str,
+        /// The configured limit in bytes.
+        limit: usize,
+    },
+    /// The URL could not be parsed.
+    InvalidUrl(&'static str),
+    /// Establishing a connection failed (refused, unreachable, reset).
+    Connect(String),
+    /// The operation did not complete within the configured deadline.
+    Timeout,
+    /// Redirect chain exceeded the configured maximum.
+    TooManyRedirects(usize),
+    /// The transport does not support the requested scheme (e.g. plain TCP
+    /// transport asked for HTTPS).
+    SchemeUnsupported,
+    /// An I/O error bubbled up from the underlying stream.
+    Io(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof => write!(f, "connection closed mid-message"),
+            Error::Malformed(what) => write!(f, "malformed HTTP message: {what}"),
+            Error::TooLarge { what, limit } => {
+                write!(f, "HTTP {what} exceeds limit of {limit} bytes")
+            }
+            Error::InvalidUrl(what) => write!(f, "invalid URL: {what}"),
+            Error::Connect(e) => write!(f, "connect failed: {e}"),
+            Error::Timeout => write!(f, "operation timed out"),
+            Error::TooManyRedirects(n) => write!(f, "more than {n} redirects"),
+            Error::SchemeUnsupported => write!(f, "scheme not supported by transport"),
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => Error::UnexpectedEof,
+            std::io::ErrorKind::TimedOut => Error::Timeout,
+            _ => Error::Io(e.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = Error::TooLarge {
+            what: "body",
+            limit: 42,
+        };
+        assert_eq!(e.to_string(), "HTTP body exceeds limit of 42 bytes");
+        assert_eq!(Error::Timeout.to_string(), "operation timed out");
+    }
+
+    #[test]
+    fn io_error_conversion_maps_kinds() {
+        let eof = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        assert_eq!(Error::from(eof), Error::UnexpectedEof);
+        let to = std::io::Error::new(std::io::ErrorKind::TimedOut, "slow");
+        assert_eq!(Error::from(to), Error::Timeout);
+        let other = std::io::Error::other("boom");
+        assert!(matches!(Error::from(other), Error::Io(_)));
+    }
+}

@@ -1,0 +1,161 @@
+//! Case-insensitive, order-preserving header map.
+
+use std::fmt;
+
+/// An ordered multimap of HTTP header fields.
+///
+/// Lookup is case-insensitive (per RFC 9110) while the original casing and
+/// insertion order are preserved for serialization, which keeps wire output
+/// stable and therefore testable.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Headers {
+    entries: Vec<(String, String)>,
+}
+
+impl Headers {
+    /// An empty header map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a header field, keeping any existing fields of the same name.
+    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all fields of `name` with a single field carrying `value`.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.entries.push((name.to_string(), value.into()));
+    }
+
+    /// Remove all fields of `name`, returning how many were removed.
+    pub fn remove(&mut self, name: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        before - self.entries.len()
+    }
+
+    /// First value of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values of `name`, in insertion order.
+    pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        self.entries
+            .iter()
+            .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether a field of `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Parsed `Content-Length`, if present and well-formed.
+    pub fn content_length(&self) -> Option<usize> {
+        self.get("content-length")?.trim().parse().ok()
+    }
+
+    /// Whether `Transfer-Encoding: chunked` is in effect.
+    pub fn is_chunked(&self) -> bool {
+        self.get("transfer-encoding")
+            .map(|v| {
+                v.split(',')
+                    .any(|t| t.trim().eq_ignore_ascii_case("chunked"))
+            })
+            .unwrap_or(false)
+    }
+
+    /// Number of fields (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Display for Headers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (n, v) in self.iter() {
+            writeln!(f, "{n}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for Headers {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        Headers {
+            entries: iter
+                .into_iter()
+                .map(|(n, v)| (n.into(), v.into()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+    }
+
+    #[test]
+    fn append_keeps_duplicates_set_replaces() {
+        let mut h = Headers::new();
+        h.append("Set-Cookie", "a=1");
+        h.append("set-cookie", "b=2");
+        assert_eq!(h.get_all("Set-Cookie").count(), 2);
+        h.set("Set-Cookie", "c=3");
+        assert_eq!(h.get_all("Set-Cookie").collect::<Vec<_>>(), vec!["c=3"]);
+    }
+
+    #[test]
+    fn content_length_parsing() {
+        let mut h = Headers::new();
+        assert_eq!(h.content_length(), None);
+        h.set("Content-Length", " 128 ");
+        assert_eq!(h.content_length(), Some(128));
+        h.set("Content-Length", "nope");
+        assert_eq!(h.content_length(), None);
+    }
+
+    #[test]
+    fn chunked_detection_handles_lists() {
+        let mut h = Headers::new();
+        h.set("Transfer-Encoding", "gzip, Chunked");
+        assert!(h.is_chunked());
+        h.set("Transfer-Encoding", "gzip");
+        assert!(!h.is_chunked());
+    }
+
+    #[test]
+    fn remove_reports_count() {
+        let mut h: Headers = [("X-A", "1"), ("x-a", "2"), ("X-B", "3")]
+            .into_iter()
+            .collect();
+        assert_eq!(h.remove("X-A"), 2);
+        assert_eq!(h.len(), 1);
+    }
+}

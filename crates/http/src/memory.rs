@@ -1,0 +1,210 @@
+//! In-memory transport serving [`Handler`]s directly — no sockets, no
+//! universe. Used to expose individual application instances (honeypots,
+//! plugin tests, defender scans) to the exact same client code that runs
+//! against real TCP.
+
+use crate::encode::encode_response;
+use crate::error::{Error, Result};
+use crate::parse::{parse_request, Limits, Parsed};
+use crate::server::Handler;
+use crate::transport::{Connection, Endpoint, ProbeOutcome, Scheme, Transport};
+use bytes::{Buf, BytesMut};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use tokio::io::{AsyncRead, AsyncWrite, ReadBuf};
+
+/// A transport with a static routing table from endpoints to handlers.
+#[derive(Clone)]
+pub struct HandlerTransport {
+    routes: HashMap<Endpoint, Arc<dyn Handler>>,
+    /// Source IP presented to handlers.
+    source_ip: Ipv4Addr,
+}
+
+impl Default for HandlerTransport {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HandlerTransport {
+    pub fn new() -> Self {
+        HandlerTransport {
+            routes: HashMap::new(),
+            source_ip: Ipv4Addr::new(198, 51, 100, 50),
+        }
+    }
+
+    /// Serve `handler` at `ep` (both schemes accepted).
+    pub fn mount(&mut self, ep: Endpoint, handler: Arc<dyn Handler>) {
+        self.routes.insert(ep, handler);
+    }
+
+    /// Builder-style mount.
+    pub fn with(mut self, ep: Endpoint, handler: Arc<dyn Handler>) -> Self {
+        self.mount(ep, handler);
+        self
+    }
+
+    /// Set the source IP handlers observe.
+    pub fn with_source_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.source_ip = ip;
+        self
+    }
+
+    /// Mounted endpoints.
+    pub fn endpoints(&self) -> impl Iterator<Item = Endpoint> + '_ {
+        self.routes.keys().copied()
+    }
+}
+
+impl Transport for HandlerTransport {
+    type Conn = HandlerConn;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        if self.routes.contains_key(&ep) {
+            ProbeOutcome::Open
+        } else {
+            ProbeOutcome::Closed
+        }
+    }
+
+    async fn connect(&self, ep: Endpoint, _scheme: Scheme) -> Result<HandlerConn> {
+        match self.routes.get(&ep) {
+            Some(handler) => Ok(HandlerConn {
+                handler: Arc::clone(handler),
+                peer: self.source_ip,
+                write_buf: BytesMut::new(),
+                read_buf: BytesMut::new(),
+            }),
+            None => Err(Error::Connect("connection refused".into())),
+        }
+    }
+}
+
+/// Connection to a mounted handler: request bytes in, response bytes out.
+pub struct HandlerConn {
+    handler: Arc<dyn Handler>,
+    peer: Ipv4Addr,
+    write_buf: BytesMut,
+    read_buf: BytesMut,
+}
+
+impl HandlerConn {
+    fn pump(&mut self) {
+        loop {
+            match parse_request(&self.write_buf, &Limits::default()) {
+                Ok(Parsed::Complete(req, used)) => {
+                    self.write_buf.advance(used);
+                    let resp = self.handler.handle(&req, self.peer);
+                    self.read_buf.extend_from_slice(&encode_response(&resp));
+                }
+                Ok(Parsed::Partial) => break,
+                Err(_) => {
+                    self.write_buf.clear();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl AsyncWrite for HandlerConn {
+    fn poll_write(
+        mut self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        self.write_buf.extend_from_slice(buf);
+        self.pump();
+        Poll::Ready(Ok(buf.len()))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl AsyncRead for HandlerConn {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        if self.read_buf.is_empty() {
+            return Poll::Ready(Ok(())); // EOF: server closes when idle.
+        }
+        let n = self.read_buf.len().min(buf.remaining());
+        buf.put_slice(&self.read_buf[..n]);
+        self.read_buf.advance(n);
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Connection for HandlerConn {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::request::Request;
+    use crate::response::Response;
+    use crate::url::Url;
+
+    fn echo_handler() -> Arc<dyn Handler> {
+        Arc::new(|req: &Request, peer: Ipv4Addr| {
+            Response::text(format!("{} from {peer}", req.path()))
+        })
+    }
+
+    #[tokio::test]
+    async fn serves_mounted_handler() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 9, 8, 7), 8080);
+        let t = HandlerTransport::new().with(ep, echo_handler());
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Open);
+        let client = Client::new(t);
+        let fetched = client
+            .get(&Url::for_ip(Scheme::Http, ep.ip, ep.port, "/hello"))
+            .await
+            .unwrap();
+        assert!(fetched
+            .response
+            .body_text()
+            .starts_with("/hello from 198.51.100.50"));
+    }
+
+    #[tokio::test]
+    async fn unmounted_endpoints_refuse() {
+        let t = HandlerTransport::new();
+        let ep = Endpoint::new(Ipv4Addr::LOCALHOST, 80);
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Closed);
+        let client = Client::new(t);
+        let err = client
+            .get(&Url::for_ip(Scheme::Http, ep.ip, ep.port, "/"))
+            .await
+            .unwrap_err();
+        assert!(matches!(err, Error::Connect(_)));
+    }
+
+    #[tokio::test]
+    async fn source_ip_is_configurable() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 1), 80);
+        let attacker = Ipv4Addr::new(203, 0, 113, 99);
+        let t = HandlerTransport::new()
+            .with(ep, echo_handler())
+            .with_source_ip(attacker);
+        let client = Client::new(t);
+        let fetched = client
+            .get(&Url::for_ip(Scheme::Http, ep.ip, ep.port, "/x"))
+            .await
+            .unwrap();
+        assert!(fetched.response.body_text().contains("203.0.113.99"));
+    }
+}

@@ -1,0 +1,558 @@
+//! Incremental HTTP/1.1 message parser.
+//!
+//! The parser consumes bytes from a growable buffer and reports either
+//! "need more bytes" or a complete message. It supports `Content-Length`
+//! bodies, `chunked` transfer encoding and read-to-close responses, which
+//! covers everything encountered by the scanning pipeline.
+
+use crate::error::{Error, Result};
+use crate::headers::Headers;
+use crate::method::Method;
+use crate::request::Request;
+use crate::response::Response;
+use crate::status::StatusCode;
+use bytes::Bytes;
+
+/// Limits applied while parsing; generous defaults match the client's
+/// "behave like a web crawler" posture.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the head (start line + headers) in bytes.
+    pub max_head: usize,
+    /// Maximum body size in bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 32 * 1024,
+            max_body: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// Outcome of a parse attempt over a (possibly incomplete) buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Parsed<T> {
+    /// A complete message plus the number of bytes it consumed.
+    Complete(T, usize),
+    /// More bytes are required before a verdict is possible.
+    Partial,
+}
+
+/// Find the end of the head section (`\r\n\r\n`), returning the offset one
+/// past the terminator.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|idx| idx + 4)
+}
+
+/// Parse the header block (everything after the start line).
+fn parse_header_lines(block: &str) -> Result<Headers> {
+    let mut headers = Headers::new();
+    for line in block.split("\r\n").filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(Error::Malformed("header line"))?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(Error::Malformed("header name"));
+        }
+        headers.append(name, value.trim());
+    }
+    Ok(headers)
+}
+
+/// How the body length of a message is determined.
+#[derive(Debug, PartialEq, Eq)]
+enum BodyFraming {
+    None,
+    Length(usize),
+    Chunked,
+    /// Response bodies without explicit framing run until connection close.
+    ToEof,
+}
+
+fn response_framing(status: StatusCode, method_was_head: bool, headers: &Headers) -> BodyFraming {
+    if method_was_head
+        || status == StatusCode::NO_CONTENT
+        || (100..200).contains(&status.as_u16())
+        || status.as_u16() == 304
+    {
+        return BodyFraming::None;
+    }
+    if headers.is_chunked() {
+        return BodyFraming::Chunked;
+    }
+    match headers.content_length() {
+        Some(n) => BodyFraming::Length(n),
+        None => BodyFraming::ToEof,
+    }
+}
+
+fn request_framing(headers: &Headers) -> BodyFraming {
+    if headers.is_chunked() {
+        return BodyFraming::Chunked;
+    }
+    match headers.content_length() {
+        Some(n) => BodyFraming::Length(n),
+        None => BodyFraming::None,
+    }
+}
+
+/// Decode a chunked body starting at `buf[start..]`.
+///
+/// Returns the decoded body and the offset one past the terminating
+/// zero-chunk, or `Partial` if incomplete.
+fn decode_chunked(buf: &[u8], start: usize, limits: &Limits) -> Result<Parsed<Vec<u8>>> {
+    let mut pos = start;
+    let mut body = Vec::new();
+    loop {
+        let rest = &buf[pos..];
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return Ok(Parsed::Partial);
+        };
+        let size_line = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| Error::Malformed("chunk size encoding"))?;
+        // Chunk extensions (";ext=...") are permitted and ignored.
+        let size_str = size_line.split(';').next().unwrap_or("").trim();
+        let size =
+            usize::from_str_radix(size_str, 16).map_err(|_| Error::Malformed("chunk size"))?;
+        pos += line_end + 2;
+        if size == 0 {
+            // Trailer section: skip until the blank line.
+            let rest = &buf[pos..];
+            let Some(end) = rest.windows(2).position(|w| w == b"\r\n") else {
+                return Ok(Parsed::Partial);
+            };
+            if end == 0 {
+                return Ok(Parsed::Complete(body, pos + 2));
+            }
+            // There are trailers; find the terminating CRLFCRLF.
+            let Some(tend) = rest.windows(4).position(|w| w == b"\r\n\r\n") else {
+                return Ok(Parsed::Partial);
+            };
+            return Ok(Parsed::Complete(body, pos + tend + 4));
+        }
+        if body.len() + size > limits.max_body {
+            return Err(Error::TooLarge {
+                what: "body",
+                limit: limits.max_body,
+            });
+        }
+        if buf.len() < pos + size + 2 {
+            return Ok(Parsed::Partial);
+        }
+        body.extend_from_slice(&buf[pos..pos + size]);
+        if &buf[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(Error::Malformed("chunk terminator"));
+        }
+        pos += size + 2;
+    }
+}
+
+/// Attempt to parse a complete response from `buf`.
+///
+/// `eof` indicates the peer closed the connection (needed for
+/// read-to-close bodies). `head_method` tells the parser whether the
+/// request was `HEAD`.
+pub fn parse_response(
+    buf: &[u8],
+    eof: bool,
+    head_method: bool,
+    limits: &Limits,
+) -> Result<Parsed<Response>> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > limits.max_head {
+            return Err(Error::TooLarge {
+                what: "head",
+                limit: limits.max_head,
+            });
+        }
+        if eof {
+            return Err(Error::UnexpectedEof);
+        }
+        return Ok(Parsed::Partial);
+    };
+    if head_end > limits.max_head {
+        return Err(Error::TooLarge {
+            what: "head",
+            limit: limits.max_head,
+        });
+    }
+
+    let head =
+        std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| Error::Malformed("head encoding"))?;
+    let (status_line, header_block) = match head.split_once("\r\n") {
+        Some((s, h)) => (s, h),
+        None => (head, ""),
+    };
+
+    // Status line: HTTP/1.x SP code SP reason.
+    let mut parts = status_line.splitn(3, ' ');
+    let version = parts.next().unwrap_or("");
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
+        return Err(Error::Malformed("http version"));
+    }
+    let code: u16 = parts
+        .next()
+        .ok_or(Error::Malformed("status code"))?
+        .parse()
+        .map_err(|_| Error::Malformed("status code"))?;
+    if !(100..600).contains(&code) {
+        return Err(Error::Malformed("status code range"));
+    }
+    let status = StatusCode(code);
+    let headers = parse_header_lines(header_block)?;
+
+    match response_framing(status, head_method, &headers) {
+        BodyFraming::None => Ok(Parsed::Complete(
+            Response {
+                status,
+                headers,
+                body: Bytes::new(),
+            },
+            head_end,
+        )),
+        BodyFraming::Length(n) => {
+            if n > limits.max_body {
+                return Err(Error::TooLarge {
+                    what: "body",
+                    limit: limits.max_body,
+                });
+            }
+            if buf.len() < head_end + n {
+                if eof {
+                    return Err(Error::UnexpectedEof);
+                }
+                return Ok(Parsed::Partial);
+            }
+            let body = Bytes::copy_from_slice(&buf[head_end..head_end + n]);
+            Ok(Parsed::Complete(
+                Response {
+                    status,
+                    headers,
+                    body,
+                },
+                head_end + n,
+            ))
+        }
+        BodyFraming::Chunked => match decode_chunked(buf, head_end, limits)? {
+            Parsed::Complete(body, consumed) => Ok(Parsed::Complete(
+                Response {
+                    status,
+                    headers,
+                    body: Bytes::from(body),
+                },
+                consumed,
+            )),
+            Parsed::Partial => {
+                if eof {
+                    Err(Error::UnexpectedEof)
+                } else {
+                    Ok(Parsed::Partial)
+                }
+            }
+        },
+        BodyFraming::ToEof => {
+            if !eof {
+                if buf.len() - head_end > limits.max_body {
+                    return Err(Error::TooLarge {
+                        what: "body",
+                        limit: limits.max_body,
+                    });
+                }
+                return Ok(Parsed::Partial);
+            }
+            let body = &buf[head_end..];
+            if body.len() > limits.max_body {
+                return Err(Error::TooLarge {
+                    what: "body",
+                    limit: limits.max_body,
+                });
+            }
+            Ok(Parsed::Complete(
+                Response {
+                    status,
+                    headers,
+                    body: Bytes::copy_from_slice(body),
+                },
+                buf.len(),
+            ))
+        }
+    }
+}
+
+/// Attempt to parse a complete request from `buf`.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed<Request>> {
+    let Some(head_end) = find_head_end(buf) else {
+        if buf.len() > limits.max_head {
+            return Err(Error::TooLarge {
+                what: "head",
+                limit: limits.max_head,
+            });
+        }
+        return Ok(Parsed::Partial);
+    };
+    if head_end > limits.max_head {
+        return Err(Error::TooLarge {
+            what: "head",
+            limit: limits.max_head,
+        });
+    }
+
+    let head =
+        std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| Error::Malformed("head encoding"))?;
+    let (request_line, header_block) = match head.split_once("\r\n") {
+        Some((s, h)) => (s, h),
+        None => (head, ""),
+    };
+
+    let mut parts = request_line.split(' ');
+    let method: Method = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|_| Error::Malformed("method"))?;
+    let target = parts
+        .next()
+        .ok_or(Error::Malformed("request target"))?
+        .to_string();
+    if target.is_empty() || (!target.starts_with('/') && target != "*") {
+        return Err(Error::Malformed("request target form"));
+    }
+    let version = parts.next().ok_or(Error::Malformed("http version"))?;
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
+        return Err(Error::Malformed("http version"));
+    }
+    if parts.next().is_some() {
+        return Err(Error::Malformed("request line"));
+    }
+    let headers = parse_header_lines(header_block)?;
+
+    match request_framing(&headers) {
+        BodyFraming::None | BodyFraming::ToEof => Ok(Parsed::Complete(
+            Request {
+                method,
+                target,
+                headers,
+                body: Bytes::new(),
+            },
+            head_end,
+        )),
+        BodyFraming::Length(n) => {
+            if n > limits.max_body {
+                return Err(Error::TooLarge {
+                    what: "body",
+                    limit: limits.max_body,
+                });
+            }
+            if buf.len() < head_end + n {
+                return Ok(Parsed::Partial);
+            }
+            let body = Bytes::copy_from_slice(&buf[head_end..head_end + n]);
+            Ok(Parsed::Complete(
+                Request {
+                    method,
+                    target,
+                    headers,
+                    body,
+                },
+                head_end + n,
+            ))
+        }
+        BodyFraming::Chunked => match decode_chunked(buf, head_end, limits)? {
+            Parsed::Complete(body, consumed) => Ok(Parsed::Complete(
+                Request {
+                    method,
+                    target,
+                    headers,
+                    body: Bytes::from(body),
+                },
+                consumed,
+            )),
+            Parsed::Partial => Ok(Parsed::Partial),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn limits() -> Limits {
+        Limits::default()
+    }
+
+    #[test]
+    fn parses_simple_response() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\nContent-Type: text/plain\r\n\r\nhello";
+        let Parsed::Complete(resp, used) = parse_response(raw, false, false, &limits()).unwrap()
+        else {
+            panic!("expected complete");
+        };
+        assert_eq!(used, raw.len());
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body_text(), "hello");
+        assert_eq!(resp.headers.get("content-type"), Some("text/plain"));
+    }
+
+    #[test]
+    fn partial_until_body_arrives() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhel";
+        assert_eq!(
+            parse_response(raw, false, false, &limits()).unwrap(),
+            Parsed::Partial
+        );
+    }
+
+    #[test]
+    fn eof_mid_body_is_an_error() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhel";
+        assert_eq!(
+            parse_response(raw, true, false, &limits()).unwrap_err(),
+            Error::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn read_to_close_body() {
+        let raw = b"HTTP/1.0 200 OK\r\n\r\nall the bytes";
+        assert_eq!(
+            parse_response(raw, false, false, &limits()).unwrap(),
+            Parsed::Partial
+        );
+        let Parsed::Complete(resp, _) = parse_response(raw, true, false, &limits()).unwrap() else {
+            panic!();
+        };
+        assert_eq!(resp.body_text(), "all the bytes");
+    }
+
+    #[test]
+    fn head_response_has_no_body() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\n";
+        let Parsed::Complete(resp, used) = parse_response(raw, false, true, &limits()).unwrap()
+        else {
+            panic!();
+        };
+        assert!(resp.body.is_empty());
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn chunked_response_decodes() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n";
+        let Parsed::Complete(resp, used) = parse_response(raw, false, false, &limits()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(resp.body_text(), "hello world");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn chunked_with_extensions_and_trailers() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n3;ext=1\r\nabc\r\n0\r\nX-Sum: 3\r\n\r\n";
+        let Parsed::Complete(resp, used) = parse_response(raw, false, false, &limits()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(resp.body_text(), "abc");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn chunked_partial() {
+        let raw = b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel";
+        assert_eq!(
+            parse_response(raw, false, false, &limits()).unwrap(),
+            Parsed::Partial
+        );
+    }
+
+    #[test]
+    fn rejects_bad_status_lines() {
+        for raw in [
+            &b"HTTP/2 200 OK\r\n\r\n"[..],
+            &b"HTTP/1.1 abc OK\r\n\r\n"[..],
+            &b"HTTP/1.1 42 OK\r\n\r\n"[..],
+        ] {
+            assert!(
+                parse_response(raw, true, false, &limits()).is_err(),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn head_limit_enforced() {
+        let small = Limits {
+            max_head: 16,
+            max_body: 1024,
+        };
+        let raw = b"HTTP/1.1 200 OK\r\nX-Long-Header-Name: value\r\n\r\n";
+        assert!(matches!(
+            parse_response(raw, false, false, &small),
+            Err(Error::TooLarge { what: "head", .. })
+        ));
+    }
+
+    #[test]
+    fn body_limit_enforced_via_content_length() {
+        let small = Limits {
+            max_head: 1024,
+            max_body: 4,
+        };
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\n0123456789";
+        assert!(matches!(
+            parse_response(raw, false, false, &small),
+            Err(Error::TooLarge { what: "body", .. })
+        ));
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let raw = b"POST /exec HTTP/1.1\r\nHost: h\r\nContent-Length: 6\r\n\r\nwhoami";
+        let Parsed::Complete(req, used) = parse_request(raw, &limits()).unwrap() else {
+            panic!();
+        };
+        assert_eq!(used, raw.len());
+        assert_eq!(req.method, Method::Post);
+        assert_eq!(req.target, "/exec");
+        assert_eq!(req.body_text(), "whoami");
+    }
+
+    #[test]
+    fn request_without_length_has_empty_body() {
+        let raw = b"GET /a?b=1 HTTP/1.1\r\nHost: h\r\n\r\n";
+        let Parsed::Complete(req, _) = parse_request(raw, &limits()).unwrap() else {
+            panic!();
+        };
+        assert!(req.body.is_empty());
+        assert_eq!(req.query(), Some("b=1"));
+    }
+
+    #[test]
+    fn rejects_bad_request_lines() {
+        for raw in [
+            &b"FETCH / HTTP/1.1\r\n\r\n"[..],
+            &b"GET HTTP/1.1\r\n\r\n"[..],
+            &b"GET /a b HTTP/1.1\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+        ] {
+            assert!(parse_request(raw, &limits()).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn pipelined_messages_consume_exactly_one() {
+        let raw = b"HTTP/1.1 204 No Content\r\n\r\nHTTP/1.1 200 OK\r\n\r\n";
+        let Parsed::Complete(resp, used) = parse_response(raw, false, false, &limits()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(resp.status, StatusCode::NO_CONTENT);
+        assert_eq!(used, b"HTTP/1.1 204 No Content\r\n\r\n".len());
+    }
+}

@@ -1,0 +1,198 @@
+//! Minimal HTTP server loop for exposing handlers over real sockets.
+//!
+//! Application models from `nokeys-apps` implement [`Handler`]; the
+//! `live_scan` example serves them on loopback and scans them with the real
+//! pipeline. The simulated transport in `nokeys-netsim` calls handlers
+//! directly without a socket.
+
+use crate::encode::encode_response;
+use crate::error::{Error, Result};
+use crate::parse::{parse_request, Limits, Parsed};
+use crate::request::Request;
+use crate::response::Response;
+use bytes::BytesMut;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// A synchronous request handler.
+///
+/// Handlers are synchronous on purpose: application models are pure state
+/// machines, and keeping them sync lets the discrete-event simulation call
+/// them deterministically.
+pub trait Handler: Send + Sync {
+    /// Produce the response for `req` arriving from `peer`.
+    fn handle(&self, req: &Request, peer: Ipv4Addr) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&Request, Ipv4Addr) -> Response + Send + Sync,
+{
+    fn handle(&self, req: &Request, peer: Ipv4Addr) -> Response {
+        self(req, peer)
+    }
+}
+
+/// Serve a single already-accepted connection: read requests until the
+/// peer closes or an error occurs, answering each via `handler`.
+pub async fn serve_connection<S, H>(mut stream: S, handler: &H, peer: Ipv4Addr) -> Result<()>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+    H: Handler + ?Sized,
+{
+    let limits = Limits::default();
+    let mut buf = BytesMut::with_capacity(4096);
+    loop {
+        match parse_request(&buf, &limits) {
+            Ok(Parsed::Complete(req, used)) => {
+                let close = req
+                    .headers
+                    .get("connection")
+                    .map(|v| v.eq_ignore_ascii_case("close"))
+                    .unwrap_or(false);
+                let resp = handler.handle(&req, peer);
+                stream.write_all(&encode_response(&resp)).await?;
+                let _ = buf.split_to(used);
+                if close {
+                    return Ok(());
+                }
+            }
+            Ok(Parsed::Partial) => {
+                let n = stream.read_buf(&mut buf).await?;
+                if n == 0 {
+                    // Clean close between messages is fine; mid-message is
+                    // a protocol error from the peer.
+                    return if buf.is_empty() {
+                        Ok(())
+                    } else {
+                        Err(Error::UnexpectedEof)
+                    };
+                }
+            }
+            Err(e) => {
+                let resp = Response::new(crate::StatusCode::BAD_REQUEST)
+                    .with_body(format!("bad request: {e}"));
+                let _ = stream.write_all(&encode_response(&resp)).await;
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// A running TCP server; dropping the returned handle does not stop the
+/// accept loop — call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    /// Port the server is listening on (useful with port 0 binds).
+    pub port: u16,
+    shutdown: tokio::sync::watch::Sender<bool>,
+    task: tokio::task::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// Stop accepting and wait for the accept loop to end.
+    pub async fn shutdown(self) {
+        let _ = self.shutdown.send(true);
+        let _ = self.task.await;
+    }
+}
+
+/// Bind `addr:port` (port 0 allocates) and serve `handler` until shutdown.
+pub async fn serve_tcp<H>(addr: Ipv4Addr, port: u16, handler: Arc<H>) -> Result<ServerHandle>
+where
+    H: Handler + 'static,
+{
+    let listener = tokio::net::TcpListener::bind((addr, port))
+        .await
+        .map_err(|e| Error::Connect(e.to_string()))?;
+    let port = listener.local_addr().map_err(Error::from)?.port();
+    let (tx, mut rx) = tokio::sync::watch::channel(false);
+    let task = tokio::spawn(async move {
+        loop {
+            tokio::select! {
+                accepted = listener.accept() => {
+                    let Ok((stream, peer)) = accepted else { break };
+                    let peer_ip = match peer.ip() {
+                        std::net::IpAddr::V4(ip) => ip,
+                        std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+                    };
+                    let handler = Arc::clone(&handler);
+                    tokio::spawn(async move {
+                        let _ = serve_connection(stream, handler.as_ref(), peer_ip).await;
+                    });
+                }
+                _ = rx.changed() => break,
+            }
+        }
+    });
+    Ok(ServerHandle {
+        port,
+        shutdown: tx,
+        task,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use crate::transport::TcpTransport;
+    use crate::url::Url;
+
+    #[tokio::test]
+    async fn serves_handler_over_tcp() {
+        let handler = Arc::new(|req: &Request, _peer: Ipv4Addr| {
+            if req.path() == "/version" {
+                Response::json(r#"{"MinAPIVersion":"1.12"}"#)
+            } else {
+                Response::not_found()
+            }
+        });
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+        let client = Client::new(TcpTransport::default());
+        let url = Url::parse(&format!("http://127.0.0.1:{}/version", server.port)).unwrap();
+        let fetched = client.get(&url).await.unwrap();
+        assert!(fetched.response.body_text().contains("MinAPIVersion"));
+        let miss = Url::parse(&format!("http://127.0.0.1:{}/other", server.port)).unwrap();
+        assert_eq!(
+            client.get(&miss).await.unwrap().response.status.as_u16(),
+            404
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn keep_alive_handles_sequential_requests() {
+        let handler = Arc::new(|req: &Request, _| Response::text(req.path().to_string()));
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+
+        // Speak raw keep-alive HTTP over one connection.
+        let mut stream = tokio::net::TcpStream::connect(("127.0.0.1", server.port))
+            .await
+            .unwrap();
+        for path in ["/a", "/b"] {
+            let req = format!("GET {path} HTTP/1.1\r\nHost: h\r\n\r\n");
+            stream.write_all(req.as_bytes()).await.unwrap();
+            let mut buf = vec![0u8; 1024];
+            let n = stream.read(&mut buf).await.unwrap();
+            let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+            assert!(text.contains(&format!("\r\n\r\n{path}")), "{text}");
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn malformed_request_gets_400() {
+        let handler = Arc::new(|_: &Request, _| Response::text("never"));
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(("127.0.0.1", server.port))
+            .await
+            .unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").await.unwrap();
+        let mut buf = vec![0u8; 1024];
+        let n = stream.read(&mut buf).await.unwrap();
+        let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+        server.shutdown().await;
+    }
+}

@@ -1,0 +1,214 @@
+//! Byte-stream transport abstraction.
+//!
+//! The scanning pipeline is generic over how bytes reach a host so the same
+//! code can run against the real Internet (tokio TCP) and against the
+//! simulated IPv4 universe from `nokeys-netsim`.
+
+use crate::error::{Error, Result};
+use std::future::Future;
+use std::net::Ipv4Addr;
+use std::time::Duration;
+use tokio::io::{AsyncRead, AsyncWrite};
+
+/// Connection scheme. TLS is modeled, not implemented: the simulated
+/// transport performs a pretend handshake and can expose a certificate
+/// subject name, which is all the study uses TLS for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Scheme {
+    Http,
+    Https,
+}
+
+impl Scheme {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+
+    pub fn default_port(self) -> u16 {
+        match self {
+            Scheme::Http => 80,
+            Scheme::Https => 443,
+        }
+    }
+}
+
+/// A scan target: IPv4 address and TCP port.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct Endpoint {
+    pub ip: Ipv4Addr,
+    pub port: u16,
+}
+
+impl Endpoint {
+    pub fn new(ip: Ipv4Addr, port: u16) -> Self {
+        Endpoint { ip, port }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.ip, self.port)
+    }
+}
+
+/// Result of a half-open (SYN-style) port probe, mirroring masscan's view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ProbeOutcome {
+    /// SYN-ACK received: something is listening.
+    Open,
+    /// RST received: port closed.
+    Closed,
+    /// No answer within the probe deadline (dropped or filtered).
+    Filtered,
+}
+
+/// Certificate information surfaced by an HTTPS connection.
+///
+/// Used by the responsible-disclosure step of the study: the scanner
+/// inspects certificates for contactable domain names.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CertificateInfo {
+    /// Subject common name / first SAN, if the host presented one.
+    pub subject: Option<String>,
+}
+
+/// A byte-stream connection plus connection-level metadata.
+pub trait Connection: AsyncRead + AsyncWrite + Unpin + Send {
+    /// Certificate presented during an HTTPS handshake, if any.
+    fn certificate(&self) -> Option<CertificateInfo> {
+        None
+    }
+}
+
+/// Async transport used by the scanner, the client and the honeypots.
+///
+/// Implementations: [`TcpTransport`] (real sockets) and
+/// `nokeys_netsim::SimTransport` (simulated universe).
+pub trait Transport: Send + Sync {
+    /// Concrete connection type.
+    type Conn: Connection;
+
+    /// Half-open probe of a single port. Must be cheap: stage I of the
+    /// pipeline issues one probe per (address, port) pair.
+    fn probe(&self, ep: Endpoint) -> impl Future<Output = ProbeOutcome> + Send;
+
+    /// Full connection establishment with the given scheme.
+    fn connect(
+        &self,
+        ep: Endpoint,
+        scheme: Scheme,
+    ) -> impl Future<Output = Result<Self::Conn>> + Send;
+}
+
+/// Real-socket transport backed by tokio TCP. HTTPS is rejected — the real
+/// transport exists to prove the pipeline runs on actual sockets (see the
+/// `live_scan` example), and the locally served app models speak plain HTTP.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    /// Deadline for both probes and connects.
+    pub connect_timeout: Duration,
+}
+
+impl Default for TcpTransport {
+    fn default() -> Self {
+        TcpTransport {
+            connect_timeout: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Connection for tokio::net::TcpStream {}
+
+impl Transport for TcpTransport {
+    type Conn = tokio::net::TcpStream;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        let fut = tokio::net::TcpStream::connect((ep.ip, ep.port));
+        match tokio::time::timeout(self.connect_timeout, fut).await {
+            Ok(Ok(_stream)) => ProbeOutcome::Open,
+            Ok(Err(e)) if e.kind() == std::io::ErrorKind::ConnectionRefused => ProbeOutcome::Closed,
+            Ok(Err(_)) => ProbeOutcome::Filtered,
+            Err(_) => ProbeOutcome::Filtered,
+        }
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<Self::Conn> {
+        if scheme == Scheme::Https {
+            return Err(Error::SchemeUnsupported);
+        }
+        let fut = tokio::net::TcpStream::connect((ep.ip, ep.port));
+        match tokio::time::timeout(self.connect_timeout, fut).await {
+            Ok(Ok(stream)) => Ok(stream),
+            Ok(Err(e)) => Err(Error::Connect(e.to_string())),
+            Err(_) => Err(Error::Timeout),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+    #[test]
+    fn scheme_defaults() {
+        assert_eq!(Scheme::Http.default_port(), 80);
+        assert_eq!(Scheme::Https.default_port(), 443);
+        assert_eq!(Scheme::Https.as_str(), "https");
+    }
+
+    #[test]
+    fn endpoint_display() {
+        let ep = Endpoint::new(Ipv4Addr::new(192, 0, 2, 7), 8080);
+        assert_eq!(ep.to_string(), "192.0.2.7:8080");
+    }
+
+    #[tokio::test]
+    async fn tcp_probe_open_and_closed() {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let t = TcpTransport::default();
+        let open = t.probe(Endpoint::new(Ipv4Addr::LOCALHOST, port)).await;
+        assert_eq!(open, ProbeOutcome::Open);
+        drop(listener);
+        let closed = t.probe(Endpoint::new(Ipv4Addr::LOCALHOST, port)).await;
+        assert_eq!(closed, ProbeOutcome::Closed);
+    }
+
+    #[tokio::test]
+    async fn tcp_connect_round_trip() {
+        let listener = tokio::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+        let port = listener.local_addr().unwrap().port();
+        let server = tokio::spawn(async move {
+            let (mut s, _) = listener.accept().await.unwrap();
+            let mut buf = [0u8; 4];
+            s.read_exact(&mut buf).await.unwrap();
+            s.write_all(&buf).await.unwrap();
+        });
+        let t = TcpTransport::default();
+        let mut conn = t
+            .connect(Endpoint::new(Ipv4Addr::LOCALHOST, port), Scheme::Http)
+            .await
+            .unwrap();
+        conn.write_all(b"ping").await.unwrap();
+        let mut buf = [0u8; 4];
+        conn.read_exact(&mut buf).await.unwrap();
+        assert_eq!(&buf, b"ping");
+        server.await.unwrap();
+    }
+
+    #[tokio::test]
+    async fn tcp_rejects_https() {
+        let t = TcpTransport::default();
+        let err = t
+            .connect(Endpoint::new(Ipv4Addr::LOCALHOST, 1), Scheme::Https)
+            .await
+            .unwrap_err();
+        assert_eq!(err, Error::SchemeUnsupported);
+    }
+}

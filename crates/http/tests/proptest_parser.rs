@@ -1,0 +1,155 @@
+//! Property tests for the HTTP/1.1 parser: encode/parse round trips,
+//! incremental-feed equivalence and chunked-body reassembly.
+
+use bytes::Bytes;
+use nokeys_http::encode::{encode_request, encode_response};
+use nokeys_http::parse::{parse_request, parse_response, Limits, Parsed};
+use nokeys_http::{Headers, Method, Request, Response, StatusCode};
+use proptest::prelude::*;
+
+fn arb_header_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,20}".prop_map(|s| s)
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Header values: printable ASCII without CR/LF.
+    "[ -~&&[^\r\n]]{0,40}".prop_map(|s| s.trim().to_string())
+}
+
+fn arb_headers() -> impl Strategy<Value = Headers> {
+    proptest::collection::vec((arb_header_name(), arb_header_value()), 0..8).prop_map(|pairs| {
+        let mut h = Headers::new();
+        for (n, v) in pairs {
+            // Avoid framing headers; encode_* adds Content-Length itself.
+            if n.eq_ignore_ascii_case("content-length")
+                || n.eq_ignore_ascii_case("transfer-encoding")
+                || n.eq_ignore_ascii_case("host")
+            {
+                continue;
+            }
+            h.append(n, v);
+        }
+        h
+    })
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..512)
+}
+
+proptest! {
+    #[test]
+    fn response_round_trip(
+        code in 200u16..=599,
+        headers in arb_headers(),
+        body in arb_body(),
+    ) {
+        let resp = Response {
+            status: StatusCode(code),
+            headers,
+            body: Bytes::from(body.clone()),
+        };
+        let wire = encode_response(&resp);
+        let parsed = parse_response(&wire, false, false, &Limits::default()).expect("parses");
+        let Parsed::Complete(back, used) = parsed else { panic!("partial") };
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(back.status.as_u16(), code);
+        if code != 204 && code != 304 {
+            prop_assert_eq!(back.body.as_ref(), body.as_slice());
+        }
+    }
+
+    /// Feeding the wire bytes in arbitrary increments never changes the
+    /// outcome: Partial until complete, then the same message.
+    #[test]
+    fn incremental_feed_equivalence(
+        body in arb_body(),
+        cut in 0usize..2048,
+    ) {
+        let resp = Response::html(body.clone());
+        let wire = encode_response(&resp);
+        let cut = cut % wire.len();
+        let limits = Limits::default();
+        let prefix = &wire[..cut];
+        match parse_response(prefix, false, false, &limits) {
+            Ok(Parsed::Partial) => {}
+            Ok(Parsed::Complete(_, used)) => prop_assert!(used <= cut),
+            Err(e) => prop_assert!(false, "prefix errored: {e}"),
+        }
+        let Parsed::Complete(full, _) =
+            parse_response(&wire, false, false, &limits).expect("parses")
+        else { panic!("partial on full input") };
+        prop_assert_eq!(full.body.as_ref(), body.as_slice());
+    }
+
+    /// Chunked bodies reassemble regardless of chunk boundaries.
+    #[test]
+    fn chunked_reassembly(
+        body in proptest::collection::vec(any::<u8>(), 1..300),
+        sizes in proptest::collection::vec(1usize..64, 1..16),
+    ) {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n");
+        let mut rest = body.as_slice();
+        let mut i = 0;
+        while !rest.is_empty() {
+            let take = sizes[i % sizes.len()].min(rest.len());
+            wire.extend_from_slice(format!("{take:x}\r\n").as_bytes());
+            wire.extend_from_slice(&rest[..take]);
+            wire.extend_from_slice(b"\r\n");
+            rest = &rest[take..];
+            i += 1;
+        }
+        wire.extend_from_slice(b"0\r\n\r\n");
+        let Parsed::Complete(resp, used) =
+            parse_response(&wire, false, false, &Limits::default()).expect("parses")
+        else { panic!("partial") };
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(resp.body.as_ref(), body.as_slice());
+    }
+
+    #[test]
+    fn request_round_trip(
+        target in "/[a-z0-9/_.-]{0,40}",
+        body in arb_body(),
+        headers in arb_headers(),
+    ) {
+        let req = Request {
+            method: Method::Post,
+            target: target.clone(),
+            headers,
+            body: Bytes::from(body.clone()),
+        };
+        let wire = encode_request(&req);
+        let Parsed::Complete(back, used) =
+            parse_request(&wire, &Limits::default()).expect("parses")
+        else { panic!("partial") };
+        prop_assert_eq!(used, wire.len());
+        prop_assert_eq!(back.target, target);
+        prop_assert_eq!(back.body.as_ref(), body.as_slice());
+    }
+
+    /// The parser never panics on arbitrary bytes.
+    #[test]
+    fn parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..600)) {
+        let limits = Limits::default();
+        let _ = parse_response(&bytes, false, false, &limits);
+        let _ = parse_response(&bytes, true, true, &limits);
+        let _ = parse_request(&bytes, &limits);
+    }
+}
+
+proptest! {
+    /// URL parse/display round trip for IPv4 URLs.
+    #[test]
+    fn url_round_trip(
+        a in 1u8..=223, b in any::<u8>(), c in any::<u8>(), d in any::<u8>(),
+        port in 1u16..=65535,
+        path in "/[a-zA-Z0-9/_.-]{0,30}",
+    ) {
+        let text = format!("http://{a}.{b}.{c}.{d}:{port}{path}");
+        let url = nokeys_http::Url::parse(&text).expect("valid url");
+        let back = nokeys_http::Url::parse(&url.to_string()).expect("reparses");
+        prop_assert_eq!(url, back);
+    }
+}

@@ -1,0 +1,264 @@
+//! Calibration constants from the paper's measurement tables.
+//!
+//! The synthetic universe is generated so that (scaled) population counts
+//! match Tables 2 and 3; the analysis crate compares regenerated results
+//! against these same constants in `EXPERIMENTS.md`.
+
+use nokeys_apps::AppId;
+
+/// One row of Table 2: open ports and HTTP(S) responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortPopulation {
+    pub port: u16,
+    /// Hosts with this port open.
+    pub open: u64,
+    /// ... of which spoke HTTP.
+    pub http: u64,
+    /// ... of which spoke HTTPS.
+    pub https: u64,
+}
+
+/// Table 2 of the paper.
+pub const PORT_POPULATIONS: [PortPopulation; 12] = [
+    PortPopulation {
+        port: 80,
+        open: 56_800_000,
+        http: 51_300_000,
+        https: 0,
+    },
+    PortPopulation {
+        port: 443,
+        open: 50_100_000,
+        http: 0,
+        https: 35_900_000,
+    },
+    PortPopulation {
+        port: 2375,
+        open: 120_000,
+        http: 11_000,
+        https: 2_000,
+    },
+    PortPopulation {
+        port: 4646,
+        open: 180_000,
+        http: 24_000,
+        https: 4_000,
+    },
+    PortPopulation {
+        port: 6443,
+        open: 553_000,
+        http: 304_000,
+        https: 322_000,
+    },
+    PortPopulation {
+        port: 8000,
+        open: 5_500_000,
+        http: 1_600_000,
+        https: 293_000,
+    },
+    PortPopulation {
+        port: 8080,
+        open: 9_000_000,
+        http: 7_600_000,
+        https: 667_000,
+    },
+    PortPopulation {
+        port: 8088,
+        open: 2_600_000,
+        http: 857_000,
+        https: 943_000,
+    },
+    PortPopulation {
+        port: 8153,
+        open: 291_000,
+        http: 171_000,
+        https: 3_000,
+    },
+    PortPopulation {
+        port: 8192,
+        open: 331_000,
+        http: 175_000,
+        https: 7_000,
+    },
+    PortPopulation {
+        port: 8500,
+        open: 384_000,
+        http: 62_000,
+        https: 107_000,
+    },
+    PortPopulation {
+        port: 8888,
+        open: 2_400_000,
+        http: 1_800_000,
+        https: 192_000,
+    },
+];
+
+/// One row of Table 3: per-application prevalence and MAVs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppPopulation {
+    pub app: AppId,
+    /// Hosts running the application ("# Hosts").
+    pub hosts: u64,
+    /// ... of which carried a MAV ("# MAVs").
+    pub mavs: u64,
+}
+
+/// Table 3 of the paper (18 in-scope applications, paper order).
+pub const APP_POPULATIONS: [AppPopulation; 18] = [
+    AppPopulation {
+        app: AppId::Jenkins,
+        hosts: 2_440,
+        mavs: 80,
+    },
+    AppPopulation {
+        app: AppId::Gocd,
+        hosts: 587,
+        mavs: 36,
+    },
+    AppPopulation {
+        app: AppId::WordPress,
+        hosts: 1_462_625,
+        mavs: 345,
+    },
+    AppPopulation {
+        app: AppId::Grav,
+        hosts: 2_617,
+        mavs: 4,
+    },
+    AppPopulation {
+        app: AppId::Joomla,
+        hosts: 50_274,
+        mavs: 16,
+    },
+    AppPopulation {
+        app: AppId::Drupal,
+        hosts: 65_414,
+        mavs: 258,
+    },
+    AppPopulation {
+        app: AppId::Kubernetes,
+        hosts: 706_235,
+        mavs: 495,
+    },
+    AppPopulation {
+        app: AppId::Docker,
+        hosts: 893,
+        mavs: 657,
+    },
+    AppPopulation {
+        app: AppId::Consul,
+        hosts: 9_447,
+        mavs: 190,
+    },
+    AppPopulation {
+        app: AppId::Hadoop,
+        hosts: 923,
+        mavs: 556,
+    },
+    AppPopulation {
+        app: AppId::Nomad,
+        hosts: 1_231,
+        mavs: 729,
+    },
+    AppPopulation {
+        app: AppId::JupyterLab,
+        hosts: 1_369,
+        mavs: 53,
+    },
+    AppPopulation {
+        app: AppId::JupyterNotebook,
+        hosts: 9_549,
+        mavs: 313,
+    },
+    AppPopulation {
+        app: AppId::Zeppelin,
+        hosts: 1_033,
+        mavs: 82,
+    },
+    AppPopulation {
+        app: AppId::Polynote,
+        hosts: 8,
+        mavs: 8,
+    },
+    AppPopulation {
+        app: AppId::Ajenti,
+        hosts: 1_292,
+        mavs: 0,
+    },
+    AppPopulation {
+        app: AppId::PhpMyAdmin,
+        hosts: 184_968,
+        mavs: 396,
+    },
+    AppPopulation {
+        app: AppId::Adminer,
+        hosts: 6_621,
+        mavs: 3,
+    },
+];
+
+/// Paper total: hosts running an in-scope AWE.
+pub const TOTAL_AWE_HOSTS: u64 = 2_507_526;
+/// Paper total: hosts with a MAV.
+pub const TOTAL_MAVS: u64 = 4_221;
+
+/// Look up the Table 3 row of `app`.
+pub fn app_population(app: AppId) -> Option<&'static AppPopulation> {
+    APP_POPULATIONS.iter().find(|p| p.app == app)
+}
+
+/// Docker's MAV count exceeds... no — every app's MAV count must be at
+/// most its host count; verified by test below.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_paper() {
+        let hosts: u64 = APP_POPULATIONS.iter().map(|p| p.hosts).sum();
+        let mavs: u64 = APP_POPULATIONS.iter().map(|p| p.mavs).sum();
+        assert_eq!(hosts, TOTAL_AWE_HOSTS);
+        assert_eq!(mavs, TOTAL_MAVS);
+    }
+
+    #[test]
+    fn mavs_never_exceed_hosts() {
+        for p in &APP_POPULATIONS {
+            assert!(p.mavs <= p.hosts, "{:?}", p.app);
+        }
+    }
+
+    #[test]
+    fn all_in_scope_apps_present_exactly_once() {
+        let mut ids: Vec<_> = APP_POPULATIONS.iter().map(|p| p.app).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 18);
+        for app in AppId::in_scope() {
+            assert!(app_population(app).is_some(), "{app} missing");
+        }
+    }
+
+    #[test]
+    fn port_rows_are_consistent() {
+        for p in &PORT_POPULATIONS {
+            assert!(p.http + p.https <= p.open + p.open, "{}", p.port);
+            assert!(p.http <= p.open && p.https <= p.open, "{}", p.port);
+        }
+        // Ports 80/443 carry ~two thirds of all open ports.
+        let total: u64 = PORT_POPULATIONS.iter().map(|p| p.open).sum();
+        let web: u64 = PORT_POPULATIONS
+            .iter()
+            .filter(|p| p.port == 80 || p.port == 443)
+            .map(|p| p.open)
+            .sum();
+        assert!(web * 3 > total * 2 - total / 10, "web={web} total={total}");
+    }
+
+    #[test]
+    fn polynote_is_100_percent_vulnerable() {
+        let p = app_population(AppId::Polynote).unwrap();
+        assert_eq!(p.hosts, p.mavs);
+    }
+}

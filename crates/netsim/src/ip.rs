@@ -1,0 +1,3 @@
+//! Re-export of the shared IPv4 utilities from `nokeys-http`.
+
+pub use nokeys_http::ip::{Cidr, ReservedRanges};

@@ -1,0 +1,253 @@
+//! Host lifecycle over the four-week observation window (drives the
+//! longevity study, Figure 2).
+//!
+//! Each vulnerable host gets a plan sampled at generation time: it may
+//! get *fixed* (stays online, MAV gone), go *offline* (shut down or
+//! firewalled), or receive a software *update*; otherwise it stays online
+//! and vulnerable — which the paper found to be the case for more than
+//! half of all hosts even after four weeks.
+
+use crate::clock::{SimDuration, SimTime};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Observable state of a host at a point in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostState {
+    /// Online; AWE still in its deployed (possibly vulnerable) state.
+    Online,
+    /// Online, but the MAV was remediated (auth enabled / install
+    /// completed by the owner).
+    Fixed,
+    /// No longer reachable (shut down or firewalled).
+    Offline,
+}
+
+/// The sampled plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LifecyclePlan {
+    /// When the owner remediates, if ever.
+    pub fix_at: Option<SimTime>,
+    /// When the host disappears, if ever.
+    pub offline_at: Option<SimTime>,
+    /// When the software version is bumped (2.4% of hosts during the
+    /// observation window), if ever.
+    pub update_at: Option<SimTime>,
+}
+
+impl LifecyclePlan {
+    /// A host that never changes.
+    pub fn static_online() -> Self {
+        LifecyclePlan {
+            fix_at: None,
+            offline_at: None,
+            update_at: None,
+        }
+    }
+
+    /// State of the host at `t`. Offline wins over fixed when both have
+    /// passed (a fixed host can still disappear later — once gone, gone).
+    pub fn state_at(&self, t: SimTime) -> HostState {
+        if let Some(off) = self.offline_at {
+            if t >= off {
+                return HostState::Offline;
+            }
+        }
+        if let Some(fix) = self.fix_at {
+            if t >= fix {
+                return HostState::Fixed;
+            }
+        }
+        HostState::Online
+    }
+
+    /// Whether the version has been updated by `t`.
+    pub fn updated_by(&self, t: SimTime) -> bool {
+        self.update_at.map(|u| t >= u).unwrap_or(false)
+    }
+}
+
+/// Per-category parameters for plan sampling.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleParams {
+    /// Probability the MAV gets fixed during the window.
+    pub fix_prob: f64,
+    /// Probability the host goes offline during the window.
+    pub offline_prob: f64,
+    /// Probability of a version update during the window.
+    pub update_prob: f64,
+    /// Fraction of offline events landing in the first six hours (the
+    /// initial cliff: ~10% of all vulnerable hosts disappear early).
+    pub early_offline_frac: f64,
+}
+
+impl LifecycleParams {
+    /// Parameters per category, tuned to Figure 2's aggregates:
+    /// 3.2% fixed / 43.2% offline by day 28, CMS fixes early and often
+    /// (completing an installation "fixes" it), notebooks stay vulnerable
+    /// longest, CI churns fastest.
+    pub fn for_category(cat: nokeys_apps::Category) -> Self {
+        use nokeys_apps::Category::*;
+        match cat {
+            Ci => LifecycleParams {
+                fix_prob: 0.025,
+                offline_prob: 0.55,
+                update_prob: 0.03,
+                early_offline_frac: 0.25,
+            },
+            Cms => LifecycleParams {
+                fix_prob: 0.22,
+                offline_prob: 0.50,
+                update_prob: 0.02,
+                early_offline_frac: 0.20,
+            },
+            Cm => LifecycleParams {
+                fix_prob: 0.02,
+                offline_prob: 0.42,
+                update_prob: 0.025,
+                early_offline_frac: 0.25,
+            },
+            Nb => LifecycleParams {
+                fix_prob: 0.02,
+                offline_prob: 0.30,
+                update_prob: 0.02,
+                early_offline_frac: 0.15,
+            },
+            Cp => LifecycleParams {
+                fix_prob: 0.02,
+                offline_prob: 0.45,
+                update_prob: 0.02,
+                early_offline_frac: 0.20,
+            },
+        }
+    }
+
+    /// Sample a plan. `insecure_by_default` hosts are a bit more likely
+    /// to be taken offline on the first day, and explicitly modified
+    /// hosts a bit more likely to be fixed — both observed in Figure 2's
+    /// right-hand column.
+    pub fn sample<R: Rng>(&self, rng: &mut R, insecure_by_default: bool) -> LifecyclePlan {
+        let window = SimTime::OBSERVATION;
+        let fix_prob = if insecure_by_default {
+            self.fix_prob * 0.8
+        } else {
+            self.fix_prob * 1.3
+        };
+        let early_frac = if insecure_by_default {
+            self.early_offline_frac * 1.4
+        } else {
+            self.early_offline_frac * 0.8
+        };
+
+        let fix_at = if rng.random::<f64>() < fix_prob {
+            // Fixes skew early (installations get completed within days).
+            let frac = rng.random::<f64>().powi(2);
+            Some(SimTime::SCAN_START + window.mul_f64(frac))
+        } else {
+            None
+        };
+        let offline_at = if rng.random::<f64>() < self.offline_prob {
+            if rng.random::<f64>() < early_frac {
+                // The first-six-hours cliff.
+                Some(SimTime::SCAN_START + SimDuration::hours(6).mul_f64(rng.random::<f64>()))
+            } else {
+                // Roughly linear decay over the remaining four weeks.
+                Some(SimTime::SCAN_START + window.mul_f64(rng.random::<f64>()))
+            }
+        } else {
+            None
+        };
+        let update_at = if rng.random::<f64>() < self.update_prob {
+            Some(SimTime::SCAN_START + window.mul_f64(rng.random::<f64>()))
+        } else {
+            None
+        };
+        LifecyclePlan {
+            fix_at,
+            offline_at,
+            update_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nokeys_apps::Category;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn state_transitions_in_order() {
+        let plan = LifecyclePlan {
+            fix_at: Some(SimTime(100)),
+            offline_at: Some(SimTime(200)),
+            update_at: None,
+        };
+        assert_eq!(plan.state_at(SimTime(0)), HostState::Online);
+        assert_eq!(plan.state_at(SimTime(100)), HostState::Fixed);
+        assert_eq!(plan.state_at(SimTime(150)), HostState::Fixed);
+        assert_eq!(plan.state_at(SimTime(200)), HostState::Offline);
+        assert_eq!(plan.state_at(SimTime(9999)), HostState::Offline);
+    }
+
+    #[test]
+    fn offline_wins_even_if_fix_never_fires() {
+        let plan = LifecyclePlan {
+            fix_at: None,
+            offline_at: Some(SimTime(50)),
+            update_at: None,
+        };
+        assert_eq!(plan.state_at(SimTime(49)), HostState::Online);
+        assert_eq!(plan.state_at(SimTime(50)), HostState::Offline);
+    }
+
+    #[test]
+    fn static_plan_never_changes() {
+        let plan = LifecyclePlan::static_online();
+        assert_eq!(plan.state_at(SimTime(i64::MAX / 2)), HostState::Online);
+        assert!(!plan.updated_by(SimTime(i64::MAX / 2)));
+    }
+
+    #[test]
+    fn sampling_respects_probabilities_roughly() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let params = LifecycleParams::for_category(Category::Cm);
+        let n = 20_000;
+        let mut offline = 0;
+        let mut fixed = 0;
+        for _ in 0..n {
+            let plan = params.sample(&mut rng, true);
+            let end = SimTime::SCAN_START + SimTime::OBSERVATION;
+            match plan.state_at(end) {
+                HostState::Offline => offline += 1,
+                HostState::Fixed => fixed += 1,
+                HostState::Online => {}
+            }
+        }
+        let offline_frac = offline as f64 / n as f64;
+        let fixed_frac = fixed as f64 / n as f64;
+        assert!(
+            (0.35..0.50).contains(&offline_frac),
+            "offline {offline_frac}"
+        );
+        assert!(fixed_frac < 0.03, "fixed {fixed_frac}");
+    }
+
+    #[test]
+    fn notebooks_outlive_ci() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let count_alive = |params: LifecycleParams, rng: &mut SmallRng| {
+            let end = SimTime::SCAN_START + SimTime::OBSERVATION;
+            (0..10_000)
+                .filter(|_| params.sample(rng, true).state_at(end) == HostState::Online)
+                .count()
+        };
+        let nb = count_alive(LifecycleParams::for_category(Category::Nb), &mut rng);
+        let ci = count_alive(LifecycleParams::for_category(Category::Ci), &mut rng);
+        assert!(
+            nb > ci,
+            "notebooks should stay vulnerable longer (nb={nb} ci={ci})"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Glue between the scanner's time-agnostic longevity observer and the
+//! simulated transport's virtual clock.
+
+use crate::clock::SimTime;
+use crate::transport::SimTransport;
+
+/// Build the `advance_clock` callback expected by
+/// `nokeys_scanner::observer::observe`: offsets in seconds from the scan
+/// start map onto the transport's virtual time.
+pub fn wire_observer_clock(transport: &SimTransport) -> impl FnMut(i64) {
+    let t = transport.clone();
+    move |secs: i64| t.set_time(SimTime(secs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Universe, UniverseConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn callback_moves_the_clock() {
+        let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(1))));
+        let mut advance = wire_observer_clock(&t);
+        advance(7200);
+        assert_eq!(t.time(), SimTime(7200));
+        advance(0);
+        assert_eq!(t.time(), SimTime(0));
+    }
+}

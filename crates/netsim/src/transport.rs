@@ -1,0 +1,394 @@
+//! In-memory [`Transport`] implementation over the simulated universe.
+//!
+//! Connections are byte-accurate: the client writes a serialized HTTP
+//! request, the connection parses it, dispatches to the universe and
+//! queues the serialized response for reading — so the exact same client
+//! and pipeline code runs against the simulation and against real TCP.
+
+use crate::clock::SimTime;
+use crate::universe::{ConnectBehavior, Universe};
+use bytes::{Buf, BytesMut};
+use nokeys_http::parse::{parse_request, Limits, Parsed};
+use nokeys_http::transport::{CertificateInfo, Connection};
+use nokeys_http::{Endpoint, ProbeOutcome, Result, Scheme, Transport};
+use parking_lot::RwLock;
+use std::net::Ipv4Addr;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use tokio::io::{AsyncRead, AsyncWrite, ReadBuf};
+
+/// Operation counters, used by benchmarks and the pipeline-ablation
+/// study.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    pub probes: AtomicU64,
+    pub connects: AtomicU64,
+    pub requests: AtomicU64,
+}
+
+impl TransportStats {
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+    pub fn connects(&self) -> u64 {
+        self.connects.load(Ordering::Relaxed)
+    }
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+/// Transport over a shared universe snapshot, evaluated at a settable
+/// virtual time (the longevity observer advances it between rescans).
+#[derive(Clone)]
+pub struct SimTransport {
+    universe: Arc<Universe>,
+    now: Arc<RwLock<SimTime>>,
+    stats: Arc<TransportStats>,
+    /// Source address the universe sees for requests from this transport.
+    scanner_ip: Ipv4Addr,
+    /// Fault injection: probability that a connect attempt times out
+    /// (transient network loss). Deterministic per (endpoint, attempt
+    /// counter) so runs remain reproducible.
+    connect_fault_rate: f64,
+    fault_counter: Arc<AtomicU64>,
+}
+
+impl SimTransport {
+    pub fn new(universe: Arc<Universe>) -> Self {
+        SimTransport {
+            universe,
+            now: Arc::new(RwLock::new(SimTime::SCAN_START)),
+            stats: Arc::new(TransportStats::default()),
+            scanner_ip: Ipv4Addr::new(198, 51, 100, 77),
+            connect_fault_rate: 0.0,
+            fault_counter: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Enable transient connect faults with the given probability
+    /// (smoltcp-style fault injection; exercises the pipeline's
+    /// resilience to flaky networks).
+    pub fn with_fault_injection(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
+        self.connect_fault_rate = rate;
+        self
+    }
+
+    /// Deterministic per-attempt fault decision.
+    fn fault_fires(&self, ep: Endpoint) -> bool {
+        if self.connect_fault_rate == 0.0 {
+            return false;
+        }
+        let n = self.fault_counter.fetch_add(1, Ordering::Relaxed);
+        // splitmix64 over (endpoint, attempt) for a stable pseudo-random
+        // stream independent of rand crate versions.
+        let mut x = n
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(u64::from(u32::from(ep.ip)) << 16)
+            .wrapping_add(ep.port as u64);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+        x ^= x >> 27;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.connect_fault_rate
+    }
+
+    /// Set the virtual time at which the universe is observed.
+    pub fn set_time(&self, t: SimTime) {
+        *self.now.write() = t;
+    }
+
+    /// Current virtual observation time.
+    pub fn time(&self) -> SimTime {
+        *self.now.read()
+    }
+
+    /// Set the source address presented to hosts.
+    pub fn with_source_ip(mut self, ip: Ipv4Addr) -> Self {
+        self.scanner_ip = ip;
+        self
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &TransportStats {
+        &self.stats
+    }
+
+    /// The universe behind this transport.
+    pub fn universe(&self) -> &Arc<Universe> {
+        &self.universe
+    }
+}
+
+impl Transport for SimTransport {
+    type Conn = SimConn;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        self.universe.probe(ep, self.time())
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<SimConn> {
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        if self.fault_fires(ep) {
+            return Err(nokeys_http::Error::Timeout);
+        }
+        let at = self.time();
+        let behavior = self.universe.connect_behavior(ep, scheme, at)?;
+        let cert = if scheme == Scheme::Https {
+            self.universe
+                .host(ep.ip)
+                .and_then(|h| h.cert_domain.clone())
+                .map(|subject| CertificateInfo {
+                    subject: Some(subject),
+                })
+        } else {
+            None
+        };
+        Ok(SimConn {
+            universe: Arc::clone(&self.universe),
+            stats: Arc::clone(&self.stats),
+            ep,
+            at,
+            peer: self.scanner_ip,
+            behavior,
+            write_buf: BytesMut::new(),
+            read_buf: BytesMut::new(),
+            banner_sent: false,
+            cert,
+        })
+    }
+}
+
+/// A simulated connection. All operations complete immediately; reads
+/// return EOF once no more simulated bytes are pending (the server always
+/// behaves as `Connection: close`).
+pub struct SimConn {
+    universe: Arc<Universe>,
+    stats: Arc<TransportStats>,
+    ep: Endpoint,
+    at: SimTime,
+    peer: Ipv4Addr,
+    behavior: ConnectBehavior,
+    write_buf: BytesMut,
+    read_buf: BytesMut,
+    banner_sent: bool,
+    cert: Option<CertificateInfo>,
+}
+
+impl SimConn {
+    /// Try to parse complete requests out of the write buffer and produce
+    /// responses into the read buffer.
+    fn pump(&mut self) {
+        if self.behavior != ConnectBehavior::Http {
+            return;
+        }
+        loop {
+            match parse_request(&self.write_buf, &Limits::default()) {
+                Ok(Parsed::Complete(req, used)) => {
+                    self.write_buf.advance(used);
+                    self.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let resp = self.universe.respond(self.ep, &req, self.peer, self.at);
+                    self.read_buf
+                        .extend_from_slice(&nokeys_http::encode::encode_response(&resp));
+                }
+                Ok(Parsed::Partial) => break,
+                Err(_) => {
+                    // A malformed request ends the simulated connection.
+                    self.write_buf.clear();
+                    break;
+                }
+            }
+        }
+    }
+}
+
+impl AsyncWrite for SimConn {
+    fn poll_write(
+        mut self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        self.write_buf.extend_from_slice(buf);
+        self.pump();
+        Poll::Ready(Ok(buf.len()))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl AsyncRead for SimConn {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        _cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        if let ConnectBehavior::Garbage(banner) = self.behavior {
+            if !self.banner_sent {
+                self.banner_sent = true;
+                self.read_buf.extend_from_slice(banner);
+            }
+        }
+        if self.read_buf.is_empty() {
+            // Nothing pending: the simulated server closes. (Silent
+            // services land here immediately.)
+            return Poll::Ready(Ok(()));
+        }
+        let n = self.read_buf.len().min(buf.remaining());
+        buf.put_slice(&self.read_buf[..n]);
+        self.read_buf.advance(n);
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Connection for SimConn {
+    fn certificate(&self) -> Option<CertificateInfo> {
+        self.cert.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::UniverseConfig;
+    use nokeys_apps::AppId;
+    use nokeys_http::{Client, Url};
+
+    fn transport() -> SimTransport {
+        SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))))
+    }
+
+    fn find_app_ep(t: &SimTransport, app: AppId, vulnerable: bool) -> Endpoint {
+        let host = t
+            .universe()
+            .hosts()
+            .find(|h| {
+                h.awe().map(|(_, a)| a) == Some(app)
+                    && h.is_vulnerable_at_deploy() == vulnerable
+                    && h.services[0].schemes.supports_http()
+            })
+            .unwrap_or_else(|| panic!("no {app} host with vulnerable={vulnerable}"));
+        Endpoint::new(host.ip, host.services[0].port)
+    }
+
+    #[tokio::test]
+    async fn client_fetches_from_simulated_hadoop() {
+        let t = transport();
+        let ep = find_app_ep(&t, AppId::Hadoop, true);
+        let client = Client::new(t.clone());
+        let fetched = client
+            .get(&Url::for_ip(
+                Scheme::Http,
+                ep.ip,
+                ep.port,
+                "/cluster/cluster",
+            ))
+            .await
+            .unwrap();
+        assert!(fetched.response.body_text().contains("dr.who"));
+        assert!(t.stats().requests() >= 1);
+        assert!(t.stats().connects() >= 1);
+    }
+
+    #[tokio::test]
+    async fn redirects_work_through_the_simulation() {
+        let t = transport();
+        let ep = find_app_ep(&t, AppId::WordPress, true);
+        let client = Client::new(t.clone());
+        // CMS hosts expose port 80 for HTTP.
+        let fetched = client
+            .get(&Url::for_ip(Scheme::Http, ep.ip, 80, "/"))
+            .await
+            .unwrap();
+        assert!(
+            fetched.redirects >= 1,
+            "fresh WordPress redirects to the installer"
+        );
+        assert!(fetched.response.body_text().contains("id=\"setup\""));
+    }
+
+    #[tokio::test]
+    async fn probe_counts_and_results() {
+        let t = transport();
+        let ep = find_app_ep(&t, AppId::Gocd, true);
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Open);
+        assert_eq!(
+            t.probe(Endpoint::new(ep.ip, 9999)).await,
+            ProbeOutcome::Closed
+        );
+        assert_eq!(t.stats().probes(), 2);
+    }
+
+    #[tokio::test]
+    async fn garbage_services_fail_http_parsing() {
+        let t = transport();
+        let host_ip = t
+            .universe()
+            .hosts()
+            .find(|h| {
+                matches!(
+                    h.services.first().map(|s| &s.kind),
+                    Some(crate::host::ServiceKind::Background(
+                        nokeys_apps::background::BackgroundKind::NotHttp
+                    ))
+                )
+            })
+            .map(|h| (h.ip, h.services[0].port));
+        let Some((ip, port)) = host_ip else { return };
+        let client = Client::new(t.clone());
+        let err = client
+            .get(&Url::for_ip(Scheme::Http, ip, port, "/"))
+            .await
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                nokeys_http::Error::Malformed(_) | nokeys_http::Error::UnexpectedEof
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[tokio::test]
+    async fn https_exposes_certificates() {
+        let t = transport();
+        let host = t
+            .universe()
+            .hosts()
+            .find(|h| h.cert_domain.is_some() && h.service_on(443).is_some())
+            .map(|h| h.ip);
+        let Some(ip) = host else { return };
+        let conn = t
+            .connect(Endpoint::new(ip, 443), Scheme::Https)
+            .await
+            .unwrap();
+        let cert = conn.certificate().expect("cert present");
+        assert!(cert.subject.unwrap().contains("example"));
+    }
+
+    #[tokio::test]
+    async fn time_travel_changes_responses() {
+        let t = transport();
+        // Find a host that goes offline during the window.
+        let end = SimTime::SCAN_START + SimTime::OBSERVATION;
+        let gone = t
+            .universe()
+            .vulnerable_hosts()
+            .find(|h| h.lifecycle.state_at(end) == crate::lifecycle::HostState::Offline)
+            .map(|h| Endpoint::new(h.ip, h.services[0].port));
+        let Some(ep) = gone else { return };
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Open);
+        t.set_time(end);
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Filtered);
+        assert!(t.connect(ep, Scheme::Http).await.is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property tests for the simulation substrate: CIDR algebra, event
+//! ordering, lifecycle monotonicity and universe determinism.
+
+use nokeys_netsim::ip::{Cidr, ReservedRanges};
+use nokeys_netsim::lifecycle::HostState;
+use nokeys_netsim::{EventQueue, SimTime, Universe, UniverseConfig};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    /// A CIDR contains exactly its own addresses.
+    #[test]
+    fn cidr_contains_its_range(base in any::<u32>(), prefix in 8u8..=30) {
+        let cidr = Cidr::new(Ipv4Addr::from(base), prefix);
+        prop_assert!(cidr.contains(cidr.first()));
+        prop_assert!(cidr.contains(cidr.last()));
+        let beyond = u32::from(cidr.last()).checked_add(1);
+        if let Some(b) = beyond {
+            prop_assert!(!cidr.contains(Ipv4Addr::from(b)));
+        }
+        prop_assert_eq!(cidr.size(), 1u64 << (32 - prefix));
+    }
+
+    /// /24 decomposition partitions the block: disjoint and complete.
+    #[test]
+    fn slash24_blocks_partition(base in any::<u32>(), prefix in 16u8..=24) {
+        let cidr = Cidr::new(Ipv4Addr::from(base), prefix);
+        let blocks: Vec<Cidr> = cidr.slash24_blocks().collect();
+        let total: u64 = blocks.iter().map(|b| b.size()).sum();
+        prop_assert_eq!(total, cidr.size());
+        for w in blocks.windows(2) {
+            prop_assert!(u64::from(w[0].base) + w[0].size() == u64::from(w[1].base));
+        }
+    }
+
+    /// CIDR parsing round trips through Display.
+    #[test]
+    fn cidr_display_round_trip(base in any::<u32>(), prefix in 0u8..=32) {
+        let cidr = Cidr::new(Ipv4Addr::from(base), prefix);
+        let back: Cidr = cidr.to_string().parse().expect("display parses");
+        prop_assert_eq!(cidr, back);
+    }
+
+    /// The event queue pops in exactly sorted-stable order.
+    #[test]
+    fn event_queue_is_a_stable_sort(times in proptest::collection::vec(0i64..1000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(SimTime(*t), i);
+        }
+        let mut reference: Vec<(i64, usize)> =
+            times.iter().enumerate().map(|(i, t)| (*t, i)).collect();
+        reference.sort(); // stable by (time, insertion index)
+        let mut popped = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            popped.push((t.as_secs(), i));
+        }
+        prop_assert_eq!(popped, reference);
+    }
+
+    /// Host lifecycle is monotone: once a host leaves `Online` it never
+    /// returns, and once `Offline` it stays `Offline`.
+    #[test]
+    fn lifecycle_is_monotone(seed in any::<u64>(), samples in 2usize..40) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let params =
+            nokeys_netsim::lifecycle::LifecycleParams::for_category(nokeys_apps::Category::Cm);
+        let plan = params.sample(&mut rng, true);
+        let step = (28 * 86_400) / samples as i64;
+        let mut prev = HostState::Online;
+        for i in 0..=samples as i64 {
+            let state = plan.state_at(SimTime(i * step));
+            let regression = matches!(
+                (prev, state),
+                (HostState::Offline, HostState::Online)
+                    | (HostState::Offline, HostState::Fixed)
+                    | (HostState::Fixed, HostState::Online)
+            );
+            prop_assert!(!regression, "{:?} -> {:?}", prev, state);
+            prev = state;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Universe generation is a pure function of the seed.
+    #[test]
+    fn universe_determinism(seed in any::<u64>()) {
+        let a = Universe::generate(UniverseConfig::tiny(seed));
+        let b = Universe::generate(UniverseConfig::tiny(seed));
+        prop_assert_eq!(a.host_count(), b.host_count());
+        let mut ips_a: Vec<u32> = a.hosts().map(|h| u32::from(h.ip)).collect();
+        let mut ips_b: Vec<u32> = b.hosts().map(|h| u32::from(h.ip)).collect();
+        ips_a.sort();
+        ips_b.sort();
+        prop_assert_eq!(&ips_a, &ips_b);
+        for ip in ips_a {
+            let ha = a.host(Ipv4Addr::from(ip)).expect("host");
+            let hb = b.host(Ipv4Addr::from(ip)).expect("host");
+            prop_assert_eq!(&ha.services, &hb.services);
+            prop_assert_eq!(ha.lifecycle, hb.lifecycle);
+            prop_assert_eq!(&ha.cert_domain, &hb.cert_domain);
+        }
+    }
+
+    /// Every generated host sits inside the configured space and outside
+    /// IANA reserved ranges (the space itself is chosen unreserved).
+    #[test]
+    fn universe_hosts_stay_in_space(seed in any::<u64>()) {
+        let config = UniverseConfig::tiny(seed);
+        let u = Universe::generate(config.clone());
+        let reserved = ReservedRanges::iana();
+        for host in u.hosts() {
+            prop_assert!(config.space.contains(host.ip), "{} outside space", host.ip);
+            prop_assert!(!reserved.contains(host.ip));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! `nokeys-scan` — the scanning pipeline as a standalone tool over real
+//! TCP, for scanning infrastructure you are authorized to test.
+//!
+//! ```text
+//! nokeys-scan --target 192.0.2.0/28 [--ports 80,443,8080] [--rate 200]
+//!             [--parallelism 16] [--json out.json] [--include-reserved]
+//! ```
+//!
+//! Like the paper's scanner, the tool is strictly non-intrusive: it only
+//! issues non-state-changing `GET` requests and infers the presence of a
+//! MAV from the presence of the vulnerable functionality.
+
+use nokeys::http::transport::TcpTransport;
+use nokeys::http::Client;
+use nokeys::scanner::{Pipeline, PipelineConfig, PortScanConfig, PortScanner};
+use std::sync::Arc;
+
+struct Args {
+    targets: Vec<nokeys::scanner::portscan::Cidr>,
+    ports: Vec<u16>,
+    parallelism: usize,
+    rate: Option<f64>,
+    shard: Option<(usize, usize)>,
+    include_reserved: bool,
+    json: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
+         \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
+         \x20                [--shard K/N]\n\
+         \x20                [--include-reserved] [--json FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        targets: Vec::new(),
+        ports: nokeys::apps::SCAN_PORTS.to_vec(),
+        parallelism: 16,
+        rate: None,
+        shard: None,
+        include_reserved: false,
+        json: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--target" => {
+                i += 1;
+                let cidr = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                args.targets.push(cidr);
+            }
+            "--ports" => {
+                i += 1;
+                args.ports = argv
+                    .get(i)
+                    .map(|s| s.split(',').filter_map(|p| p.parse().ok()).collect())
+                    .unwrap_or_else(|| usage());
+                if args.ports.is_empty() {
+                    usage();
+                }
+            }
+            "--rate" => {
+                i += 1;
+                args.rate = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--parallelism" => {
+                i += 1;
+                args.parallelism = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shard" => {
+                i += 1;
+                args.shard = argv.get(i).and_then(|s| {
+                    let (k, n) = s.split_once('/')?;
+                    Some((k.parse().ok()?, n.parse().ok()?))
+                });
+                if args.shard.is_none() {
+                    usage();
+                }
+            }
+            "--include-reserved" => args.include_reserved = true,
+            "--json" => {
+                i += 1;
+                args.json = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if args.targets.is_empty() {
+        usage();
+    }
+    args
+}
+
+#[tokio::main]
+async fn main() {
+    let args = parse_args();
+    let addresses: u64 = args.targets.iter().map(|t| t.size()).sum();
+    eprintln!(
+        "scanning {} addresses on {} ports (non-intrusive GET requests only)",
+        addresses,
+        args.ports.len()
+    );
+
+    let mut portscan = PortScanConfig::new(args.targets.clone());
+    portscan.ports = args.ports.clone();
+    portscan.exclude_reserved = !args.include_reserved;
+    portscan.max_probes_per_sec = args.rate;
+
+    // Stage I concurrently over real sockets, then stages II/III.
+    let transport = Arc::new(TcpTransport::default());
+    let scanner = PortScanner::new(portscan.clone());
+    let sweep = match args.shard {
+        Some((k, n)) => {
+            eprintln!("scanning shard {k} of {n}");
+            scanner.scan_shard(transport.as_ref(), k, n).await
+        }
+        None => {
+            scanner
+                .scan_concurrent(Arc::clone(&transport), args.parallelism)
+                .await
+        }
+    };
+    eprintln!(
+        "stage I: {} probes, {} open endpoints",
+        sweep.probes_sent,
+        sweep.open.len()
+    );
+
+    let mut config = PipelineConfig::new(args.targets);
+    config.portscan = portscan;
+    config.tarpit_port_threshold = config.portscan.ports.len().max(2);
+    let pipeline = Pipeline::new(config);
+    let client = Client::new(TcpTransport::default());
+    let report = pipeline.run(&client).await;
+
+    for f in &report.findings {
+        println!(
+            "{}\t{}\t{}\t{}",
+            f.endpoint,
+            f.app.name(),
+            if f.vulnerable {
+                "VULNERABLE"
+            } else {
+                "identified"
+            },
+            f.version.map(|v| v.number()).unwrap_or_else(|| "-".into()),
+        );
+    }
+    eprintln!(
+        "done: {} AWE hosts identified, {} with a missing-authentication vulnerability",
+        report.total_hosts(),
+        report.total_mavs()
+    );
+
+    if let Some(path) = args.json {
+        std::fs::write(
+            &path,
+            serde_json::to_vec_pretty(&report).expect("serializes"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("report written to {path}");
+    }
+}

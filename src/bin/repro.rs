@@ -1,0 +1,87 @@
+//! `repro` — regenerate any table or figure of the paper.
+//!
+//! ```text
+//! repro <id>... [--seed N] [--quick]
+//! repro all [--seed N] [--quick]
+//! repro list
+//! ```
+//!
+//! `--quick` uses the small test universe and daily longevity rescans;
+//! without it the harness runs at full reproduction scale (4,221
+//! vulnerable hosts, 3-hourly rescans) — use a release build.
+
+use nokeys::repro::{Repro, Scale};
+
+fn usage() -> ! {
+    eprintln!("usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR]");
+    eprintln!("experiment ids: {}", Repro::all_ids().join(", "));
+    std::process::exit(2);
+}
+
+#[tokio::main(flavor = "current_thread")]
+async fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+
+    let mut seed: u64 = 2022;
+    let mut scale = Scale::Full;
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                i += 1;
+                out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "list" => {
+                for id in Repro::all_ids() {
+                    println!("{id}");
+                }
+                return;
+            }
+            "all" => ids.extend(Repro::all_ids().iter().map(|s| s.to_string())),
+            other if other.starts_with('-') => usage(),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        usage();
+    }
+
+    let mut harness = Repro::new(seed, scale);
+    println!(
+        "# nokeys repro — seed {seed}, scale {:?}, universe {}",
+        scale,
+        harness.universe_config().space
+    );
+    for id in ids {
+        let started = std::time::Instant::now();
+        match harness.run(&id).await {
+            Ok(rendered) => {
+                println!("\n{rendered}");
+                println!("[{id} regenerated in {:.1?}]", started.elapsed());
+                if let Some(dir) = &out_dir {
+                    std::fs::create_dir_all(dir).expect("create output dir");
+                    let path = dir.join(format!("{id}.txt"));
+                    std::fs::write(&path, &rendered).expect("write artifact");
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

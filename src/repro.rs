@@ -1,0 +1,253 @@
+//! The experiment-regeneration harness: one entry point per table and
+//! figure of the paper. Used by the `repro` binary, the examples and the
+//! integration tests.
+
+use nokeys_analysis as analysis;
+use nokeys_defend::VendorFinding;
+use nokeys_honeypot::{run_study, StudyConfig, StudyResult};
+use nokeys_netsim::observer_clock::wire_observer_clock;
+use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+use nokeys_scanner::observer::{observe, LongevityStudy, ObserverConfig};
+use nokeys_scanner::{Pipeline, PipelineConfig, ScanReport};
+use std::sync::Arc;
+
+/// Scale of a reproduction run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Full-shape reproduction: MAVs at paper scale (4,221 hosts),
+    /// 3-hourly longevity rescans. Takes tens of seconds in release
+    /// mode.
+    Full,
+    /// Small universe and daily rescans — integration-test speed.
+    Quick,
+}
+
+/// The harness: lazily runs and caches the expensive studies.
+pub struct Repro {
+    pub seed: u64,
+    pub scale: Scale,
+    universe_config: UniverseConfig,
+    scan: Option<(SimTransport, ScanReport)>,
+    longevity: Option<LongevityStudy>,
+    study: Option<StudyResult>,
+    defenders: Option<(Vec<VendorFinding>, Vec<VendorFinding>)>,
+}
+
+impl Repro {
+    pub fn new(seed: u64, scale: Scale) -> Self {
+        let universe_config = match scale {
+            Scale::Full => UniverseConfig::repro(seed),
+            Scale::Quick => UniverseConfig::tiny(seed),
+        };
+        Repro {
+            seed,
+            scale,
+            universe_config,
+            scan: None,
+            longevity: None,
+            study: None,
+            defenders: None,
+        }
+    }
+
+    /// The universe configuration in use.
+    pub fn universe_config(&self) -> &UniverseConfig {
+        &self.universe_config
+    }
+
+    /// Run (or reuse) the Internet-wide scan.
+    pub async fn scan(&mut self) -> &(SimTransport, ScanReport) {
+        if self.scan.is_none() {
+            let universe = Arc::new(Universe::generate(self.universe_config.clone()));
+            let transport = SimTransport::new(universe);
+            let client = nokeys_http::Client::new(transport.clone());
+            let pipeline = Pipeline::new(PipelineConfig::new(vec![self.universe_config.space]));
+            let report = pipeline.run(&client).await;
+            self.scan = Some((transport, report));
+        }
+        self.scan.as_ref().expect("just initialized")
+    }
+
+    /// Run (or reuse) the four-week longevity observation.
+    pub async fn longevity(&mut self) -> &LongevityStudy {
+        if self.longevity.is_none() {
+            let interval = match self.scale {
+                Scale::Full => 3 * 3600,
+                Scale::Quick => 86_400,
+            };
+            let (transport, report) = self.scan().await;
+            let transport = transport.clone();
+            let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
+            let client = nokeys_http::Client::new(transport.clone());
+            let config = ObserverConfig {
+                interval_secs: interval,
+                window_secs: 28 * 86_400,
+            };
+            let study = observe(
+                &client,
+                &vulnerable,
+                &config,
+                wire_observer_clock(&transport),
+            )
+            .await;
+            self.longevity = Some(study);
+        }
+        self.longevity.as_ref().expect("just initialized")
+    }
+
+    /// Run (or reuse) the honeypot study.
+    pub async fn study(&mut self) -> &StudyResult {
+        if self.study.is_none() {
+            let config = StudyConfig {
+                seed: self.seed,
+                background_noise: self.scale == Scale::Full,
+            };
+            self.study = Some(run_study(&config).await);
+        }
+        self.study.as_ref().expect("just initialized")
+    }
+
+    /// Run (or reuse) both commercial-scanner models against a fresh
+    /// honeypot fleet.
+    pub async fn defenders(&mut self) -> &(Vec<VendorFinding>, Vec<VendorFinding>) {
+        if self.defenders.is_none() {
+            let fleet = nokeys_honeypot::Fleet::deploy();
+            let s1 = nokeys_defend::scanner1().scan_fleet(&fleet).await;
+            let s2 = nokeys_defend::scanner2().scan_fleet(&fleet).await;
+            self.defenders = Some((s1, s2));
+        }
+        self.defenders.as_ref().expect("just initialized")
+    }
+
+    /// Regenerate one experiment by id; returns the rendered artifact.
+    pub async fn run(&mut self, id: &str) -> Result<String, String> {
+        let out = match id {
+            "table1" => analysis::table1::build().render(),
+            "table2" => {
+                let divisor = self.universe_config.background_divisor;
+                let (_, report) = self.scan().await;
+                analysis::table2::build(report, divisor).render()
+            }
+            "table3" => {
+                let (b, m) = (
+                    self.universe_config.benign_divisor,
+                    self.universe_config.mav_divisor,
+                );
+                let (_, report) = self.scan().await;
+                analysis::table3::build(report, b, m).render()
+            }
+            "table4" => {
+                let (transport, report) = self.scan().await;
+                analysis::table4::build(report, transport.universe().geo(), 5).render()
+            }
+            "fig1" => {
+                let (_, report) = self.scan().await;
+                analysis::fig1::build(report).render()
+            }
+            "fig2" => analysis::fig2::build(self.longevity().await).render(),
+            "table5" => analysis::table5::build(self.study().await).render(),
+            "table6" => analysis::table6::build(self.study().await).render(),
+            "table7" => analysis::table7::build(self.study().await).render(),
+            "table8" => analysis::table8::build(self.study().await).render(),
+            "fig3" => analysis::fig3::build(self.study().await).render(),
+            "fig4" => analysis::fig4::build(self.study().await).render(),
+            "table9" => {
+                self.scan().await;
+                self.study().await;
+                self.defenders().await;
+                let (_, report) = self.scan.as_ref().expect("scan cached");
+                let study = self.study.as_ref().expect("study cached");
+                let (s1, s2) = self.defenders.as_ref().expect("defenders cached");
+                let (b, m) = (
+                    self.universe_config.benign_divisor,
+                    self.universe_config.mav_divisor,
+                );
+                analysis::table9::build(report, study, s1, s2, b, m).render()
+            }
+            "table10" => analysis::table10::build().render(),
+            "rq2" => {
+                let (_, report) = self.scan().await;
+                analysis::rq2::build(report).render()
+            }
+            "longevity" => analysis::longevity_stats::build(self.longevity().await).render(),
+            "cases" => analysis::case_studies::build(self.study().await).render(),
+            "restores" => analysis::restores::build(self.study().await).render(),
+            "race" => {
+                analysis::race_table::build(&nokeys_defend::scanner2(), self.study().await).render()
+            }
+            "scanmodel" => {
+                let (_, report) = self.scan().await;
+                analysis::scan_model::build(report).render()
+            }
+            "disclosure" => {
+                let (transport, report) = self.scan().await;
+                let geo = transport.universe().geo().clone();
+                let findings: Vec<_> = report.vulnerable_findings().cloned().collect();
+                let plan = nokeys_scanner::disclosure::plan_notifications(
+                    transport,
+                    &findings,
+                    move |ip| {
+                        geo.lookup(ip)
+                            .filter(|rec| rec.asys.hosting)
+                            .map(|rec| rec.asys.name.to_string())
+                    },
+                )
+                .await;
+                nokeys_scanner::disclosure::render(&plan)
+            }
+            "ct" => {
+                let (transport, _) = self.scan().await;
+                let transport = transport.clone();
+                let client = nokeys_http::Client::new(transport.clone());
+                let delay_secs = 3600;
+                let entries: Vec<nokeys_scanner::ct::DomainTarget> = transport
+                    .universe()
+                    .ct_log()
+                    .into_iter()
+                    .filter(|e| e.logged_at >= nokeys_netsim::SimTime::SCAN_START)
+                    .map(|e| nokeys_scanner::ct::DomainTarget {
+                        domain: e.domain,
+                        ip: e.ip,
+                        logged_at_secs: e.logged_at.as_secs(),
+                    })
+                    .collect();
+                let t = transport.clone();
+                let findings = nokeys_scanner::ct::ct_scan(&client, &entries, delay_secs, |s| {
+                    t.set_time(nokeys_netsim::SimTime(s))
+                })
+                .await;
+                analysis::ct_compare::build(transport.universe(), &findings, delay_secs).render()
+            }
+            _ => return Err(format!("unknown experiment id '{id}'")),
+        };
+        Ok(out)
+    }
+
+    /// All experiment ids, paper order.
+    pub fn all_ids() -> &'static [&'static str] {
+        &[
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig1",
+            "fig2",
+            "table5",
+            "table6",
+            "table7",
+            "table8",
+            "fig3",
+            "fig4",
+            "table9",
+            "table10",
+            "rq2",
+            "longevity",
+            "scanmodel",
+            "disclosure",
+            "ct",
+            "cases",
+            "race",
+            "restores",
+        ]
+    }
+}

@@ -1,0 +1,82 @@
+//! The pipeline over real sockets: serve application models on loopback
+//! TCP and scan them with the real-TCP transport — the substitution-free
+//! path of the reproduction.
+
+use nokeys::apps::{build_instance, release_history, AppConfig, AppId};
+use nokeys::http::server::serve_tcp;
+use nokeys::http::transport::TcpTransport;
+use nokeys::scanner::plugin::AppHandler;
+use nokeys::scanner::{Pipeline, PipelineConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+async fn serve(app: AppId, vulnerable: bool) -> nokeys::http::server::ServerHandle {
+    let history = release_history(app);
+    let version = if vulnerable {
+        *history
+            .iter()
+            .rev()
+            .find(|v| AppConfig::vulnerable_for(app, v).is_vulnerable(app, v))
+            .expect("vulnerable version exists")
+    } else {
+        *history.last().expect("non-empty")
+    };
+    let cfg = if vulnerable {
+        AppConfig::vulnerable_for(app, &version)
+    } else {
+        AppConfig::secure_for(app, &version)
+    };
+    let handler = Arc::new(AppHandler::new(build_instance(app, version, cfg)));
+    serve_tcp(Ipv4Addr::LOCALHOST, 0, handler)
+        .await
+        .expect("bind")
+}
+
+#[tokio::test]
+async fn pipeline_detects_mavs_over_real_tcp() {
+    let vulnerable_gocd = serve(AppId::Gocd, true).await;
+    let secure_zeppelin = serve(AppId::Zeppelin, false).await;
+    let ports = vec![vulnerable_gocd.port, secure_zeppelin.port];
+
+    let mut config = PipelineConfig::new(vec!["127.0.0.1/32".parse().expect("cidr")]);
+    config.portscan.ports = ports;
+    config.portscan.exclude_reserved = false;
+    config.tarpit_port_threshold = 3;
+    let pipeline = Pipeline::new(config);
+    let client = nokeys::http::Client::new(TcpTransport::default());
+    let report = pipeline.run(&client).await;
+
+    assert_eq!(report.findings.len(), 2, "both apps identified");
+    let gocd = report
+        .findings
+        .iter()
+        .find(|f| f.app == AppId::Gocd)
+        .expect("GoCD identified");
+    assert!(gocd.vulnerable);
+    let zeppelin = report
+        .findings
+        .iter()
+        .find(|f| f.app == AppId::Zeppelin)
+        .expect("Zeppelin identified");
+    assert!(!zeppelin.vulnerable);
+    // Fingerprinting works over real sockets too.
+    assert!(zeppelin.version.is_some());
+
+    vulnerable_gocd.shutdown().await;
+    secure_zeppelin.shutdown().await;
+}
+
+#[tokio::test]
+async fn concurrent_portscan_over_real_tcp() {
+    let server = serve(AppId::Polynote, true).await;
+    let mut config =
+        nokeys::scanner::PortScanConfig::new(vec!["127.0.0.1/32".parse().expect("cidr")]);
+    config.ports = vec![server.port];
+    config.exclude_reserved = false;
+    let scanner = nokeys::scanner::PortScanner::new(config);
+    let result = scanner
+        .scan_concurrent(Arc::new(TcpTransport::default()), 4)
+        .await;
+    assert_eq!(result.open.len(), 1);
+    server.shutdown().await;
+}
