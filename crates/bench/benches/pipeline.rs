@@ -1,8 +1,10 @@
-//! Full-pipeline throughput and the two pipeline ablations:
-//! prefilter on/off and stage-I batch size.
+//! Full-pipeline throughput and the pipeline ablations:
+//! prefilter on/off, stage-I batch size, and stage-II/III concurrency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use nokeys_bench::{run_pipeline_batched, scan_without_prefilter, tiny_transport};
+use nokeys_bench::{
+    run_pipeline_batched, run_pipeline_parallel, scan_without_prefilter, tiny_transport,
+};
 
 fn bench(c: &mut Criterion) {
     let rt = tokio::runtime::Builder::new_current_thread()
@@ -35,6 +37,27 @@ fn bench(c: &mut Criterion) {
             assert!(vulnerable > 0);
         })
     });
+    group.finish();
+
+    // Concurrency scaling: same report at every parallelism (asserted in
+    // the harness tests); the wall-clock difference is the speedup from
+    // overlapping the sweep with bounded-concurrency stage II/III.
+    let mt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_time()
+        .build()
+        .unwrap();
+    let mut group = c.benchmark_group("pipeline_concurrency");
+    group.sample_size(10);
+    for parallelism in [1usize, 4, 16] {
+        group.bench_function(format!("parallelism_{parallelism}"), |b| {
+            let t = tiny_transport(42);
+            b.iter(|| {
+                let report = mt.block_on(run_pipeline_parallel(&t, parallelism));
+                assert!(report.total_mavs() > 0);
+            })
+        });
+    }
     group.finish();
 }
 

@@ -38,6 +38,15 @@ pub async fn run_pipeline_batched(transport: &SimTransport, blocks_per_batch: us
     Pipeline::new(config).run(&client).await
 }
 
+/// Run the full pipeline with a given stage-II/III concurrency bound
+/// (the streaming pipeline overlaps the sweep with verification either
+/// way; `parallelism` caps the in-flight probes and host verifications).
+pub async fn run_pipeline_parallel(transport: &SimTransport, parallelism: usize) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::new(vec![tiny_space()]).with_parallelism(parallelism);
+    Pipeline::new(config).run(&client).await
+}
+
 /// Ablation: no stage II — every open, non-tarpit endpoint gets every
 /// application's plugin. Returns (findings, plugin invocations).
 pub async fn scan_without_prefilter(transport: &SimTransport) -> (u64, u64) {
@@ -94,6 +103,19 @@ mod tests {
             "the prefilter saves HTTP requests: {} vs {}",
             request_count(&t2),
             baseline_requests
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn parallelism_does_not_change_results() {
+        let t1 = tiny_transport(7);
+        let t16 = tiny_transport(7);
+        let a = run_pipeline_parallel(&t1, 1).await;
+        let b = run_pipeline_parallel(&t16, 16).await;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "concurrency must not change the report"
         );
     }
 

@@ -6,7 +6,7 @@
 //!   /24 block order, IANA reserved-range exclusion, 12 target ports.
 //! * **Stage II** ([`prefilter`]): HTTP(S) probe with redirect following
 //!   and 90 per-application [`signatures`] that discard out-of-scope
-//!   hosts.
+//!   hosts, compiled into a single-pass [`multipattern`] automaton.
 //! * **Stage III** ([`plugin`], [`plugins`]): per-application MAV
 //!   verification following the exact steps of the paper's Appendix
 //!   Table 10, restricted to non-state-changing `GET` requests.
@@ -23,6 +23,7 @@ pub mod ct;
 pub mod disclosure;
 pub mod fingerprint;
 pub mod htmlcheck;
+pub mod multipattern;
 pub mod observer;
 pub mod pattern;
 pub mod pipeline;
@@ -34,6 +35,7 @@ pub mod rate;
 pub mod report;
 pub mod signatures;
 
+pub use multipattern::MultiPattern;
 pub use pattern::{MatchMode, Pattern, PreparedBody};
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use plugin::{detect_mav, plugin_steps};

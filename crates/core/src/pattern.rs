@@ -77,9 +77,72 @@ impl Pattern {
         }
     }
 
-    /// Match directly against a string (one-off use).
+    /// Match directly against a borrowed string (one-off use). Unlike
+    /// [`Pattern::matches`] this never copies the haystack: exact mode
+    /// is a plain substring search, and the case-/whitespace-insensitive
+    /// modes scan in place instead of materializing a transformed view.
     pub fn matches_str(&self, body: &str) -> bool {
-        self.matches(&PreparedBody::new(body.to_string()))
+        match self.mode {
+            MatchMode::Exact => body.contains(self.needle),
+            MatchMode::IgnoreCase => {
+                debug_assert_eq!(
+                    self.needle,
+                    self.needle.to_ascii_lowercase(),
+                    "nocase needles must be lowercase"
+                );
+                contains_ignore_ascii_case(body, self.needle)
+            }
+            MatchMode::IgnoreWhitespace => {
+                debug_assert!(
+                    !self.needle.chars().any(|c| c.is_whitespace()),
+                    "nospace needles must contain no whitespace"
+                );
+                contains_ignore_whitespace(body, self.needle)
+            }
+        }
+    }
+}
+
+/// ASCII-case-insensitive substring search without allocating a lowered
+/// copy of the haystack. Equivalent to
+/// `hay.to_ascii_lowercase().contains(needle)` for lowercase needles.
+fn contains_ignore_ascii_case(hay: &str, needle: &str) -> bool {
+    let n = needle.as_bytes();
+    if n.is_empty() {
+        return true;
+    }
+    if hay.len() < n.len() {
+        return false;
+    }
+    hay.as_bytes()
+        .windows(n.len())
+        .any(|w| w.eq_ignore_ascii_case(n))
+}
+
+/// Whitespace-insensitive substring search without materializing the
+/// squashed view. Equivalent to searching for `needle` in
+/// `hay.chars().filter(|c| !c.is_whitespace())`.
+fn contains_ignore_whitespace(hay: &str, needle: &str) -> bool {
+    if needle.is_empty() {
+        return true;
+    }
+    let mut start = hay.chars().filter(|c| !c.is_whitespace());
+    loop {
+        let mut h = start.clone();
+        let mut n = needle.chars();
+        loop {
+            match n.next() {
+                None => return true,
+                Some(nc) => {
+                    if h.next() != Some(nc) {
+                        break;
+                    }
+                }
+            }
+        }
+        if start.next().is_none() {
+            return false;
+        }
     }
 }
 
@@ -174,6 +237,26 @@ mod tests {
                 p.matches_str(&haystack),
                 haystack.to_ascii_lowercase().contains(needle)
             );
+        }
+
+        /// The allocation-free `matches_str` agrees with the
+        /// `PreparedBody`-based matcher in every mode, including on
+        /// non-ASCII haystacks with exotic whitespace.
+        #[test]
+        fn matches_str_agrees_with_prepared(haystack in "[a-zA-Z \t\n\u{a0}\u{2028}éβ.:\"{}]{0,120}") {
+            for p in [
+                Pattern::exact("Jenkins"),
+                Pattern::nocase("hadoop"),
+                Pattern::nospace("k8s.io"),
+                Pattern::nospace("\"kind\":\"Status\""),
+            ] {
+                let prepared = PreparedBody::new(haystack.clone());
+                prop_assert_eq!(
+                    p.matches_str(&haystack),
+                    p.matches(&prepared),
+                    "{:?} on {:?}", p, haystack
+                );
+            }
         }
 
         /// Whitespace mode is invariant under whitespace insertion.

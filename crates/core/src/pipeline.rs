@@ -4,6 +4,27 @@
 //! appeared to always have all ports open ... we excluded them"), stage
 //! II (prefilter), stage III (MAV plugins) and version fingerprinting
 //! into a single [`ScanReport`].
+//!
+//! # Concurrency model
+//!
+//! The stages are *overlapped*: stage I streams each completed
+//! /24-batch through a bounded channel while the sweep continues, and
+//! the consumer runs stages II/III on it with up to
+//! [`PipelineConfig::parallelism`] probes (stage II) or host
+//! verifications (stage III + fingerprinting) in flight at once, each
+//! fan-out a `JoinSet` bounded by a semaphore.
+//!
+//! # Determinism
+//!
+//! Concurrency never changes the report. Batches are tagged with
+//! sequence indices and processed in order; within a batch, stage-II
+//! probes are merged in endpoint order and stage-III verifications in
+//! host order, so a fixed seed yields a bit-for-bit identical
+//! [`ScanReport`] at any `parallelism` (Tables 2–4 and Figure 2 depend
+//! on this). The one caveat is fault injection: the simulated
+//! transport's fault stream is keyed on a global attempt counter, so
+//! *which* connects fault depends on execution order — under injected
+//! faults only `parallelism = 1` replays exactly.
 
 use crate::fingerprint::Fingerprinter;
 use crate::plugin::detect_mav;
@@ -14,6 +35,7 @@ use nokeys_apps::AppId;
 use nokeys_http::{Client, Transport};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -31,6 +53,10 @@ pub struct PipelineConfig {
     /// Run stage III plugins (disabling this is only useful for the
     /// prefilter ablation bench).
     pub verify: bool,
+    /// Maximum in-flight stage-II probes / stage-III host verifications.
+    /// `1` runs the stages strictly sequentially (the default); any
+    /// value produces the identical report on a fault-free transport.
+    pub parallelism: usize,
 }
 
 impl PipelineConfig {
@@ -43,7 +69,14 @@ impl PipelineConfig {
             tarpit_port_threshold,
             fingerprint: true,
             verify: true,
+            parallelism: 1,
         }
+    }
+
+    /// Same configuration with a different concurrency bound.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 }
 
@@ -51,8 +84,8 @@ impl PipelineConfig {
 pub struct Pipeline {
     config: PipelineConfig,
     scanner: PortScanner,
-    prefilter: Prefilter,
-    fingerprinter: Fingerprinter,
+    prefilter: Arc<Prefilter>,
+    fingerprinter: Arc<Fingerprinter>,
 }
 
 impl Pipeline {
@@ -61,42 +94,64 @@ impl Pipeline {
         Pipeline {
             config,
             scanner,
-            prefilter: Prefilter::new(),
-            fingerprinter: Fingerprinter::new(),
+            prefilter: Arc::new(Prefilter::new()),
+            fingerprinter: Arc::new(Fingerprinter::new()),
         }
     }
 
     /// Run the full pipeline over the configured target space.
-    pub async fn run<T: Transport>(&self, client: &Client<T>) -> ScanReport {
+    ///
+    /// Stage I runs in its own task and hands each /24-batch through a
+    /// bounded channel as soon as it completes; stages II/III process
+    /// the batches (concurrently, up to `config.parallelism`) while the
+    /// sweep continues.
+    pub async fn run<T>(&self, client: &Client<T>) -> ScanReport
+    where
+        T: Transport + Clone + 'static,
+    {
         let mut report = ScanReport::default();
-        // Stage I, batched: collect per-batch endpoint sets and process
-        // each with stages II/III before the sweep continues.
-        let mut batches: Vec<PortScanResult> = Vec::new();
-        let total = self
-            .scanner
-            .scan_batched(client.transport(), self.config.blocks_per_batch, |batch| {
-                batches.push(batch.clone());
-            })
-            .await;
-        report.addresses_probed = total.addresses_probed;
-        report.probes_sent = total.probes_sent;
-        for (port, n) in &total.open_per_port {
-            report.port_stats.entry(*port).or_default().open = *n;
+        let parallelism = self.config.parallelism.max(1);
+
+        // Stage I: stream batches while the sweep continues. The channel
+        // bound keeps the sweep at most a few batches ahead of the
+        // verifier, limiting scan-vs-verify staleness and memory.
+        let (tx, mut rx) = tokio::sync::mpsc::channel(parallelism.max(2));
+        let scanner = self.scanner.clone();
+        let transport = client.transport().clone();
+        let blocks_per_batch = self.config.blocks_per_batch;
+        let sweep =
+            tokio::spawn(
+                async move { scanner.scan_stream(&transport, blocks_per_batch, tx).await },
+            );
+
+        // Stages II + III, in batch-sequence order (deterministic merge).
+        let mut next_seq = 0u64;
+        while let Some((seq, batch)) = rx.recv().await {
+            debug_assert_eq!(seq, next_seq, "batches must arrive in sweep order");
+            next_seq = seq + 1;
+            self.process_batch(client, batch, &mut report).await;
         }
 
-        for batch in batches {
-            self.process_batch(client, &batch, &mut report).await;
+        let totals = sweep.await.expect("stage-I sweep panicked");
+        report.addresses_probed = totals.addresses_probed;
+        report.probes_sent = totals.probes_sent;
+        for (port, n) in &totals.open_per_port {
+            report.port_stats.entry(*port).or_default().open = *n;
         }
         report
     }
 
     /// Stages II + III for one batch of stage-I results.
-    async fn process_batch<T: Transport>(
+    async fn process_batch<T>(
         &self,
         client: &Client<T>,
-        batch: &PortScanResult,
+        batch: PortScanResult,
         report: &mut ScanReport,
-    ) {
+    ) where
+        T: Transport + Clone + 'static,
+    {
+        let parallelism = self.config.parallelism.max(1);
+
         // Exclude all-ports-open artifacts.
         let by_host = batch.by_host();
         let mut endpoints = Vec::new();
@@ -110,8 +165,11 @@ impl Pipeline {
             }
         }
 
-        // Stage II.
-        let prefilter_result = self.prefilter.run(client, &endpoints).await;
+        // Stage II: bounded-concurrency probes, merged in endpoint order.
+        let prefilter_result = self
+            .prefilter
+            .run_bounded(client, &endpoints, parallelism)
+            .await;
         report.prefilter_discarded += prefilter_result.discarded;
         report.prefilter_silent += prefilter_result.silent;
         report.prefilter_hits += prefilter_result.hits.len() as u64;
@@ -122,16 +180,57 @@ impl Pipeline {
         }
 
         // Group hits per host: one finding per (host, application).
-        let mut per_host: BTreeMap<Ipv4Addr, Vec<&PrefilterHit>> = BTreeMap::new();
-        for hit in &prefilter_result.hits {
+        let mut per_host: BTreeMap<Ipv4Addr, Vec<PrefilterHit>> = BTreeMap::new();
+        for hit in prefilter_result.hits {
             per_host.entry(hit.endpoint.ip).or_default().push(hit);
         }
 
-        // Stage III + fingerprinting.
-        for (_ip, hits) in per_host {
+        // Stage III + fingerprinting: bounded host-level fan-out, merged
+        // in host order so the findings list is identical to a
+        // sequential run.
+        let verify = self.config.verify;
+        let fingerprint = self.config.fingerprint;
+        if parallelism <= 1 || per_host.len() <= 1 {
+            for (_ip, hits) in per_host {
+                let findings = Self::verify_host(
+                    client.clone(),
+                    Arc::clone(&self.fingerprinter),
+                    verify,
+                    fingerprint,
+                    hits,
+                )
+                .await;
+                report.findings.extend(findings);
+            }
+            return;
+        }
+
+        let semaphore = Arc::new(tokio::sync::Semaphore::new(parallelism));
+        let mut join_set = tokio::task::JoinSet::new();
+        let n_hosts = per_host.len();
+        for (seq, (_ip, hits)) in per_host.into_iter().enumerate() {
+            let client = client.clone();
+            let fingerprinter = Arc::clone(&self.fingerprinter);
+            let semaphore = Arc::clone(&semaphore);
+            join_set.spawn(async move {
+                let _permit = semaphore
+                    .acquire_owned()
+                    .await
+                    .expect("stage-III semaphore closed");
+                let findings =
+                    Self::verify_host(client, fingerprinter, verify, fingerprint, hits).await;
+                (seq, findings)
+            });
+        }
+        let mut verified: Vec<Option<Vec<HostFinding>>> = (0..n_hosts).map(|_| None).collect();
+        while let Some(joined) = join_set.join_next().await {
+            let (seq, findings) = joined.expect("stage-III task panicked");
+            verified[seq] = Some(findings);
+        }
+        for findings in verified {
             report
                 .findings
-                .extend(self.verify_host(client, &hits).await);
+                .extend(findings.expect("every verified host reports"));
         }
     }
 
@@ -140,15 +239,17 @@ impl Pipeline {
     /// counted once (the paper's counting rule); distinct applications on
     /// distinct ports each count.
     async fn verify_host<T: Transport>(
-        &self,
-        client: &Client<T>,
-        hits: &[&PrefilterHit],
+        client: Client<T>,
+        fingerprinter: Arc<Fingerprinter>,
+        verify: bool,
+        fingerprint: bool,
+        hits: Vec<PrefilterHit>,
     ) -> Vec<HostFinding> {
         // Which endpoints does each candidate application appear on, and
         // which application is each endpoint's *strongest* match?
         let mut endpoints_of: BTreeMap<AppId, Vec<&PrefilterHit>> = BTreeMap::new();
         let mut primary_of: BTreeMap<AppId, &PrefilterHit> = BTreeMap::new();
-        for hit in hits {
+        for hit in &hits {
             for &app in &hit.candidates {
                 endpoints_of.entry(app).or_default().push(hit);
             }
@@ -161,9 +262,9 @@ impl Pipeline {
         for (app, app_hits) in endpoints_of {
             // Stage III: a MAV on any of the app's endpoints confirms it.
             let mut confirmed: Option<&PrefilterHit> = None;
-            if self.config.verify {
+            if verify {
                 for hit in &app_hits {
-                    if detect_mav(client, app, hit.endpoint, hit.scheme).await {
+                    if detect_mav(&client, app, hit.endpoint, hit.scheme).await {
                         confirmed = Some(hit);
                         break;
                     }
@@ -186,10 +287,9 @@ impl Pipeline {
                 version: None,
                 fingerprint_method: None,
             };
-            if self.config.fingerprint {
-                if let Some((version, method)) = self
-                    .fingerprinter
-                    .fingerprint(client, app, hit.endpoint, hit.scheme)
+            if fingerprint {
+                if let Some((version, method)) = fingerprinter
+                    .fingerprint(&client, app, hit.endpoint, hit.scheme)
                     .await
                 {
                     finding.version = Some(version);
@@ -206,7 +306,6 @@ impl Pipeline {
 mod tests {
     use super::*;
     use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
-    use std::sync::Arc;
 
     async fn run_tiny() -> (Client<SimTransport>, ScanReport) {
         let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))));
@@ -214,6 +313,14 @@ mod tests {
         let pipeline = Pipeline::new(PipelineConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
         let report = pipeline.run(&client).await;
         (client, report)
+    }
+
+    async fn run_tiny_parallel(seed: u64, parallelism: usize) -> ScanReport {
+        let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(seed))));
+        let client = Client::new(t);
+        let config =
+            PipelineConfig::new(vec!["20.0.0.0/16".parse().unwrap()]).with_parallelism(parallelism);
+        Pipeline::new(config).run(&client).await
     }
 
     #[tokio::test]
@@ -277,5 +384,32 @@ mod tests {
         assert!(report.port_stats.get(&80).map(|s| s.open).unwrap_or(0) > 0);
         // Port 80 never records HTTPS.
         assert_eq!(report.port_stats.get(&80).map(|s| s.https).unwrap_or(0), 0);
+    }
+
+    /// Same seed, same parallelism, two runs: byte-identical reports.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_pipeline_is_deterministic() {
+        let a = run_tiny_parallel(42, 8).await;
+        let b = run_tiny_parallel(42, 8).await;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same-seed concurrent runs must serialize identically"
+        );
+    }
+
+    /// The concurrent report equals the sequential (`parallelism = 1`)
+    /// report, at several concurrency levels.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_report_equals_sequential_report() {
+        let sequential = serde_json::to_string(&run_tiny_parallel(42, 1).await).unwrap();
+        for parallelism in [2, 8, 32] {
+            let concurrent =
+                serde_json::to_string(&run_tiny_parallel(42, parallelism).await).unwrap();
+            assert_eq!(
+                concurrent, sequential,
+                "parallelism {parallelism} diverged from the sequential report"
+            );
+        }
     }
 }

@@ -55,6 +55,29 @@ pub struct PortScanResult {
     pub probes_sent: u64,
 }
 
+/// Aggregate counters of a streamed sweep. The per-batch endpoint sets
+/// are handed to the consumer through the channel and never buffered
+/// here — only the Table 2 counters are accumulated.
+#[derive(Debug, Clone, Default)]
+pub struct SweepTotals {
+    /// Number of addresses probed.
+    pub addresses_probed: u64,
+    /// Number of individual (address, port) probes sent.
+    pub probes_sent: u64,
+    /// Open-port counts per port.
+    pub open_per_port: BTreeMap<u16, u64>,
+}
+
+impl SweepTotals {
+    fn absorb_counters(&mut self, batch: &PortScanResult) {
+        self.addresses_probed += batch.addresses_probed;
+        self.probes_sent += batch.probes_sent;
+        for (port, n) in &batch.open_per_port {
+            *self.open_per_port.entry(*port).or_default() += *n;
+        }
+    }
+}
+
 impl PortScanResult {
     fn absorb(&mut self, other: PortScanResult) {
         self.open.extend(other.open);
@@ -229,6 +252,45 @@ impl PortScanner {
         total
     }
 
+    /// Sweep in batches of `blocks_per_batch` /24 blocks, sending each
+    /// batch (tagged with its sequence index) into `tx` as soon as it
+    /// completes so the later pipeline stages run on fresh results while
+    /// the sweep continues. Batches are moved, never cloned.
+    ///
+    /// Returns the aggregate counters; the open-endpoint sets travel
+    /// only through the channel. If the receiver goes away the sweep
+    /// stops early and reports what it covered.
+    pub async fn scan_stream<T: Transport>(
+        &self,
+        transport: &T,
+        blocks_per_batch: usize,
+        tx: tokio::sync::mpsc::Sender<(u64, PortScanResult)>,
+    ) -> SweepTotals {
+        assert!(blocks_per_batch > 0, "batch size must be positive");
+        let mut pacer = self
+            .config
+            .max_probes_per_sec
+            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let mut totals = SweepTotals::default();
+        let mut batch = PortScanResult::default();
+        let mut seq = 0u64;
+        for (i, block) in self.shuffled_blocks().into_iter().enumerate() {
+            batch.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            if (i + 1) % blocks_per_batch == 0 {
+                totals.absorb_counters(&batch);
+                if tx.send((seq, std::mem::take(&mut batch))).await.is_err() {
+                    return totals;
+                }
+                seq += 1;
+            }
+        }
+        if !batch.open.is_empty() || batch.probes_sent > 0 {
+            totals.absorb_counters(&batch);
+            let _ = tx.send((seq, batch)).await;
+        }
+        totals
+    }
+
     /// Concurrent sweep for real transports: `parallelism` blocks in
     /// flight at once. Result order differs from the sequential sweep but
     /// contents are identical.
@@ -344,6 +406,39 @@ mod tests {
         a.sort();
         b.sort();
         assert_eq!(a, b);
+    }
+
+    #[tokio::test]
+    async fn streamed_scan_covers_the_same_endpoints_in_order() {
+        let t = sim();
+        let scanner = PortScanner::new(config_for_tiny());
+        let mut batched_open: Vec<Endpoint> = Vec::new();
+        let mut batches = 0u64;
+        let batched = scanner
+            .scan_batched(&t, 32, |batch| {
+                batched_open.extend(batch.open.iter().copied());
+                batches += 1;
+            })
+            .await;
+
+        let (tx, mut rx) = tokio::sync::mpsc::channel(4);
+        let streamed = tokio::join!(scanner.scan_stream(&t, 32, tx), async {
+            let mut open = Vec::new();
+            let mut next_seq = 0u64;
+            while let Some((seq, batch)) = rx.recv().await {
+                assert_eq!(seq, next_seq, "batches arrive in sequence order");
+                next_seq += 1;
+                open.extend(batch.open);
+            }
+            (open, next_seq)
+        });
+        let (totals, (streamed_open, streamed_batches)) = streamed;
+
+        assert_eq!(streamed_open, batched_open, "same endpoints, same order");
+        assert_eq!(streamed_batches, batches);
+        assert_eq!(totals.addresses_probed, batched.addresses_probed);
+        assert_eq!(totals.probes_sent, batched.probes_sent);
+        assert_eq!(totals.open_per_port, batched.open_per_port);
     }
 
     #[tokio::test]

@@ -6,12 +6,14 @@
 //! the 90 prefilter signatures. Hosts matching no signature are discarded
 //! before the expensive stage III.
 
+use crate::multipattern::MultiPattern;
 use crate::pattern::PreparedBody;
-use crate::signatures::{all_signatures, match_candidates, Signature};
+use crate::signatures::{all_signatures, Signature};
 use nokeys_apps::AppId;
 use nokeys_http::{Client, Endpoint, Scheme, Transport};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A stage-II hit: an endpoint that speaks HTTP(S) and looks like one or
 /// more of the studied applications.
@@ -48,6 +50,9 @@ pub struct PrefilterResult {
 /// The stage-II prefilter.
 pub struct Prefilter {
     signatures: Vec<Signature>,
+    /// Single-pass compiled form of `signatures` — the per-body hot
+    /// loop runs one automaton pass per view instead of 90 searches.
+    matcher: MultiPattern,
 }
 
 impl Default for Prefilter {
@@ -58,8 +63,11 @@ impl Default for Prefilter {
 
 impl Prefilter {
     pub fn new() -> Self {
+        let signatures = all_signatures();
+        let matcher = MultiPattern::new(&signatures);
         Prefilter {
-            signatures: all_signatures(),
+            signatures,
+            matcher,
         }
     }
 
@@ -93,7 +101,7 @@ impl Prefilter {
             }
             if hit.is_none() {
                 let body = PreparedBody::new(fetched.response.body_text());
-                let candidates = match_candidates(&self.signatures, &body);
+                let candidates = self.matcher.match_candidates(&body);
                 if !candidates.is_empty() {
                     hit = Some(PrefilterHit {
                         endpoint: ep,
@@ -116,6 +124,67 @@ impl Prefilter {
         let mut result = PrefilterResult::default();
         for &ep in endpoints {
             let (hit, stats) = self.probe_endpoint(client, ep).await;
+            let spoke = stats.http + stats.https > 0;
+            let entry = result.per_port.entry(ep.port).or_default();
+            entry.http += stats.http;
+            entry.https += stats.https;
+            match hit {
+                Some(h) => result.hits.push(h),
+                None if spoke => result.discarded += 1,
+                None => result.silent += 1,
+            }
+        }
+        result
+    }
+
+    /// Prefilter a batch of endpoints with up to `parallelism` probes in
+    /// flight at once (a `JoinSet` bounded by a semaphore).
+    ///
+    /// Deterministic: tasks are tagged with their endpoint index and the
+    /// results are merged in index order, so the returned
+    /// [`PrefilterResult`] is identical to the sequential [`run`] no
+    /// matter how the tasks interleave.
+    ///
+    /// [`run`]: Prefilter::run
+    pub async fn run_bounded<T>(
+        self: &Arc<Self>,
+        client: &Client<T>,
+        endpoints: &[Endpoint],
+        parallelism: usize,
+    ) -> PrefilterResult
+    where
+        T: Transport + Clone + 'static,
+    {
+        if parallelism <= 1 || endpoints.len() <= 1 {
+            return self.run(client, endpoints).await;
+        }
+        let semaphore = Arc::new(tokio::sync::Semaphore::new(parallelism));
+        let mut join_set = tokio::task::JoinSet::new();
+        for (seq, &ep) in endpoints.iter().enumerate() {
+            let prefilter = Arc::clone(self);
+            let client = client.clone();
+            let semaphore = Arc::clone(&semaphore);
+            join_set.spawn(async move {
+                let _permit = semaphore
+                    .acquire_owned()
+                    .await
+                    .expect("prefilter semaphore closed");
+                let (hit, stats) = prefilter.probe_endpoint(&client, ep).await;
+                (seq, hit, stats)
+            });
+        }
+
+        let mut probed: Vec<Option<(Option<PrefilterHit>, PortProtocolStats)>> =
+            (0..endpoints.len()).map(|_| None).collect();
+        while let Some(joined) = join_set.join_next().await {
+            let (seq, hit, stats) = joined.expect("prefilter probe task panicked");
+            probed[seq] = Some((hit, stats));
+        }
+
+        // Merge in endpoint order — byte-identical to the sequential run.
+        let mut result = PrefilterResult::default();
+        for (&ep, slot) in endpoints.iter().zip(probed) {
+            let (hit, stats) = slot.expect("every probe task reports");
             let spoke = stats.http + stats.https > 0;
             let entry = result.per_port.entry(ep.port).or_default();
             entry.http += stats.http;
@@ -195,6 +264,31 @@ mod tests {
                 "{} misattributed: {:?} (actual {actual_app})",
                 hit.endpoint,
                 hit.candidates
+            );
+        }
+    }
+
+    #[tokio::test]
+    async fn bounded_run_is_identical_to_sequential() {
+        let client = client();
+        let scanner = PortScanner::new(PortScanConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let scan = scanner.scan(client.transport()).await;
+        let prefilter = Arc::new(Prefilter::new());
+        let seq = prefilter.run(&client, &scan.open).await;
+        for parallelism in [2, 8, 64] {
+            let conc = prefilter
+                .run_bounded(&client, &scan.open, parallelism)
+                .await;
+            assert_eq!(conc.discarded, seq.discarded);
+            assert_eq!(conc.silent, seq.silent);
+            assert_eq!(
+                serde_json::to_string(&conc.hits).unwrap(),
+                serde_json::to_string(&seq.hits).unwrap(),
+                "hits diverge at parallelism {parallelism}"
+            );
+            assert_eq!(
+                serde_json::to_string(&conc.per_port).unwrap(),
+                serde_json::to_string(&seq.per_port).unwrap(),
             );
         }
     }

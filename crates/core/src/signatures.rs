@@ -217,7 +217,14 @@ pub fn all_signatures() -> Vec<Signature> {
 /// attributes an endpoint to `candidates[0]` unless a plugin confirms a
 /// weaker candidate.
 pub fn match_candidates(signatures: &[Signature], body: &PreparedBody) -> Vec<AppId> {
-    let mut by_strength = match_counts(signatures, body);
+    rank_candidates(match_counts(signatures, body))
+}
+
+/// Order per-application match counts by strength (strongest first, ties
+/// in catalog order). Shared by the linear scan above and the
+/// single-pass [`MultiPattern`](crate::multipattern::MultiPattern)
+/// matcher so both rank identically.
+pub fn rank_candidates(mut by_strength: Vec<(AppId, u32)>) -> Vec<AppId> {
     by_strength.sort_by_key(|(app, count)| (std::cmp::Reverse(*count), *app));
     by_strength.into_iter().map(|(app, _)| app).collect()
 }

@@ -10,7 +10,7 @@ use nokeys::netsim::{SimTransport, Universe, UniverseConfig};
 use nokeys::scanner::{Pipeline, PipelineConfig};
 use std::sync::Arc;
 
-#[tokio::main(flavor = "current_thread")]
+#[tokio::main]
 async fn main() {
     let config = UniverseConfig::repro(2022);
     println!(
@@ -25,7 +25,9 @@ async fn main() {
 
     let transport = SimTransport::new(universe);
     let client = nokeys::http::Client::new(transport.clone());
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]));
+    // Concurrency is a pure speedup here: the fault-free simulated
+    // transport yields the same report at any parallelism.
+    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]).with_parallelism(8));
     let started = std::time::Instant::now();
     let report = pipeline.run(&client).await;
     println!(

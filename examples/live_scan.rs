@@ -65,6 +65,7 @@ async fn main() {
     config.portscan.ports = ports.clone();
     config.portscan.exclude_reserved = false; // loopback is IANA-reserved
     config.tarpit_port_threshold = ports.len() + 1; // tiny port set; no artifact filter
+    config.parallelism = 4; // bounded concurrent probes over real sockets
     let pipeline = Pipeline::new(config);
     let client = nokeys::http::Client::new(TcpTransport::default());
 

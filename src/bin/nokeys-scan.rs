@@ -145,6 +145,9 @@ async fn main() {
     let mut config = PipelineConfig::new(args.targets);
     config.portscan = portscan;
     config.tarpit_port_threshold = config.portscan.ports.len().max(2);
+    // --parallelism bounds both the stage-I sweep above and the in-flight
+    // stage-II probes / stage-III verifications below.
+    config.parallelism = args.parallelism;
     let pipeline = Pipeline::new(config);
     let client = Client::new(TcpTransport::default());
     let report = pipeline.run(&client).await;

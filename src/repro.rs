@@ -61,7 +61,10 @@ impl Repro {
             let universe = Arc::new(Universe::generate(self.universe_config.clone()));
             let transport = SimTransport::new(universe);
             let client = nokeys_http::Client::new(transport.clone());
-            let pipeline = Pipeline::new(PipelineConfig::new(vec![self.universe_config.space]));
+            // The repro transport is fault-free, so the concurrent
+            // pipeline reproduces the sequential report byte-for-byte.
+            let config = PipelineConfig::new(vec![self.universe_config.space]).with_parallelism(8);
+            let pipeline = Pipeline::new(config);
             let report = pipeline.run(&client).await;
             self.scan = Some((transport, report));
         }
