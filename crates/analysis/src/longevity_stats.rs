@@ -46,11 +46,11 @@ pub struct EndState {
 /// Compute the end-of-study totals.
 pub fn end_state(study: &LongevityStudy) -> EndState {
     let last = study.times_secs.len().saturating_sub(1);
-    let (vulnerable, fixed, offline) = study.counts_at(last);
+    let counts = study.counts_at(last);
     EndState {
-        vulnerable,
-        fixed,
-        offline,
+        vulnerable: counts.vulnerable,
+        fixed: counts.fixed,
+        offline: counts.offline,
         updated: study.updated_count(),
         total: study.timelines.len() as u64,
     }

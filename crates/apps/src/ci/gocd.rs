@@ -93,8 +93,9 @@ impl_webapp!(Gocd);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn default_latest() -> Gocd {
         let v = *release_history(AppId::Gocd).last().unwrap();
@@ -105,7 +106,7 @@ mod tests {
     fn insecure_by_default() {
         let mut app = default_latest();
         assert!(app.is_vulnerable());
-        let out = get(&mut app, "/go/home");
+        let out = DRIVER.get(&mut app, "/go/home");
         let body = out.response.body_text();
         assert!(
             body.contains("Create a pipeline - Go") && body.contains("pipelines-page"),
@@ -118,7 +119,7 @@ mod tests {
         let h = release_history(AppId::Gocd);
         let old = h[0];
         let mut app = Gocd::new(old, AppConfig::default_for(AppId::Gocd, &old));
-        let body = get(&mut app, "/go/home").response.body_text();
+        let body = DRIVER.get(&mut app, "/go/home").response.body_text();
         assert!(
             body.contains("Pipelines - Go") || body.contains("Add Pipeline"),
             "{body}"
@@ -129,9 +130,9 @@ mod tests {
     fn secured_instance_redirects_home() {
         let v = *release_history(AppId::Gocd).last().unwrap();
         let mut app = Gocd::new(v, AppConfig::secure_for(AppId::Gocd, &v));
-        let out = get(&mut app, "/go/home");
+        let out = DRIVER.get(&mut app, "/go/home");
         assert_eq!(out.response.location(), Some("/go/auth/login"));
-        let out = post(&mut app, "/go/api/admin/pipelines", "{}");
+        let out = DRIVER.post(&mut app, "/go/api/admin/pipelines", "{}");
         assert_eq!(out.response.status.as_u16(), 401);
         assert!(out.events.is_empty());
     }
@@ -139,7 +140,7 @@ mod tests {
     #[test]
     fn pipeline_creation_executes_commands() {
         let mut app = default_latest();
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/go/api/admin/pipelines",
             "{\"tasks\":[\"wget x|sh\"]}",
@@ -153,6 +154,9 @@ mod tests {
     #[test]
     fn root_redirects_to_home() {
         let mut app = default_latest();
-        assert_eq!(get(&mut app, "/").response.location(), Some("/go/home"));
+        assert_eq!(
+            DRIVER.get(&mut app, "/").response.location(),
+            Some("/go/home")
+        );
     }
 }

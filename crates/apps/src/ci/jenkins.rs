@@ -123,8 +123,9 @@ impl_webapp!(Jenkins);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn at(triple: (u16, u16, u16), vulnerable: bool) -> Jenkins {
         let v = *release_history(AppId::Jenkins)
@@ -143,7 +144,7 @@ mod tests {
     fn old_default_exposes_create_item_form() {
         let mut app = at((1, 500, 0), false);
         assert!(app.is_vulnerable(), "pre-2.0 default is vulnerable");
-        let out = get(&mut app, "/view/all/newJob");
+        let out = DRIVER.get(&mut app, "/view/all/newJob");
         let body = out.response.body_text();
         assert!(body.contains("Jenkins"));
         assert!(body.contains("id=\"createItem\""));
@@ -153,7 +154,7 @@ mod tests {
     fn new_default_redirects_to_login() {
         let mut app = at((2, 0, 0), false);
         assert!(!app.is_vulnerable());
-        let out = get(&mut app, "/view/all/newJob");
+        let out = DRIVER.get(&mut app, "/view/all/newJob");
         assert!(out.response.is_followable_redirect());
         assert!(out.response.location().unwrap().starts_with("/login"));
     }
@@ -161,7 +162,7 @@ mod tests {
     #[test]
     fn script_console_executes_when_open() {
         let mut app = at((2, 0, 0), true);
-        let out = post(&mut app, "/script", "println 'id'.execute().text");
+        let out = DRIVER.post(&mut app, "/script", "println 'id'.execute().text");
         assert_eq!(out.events.len(), 1);
         assert!(
             matches!(&out.events[0], AppEvent::CommandExecuted { command } if command.contains("id"))
@@ -171,7 +172,7 @@ mod tests {
     #[test]
     fn script_console_is_walled_when_secure() {
         let mut app = at((2, 0, 0), false);
-        let out = post(&mut app, "/script", "whoami");
+        let out = DRIVER.post(&mut app, "/script", "whoami");
         assert!(out.events.is_empty());
         assert!(out.response.is_followable_redirect());
     }
@@ -196,7 +197,7 @@ mod tests {
     #[test]
     fn restore_clears_attack_residue() {
         let mut app = at((1, 500, 0), false);
-        let _ = post(&mut app, "/createItem?name=x", "payload");
+        let _ = DRIVER.post(&mut app, "/createItem?name=x", "payload");
         assert!(!app.jobs.is_empty());
         app.restore();
         assert!(app.jobs.is_empty());
@@ -205,7 +206,7 @@ mod tests {
     #[test]
     fn dashboard_carries_version_header_and_markers() {
         let mut app = at((2, 0, 0), false);
-        let out = get(&mut app, "/");
+        let out = DRIVER.get(&mut app, "/");
         assert!(out.response.headers.get("x-jenkins").is_some());
         assert!(out.response.body_text().contains("Dashboard [Jenkins]"));
         assert!(out.response.body_text().contains("jenkins-head-icon"));

@@ -118,8 +118,9 @@ fn self_json_pretty(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn with_scripts(enabled: bool) -> Consul {
         let v = *release_history(AppId::Consul).last().unwrap();
@@ -135,7 +136,7 @@ mod tests {
     fn default_is_exposed_but_not_vulnerable() {
         let mut app = with_scripts(false);
         assert!(!app.is_vulnerable());
-        let body = get(&mut app, "/v1/agent/self").response.body_text();
+        let body = DRIVER.get(&mut app, "/v1/agent/self").response.body_text();
         assert!(body.contains("\"DebugConfig\""));
         assert!(body.contains("\"EnableScriptChecks\":false"));
     }
@@ -144,7 +145,7 @@ mod tests {
     fn script_checks_flag_shows_in_debug_config() {
         let mut app = with_scripts(true);
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/v1/agent/self").response.body_text();
+        let body = DRIVER.get(&mut app, "/v1/agent/self").response.body_text();
         assert!(body.contains("\"EnableScriptChecks\":true"));
         assert!(body.contains("\"EnableRemoteScriptChecks\":true"));
     }
@@ -184,7 +185,7 @@ mod tests {
     #[test]
     fn ui_discloses_version_in_comment() {
         let mut app = with_scripts(false);
-        let body = get(&mut app, "/ui/").response.body_text();
+        let body = DRIVER.get(&mut app, "/ui/").response.body_text();
         assert!(body.contains("CONSUL_VERSION:"));
         assert!(body.contains("Consul by HashiCorp"));
     }

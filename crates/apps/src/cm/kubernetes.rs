@@ -157,8 +157,9 @@ fn extract_json_field<'a>(body: &'a str, field: &str) -> Option<&'a str> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn open_cluster() -> Kubernetes {
         let v = *release_history(AppId::Kubernetes).last().unwrap();
@@ -174,7 +175,7 @@ mod tests {
     fn secure_by_default() {
         let mut app = secure_cluster();
         assert!(!app.is_vulnerable());
-        let out = get(&mut app, "/");
+        let out = DRIVER.get(&mut app, "/");
         assert_eq!(out.response.status.as_u16(), 403);
         assert!(out.response.body_text().contains("system:anonymous"));
     }
@@ -183,10 +184,10 @@ mod tests {
     fn open_cluster_lists_paths_and_pods() {
         let mut app = open_cluster();
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("certificates.k8s.io"));
         assert!(body.contains("healthz/ping"));
-        let pods = get(&mut app, "/api/v1/pods").response.body_text();
+        let pods = DRIVER.get(&mut app, "/api/v1/pods").response.body_text();
         let squashed: String = pods.chars().filter(|c| !c.is_whitespace()).collect();
         assert!(squashed.contains("\"phase\":\"Running\""));
         assert!(squashed.contains("\"items\":[{"));
@@ -195,14 +196,14 @@ mod tests {
     #[test]
     fn version_endpoint_is_always_readable() {
         let mut app = secure_cluster();
-        let body = get(&mut app, "/version").response.body_text();
+        let body = DRIVER.get(&mut app, "/version").response.body_text();
         assert!(body.contains("gitVersion"));
     }
 
     #[test]
     fn pod_creation_is_code_execution() {
         let mut app = open_cluster();
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/api/v1/namespaces/default/pods",
             r#"{"metadata":{"name":"miner"},"spec":{"containers":[{"image":"xmrig/xmrig","command":"xmrig -o pool"}]}}"#,
@@ -212,14 +213,14 @@ mod tests {
             AppEvent::ContainerStarted { image, .. } if image == "xmrig/xmrig"
         ));
         // The new pod shows up in listings afterwards.
-        let pods = get(&mut app, "/api/v1/pods").response.body_text();
+        let pods = DRIVER.get(&mut app, "/api/v1/pods").response.body_text();
         assert!(pods.contains("miner"));
     }
 
     #[test]
     fn secure_cluster_rejects_pod_creation() {
         let mut app = secure_cluster();
-        let out = post(&mut app, "/api/v1/namespaces/default/pods", "{}");
+        let out = DRIVER.post(&mut app, "/api/v1/namespaces/default/pods", "{}");
         assert_eq!(out.response.status.as_u16(), 403);
         assert!(out.events.is_empty());
     }

@@ -104,8 +104,9 @@ impl_webapp!(Nomad);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn default_latest() -> Nomad {
         let v = *release_history(AppId::Nomad).last().unwrap();
@@ -116,14 +117,14 @@ mod tests {
     fn open_agent_serves_title_on_jobs_endpoint() {
         let mut app = default_latest();
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/v1/jobs").response.body_text();
+        let body = DRIVER.get(&mut app, "/v1/jobs").response.body_text();
         assert!(body.contains("<title>Nomad</title>"));
     }
 
     #[test]
     fn job_submission_executes() {
         let mut app = default_latest();
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/v1/jobs",
             r#"{"Job":{"ID":"miner","TaskGroups":[{"Tasks":[{"Driver":"raw_exec","Config":{"command":"/tmp/xmrig"}}]}]}}"#,
@@ -139,18 +140,21 @@ mod tests {
         let v = *release_history(AppId::Nomad).last().unwrap();
         let mut app = Nomad::new(v, AppConfig::secure_for(AppId::Nomad, &v));
         assert!(!app.is_vulnerable());
-        assert_eq!(get(&mut app, "/v1/jobs").response.status.as_u16(), 403);
-        let out = post(&mut app, "/v1/jobs", "{}");
+        assert_eq!(
+            DRIVER.get(&mut app, "/v1/jobs").response.status.as_u16(),
+            403
+        );
+        let out = DRIVER.post(&mut app, "/v1/jobs", "{}");
         assert!(out.events.is_empty());
         // The UI shell itself stays reachable (matches real deployments).
-        let body = get(&mut app, "/ui/").response.body_text();
+        let body = DRIVER.get(&mut app, "/ui/").response.body_text();
         assert!(body.contains("<title>Nomad</title>"));
     }
 
     #[test]
     fn agent_self_discloses_version_when_open() {
         let mut app = default_latest();
-        let body = get(&mut app, "/v1/agent/self").response.body_text();
+        let body = DRIVER.get(&mut app, "/v1/agent/self").response.body_text();
         assert!(body.contains("\"Version\""));
         assert!(body.contains("\"ACL\":{\"Enabled\":false}"));
     }

@@ -128,8 +128,9 @@ impl_webapp!(Drupal);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn fresh_at(index: usize) -> Drupal {
         let v = release_history(AppId::Drupal)[index];
@@ -140,12 +141,13 @@ mod tests {
     fn installer_marker_survives_whitespace_stripping() {
         for idx in [0, 1, 2, 3] {
             let mut app = fresh_at(idx);
-            let body = get(
-                &mut app,
-                "/core/install.php?langcode=en&profile=standard&continue=1",
-            )
-            .response
-            .body_text();
+            let body = DRIVER
+                .get(
+                    &mut app,
+                    "/core/install.php?langcode=en&profile=standard&continue=1",
+                )
+                .response
+                .body_text();
             let squashed: String = body.chars().filter(|c| !c.is_whitespace()).collect();
             assert!(
                 squashed.contains("<liclass=\"is-active\">Setupdatabase"),
@@ -158,8 +160,14 @@ mod tests {
     fn whitespace_actually_varies_between_versions() {
         let mut even = fresh_at(0);
         let mut odd = fresh_at(1);
-        let a = get(&mut even, "/core/install.php").response.body_text();
-        let b = get(&mut odd, "/core/install.php").response.body_text();
+        let a = DRIVER
+            .get(&mut even, "/core/install.php")
+            .response
+            .body_text();
+        let b = DRIVER
+            .get(&mut odd, "/core/install.php")
+            .response
+            .body_text();
         assert_ne!(a, b, "adjacent versions should format differently");
     }
 
@@ -184,7 +192,10 @@ mod tests {
     fn installed_site_reports_already_installed() {
         let v = *release_history(AppId::Drupal).last().unwrap();
         let mut app = Drupal::new(v, AppConfig::secure_for(AppId::Drupal, &v));
-        let body = get(&mut app, "/core/install.php").response.body_text();
+        let body = DRIVER
+            .get(&mut app, "/core/install.php")
+            .response
+            .body_text();
         assert!(body.contains("already installed"));
         let squashed: String = body.chars().filter(|c| !c.is_whitespace()).collect();
         assert!(!squashed.contains("<liclass=\"is-active\">Setupdatabase"));

@@ -118,8 +118,9 @@ impl_webapp!(Grav);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn fresh() -> Grav {
         let v = *release_history(AppId::Grav).last().unwrap();
@@ -130,7 +131,7 @@ mod tests {
     fn fresh_root_advertises_account_creation() {
         let mut app = fresh();
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("The Admin plugin has been installed"));
         assert!(body.contains("Create User"));
     }
@@ -138,7 +139,7 @@ mod tests {
     #[test]
     fn fresh_admin_page_has_fallback_markers() {
         let mut app = fresh();
-        let body = get(&mut app, "/admin").response.body_text();
+        let body = DRIVER.get(&mut app, "/admin").response.body_text();
         assert!(body.contains("No user accounts found"));
         assert!(body.contains("create one"));
     }
@@ -161,10 +162,10 @@ mod tests {
     fn installed_site_shows_login_not_creation() {
         let v = *release_history(AppId::Grav).last().unwrap();
         let mut app = Grav::new(v, AppConfig::secure_for(AppId::Grav, &v));
-        let body = get(&mut app, "/admin").response.body_text();
+        let body = DRIVER.get(&mut app, "/admin").response.body_text();
         assert!(!body.contains("No user accounts found"));
         assert!(body.contains("Sign in"));
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("Powered by Grav"));
         assert!(!body.contains("Create User"));
     }

@@ -130,8 +130,9 @@ impl_webapp!(Joomla);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn at(triple: (u16, u16, u16)) -> Joomla {
         let v = *release_history(AppId::Joomla)
@@ -144,7 +145,8 @@ mod tests {
     #[test]
     fn installer_page_has_markers() {
         let mut app = at((3, 6, 0));
-        let body = get(&mut app, "/installation/index.php")
+        let body = DRIVER
+            .get(&mut app, "/installation/index.php")
             .response
             .body_text();
         assert!(body.contains("Joomla! Web Installer"));
@@ -173,7 +175,8 @@ mod tests {
         assert!(out.events.is_empty());
         assert_eq!(out.response.status.as_u16(), 403);
         // The installer page itself still renders (and mentions the file).
-        let body = get(&mut app, "/installation/index.php")
+        let body = DRIVER
+            .get(&mut app, "/installation/index.php")
             .response
             .body_text();
         assert!(body.contains("delete the file"));
@@ -184,13 +187,14 @@ mod tests {
         let v = *release_history(AppId::Joomla).last().unwrap();
         let mut app = Joomla::new(v, AppConfig::secure_for(AppId::Joomla, &v));
         assert_eq!(
-            get(&mut app, "/installation/index.php")
+            DRIVER
+                .get(&mut app, "/installation/index.php")
                 .response
                 .status
                 .as_u16(),
             404
         );
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("joomla-script-options"));
     }
 }

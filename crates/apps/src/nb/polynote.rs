@@ -67,8 +67,9 @@ impl_webapp!(Polynote);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn make() -> Polynote {
         let v = *release_history(AppId::Polynote).last().unwrap();
@@ -83,14 +84,14 @@ mod tests {
         assert!(app.is_vulnerable());
         let mut app = make();
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("<title>Polynote</title>"));
     }
 
     #[test]
     fn cells_execute_code() {
         let mut app = make();
-        let out = post(&mut app, "/notebooks/nb1/run", "import sys; exec(payload)");
+        let out = DRIVER.post(&mut app, "/notebooks/nb1/run", "import sys; exec(payload)");
         assert!(matches!(&out.events[0], AppEvent::CommandExecuted { .. }));
     }
 }

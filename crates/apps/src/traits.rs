@@ -38,15 +38,115 @@ pub trait WebApp: Send {
     fn restore(&mut self);
 }
 
+/// Transport-less test client: drives a [`WebApp`] state machine
+/// directly, issuing every request from a fixed peer address.
+///
+/// Application models key behavior on the peer (trust-on-first-use
+/// installers, per-peer admin sessions), so tests that need several
+/// actors build one `Driver` per actor via [`Driver::from_peer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Driver {
+    peer: Ipv4Addr,
+}
+
+impl Driver {
+    /// Default peer address (TEST-NET-2, reserved for documentation).
+    pub const DEFAULT_PEER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 1);
+
+    /// A driver issuing requests from [`Driver::DEFAULT_PEER`].
+    pub const fn new() -> Self {
+        Driver {
+            peer: Self::DEFAULT_PEER,
+        }
+    }
+
+    /// A driver issuing requests from `peer`.
+    pub const fn from_peer(peer: Ipv4Addr) -> Self {
+        Driver { peer }
+    }
+
+    /// The peer address this driver presents to the application.
+    pub const fn peer(&self) -> Ipv4Addr {
+        self.peer
+    }
+
+    /// Drive a `GET` against an app and return the outcome.
+    pub fn get(&self, app: &mut dyn WebApp, target: &str) -> HandleOutcome {
+        app.handle(&Request::get(target), self.peer)
+    }
+
+    /// Drive a `POST` against an app and return the outcome.
+    pub fn post(&self, app: &mut dyn WebApp, target: &str, body: &str) -> HandleOutcome {
+        app.handle(&Request::post(target, body.as_bytes().to_vec()), self.peer)
+    }
+
+    /// Drive an arbitrary request against an app.
+    pub fn request(&self, app: &mut dyn WebApp, req: &Request) -> HandleOutcome {
+        app.handle(req, self.peer)
+    }
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Convenience: drive a `GET` against an app and return the outcome.
+#[deprecated(note = "use traits::Driver::new().get(app, target)")]
 pub fn get(app: &mut dyn WebApp, target: &str) -> HandleOutcome {
-    app.handle(&Request::get(target), Ipv4Addr::new(198, 51, 100, 1))
+    Driver::new().get(app, target)
 }
 
 /// Convenience: drive a `POST` against an app and return the outcome.
+#[deprecated(note = "use traits::Driver::new().post(app, target, body)")]
 pub fn post(app: &mut dyn WebApp, target: &str, body: &str) -> HandleOutcome {
-    app.handle(
-        &Request::post(target, body.as_bytes().to_vec()),
-        Ipv4Addr::new(198, 51, 100, 1),
-    )
+    Driver::new().post(app, target, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::AppId;
+    use crate::instance::build_instance;
+    use crate::version::release_history;
+
+    fn fresh_wordpress() -> Box<dyn WebApp> {
+        let app = AppId::WordPress;
+        let v = *release_history(app).last().unwrap();
+        build_instance(app, v, AppConfig::vulnerable_for(app, &v))
+    }
+
+    /// The peer is configurable and actually reaches the application:
+    /// WordPress trusts whichever peer completes the install first.
+    #[test]
+    fn driver_presents_its_peer() {
+        let attacker = Driver::from_peer(Ipv4Addr::new(203, 0, 113, 9));
+        assert_eq!(attacker.peer(), Ipv4Addr::new(203, 0, 113, 9));
+        assert_ne!(attacker, Driver::new());
+        let mut inst = fresh_wordpress();
+        assert!(inst.is_vulnerable());
+        let _ = attacker.post(
+            inst.as_mut(),
+            "/wp-admin/install.php?step=2",
+            "user_name=evil&admin_password=x",
+        );
+        assert!(
+            !inst.is_vulnerable(),
+            "the attacker's peer completed the install"
+        );
+    }
+
+    /// The deprecated free helpers keep issuing requests from the
+    /// historical default peer.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_helpers_match_default_driver() {
+        let mut via_helper = fresh_wordpress();
+        let mut via_driver = fresh_wordpress();
+        let a = get(via_helper.as_mut(), "/wp-admin/install.php?step=1");
+        let b = Driver::new().get(via_driver.as_mut(), "/wp-admin/install.php?step=1");
+        assert_eq!(a.response.body_text(), b.response.body_text());
+        assert_eq!(Driver::default().peer(), Driver::DEFAULT_PEER);
+    }
 }

@@ -33,8 +33,9 @@ pub fn tiny_space() -> nokeys_scanner::portscan::Cidr {
 /// Run the full pipeline with a given stage-I batch size.
 pub async fn run_pipeline_batched(transport: &SimTransport, blocks_per_batch: usize) -> ScanReport {
     let client = Client::new(transport.clone());
-    let mut config = PipelineConfig::new(vec![tiny_space()]);
-    config.blocks_per_batch = blocks_per_batch;
+    let config = PipelineConfig::builder(vec![tiny_space()])
+        .blocks_per_batch(blocks_per_batch)
+        .build();
     Pipeline::new(config).run(&client).await
 }
 
@@ -43,7 +44,9 @@ pub async fn run_pipeline_batched(transport: &SimTransport, blocks_per_batch: us
 /// way; `parallelism` caps the in-flight probes and host verifications).
 pub async fn run_pipeline_parallel(transport: &SimTransport, parallelism: usize) -> ScanReport {
     let client = Client::new(transport.clone());
-    let config = PipelineConfig::new(vec![tiny_space()]).with_parallelism(parallelism);
+    let config = PipelineConfig::builder(vec![tiny_space()])
+        .parallelism(parallelism)
+        .build();
     Pipeline::new(config).run(&client).await
 }
 

@@ -15,13 +15,34 @@ pub mod knowledge_base;
 pub mod voluntary;
 
 use crate::report::FingerprintMethod;
+use crate::telemetry::{Counter, Telemetry, Timer};
 use knowledge_base::KnowledgeBase;
 use nokeys_apps::{AppId, Version};
 use nokeys_http::{Client, Endpoint, Scheme, Transport};
 
+/// Cached fingerprinting telemetry handles.
+struct FingerprintMetrics {
+    voluntary: Counter,
+    knowledge_base: Counter,
+    miss: Counter,
+    time: Timer,
+}
+
+impl FingerprintMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        FingerprintMetrics {
+            voluntary: telemetry.counter("fingerprint.voluntary"),
+            knowledge_base: telemetry.counter("fingerprint.knowledge_base"),
+            miss: telemetry.counter("fingerprint.miss"),
+            time: telemetry.timer("fingerprint.identify"),
+        }
+    }
+}
+
 /// The combined fingerprinter.
 pub struct Fingerprinter {
     kb: KnowledgeBase,
+    metrics: FingerprintMetrics,
 }
 
 impl Default for Fingerprinter {
@@ -34,8 +55,15 @@ impl Fingerprinter {
     /// Build the fingerprinter (constructs the knowledge base over all
     /// applications and versions).
     pub fn new() -> Self {
+        Self::with_telemetry(&Telemetry::default())
+    }
+
+    /// Build a fingerprinter that records its method mix (voluntary vs.
+    /// knowledge-base vs. miss) into `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
         Fingerprinter {
             kb: KnowledgeBase::build(),
+            metrics: FingerprintMetrics::new(telemetry),
         }
     }
 
@@ -53,13 +81,20 @@ impl Fingerprinter {
         ep: Endpoint,
         scheme: Scheme,
     ) -> Option<(Version, FingerprintMethod)> {
+        self.metrics.time.record(1);
         if let Some(version) = voluntary::extract(client, app, ep, scheme).await {
+            self.metrics.voluntary.incr();
             return Some((version, FingerprintMethod::Voluntary));
         }
-        crawler::identify(client, &self.kb, ep, scheme)
+        let identified = crawler::identify(client, &self.kb, ep, scheme)
             .await
             .filter(|(found_app, _)| *found_app == app)
-            .map(|(_, version)| (version, FingerprintMethod::KnowledgeBase))
+            .map(|(_, version)| (version, FingerprintMethod::KnowledgeBase));
+        match &identified {
+            Some(_) => self.metrics.knowledge_base.incr(),
+            None => self.metrics.miss.incr(),
+        }
+        identified
     }
 }
 
@@ -111,5 +146,30 @@ mod tests {
             .fingerprint(&client, AppId::WordPress, ep, Scheme::Http)
             .await
             .is_none());
+    }
+
+    #[tokio::test]
+    async fn telemetry_records_method_mix() {
+        let telemetry = Telemetry::new();
+        let fp = Fingerprinter::with_telemetry(&telemetry);
+        // One successful fingerprint...
+        let (client, ep) = client_for(AppId::Jenkins, 0);
+        assert!(fp
+            .fingerprint(&client, AppId::Jenkins, ep, Scheme::Http)
+            .await
+            .is_some());
+        // ...and one miss against an unreachable host.
+        let client = Client::new(HandlerTransport::new());
+        let ep = Endpoint::new(Ipv4Addr::new(10, 2, 2, 4), 80);
+        assert!(fp
+            .fingerprint(&client, AppId::Jenkins, ep, Scheme::Http)
+            .await
+            .is_none());
+        let snap = telemetry.snapshot();
+        let hits =
+            snap.counter("fingerprint.voluntary") + snap.counter("fingerprint.knowledge_base");
+        assert_eq!(hits, 1);
+        assert_eq!(snap.counter("fingerprint.miss"), 1);
+        assert_eq!(snap.timings["fingerprint.identify"].units, 2);
     }
 }

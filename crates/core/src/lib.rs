@@ -14,6 +14,9 @@
 //!   disclosure plus a static-file hash knowledge base with a crawler.
 //! * **Longevity observation** ([`observer`]): 3-hourly rescans of
 //!   vulnerable hosts over four weeks (Figure 2).
+//! * **Telemetry** ([`telemetry`]): a lock-cheap metrics registry
+//!   threaded through every stage — counters, fixed-bucket histograms
+//!   and virtual-clock stage timings, snapshot as deterministic JSON.
 //!
 //! The pipeline is generic over the [`Transport`](nokeys_http::Transport)
 //! abstraction: the same code scans the simulated universe
@@ -34,11 +37,13 @@ pub mod prefilter;
 pub mod rate;
 pub mod report;
 pub mod signatures;
+pub mod telemetry;
 
 pub use multipattern::MultiPattern;
 pub use pattern::{MatchMode, Pattern, PreparedBody};
-pub use pipeline::{Pipeline, PipelineConfig};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder};
 pub use plugin::{detect_mav, plugin_steps};
 pub use portscan::{PortScanConfig, PortScanResult, PortScanner};
 pub use prefilter::{Prefilter, PrefilterHit};
 pub use report::{FingerprintMethod, HostFinding, ScanReport};
+pub use telemetry::{Telemetry, TelemetrySnapshot};

@@ -176,7 +176,14 @@ impl MultiPattern {
     /// Per-application match counts — same contract as
     /// [`crate::signatures::match_counts`].
     pub fn match_counts(&self, body: &PreparedBody) -> Vec<(AppId, u32)> {
-        let matched = self.matched_signatures(body);
+        self.counts_from_matched(&self.matched_signatures(body))
+    }
+
+    /// Aggregate a [`matched_signatures`](Self::matched_signatures)
+    /// vector into per-application counts. Split out so callers that
+    /// need the per-signature bits (telemetry's per-signature hit
+    /// counters) pay only one automaton pass.
+    pub fn counts_from_matched(&self, matched: &[bool]) -> Vec<(AppId, u32)> {
         let mut counts: BTreeMap<AppId, u32> = BTreeMap::new();
         for (i, hit) in matched.iter().enumerate() {
             if *hit {
@@ -217,16 +224,17 @@ mod tests {
 
     #[test]
     fn agrees_with_linear_scan_on_app_bodies() {
-        use nokeys_apps::traits::get;
+        use nokeys_apps::traits::Driver;
         use nokeys_apps::{build_instance, release_history, AppConfig};
         let sigs = all_signatures();
         let mp = MultiPattern::new(&sigs);
+        let driver = Driver::new();
         for app in AppId::in_scope() {
             let version = *release_history(app).last().unwrap();
             let mut inst = build_instance(app, version, AppConfig::secure_for(app, &version));
             let mut path = "/".to_string();
             let body = loop {
-                let out = get(inst.as_mut(), &path);
+                let out = driver.get(inst.as_mut(), &path);
                 match out.response.location() {
                     Some(loc) => path = loc.to_string(),
                     None => break out.response.body_text(),

@@ -13,6 +13,7 @@
 use crate::fingerprint::Fingerprinter;
 use crate::plugin::detect_mav;
 use crate::report::HostFinding;
+use crate::telemetry::Telemetry;
 use nokeys_http::{Client, ProbeOutcome, Transport};
 use serde::Serialize;
 
@@ -22,6 +23,35 @@ pub enum ObservedStatus {
     Vulnerable,
     Fixed,
     Offline,
+}
+
+impl ObservedStatus {
+    /// Lowercase label, used for telemetry counter names.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObservedStatus::Vulnerable => "vulnerable",
+            ObservedStatus::Fixed => "fixed",
+            ObservedStatus::Offline => "offline",
+        }
+    }
+}
+
+/// Host counts per status at one observation point.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StatusCounts {
+    /// Hosts still confirmed vulnerable.
+    pub vulnerable: u64,
+    /// Hosts reachable but no longer confirmed (patched or secured).
+    pub fixed: u64,
+    /// Hosts that did not respond this round.
+    pub offline: u64,
+}
+
+impl StatusCounts {
+    /// All observed hosts (the three statuses are exhaustive).
+    pub fn total(&self) -> u64 {
+        self.vulnerable + self.fixed + self.offline
+    }
 }
 
 /// Timeline of one host across all observation points.
@@ -47,18 +77,16 @@ pub struct LongevityStudy {
 
 impl LongevityStudy {
     /// Count hosts in each status at observation index `i`.
-    pub fn counts_at(&self, i: usize) -> (u64, u64, u64) {
-        let mut v = 0;
-        let mut f = 0;
-        let mut o = 0;
+    pub fn counts_at(&self, i: usize) -> StatusCounts {
+        let mut counts = StatusCounts::default();
         for t in &self.timelines {
             match t.statuses[i] {
-                ObservedStatus::Vulnerable => v += 1,
-                ObservedStatus::Fixed => f += 1,
-                ObservedStatus::Offline => o += 1,
+                ObservedStatus::Vulnerable => counts.vulnerable += 1,
+                ObservedStatus::Fixed => counts.fixed += 1,
+                ObservedStatus::Offline => counts.offline += 1,
             }
         }
-        (v, f, o)
+        counts
     }
 
     /// Number of hosts whose version was updated during the study.
@@ -94,13 +122,55 @@ pub async fn observe<T, F>(
     client: &Client<T>,
     findings: &[HostFinding],
     config: &ObserverConfig,
+    advance_clock: F,
+) -> LongevityStudy
+where
+    T: Transport,
+    F: FnMut(i64),
+{
+    observe_instrumented(
+        &Telemetry::default(),
+        client,
+        findings,
+        config,
+        advance_clock,
+    )
+    .await
+}
+
+/// [`observe`] with telemetry: per-round status counts
+/// (`observer.status.<status>`), status transitions between consecutive
+/// rounds (`observer.transitions`), version updates
+/// (`observer.version_updates`), rounds (`observer.rounds`) and a
+/// virtual-clock timer charging one unit per host re-check
+/// (`observer.recheck`).
+pub async fn observe_instrumented<T, F>(
+    telemetry: &Telemetry,
+    client: &Client<T>,
+    findings: &[HostFinding],
+    config: &ObserverConfig,
     mut advance_clock: F,
 ) -> LongevityStudy
 where
     T: Transport,
     F: FnMut(i64),
 {
-    let fingerprinter = Fingerprinter::new();
+    let rounds = telemetry.counter("observer.rounds");
+    let status_counters = [
+        telemetry.counter("observer.status.vulnerable"),
+        telemetry.counter("observer.status.fixed"),
+        telemetry.counter("observer.status.offline"),
+    ];
+    let status_counter = |status: ObservedStatus| match status {
+        ObservedStatus::Vulnerable => &status_counters[0],
+        ObservedStatus::Fixed => &status_counters[1],
+        ObservedStatus::Offline => &status_counters[2],
+    };
+    let transitions = telemetry.counter("observer.transitions");
+    let version_updates = telemetry.counter("observer.version_updates");
+    let recheck = telemetry.timer("observer.recheck");
+
+    let fingerprinter = Fingerprinter::with_telemetry(telemetry);
     let times: Vec<i64> = (0..=config.window_secs / config.interval_secs)
         .map(|i| i * config.interval_secs)
         .collect();
@@ -120,6 +190,8 @@ where
 
     for &t in &times {
         advance_clock(t);
+        rounds.incr();
+        recheck.record(timelines.len() as u64);
         for timeline in &mut timelines {
             // Once offline or fixed, the paper keeps tracking: a fixed
             // host can still disappear, an offline host could return.
@@ -135,6 +207,10 @@ where
                 }
                 _ => ObservedStatus::Offline,
             };
+            status_counter(status).incr();
+            if timeline.statuses.last().is_some_and(|&prev| prev != status) {
+                transitions.incr();
+            }
             timeline.statuses.push(status);
 
             // Version-update tracking (2.4% of hosts in the paper).
@@ -146,6 +222,7 @@ where
                     {
                         if now.triple() != before.triple() {
                             timeline.updated = true;
+                            version_updates.incr();
                         }
                     }
                 }
@@ -166,10 +243,11 @@ mod tests {
     use nokeys_netsim::{SimTime, SimTransport, Universe, UniverseConfig};
     use std::sync::Arc;
 
-    async fn study() -> LongevityStudy {
+    async fn study_with_telemetry(telemetry: &Telemetry) -> LongevityStudy {
         let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(7))));
         let client = nokeys_http::Client::new(t.clone());
-        let pipeline = Pipeline::new(PipelineConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let pipeline =
+            Pipeline::new(PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).build());
         let report = pipeline.run(&client).await;
         let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
         assert!(!vulnerable.is_empty());
@@ -179,30 +257,75 @@ mod tests {
             interval_secs: 86_400,
             window_secs: 28 * 86_400,
         };
-        observe(&client, &vulnerable, &config, |secs| {
+        observe_instrumented(telemetry, &client, &vulnerable, &config, |secs| {
             t.set_time(SimTime(secs))
         })
         .await
+    }
+
+    async fn study() -> LongevityStudy {
+        study_with_telemetry(&Telemetry::default()).await
     }
 
     #[tokio::test]
     async fn everything_starts_vulnerable_and_decays() {
         let s = study().await;
         assert_eq!(s.times_secs.len(), 29);
-        let (v0, f0, o0) = s.counts_at(0);
-        assert_eq!(f0, 0, "nothing fixed at t=0");
-        assert_eq!(o0, 0, "nothing offline at t=0");
-        assert!(v0 > 0);
+        let start = s.counts_at(0);
+        assert_eq!(start.fixed, 0, "nothing fixed at t=0");
+        assert_eq!(start.offline, 0, "nothing offline at t=0");
+        assert!(start.vulnerable > 0);
         let last = s.times_secs.len() - 1;
-        let (v_end, f_end, o_end) = s.counts_at(last);
-        assert_eq!(v_end + f_end + o_end, v0);
+        let end = s.counts_at(last);
+        assert_eq!(end.total(), start.vulnerable);
         assert!(
-            v_end < v0,
+            end.vulnerable < start.vulnerable,
             "some hosts disappear or get fixed over four weeks"
         );
         // The paper's headline: more than a third (they found >half)
         // still vulnerable after four weeks.
-        assert!(v_end * 3 > v0, "too much decay: {v_end}/{v0}");
+        assert!(
+            end.vulnerable * 3 > start.vulnerable,
+            "too much decay: {}/{}",
+            end.vulnerable,
+            start.vulnerable
+        );
+    }
+
+    /// Observer counters reconcile with the study they were recorded
+    /// alongside.
+    #[tokio::test]
+    async fn telemetry_reconciles_with_study() {
+        let telemetry = Telemetry::new();
+        let s = study_with_telemetry(&telemetry).await;
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("observer.rounds"), s.times_secs.len() as u64);
+        let mut expected = StatusCounts::default();
+        let mut expected_transitions = 0u64;
+        for timeline in &s.timelines {
+            for (i, status) in timeline.statuses.iter().enumerate() {
+                match status {
+                    ObservedStatus::Vulnerable => expected.vulnerable += 1,
+                    ObservedStatus::Fixed => expected.fixed += 1,
+                    ObservedStatus::Offline => expected.offline += 1,
+                }
+                if i > 0 && timeline.statuses[i - 1] != *status {
+                    expected_transitions += 1;
+                }
+            }
+        }
+        assert_eq!(
+            snap.counter("observer.status.vulnerable"),
+            expected.vulnerable
+        );
+        assert_eq!(snap.counter("observer.status.fixed"), expected.fixed);
+        assert_eq!(snap.counter("observer.status.offline"), expected.offline);
+        assert_eq!(snap.counter("observer.transitions"), expected_transitions);
+        assert_eq!(snap.counter("observer.version_updates"), s.updated_count());
+        assert_eq!(
+            snap.timings["observer.recheck"].units,
+            s.times_secs.len() as u64 * s.timelines.len() as u64
+        );
     }
 
     #[tokio::test]

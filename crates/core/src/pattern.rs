@@ -173,6 +173,17 @@ impl PreparedBody {
         self.squashed
             .get_or_init(|| self.raw.chars().filter(|c| !c.is_whitespace()).collect())
     }
+
+    /// Whether the lowered view has been materialized (telemetry's
+    /// "multipattern vs. view" accounting).
+    pub fn lower_materialized(&self) -> bool {
+        self.lower.get().is_some()
+    }
+
+    /// Whether the whitespace-stripped view has been materialized.
+    pub fn squashed_materialized(&self) -> bool {
+        self.squashed.get().is_some()
+    }
 }
 
 impl From<&str> for PreparedBody {

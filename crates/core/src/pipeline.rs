@@ -27,10 +27,11 @@
 //! faults only `parallelism = 1` replays exactly.
 
 use crate::fingerprint::Fingerprinter;
-use crate::plugin::detect_mav;
+use crate::plugin::detect_mav_instrumented;
 use crate::portscan::{Cidr, PortScanConfig, PortScanResult, PortScanner};
 use crate::prefilter::{Prefilter, PrefilterHit};
 use crate::report::{HostFinding, ScanReport};
+use crate::telemetry::{Counter, Histogram, Telemetry};
 use nokeys_apps::AppId;
 use nokeys_http::{Client, Transport};
 use std::collections::BTreeMap;
@@ -38,7 +39,12 @@ use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 /// Pipeline configuration.
+///
+/// Construct via [`PipelineConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so new knobs (like [`telemetry`](Self::telemetry))
+/// can be added without breaking downstream construction sites.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct PipelineConfig {
     /// Stage-I configuration.
     pub portscan: PortScanConfig,
@@ -57,46 +63,215 @@ pub struct PipelineConfig {
     /// `1` runs the stages strictly sequentially (the default); any
     /// value produces the identical report on a fault-free transport.
     pub parallelism: usize,
+    /// Telemetry registry the pipeline records into. `None` gives the
+    /// pipeline a private registry, still reachable through
+    /// [`Pipeline::telemetry`]; pass a shared one to aggregate several
+    /// pipelines (or external components) into a single snapshot.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl PipelineConfig {
-    pub fn new(targets: Vec<Cidr>) -> Self {
-        let portscan = PortScanConfig::new(targets);
-        let tarpit_port_threshold = portscan.ports.len();
-        PipelineConfig {
-            portscan,
+    /// Start building a configuration over `targets` with the paper's
+    /// defaults (12 ports, batches of 64 blocks, sequential stages,
+    /// fingerprinting and verification on).
+    pub fn builder(targets: Vec<Cidr>) -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            portscan: PortScanConfig::new(targets),
             blocks_per_batch: 64,
-            tarpit_port_threshold,
+            tarpit_port_threshold: None,
             fingerprint: true,
             verify: true,
             parallelism: 1,
+            telemetry: None,
         }
     }
 
+    #[deprecated(note = "use PipelineConfig::builder(targets).build()")]
+    pub fn new(targets: Vec<Cidr>) -> Self {
+        Self::builder(targets).build()
+    }
+
     /// Same configuration with a different concurrency bound.
+    #[deprecated(note = "use PipelineConfig::builder(targets).parallelism(n)")]
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
         self.parallelism = parallelism;
         self
     }
 }
 
+/// Fluent builder for [`PipelineConfig`].
+///
+/// ```
+/// use nokeys_scanner::pipeline::PipelineConfig;
+///
+/// let config = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+///     .blocks_per_batch(64)
+///     .parallelism(8)
+///     .build();
+/// assert_eq!(config.parallelism, 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineConfigBuilder {
+    portscan: PortScanConfig,
+    blocks_per_batch: usize,
+    tarpit_port_threshold: Option<usize>,
+    fingerprint: bool,
+    verify: bool,
+    parallelism: usize,
+    telemetry: Option<Telemetry>,
+}
+
+impl PipelineConfigBuilder {
+    /// Replace the entire stage-I configuration (targets included).
+    pub fn portscan(mut self, portscan: PortScanConfig) -> Self {
+        self.portscan = portscan;
+        self
+    }
+
+    /// Ports probed by stage I (defaults to the paper's 12).
+    pub fn ports(mut self, ports: Vec<u16>) -> Self {
+        self.portscan.ports = ports;
+        self
+    }
+
+    /// Seed for the stage-I /24 shuffle.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.portscan.seed = seed;
+        self
+    }
+
+    /// Whether stage I skips IANA-reserved ranges.
+    pub fn exclude_reserved(mut self, exclude: bool) -> Self {
+        self.portscan.exclude_reserved = exclude;
+        self
+    }
+
+    /// Probe-rate ceiling in probes/second (`None` scans at full speed).
+    pub fn max_probes_per_sec(mut self, rate: Option<f64>) -> Self {
+        self.portscan.max_probes_per_sec = rate;
+        self
+    }
+
+    /// /24 blocks handed to stages II/III per batch.
+    pub fn blocks_per_batch(mut self, blocks: usize) -> Self {
+        self.blocks_per_batch = blocks;
+        self
+    }
+
+    /// Open-port count at which a host is discarded as an all-ports-open
+    /// artifact. Defaults to the number of scan ports.
+    pub fn tarpit_port_threshold(mut self, threshold: usize) -> Self {
+        self.tarpit_port_threshold = Some(threshold);
+        self
+    }
+
+    /// Run the version fingerprinter on identified hosts.
+    pub fn fingerprint(mut self, enabled: bool) -> Self {
+        self.fingerprint = enabled;
+        self
+    }
+
+    /// Run stage III plugins.
+    pub fn verify(mut self, enabled: bool) -> Self {
+        self.verify = enabled;
+        self
+    }
+
+    /// Maximum in-flight stage-II probes / stage-III verifications.
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// Record pipeline metrics into a shared telemetry registry.
+    pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Finalize the configuration.
+    pub fn build(self) -> PipelineConfig {
+        let tarpit_port_threshold = self
+            .tarpit_port_threshold
+            .unwrap_or(self.portscan.ports.len());
+        PipelineConfig {
+            portscan: self.portscan,
+            blocks_per_batch: self.blocks_per_batch,
+            tarpit_port_threshold,
+            fingerprint: self.fingerprint,
+            verify: self.verify,
+            parallelism: self.parallelism,
+            telemetry: self.telemetry,
+        }
+    }
+}
+
+/// Cached pipeline-level telemetry handles (stage-level instruments live
+/// in the stage components themselves).
+#[derive(Debug, Clone)]
+struct PipelineMetrics {
+    /// `pipeline.batches` — stage-I batches processed by stages II/III.
+    batches: Counter,
+    /// `pipeline.tarpit_excluded` — hosts dropped as all-ports-open.
+    tarpit_excluded: Counter,
+    /// `pipeline.findings` — host/application findings reported.
+    findings: Counter,
+    /// `pipeline.mavs` — findings a stage-III plugin confirmed.
+    mavs: Counter,
+    /// `pipeline.open_ports_per_host` — open scan ports on responsive
+    /// hosts (tarpits included, so the top bucket exposes them).
+    open_ports_per_host: Histogram,
+}
+
+impl PipelineMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        PipelineMetrics {
+            batches: telemetry.counter("pipeline.batches"),
+            tarpit_excluded: telemetry.counter("pipeline.tarpit_excluded"),
+            findings: telemetry.counter("pipeline.findings"),
+            mavs: telemetry.counter("pipeline.mavs"),
+            open_ports_per_host: telemetry.histogram("pipeline.open_ports_per_host", &[1, 2, 4, 8]),
+        }
+    }
+
+    fn note_findings(&self, findings: &[HostFinding]) {
+        self.findings.add(findings.len() as u64);
+        self.mavs
+            .add(findings.iter().filter(|f| f.vulnerable).count() as u64);
+    }
+}
+
 /// The pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
+    telemetry: Telemetry,
     scanner: PortScanner,
     prefilter: Arc<Prefilter>,
     fingerprinter: Arc<Fingerprinter>,
+    metrics: PipelineMetrics,
 }
 
 impl Pipeline {
     pub fn new(config: PipelineConfig) -> Self {
-        let scanner = PortScanner::new(config.portscan.clone());
+        let telemetry = config.telemetry.clone().unwrap_or_default();
+        let scanner = PortScanner::with_telemetry(config.portscan.clone(), &telemetry);
+        let prefilter = Arc::new(Prefilter::with_telemetry(&telemetry));
+        let fingerprinter = Arc::new(Fingerprinter::with_telemetry(&telemetry));
+        let metrics = PipelineMetrics::new(&telemetry);
         Pipeline {
             config,
+            telemetry,
             scanner,
-            prefilter: Arc::new(Prefilter::new()),
-            fingerprinter: Arc::new(Fingerprinter::new()),
+            prefilter,
+            fingerprinter,
+            metrics,
         }
+    }
+
+    /// The telemetry registry this pipeline records into (the one passed
+    /// via [`PipelineConfigBuilder::telemetry`], or a private default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Run the full pipeline over the configured target space.
@@ -151,13 +326,16 @@ impl Pipeline {
         T: Transport + Clone + 'static,
     {
         let parallelism = self.config.parallelism.max(1);
+        self.metrics.batches.incr();
 
         // Exclude all-ports-open artifacts.
         let by_host = batch.by_host();
         let mut endpoints = Vec::new();
         for (ip, ports) in &by_host {
+            self.metrics.open_ports_per_host.observe(ports.len() as u64);
             if ports.len() >= self.config.tarpit_port_threshold {
                 report.excluded_all_ports_open += 1;
+                self.metrics.tarpit_excluded.incr();
                 continue;
             }
             for port in ports {
@@ -194,12 +372,14 @@ impl Pipeline {
             for (_ip, hits) in per_host {
                 let findings = Self::verify_host(
                     client.clone(),
+                    self.telemetry.clone(),
                     Arc::clone(&self.fingerprinter),
                     verify,
                     fingerprint,
                     hits,
                 )
                 .await;
+                self.metrics.note_findings(&findings);
                 report.findings.extend(findings);
             }
             return;
@@ -210,6 +390,7 @@ impl Pipeline {
         let n_hosts = per_host.len();
         for (seq, (_ip, hits)) in per_host.into_iter().enumerate() {
             let client = client.clone();
+            let telemetry = self.telemetry.clone();
             let fingerprinter = Arc::clone(&self.fingerprinter);
             let semaphore = Arc::clone(&semaphore);
             join_set.spawn(async move {
@@ -218,7 +399,8 @@ impl Pipeline {
                     .await
                     .expect("stage-III semaphore closed");
                 let findings =
-                    Self::verify_host(client, fingerprinter, verify, fingerprint, hits).await;
+                    Self::verify_host(client, telemetry, fingerprinter, verify, fingerprint, hits)
+                        .await;
                 (seq, findings)
             });
         }
@@ -228,9 +410,9 @@ impl Pipeline {
             verified[seq] = Some(findings);
         }
         for findings in verified {
-            report
-                .findings
-                .extend(findings.expect("every verified host reports"));
+            let findings = findings.expect("every verified host reports");
+            self.metrics.note_findings(&findings);
+            report.findings.extend(findings);
         }
     }
 
@@ -240,6 +422,7 @@ impl Pipeline {
     /// distinct ports each count.
     async fn verify_host<T: Transport>(
         client: Client<T>,
+        telemetry: Telemetry,
         fingerprinter: Arc<Fingerprinter>,
         verify: bool,
         fingerprint: bool,
@@ -264,7 +447,9 @@ impl Pipeline {
             let mut confirmed: Option<&PrefilterHit> = None;
             if verify {
                 for hit in &app_hits {
-                    if detect_mav(&client, app, hit.endpoint, hit.scheme).await {
+                    if detect_mav_instrumented(&telemetry, &client, app, hit.endpoint, hit.scheme)
+                        .await
+                    {
                         confirmed = Some(hit);
                         break;
                     }
@@ -310,7 +495,8 @@ mod tests {
     async fn run_tiny() -> (Client<SimTransport>, ScanReport) {
         let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))));
         let client = Client::new(t);
-        let pipeline = Pipeline::new(PipelineConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let pipeline =
+            Pipeline::new(PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).build());
         let report = pipeline.run(&client).await;
         (client, report)
     }
@@ -318,9 +504,63 @@ mod tests {
     async fn run_tiny_parallel(seed: u64, parallelism: usize) -> ScanReport {
         let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(seed))));
         let client = Client::new(t);
-        let config =
-            PipelineConfig::new(vec!["20.0.0.0/16".parse().unwrap()]).with_parallelism(parallelism);
+        let config = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+            .parallelism(parallelism)
+            .build();
         Pipeline::new(config).run(&client).await
+    }
+
+    #[test]
+    fn builder_applies_every_knob() {
+        let telemetry = Telemetry::new();
+        let config = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+            .ports(vec![80, 443])
+            .seed(7)
+            .exclude_reserved(false)
+            .max_probes_per_sec(Some(100.0))
+            .blocks_per_batch(16)
+            .tarpit_port_threshold(5)
+            .fingerprint(false)
+            .verify(false)
+            .parallelism(4)
+            .telemetry(telemetry)
+            .build();
+        assert_eq!(config.portscan.ports, vec![80, 443]);
+        assert_eq!(config.portscan.seed, 7);
+        assert!(!config.portscan.exclude_reserved);
+        assert_eq!(config.portscan.max_probes_per_sec, Some(100.0));
+        assert_eq!(config.blocks_per_batch, 16);
+        assert_eq!(config.tarpit_port_threshold, 5);
+        assert!(!config.fingerprint);
+        assert!(!config.verify);
+        assert_eq!(config.parallelism, 4);
+        assert!(config.telemetry.is_some());
+    }
+
+    #[test]
+    fn tarpit_threshold_defaults_to_port_count() {
+        // The default threshold tracks the *configured* ports, including
+        // when they are overridden through the builder.
+        let config = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+            .ports(vec![80, 443, 8080])
+            .build();
+        assert_eq!(config.tarpit_port_threshold, 3);
+    }
+
+    /// The deprecated constructor must keep producing the builder's
+    /// defaults until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructor_matches_builder_defaults() {
+        let targets: Vec<Cidr> = vec!["20.0.0.0/16".parse().unwrap()];
+        let shim = PipelineConfig::new(targets.clone()).with_parallelism(8);
+        let built = PipelineConfig::builder(targets).parallelism(8).build();
+        assert_eq!(shim.blocks_per_batch, built.blocks_per_batch);
+        assert_eq!(shim.tarpit_port_threshold, built.tarpit_port_threshold);
+        assert_eq!(shim.fingerprint, built.fingerprint);
+        assert_eq!(shim.verify, built.verify);
+        assert_eq!(shim.parallelism, built.parallelism);
+        assert_eq!(shim.portscan.ports, built.portscan.ports);
     }
 
     #[tokio::test]
@@ -384,6 +624,50 @@ mod tests {
         assert!(report.port_stats.get(&80).map(|s| s.open).unwrap_or(0) > 0);
         // Port 80 never records HTTPS.
         assert_eq!(report.port_stats.get(&80).map(|s| s.https).unwrap_or(0), 0);
+    }
+
+    /// Pipeline-level counters agree with the report they were recorded
+    /// alongside.
+    #[tokio::test]
+    async fn telemetry_reconciles_with_report() {
+        let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))));
+        let client = Client::new(t);
+        let telemetry = Telemetry::new();
+        let pipeline = Pipeline::new(
+            PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+                .telemetry(telemetry.clone())
+                .build(),
+        );
+        let report = pipeline.run(&client).await;
+        let snap = pipeline.telemetry().snapshot();
+        // The external registry and the pipeline's view are the same.
+        assert_eq!(snap.to_json(), telemetry.snapshot().to_json());
+        assert_eq!(
+            snap.counter("pipeline.tarpit_excluded"),
+            report.excluded_all_ports_open
+        );
+        assert_eq!(
+            snap.counter("pipeline.findings"),
+            report.findings.len() as u64
+        );
+        assert_eq!(
+            snap.counter("pipeline.mavs"),
+            report.findings.iter().filter(|f| f.vulnerable).count() as u64
+        );
+        assert_eq!(snap.counter("stage1.probes_sent"), report.probes_sent);
+        assert_eq!(
+            snap.counter("stage1.addresses_probed"),
+            report.addresses_probed
+        );
+        assert_eq!(snap.counter("stage2.hits"), report.prefilter_hits);
+        // Stage III ran: confirmed verifications equal the MAV count.
+        let confirmed: u64 = snap
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("stage3.verify.") && k.ends_with(".confirmed"))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(confirmed, snap.counter("pipeline.mavs"));
     }
 
     /// Same seed, same parallelism, two runs: byte-identical reports.

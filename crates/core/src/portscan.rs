@@ -7,6 +7,7 @@
 //! so later (slower) stages can run on fresh data while the sweep
 //! continues — the paper's answer to scan-vs-verify staleness.
 
+use crate::telemetry::{Counter, Telemetry, Timer};
 use nokeys_apps::SCAN_PORTS;
 use nokeys_http::{Endpoint, ProbeOutcome, Transport};
 use std::collections::BTreeMap;
@@ -98,18 +99,49 @@ impl PortScanResult {
     }
 }
 
+/// Cached stage-I telemetry handles (clone-cheap; all clones of a
+/// scanner record into the same instruments).
+#[derive(Debug, Clone)]
+struct SweepMetrics {
+    blocks_swept: Counter,
+    addresses_probed: Counter,
+    probes_sent: Counter,
+    ports_open: Counter,
+    sweep: Timer,
+}
+
+impl SweepMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        SweepMetrics {
+            blocks_swept: telemetry.counter("stage1.blocks_swept"),
+            addresses_probed: telemetry.counter("stage1.addresses_probed"),
+            probes_sent: telemetry.counter("stage1.probes_sent"),
+            ports_open: telemetry.counter("stage1.ports_open"),
+            sweep: telemetry.timer("stage1.sweep"),
+        }
+    }
+}
+
 /// The stage-I scanner.
 #[derive(Debug, Clone)]
 pub struct PortScanner {
     config: PortScanConfig,
     reserved: ReservedRanges,
+    metrics: SweepMetrics,
 }
 
 impl PortScanner {
     pub fn new(config: PortScanConfig) -> Self {
+        Self::with_telemetry(config, &Telemetry::default())
+    }
+
+    /// Build a scanner that records stage-I counters ("blocks swept",
+    /// "probes sent", "ports open") and sweep timings into `telemetry`.
+    pub fn with_telemetry(config: PortScanConfig, telemetry: &Telemetry) -> Self {
         PortScanner {
             config,
             reserved: ReservedRanges::iana(),
+            metrics: SweepMetrics::new(telemetry),
         }
     }
 
@@ -205,6 +237,12 @@ impl PortScanner {
                 }
             }
         }
+        self.metrics.blocks_swept.incr();
+        self.metrics.addresses_probed.add(result.addresses_probed);
+        self.metrics.probes_sent.add(result.probes_sent);
+        self.metrics.ports_open.add(result.open.len() as u64);
+        // One virtual unit per probe: the block's share of sweep time.
+        self.metrics.sweep.record(result.probes_sent);
         result
     }
 
@@ -505,6 +543,23 @@ mod tests {
             elapsed >= std::time::Duration::from_millis(900),
             "{elapsed:?}"
         );
+    }
+
+    #[tokio::test]
+    async fn sweep_telemetry_matches_results() {
+        let t = sim();
+        let telemetry = Telemetry::new();
+        let scanner = PortScanner::with_telemetry(config_for_tiny(), &telemetry);
+        let result = scanner.scan(&t).await;
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("stage1.blocks_swept"), 256);
+        assert_eq!(
+            snap.counter("stage1.addresses_probed"),
+            result.addresses_probed
+        );
+        assert_eq!(snap.counter("stage1.probes_sent"), result.probes_sent);
+        assert_eq!(snap.counter("stage1.ports_open"), result.open.len() as u64);
+        assert_eq!(snap.timings["stage1.sweep"].units, result.probes_sent);
     }
 
     #[tokio::test]

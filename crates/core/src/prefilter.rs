@@ -8,7 +8,8 @@
 
 use crate::multipattern::MultiPattern;
 use crate::pattern::PreparedBody;
-use crate::signatures::{all_signatures, Signature};
+use crate::signatures::{all_signatures, rank_candidates, Signature};
+use crate::telemetry::{Counter, Histogram, Telemetry, Timer};
 use nokeys_apps::AppId;
 use nokeys_http::{Client, Endpoint, Scheme, Transport};
 use serde::Serialize;
@@ -47,12 +48,55 @@ pub struct PrefilterResult {
     pub per_port: BTreeMap<u16, PortProtocolStats>,
 }
 
+/// Cached stage-II telemetry handles.
+struct PrefilterMetrics {
+    endpoints: Counter,
+    http_responses: Counter,
+    https_responses: Counter,
+    hits: Counter,
+    discarded: Counter,
+    silent: Counter,
+    bodies_matched: Counter,
+    view_lower: Counter,
+    view_squashed: Counter,
+    /// One hit counter per signature, catalog order.
+    signature_hits: Vec<Counter>,
+    redirects: Histogram,
+    body_bytes: Histogram,
+    probe: Timer,
+}
+
+impl PrefilterMetrics {
+    fn new(telemetry: &Telemetry, signatures: &[Signature]) -> Self {
+        PrefilterMetrics {
+            endpoints: telemetry.counter("stage2.endpoints_probed"),
+            http_responses: telemetry.counter("stage2.http_responses"),
+            https_responses: telemetry.counter("stage2.https_responses"),
+            hits: telemetry.counter("stage2.hits"),
+            discarded: telemetry.counter("stage2.discarded"),
+            silent: telemetry.counter("stage2.silent"),
+            bodies_matched: telemetry.counter("stage2.multipattern.bodies"),
+            view_lower: telemetry.counter("stage2.multipattern.view_lower"),
+            view_squashed: telemetry.counter("stage2.multipattern.view_squashed"),
+            signature_hits: signatures
+                .iter()
+                .enumerate()
+                .map(|(i, s)| telemetry.counter(&format!("stage2.signature.{i:02}.{}", s.app)))
+                .collect(),
+            redirects: telemetry.histogram("stage2.redirects", &[0, 1, 2, 4, 8]),
+            body_bytes: telemetry.histogram("stage2.body_bytes", &[256, 1024, 4096, 16384, 65536]),
+            probe: telemetry.timer("stage2.prefilter"),
+        }
+    }
+}
+
 /// The stage-II prefilter.
 pub struct Prefilter {
     signatures: Vec<Signature>,
     /// Single-pass compiled form of `signatures` — the per-body hot
     /// loop runs one automaton pass per view instead of 90 searches.
     matcher: MultiPattern,
+    metrics: PrefilterMetrics,
 }
 
 impl Default for Prefilter {
@@ -63,11 +107,19 @@ impl Default for Prefilter {
 
 impl Prefilter {
     pub fn new() -> Self {
+        Self::with_telemetry(&Telemetry::default())
+    }
+
+    /// Build a prefilter that records probe counts, per-signature hit
+    /// counts and multipattern view statistics into `telemetry`.
+    pub fn with_telemetry(telemetry: &Telemetry) -> Self {
         let signatures = all_signatures();
         let matcher = MultiPattern::new(&signatures);
+        let metrics = PrefilterMetrics::new(telemetry, &signatures);
         Prefilter {
             signatures,
             matcher,
+            metrics,
         }
     }
 
@@ -91,17 +143,41 @@ impl Prefilter {
     ) -> (Option<PrefilterHit>, PortProtocolStats) {
         let mut stats = PortProtocolStats::default();
         let mut hit: Option<PrefilterHit> = None;
-        for &scheme in Self::schemes_for_port(ep.port) {
+        let schemes = Self::schemes_for_port(ep.port);
+        self.metrics.endpoints.incr();
+        self.metrics.probe.record(schemes.len() as u64);
+        for &scheme in schemes {
             let Ok(fetched) = client.get_path(ep, scheme, "/").await else {
                 continue;
             };
             match scheme {
-                Scheme::Http => stats.http += 1,
-                Scheme::Https => stats.https += 1,
+                Scheme::Http => {
+                    stats.http += 1;
+                    self.metrics.http_responses.incr();
+                }
+                Scheme::Https => {
+                    stats.https += 1;
+                    self.metrics.https_responses.incr();
+                }
             }
+            self.metrics.redirects.observe(fetched.redirects as u64);
             if hit.is_none() {
                 let body = PreparedBody::new(fetched.response.body_text());
-                let candidates = self.matcher.match_candidates(&body);
+                self.metrics.bodies_matched.incr();
+                self.metrics.body_bytes.observe(body.raw.len() as u64);
+                let matched = self.matcher.matched_signatures(&body);
+                for (i, fired) in matched.iter().enumerate() {
+                    if *fired {
+                        self.metrics.signature_hits[i].incr();
+                    }
+                }
+                if body.lower_materialized() {
+                    self.metrics.view_lower.incr();
+                }
+                if body.squashed_materialized() {
+                    self.metrics.view_squashed.incr();
+                }
+                let candidates = rank_candidates(self.matcher.counts_from_matched(&matched));
                 if !candidates.is_empty() {
                     hit = Some(PrefilterHit {
                         endpoint: ep,
@@ -115,6 +191,37 @@ impl Prefilter {
         (hit, stats)
     }
 
+    /// Merge one endpoint's probe outcome into `result`, recording the
+    /// hit / discarded / silent classification. Shared by the
+    /// sequential and bounded-concurrency paths so both count
+    /// identically.
+    fn absorb_probe(
+        &self,
+        result: &mut PrefilterResult,
+        ep: Endpoint,
+        hit: Option<PrefilterHit>,
+        stats: PortProtocolStats,
+    ) {
+        let spoke = stats.http + stats.https > 0;
+        let entry = result.per_port.entry(ep.port).or_default();
+        entry.http += stats.http;
+        entry.https += stats.https;
+        match hit {
+            Some(h) => {
+                self.metrics.hits.incr();
+                result.hits.push(h);
+            }
+            None if spoke => {
+                self.metrics.discarded.incr();
+                result.discarded += 1;
+            }
+            None => {
+                self.metrics.silent.incr();
+                result.silent += 1;
+            }
+        }
+    }
+
     /// Prefilter a batch of endpoints.
     pub async fn run<T: Transport>(
         &self,
@@ -124,15 +231,7 @@ impl Prefilter {
         let mut result = PrefilterResult::default();
         for &ep in endpoints {
             let (hit, stats) = self.probe_endpoint(client, ep).await;
-            let spoke = stats.http + stats.https > 0;
-            let entry = result.per_port.entry(ep.port).or_default();
-            entry.http += stats.http;
-            entry.https += stats.https;
-            match hit {
-                Some(h) => result.hits.push(h),
-                None if spoke => result.discarded += 1,
-                None => result.silent += 1,
-            }
+            self.absorb_probe(&mut result, ep, hit, stats);
         }
         result
     }
@@ -185,15 +284,7 @@ impl Prefilter {
         let mut result = PrefilterResult::default();
         for (&ep, slot) in endpoints.iter().zip(probed) {
             let (hit, stats) = slot.expect("every probe task reports");
-            let spoke = stats.http + stats.https > 0;
-            let entry = result.per_port.entry(ep.port).or_default();
-            entry.http += stats.http;
-            entry.https += stats.https;
-            match hit {
-                Some(h) => result.hits.push(h),
-                None if spoke => result.discarded += 1,
-                None => result.silent += 1,
-            }
+            self.absorb_probe(&mut result, ep, hit, stats);
         }
         result
     }
@@ -291,6 +382,39 @@ mod tests {
                 serde_json::to_string(&seq.per_port).unwrap(),
             );
         }
+    }
+
+    #[tokio::test]
+    async fn prefilter_telemetry_reconciles_with_result() {
+        let client = client();
+        let scanner = PortScanner::new(PortScanConfig::new(vec!["20.0.0.0/16".parse().unwrap()]));
+        let scan = scanner.scan(client.transport()).await;
+        let telemetry = Telemetry::new();
+        let prefilter = Prefilter::with_telemetry(&telemetry);
+        let result = prefilter.run(&client, &scan.open).await;
+        let snap = telemetry.snapshot();
+        assert_eq!(
+            snap.counter("stage2.endpoints_probed"),
+            scan.open.len() as u64
+        );
+        assert_eq!(snap.counter("stage2.hits"), result.hits.len() as u64);
+        assert_eq!(snap.counter("stage2.discarded"), result.discarded);
+        assert_eq!(snap.counter("stage2.silent"), result.silent);
+        let http: u64 = result.per_port.values().map(|s| s.http).sum();
+        let https: u64 = result.per_port.values().map(|s| s.https).sum();
+        assert_eq!(snap.counter("stage2.http_responses"), http);
+        assert_eq!(snap.counter("stage2.https_responses"), https);
+        // All 90 per-signature counters are registered, some fired.
+        assert_eq!(
+            snap.counters
+                .keys()
+                .filter(|k| k.starts_with("stage2.signature."))
+                .count(),
+            90
+        );
+        assert!(snap.prefixed_total("stage2.signature.") > 0);
+        // Redirect observations: one per HTTP(S) response.
+        assert_eq!(snap.histograms["stage2.redirects"].count, http + https);
     }
 
     #[tokio::test]

@@ -241,8 +241,9 @@ pub fn match_counts(signatures: &[Signature], body: &PreparedBody) -> Vec<(AppId
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nokeys_apps::traits::{get, WebApp};
+    use nokeys_apps::traits::{Driver, WebApp};
     use nokeys_apps::{build_instance, release_history, AppConfig};
+    const DRIVER: Driver = Driver::new();
 
     #[test]
     fn exactly_ninety_signatures_five_per_app() {
@@ -258,7 +259,7 @@ mod tests {
     fn root_body(app: &mut dyn WebApp) -> String {
         let mut path = "/".to_string();
         for _ in 0..5 {
-            let out = get(app, &path);
+            let out = DRIVER.get(app, &path);
             if let Some(loc) = out.response.location() {
                 path = loc.to_string();
                 continue;

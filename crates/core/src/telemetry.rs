@@ -1,0 +1,551 @@
+//! Pipeline-wide telemetry: counters, histograms and per-stage
+//! virtual-clock timings.
+//!
+//! The paper's measurement claims (Tables 2–4, Figures 1–2) are only as
+//! trustworthy as the pipeline's internal accounting, so every stage
+//! records what it did into a shared [`Telemetry`] registry: stage I the
+//! blocks it swept and ports it found open, stage II the probes it sent
+//! and which signatures fired, stage III the per-application verify
+//! outcomes, the fingerprinter its method mix, the longevity observer
+//! its per-round status transitions, and the honeypot monitor its
+//! attack-rate counters.
+//!
+//! # Design
+//!
+//! * **Lock-cheap.** The registry hands out [`Counter`] / [`Histogram`]
+//!   / [`Timer`] handles backed by `Arc<AtomicU64>` cells. Registration
+//!   takes a short registry lock once; every increment afterwards is a
+//!   relaxed atomic add, so instrumented hot loops pay nanoseconds, not
+//!   mutexes. All handles are `Send + Sync` and clone-cheap.
+//! * **Deterministic.** Snapshots contain only order-independent sums —
+//!   monotonic counters, fixed-bound histogram buckets, and *virtual*
+//!   clock units (one unit ≈ one probe / request / automaton pass),
+//!   never wall-clock time. A fixed seed therefore yields a
+//!   byte-identical [`TelemetrySnapshot`] at any
+//!   [`parallelism`](crate::pipeline::PipelineConfig::parallelism);
+//!   `tests/telemetry_determinism.rs` enforces this.
+//! * **Sorted serialization.** [`TelemetrySnapshot`] keeps every
+//!   instrument in a `BTreeMap`, so the JSON emitted by
+//!   [`TelemetrySnapshot::to_json`] has sorted keys and is stable across
+//!   runs and platforms.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// A monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram with fixed, inclusive upper bucket bounds plus an
+/// overflow bucket. Bounds are fixed at registration so two runs always
+/// aggregate into identical buckets.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    core: Arc<HistogramCore>,
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new(bounds: &[u64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            core: Arc::new(HistogramCore {
+                bounds: bounds.to_vec(),
+                buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+                overflow: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        let c = &self.core;
+        match c.bounds.iter().position(|&b| value <= b) {
+            Some(i) => c.buckets[i].fetch_add(1, Ordering::Relaxed),
+            None => c.overflow.fetch_add(1, Ordering::Relaxed),
+        };
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let c = &self.core;
+        HistogramSnapshot {
+            bounds: c.bounds.clone(),
+            buckets: c
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            overflow: c.overflow.load(Ordering::Relaxed),
+            count: c.count.load(Ordering::Relaxed),
+            sum: c.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A per-stage virtual-clock timer.
+///
+/// There is no wall clock anywhere in the registry: a timer accumulates
+/// *virtual work units* declared by the stage itself (one unit ≈ one
+/// probe, HTTP exchange, plugin run, …). Sums of units are independent
+/// of task interleaving, which is what keeps snapshots deterministic
+/// under concurrency. Every recorded unit also advances the registry's
+/// global [virtual clock](Telemetry::virtual_clock).
+#[derive(Clone, Debug)]
+pub struct Timer {
+    core: Arc<TimerCore>,
+    clock: Arc<AtomicU64>,
+}
+
+#[derive(Debug, Default)]
+struct TimerCore {
+    events: AtomicU64,
+    units: AtomicU64,
+}
+
+impl Timer {
+    /// Record one timed section that took `units` of virtual work.
+    pub fn record(&self, units: u64) {
+        self.core.events.fetch_add(1, Ordering::Relaxed);
+        self.core.units.fetch_add(units, Ordering::Relaxed);
+        self.clock.fetch_add(units, Ordering::Relaxed);
+    }
+
+    /// Total recorded virtual units.
+    pub fn units(&self) -> u64 {
+        self.core.units.load(Ordering::Relaxed)
+    }
+
+    fn snapshot(&self) -> TimingSnapshot {
+        TimingSnapshot {
+            events: self.core.events.load(Ordering::Relaxed),
+            units: self.core.units.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: RwLock<BTreeMap<String, Counter>>,
+    histograms: RwLock<BTreeMap<String, Histogram>>,
+    timers: RwLock<BTreeMap<String, Timer>>,
+    clock: Arc<AtomicU64>,
+}
+
+/// The shared metrics registry. Cloning is cheap (an `Arc` bump) and all
+/// clones record into the same instruments; the registry is `Send +
+/// Sync` so one instance can be threaded through every pipeline stage
+/// and every spawned task.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    registry: Arc<Registry>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field(
+                "counters",
+                &self.registry.counters.read().expect("not poisoned").len(),
+            )
+            .field(
+                "histograms",
+                &self.registry.histograms.read().expect("not poisoned").len(),
+            )
+            .field(
+                "timers",
+                &self.registry.timers.read().expect("not poisoned").len(),
+            )
+            .field("virtual_clock", &self.virtual_clock())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Telemetry::default()
+    }
+
+    /// The counter named `name`, registering it at zero on first use.
+    /// Callers should hold on to the returned handle: the lookup takes a
+    /// registry lock, increments on the handle do not.
+    pub fn counter(&self, name: &str) -> Counter {
+        if let Some(c) = self
+            .registry
+            .counters
+            .read()
+            .expect("not poisoned")
+            .get(name)
+        {
+            return c.clone();
+        }
+        self.registry
+            .counters
+            .write()
+            .expect("not poisoned")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name` with the given inclusive upper bucket
+    /// `bounds` (plus an implicit overflow bucket). Re-registering with
+    /// different bounds is a bug and panics.
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Histogram {
+        if let Some(h) = self
+            .registry
+            .histograms
+            .read()
+            .expect("not poisoned")
+            .get(name)
+        {
+            assert_eq!(
+                h.core.bounds, bounds,
+                "histogram '{name}' re-registered with different bounds"
+            );
+            return h.clone();
+        }
+        self.registry
+            .histograms
+            .write()
+            .expect("not poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .clone()
+    }
+
+    /// The virtual-clock timer named `name`.
+    pub fn timer(&self, name: &str) -> Timer {
+        if let Some(t) = self.registry.timers.read().expect("not poisoned").get(name) {
+            return t.clone();
+        }
+        self.registry
+            .timers
+            .write()
+            .expect("not poisoned")
+            .entry(name.to_string())
+            .or_insert_with(|| Timer {
+                core: Arc::new(TimerCore::default()),
+                clock: Arc::clone(&self.registry.clock),
+            })
+            .clone()
+    }
+
+    /// The global virtual clock: total work units recorded by all timers.
+    pub fn virtual_clock(&self) -> u64 {
+        self.registry.clock.load(Ordering::Relaxed)
+    }
+
+    /// A consistent point-in-time view of every instrument. Meant to be
+    /// taken after a run completes; taking it while writers are active
+    /// yields a valid but possibly mid-update view.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            virtual_clock_units: self.virtual_clock(),
+            counters: self
+                .registry
+                .counters
+                .read()
+                .expect("not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .registry
+                .histograms
+                .read()
+                .expect("not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+            timings: self
+                .registry
+                .timers
+                .read()
+                .expect("not poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time state of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bucket bounds.
+    pub bounds: Vec<u64>,
+    /// Observation counts per bound.
+    pub buckets: Vec<u64>,
+    /// Observations above the last bound.
+    pub overflow: u64,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+/// Point-in-time state of one virtual-clock timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct TimingSnapshot {
+    /// Number of timed sections.
+    pub events: u64,
+    /// Total virtual work units.
+    pub units: u64,
+}
+
+/// A deterministic, serializable view of the whole registry.
+///
+/// Keys are sorted (`BTreeMap`) and all values are order-independent
+/// sums over virtual time, so the same seed produces byte-identical
+/// JSON at any concurrency level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Total virtual work units across all timers at snapshot time.
+    pub virtual_clock_units: u64,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Timer states by name.
+    pub timings: BTreeMap<String, TimingSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Compact deterministic JSON (sorted keys, no whitespace).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Pretty-printed deterministic JSON.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// A counter's value, zero if it was never registered.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of every counter whose name starts with `prefix` — e.g.
+    /// `prefixed_total("stage3.verify.")` for all per-application verify
+    /// outcomes.
+    pub fn prefixed_total(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Human-readable multi-line summary (for terminals and logs).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "telemetry snapshot @ {} virtual units\n",
+            self.virtual_clock_units
+        ));
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<48} {value}\n"));
+            }
+        }
+        if !self.timings.is_empty() {
+            out.push_str("timings (virtual units / events):\n");
+            for (name, t) in &self.timings {
+                out.push_str(&format!("  {name:<48} {} / {}\n", t.units, t.events));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                let buckets: Vec<String> = h
+                    .bounds
+                    .iter()
+                    .zip(&h.buckets)
+                    .map(|(b, n)| format!("≤{b}:{n}"))
+                    .collect();
+                out.push_str(&format!(
+                    "  {name:<48} n={} sum={} [{} >:{}]\n",
+                    h.count,
+                    h.sum,
+                    buckets.join(" "),
+                    h.overflow
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Telemetry>();
+        assert_send_sync::<Counter>();
+        assert_send_sync::<Histogram>();
+        assert_send_sync::<Timer>();
+    }
+
+    #[test]
+    fn counters_accumulate_and_share_state() {
+        let t = Telemetry::new();
+        let a = t.counter("x");
+        let b = t.counter("x");
+        a.incr();
+        b.add(2);
+        assert_eq!(t.counter("x").get(), 3);
+        assert_eq!(t.snapshot().counter("x"), 3);
+        assert_eq!(t.snapshot().counter("never-registered"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_are_inclusive_with_overflow() {
+        let t = Telemetry::new();
+        let h = t.histogram("h", &[1, 4, 16]);
+        for v in [0, 1, 2, 4, 5, 100] {
+            h.observe(v);
+        }
+        let s = &t.snapshot().histograms["h"];
+        assert_eq!(s.buckets, vec![2, 2, 1]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 112);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bounds")]
+    fn histogram_bounds_are_fixed() {
+        let t = Telemetry::new();
+        t.histogram("h", &[1, 2]);
+        t.histogram("h", &[1, 3]);
+    }
+
+    #[test]
+    fn timers_advance_the_virtual_clock() {
+        let t = Telemetry::new();
+        let stage1 = t.timer("stage1");
+        let stage2 = t.timer("stage2");
+        stage1.record(10);
+        stage2.record(5);
+        stage2.record(5);
+        assert_eq!(t.virtual_clock(), 20);
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.timings["stage1"],
+            TimingSnapshot {
+                events: 1,
+                units: 10
+            }
+        );
+        assert_eq!(
+            snap.timings["stage2"],
+            TimingSnapshot {
+                events: 2,
+                units: 10
+            }
+        );
+        assert_eq!(snap.virtual_clock_units, 20);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_deterministic() {
+        let t = Telemetry::new();
+        t.counter("zebra").incr();
+        t.counter("aardvark").add(7);
+        t.timer("sweep").record(3);
+        let a = t.snapshot().to_json();
+        let b = t.snapshot().to_json();
+        assert_eq!(a, b);
+        let za = a.find("zebra").unwrap();
+        let aa = a.find("aardvark").unwrap();
+        assert!(aa < za, "keys must serialize in sorted order");
+    }
+
+    #[test]
+    fn concurrent_increments_from_many_threads_sum_exactly() {
+        let t = Telemetry::new();
+        let c = t.counter("n");
+        let timer = t.timer("work");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let c = c.clone();
+                let timer = timer.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                        timer.record(1);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+        assert_eq!(t.virtual_clock(), 8000);
+    }
+
+    #[test]
+    fn prefixed_total_sums_matching_counters() {
+        let t = Telemetry::new();
+        t.counter("stage3.verify.Docker.confirmed").add(2);
+        t.counter("stage3.verify.Hadoop.confirmed").add(3);
+        t.counter("stage2.hits").add(100);
+        assert_eq!(t.snapshot().prefixed_total("stage3.verify."), 5);
+    }
+
+    #[test]
+    fn text_rendering_lists_every_instrument() {
+        let t = Telemetry::new();
+        t.counter("stage1.probes_sent").add(12);
+        t.histogram("stage2.redirects", &[0, 1, 2]).observe(1);
+        t.timer("stage1.sweep").record(12);
+        let text = t.snapshot().render_text();
+        assert!(text.contains("stage1.probes_sent"));
+        assert!(text.contains("stage2.redirects"));
+        assert!(text.contains("stage1.sweep"));
+        assert!(text.contains("12 virtual units"));
+    }
+}

@@ -78,7 +78,7 @@ async fn ip_sweep_misses_everything_behind_shared_hosting() {
     let config = UniverseConfig::tiny(21);
     let transport = SimTransport::new(Arc::new(Universe::generate(config.clone())));
     let client = nokeys_http::Client::new(transport.clone());
-    let report = Pipeline::new(PipelineConfig::new(vec![config.space]))
+    let report = Pipeline::new(PipelineConfig::builder(vec![config.space]).build())
         .run(&client)
         .await;
 

@@ -27,7 +27,11 @@ async fn main() {
     let client = nokeys::http::Client::new(transport.clone());
     // Concurrency is a pure speedup here: the fault-free simulated
     // transport yields the same report at any parallelism.
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]).with_parallelism(8));
+    let pipeline = Pipeline::new(
+        PipelineConfig::builder(vec![config.space])
+            .parallelism(8)
+            .build(),
+    );
     let started = std::time::Instant::now();
     let report = pipeline.run(&client).await;
     println!(

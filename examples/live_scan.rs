@@ -61,11 +61,12 @@ async fn main() {
     }
 
     // Scan 127.0.0.1 on exactly those ports with the real-TCP transport.
-    let mut config = PipelineConfig::new(vec!["127.0.0.1/32".parse().expect("cidr")]);
-    config.portscan.ports = ports.clone();
-    config.portscan.exclude_reserved = false; // loopback is IANA-reserved
-    config.tarpit_port_threshold = ports.len() + 1; // tiny port set; no artifact filter
-    config.parallelism = 4; // bounded concurrent probes over real sockets
+    let config = PipelineConfig::builder(vec!["127.0.0.1/32".parse().expect("cidr")])
+        .ports(ports.clone())
+        .exclude_reserved(false) // loopback is IANA-reserved
+        .tarpit_port_threshold(ports.len() + 1) // tiny port set; no artifact filter
+        .parallelism(4) // bounded concurrent probes over real sockets
+        .build();
     let pipeline = Pipeline::new(config);
     let client = nokeys::http::Client::new(TcpTransport::default());
 

@@ -26,7 +26,7 @@ async fn main() {
     //    -> version fingerprinting.
     let transport = SimTransport::new(universe);
     let client = nokeys::http::Client::new(transport.clone());
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]));
+    let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
     let report = pipeline.run(&client).await;
 
     // 3. Results.

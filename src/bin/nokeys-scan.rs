@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! nokeys-scan --target 192.0.2.0/28 [--ports 80,443,8080] [--rate 200]
-//!             [--parallelism 16] [--json out.json] [--include-reserved]
+//!             [--parallelism 16] [--json out.json] [--metrics-out m.json]
+//!             [--include-reserved]
 //! ```
 //!
 //! Like the paper's scanner, the tool is strictly non-intrusive: it only
@@ -12,7 +13,7 @@
 
 use nokeys::http::transport::TcpTransport;
 use nokeys::http::Client;
-use nokeys::scanner::{Pipeline, PipelineConfig, PortScanConfig, PortScanner};
+use nokeys::scanner::{Pipeline, PipelineConfig, PortScanConfig, PortScanner, Telemetry};
 use std::sync::Arc;
 
 struct Args {
@@ -23,6 +24,7 @@ struct Args {
     shard: Option<(usize, usize)>,
     include_reserved: bool,
     json: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> ! {
@@ -30,7 +32,7 @@ fn usage() -> ! {
         "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
          \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
          \x20                [--shard K/N]\n\
-         \x20                [--include-reserved] [--json FILE]"
+         \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -44,6 +46,7 @@ fn parse_args() -> Args {
         shard: None,
         include_reserved: false,
         json: None,
+        metrics_out: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -97,6 +100,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.json = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--metrics-out" => {
+                i += 1;
+                args.metrics_out = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
@@ -142,12 +149,16 @@ async fn main() {
         sweep.open.len()
     );
 
-    let mut config = PipelineConfig::new(args.targets);
-    config.portscan = portscan;
-    config.tarpit_port_threshold = config.portscan.ports.len().max(2);
-    // --parallelism bounds both the stage-I sweep above and the in-flight
-    // stage-II probes / stage-III verifications below.
-    config.parallelism = args.parallelism;
+    let telemetry = Telemetry::new();
+    let tarpit_port_threshold = portscan.ports.len().max(2);
+    let config = PipelineConfig::builder(args.targets)
+        .portscan(portscan)
+        .tarpit_port_threshold(tarpit_port_threshold)
+        // --parallelism bounds both the stage-I sweep above and the
+        // in-flight stage-II probes / stage-III verifications below.
+        .parallelism(args.parallelism)
+        .telemetry(telemetry.clone())
+        .build();
     let pipeline = Pipeline::new(config);
     let client = Client::new(TcpTransport::default());
     let report = pipeline.run(&client).await;
@@ -181,5 +192,15 @@ async fn main() {
             std::process::exit(1);
         });
         eprintln!("report written to {path}");
+    }
+
+    if let Some(path) = args.metrics_out {
+        let snapshot = telemetry.snapshot();
+        eprint!("{}", snapshot.render_text());
+        std::fs::write(&path, snapshot.to_json_pretty()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics written to {path}");
     }
 }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate any table or figure of the paper.
 //!
 //! ```text
-//! repro <id>... [--seed N] [--quick]
+//! repro <id>... [--seed N] [--quick] [--out DIR] [--metrics-out FILE]
 //! repro all [--seed N] [--quick]
 //! repro list
 //! ```
@@ -9,11 +9,15 @@
 //! `--quick` uses the small test universe and daily longevity rescans;
 //! without it the harness runs at full reproduction scale (4,221
 //! vulnerable hosts, 3-hourly rescans) — use a release build.
+//! `--metrics-out FILE` writes the harness-wide telemetry snapshot
+//! (deterministic JSON) after all experiments finish.
 
 use nokeys::repro::{Repro, Scale};
 
 fn usage() -> ! {
-    eprintln!("usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR]");
+    eprintln!(
+        "usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR] [--metrics-out FILE]"
+    );
     eprintln!("experiment ids: {}", Repro::all_ids().join(", "));
     std::process::exit(2);
 }
@@ -28,6 +32,7 @@ async fn main() {
     let mut seed: u64 = 2022;
     let mut scale = Scale::Full;
     let mut out_dir: Option<std::path::PathBuf> = None;
+    let mut metrics_out: Option<String> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -36,6 +41,10 @@ async fn main() {
             "--out" => {
                 i += 1;
                 out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--seed" => {
                 i += 1;
@@ -83,5 +92,15 @@ async fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(path) = metrics_out {
+        let snapshot = harness.telemetry().snapshot();
+        eprint!("{}", snapshot.render_text());
+        std::fs::write(&path, snapshot.to_json_pretty()).unwrap_or_else(|e| {
+            eprintln!("error writing {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("metrics written to {path}");
     }
 }

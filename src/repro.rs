@@ -7,8 +7,8 @@ use nokeys_defend::VendorFinding;
 use nokeys_honeypot::{run_study, StudyConfig, StudyResult};
 use nokeys_netsim::observer_clock::wire_observer_clock;
 use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
-use nokeys_scanner::observer::{observe, LongevityStudy, ObserverConfig};
-use nokeys_scanner::{Pipeline, PipelineConfig, ScanReport};
+use nokeys_scanner::observer::{observe_instrumented, LongevityStudy, ObserverConfig};
+use nokeys_scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry};
 use std::sync::Arc;
 
 /// Scale of a reproduction run.
@@ -27,6 +27,7 @@ pub struct Repro {
     pub seed: u64,
     pub scale: Scale,
     universe_config: UniverseConfig,
+    telemetry: Telemetry,
     scan: Option<(SimTransport, ScanReport)>,
     longevity: Option<LongevityStudy>,
     study: Option<StudyResult>,
@@ -43,6 +44,7 @@ impl Repro {
             seed,
             scale,
             universe_config,
+            telemetry: Telemetry::new(),
             scan: None,
             longevity: None,
             study: None,
@@ -55,6 +57,11 @@ impl Repro {
         &self.universe_config
     }
 
+    /// The telemetry registry every study of this harness records into.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// Run (or reuse) the Internet-wide scan.
     pub async fn scan(&mut self) -> &(SimTransport, ScanReport) {
         if self.scan.is_none() {
@@ -63,7 +70,10 @@ impl Repro {
             let client = nokeys_http::Client::new(transport.clone());
             // The repro transport is fault-free, so the concurrent
             // pipeline reproduces the sequential report byte-for-byte.
-            let config = PipelineConfig::new(vec![self.universe_config.space]).with_parallelism(8);
+            let config = PipelineConfig::builder(vec![self.universe_config.space])
+                .parallelism(8)
+                .telemetry(self.telemetry.clone())
+                .build();
             let pipeline = Pipeline::new(config);
             let report = pipeline.run(&client).await;
             self.scan = Some((transport, report));
@@ -86,7 +96,9 @@ impl Repro {
                 interval_secs: interval,
                 window_secs: 28 * 86_400,
             };
-            let study = observe(
+            let telemetry = self.telemetry.clone();
+            let study = observe_instrumented(
+                &telemetry,
                 &client,
                 &vulnerable,
                 &config,

@@ -14,7 +14,7 @@ async fn pipeline_survives_a_flaky_network() {
     // 15% of connect attempts time out.
     let flaky = SimTransport::new(Arc::clone(&universe)).with_fault_injection(0.15);
     let client = nokeys::http::Client::new(flaky);
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]));
+    let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
     let flaky_report = pipeline.run(&client).await;
 
     let clean = SimTransport::new(universe);
@@ -54,7 +54,7 @@ async fn pipeline_survives_a_flaky_network() {
 async fn faults_are_deterministic_per_transport() {
     let config = UniverseConfig::tiny(9);
     let universe = Arc::new(Universe::generate(config.clone()));
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]));
+    let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
 
     let run = |u: Arc<Universe>| async {
         let t = SimTransport::new(u).with_fault_injection(0.3);
@@ -77,7 +77,7 @@ async fn rescanning_recovers_fault_losses() {
     let universe = Arc::new(Universe::generate(config.clone()));
     let flaky = SimTransport::new(Arc::clone(&universe)).with_fault_injection(0.25);
     let client = nokeys::http::Client::new(flaky);
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]));
+    let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
 
     let first = pipeline.run(&client).await;
     let second = pipeline.run(&client).await;

@@ -75,8 +75,9 @@ async fn defender_study_and_table9() {
         nokeys::netsim::Universe::generate(config.clone()),
     ));
     let client = nokeys::http::Client::new(transport);
-    let pipeline =
-        nokeys::scanner::Pipeline::new(nokeys::scanner::PipelineConfig::new(vec![config.space]));
+    let pipeline = nokeys::scanner::Pipeline::new(
+        nokeys::scanner::PipelineConfig::builder(vec![config.space]).build(),
+    );
     let report = pipeline.run(&client).await;
 
     let t9 = nokeys::analysis::table9::build(&report, &result, &s1, &s2, 20_000, 50).render();

@@ -38,10 +38,11 @@ async fn pipeline_detects_mavs_over_real_tcp() {
     let secure_zeppelin = serve(AppId::Zeppelin, false).await;
     let ports = vec![vulnerable_gocd.port, secure_zeppelin.port];
 
-    let mut config = PipelineConfig::new(vec!["127.0.0.1/32".parse().expect("cidr")]);
-    config.portscan.ports = ports;
-    config.portscan.exclude_reserved = false;
-    config.tarpit_port_threshold = 3;
+    let config = PipelineConfig::builder(vec!["127.0.0.1/32".parse().expect("cidr")])
+        .ports(ports)
+        .exclude_reserved(false)
+        .tarpit_port_threshold(3)
+        .build();
     let pipeline = Pipeline::new(config);
     let client = nokeys::http::Client::new(TcpTransport::default());
     let report = pipeline.run(&client).await;

@@ -10,7 +10,7 @@ async fn run(seed: u64) -> (SimTransport, ScanReport) {
     let config = UniverseConfig::tiny(seed);
     let transport = SimTransport::new(Arc::new(Universe::generate(config.clone())));
     let client = nokeys::http::Client::new(transport.clone());
-    let pipeline = Pipeline::new(PipelineConfig::new(vec![config.space]));
+    let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
     let report = pipeline.run(&client).await;
     (transport, report)
 }

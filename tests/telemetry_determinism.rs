@@ -1,0 +1,76 @@
+//! Telemetry determinism and reconciliation.
+//!
+//! The telemetry subsystem records only order-independent quantities
+//! (counter sums, fixed-bucket histogram tallies, virtual work units),
+//! so a fixed seed must yield a byte-identical [`TelemetrySnapshot`] at
+//! any `parallelism` — the same guarantee the [`ScanReport`] already
+//! carries — and the counters must agree with the report they were
+//! recorded alongside.
+
+use nokeys::netsim::{SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry, TelemetrySnapshot};
+use std::sync::Arc;
+
+async fn run(seed: u64, parallelism: usize) -> (ScanReport, TelemetrySnapshot) {
+    let config = UniverseConfig::tiny(seed);
+    let transport = SimTransport::new(Arc::new(Universe::generate(config.clone())));
+    let client = nokeys::http::Client::new(transport);
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(
+        PipelineConfig::builder(vec![config.space])
+            .parallelism(parallelism)
+            .telemetry(telemetry.clone())
+            .build(),
+    );
+    let report = pipeline.run(&client).await;
+    (report, telemetry.snapshot())
+}
+
+/// Same seed at parallelism 1 and 8: the snapshot JSON is byte-identical
+/// (and so is the report).
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn snapshot_is_byte_identical_across_parallelism() {
+    let (report_seq, snap_seq) = run(42, 1).await;
+    let (report_par, snap_par) = run(42, 8).await;
+    assert_eq!(
+        serde_json::to_string(&report_seq).unwrap(),
+        serde_json::to_string(&report_par).unwrap(),
+        "reports diverged"
+    );
+    assert_eq!(
+        snap_seq.to_json(),
+        snap_par.to_json(),
+        "telemetry must not depend on parallelism"
+    );
+}
+
+/// Counter totals reconcile with the scan report's host counts.
+#[tokio::test]
+async fn counters_reconcile_with_report() {
+    let (report, snap) = run(7, 4).await;
+    assert_eq!(snap.counter("stage1.probes_sent"), report.probes_sent);
+    assert_eq!(
+        snap.counter("stage1.addresses_probed"),
+        report.addresses_probed
+    );
+    assert_eq!(
+        snap.counter("pipeline.tarpit_excluded"),
+        report.excluded_all_ports_open
+    );
+    assert_eq!(snap.counter("stage2.hits"), report.prefilter_hits);
+    assert_eq!(snap.counter("stage2.discarded"), report.prefilter_discarded);
+    assert_eq!(snap.counter("stage2.silent"), report.prefilter_silent);
+    assert_eq!(
+        snap.counter("pipeline.findings"),
+        report.findings.len() as u64
+    );
+    assert_eq!(snap.counter("pipeline.mavs"), report.total_mavs());
+    // The virtual clock advanced and per-signature hit counters exist.
+    assert!(snap.virtual_clock_units > 0);
+    assert!(snap.prefixed_total("stage2.signature.") > 0);
+    // The text rendering mentions every section.
+    let text = snap.render_text();
+    for needle in ["counters", "histograms", "timings", "stage1.probes_sent"] {
+        assert!(text.contains(needle), "render_text misses {needle}: {text}");
+    }
+}
