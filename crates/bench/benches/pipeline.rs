@@ -1,9 +1,11 @@
-//! Full-pipeline throughput and the pipeline ablations:
-//! prefilter on/off, stage-I batch size, and stage-II/III concurrency.
+//! Full-pipeline throughput and the pipeline ablations: prefilter
+//! on/off, stage-I batch size, stage-II/III concurrency, and the
+//! retry layer's overhead with and without injected faults.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nokeys_bench::{
-    run_pipeline_batched, run_pipeline_parallel, scan_without_prefilter, tiny_transport,
+    faulty_tiny_transport, run_pipeline_batched, run_pipeline_parallel, run_pipeline_retrying,
+    scan_without_prefilter, tiny_transport,
 };
 
 fn bench(c: &mut Criterion) {
@@ -58,6 +60,30 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // Retry overhead: the retry layer should be ~free on a clean
+    // transport (no transient outcomes, so every budget stops after one
+    // attempt) and pay only for re-attempts + virtual backoff under
+    // injected faults.
+    let mut group = c.benchmark_group("retry_overhead");
+    group.sample_size(10);
+    for retries in [1u32, 3] {
+        group.bench_function(format!("fault_free/retries_{retries}"), |b| {
+            let t = tiny_transport(42);
+            b.iter(|| {
+                let report = mt.block_on(run_pipeline_retrying(&t, retries));
+                assert!(report.total_mavs() > 0);
+            })
+        });
+    }
+    group.bench_function("fault_rate_0.05/retries_3", |b| {
+        let t = faulty_tiny_transport(42, 0.05);
+        b.iter(|| {
+            let report = mt.block_on(run_pipeline_retrying(&t, 3));
+            assert!(report.total_mavs() > 0);
+        })
+    });
     group.finish();
 }
 

@@ -36,7 +36,10 @@ pub async fn run_pipeline_batched(transport: &SimTransport, blocks_per_batch: us
     let config = PipelineConfig::builder(vec![tiny_space()])
         .blocks_per_batch(blocks_per_batch)
         .build();
-    Pipeline::new(config).run(&client).await
+    Pipeline::new(config)
+        .run(&client)
+        .await
+        .expect("pipeline failed")
 }
 
 /// Run the full pipeline with a given stage-II/III concurrency bound
@@ -47,7 +50,29 @@ pub async fn run_pipeline_parallel(transport: &SimTransport, parallelism: usize)
     let config = PipelineConfig::builder(vec![tiny_space()])
         .parallelism(parallelism)
         .build();
-    Pipeline::new(config).run(&client).await
+    Pipeline::new(config)
+        .run(&client)
+        .await
+        .expect("pipeline failed")
+}
+
+/// The tiny fixture with transient faults injected at `rate` (SYN loss
+/// and connect timeouts, keyed per endpoint/lane/attempt ordinal).
+pub fn faulty_tiny_transport(seed: u64, rate: f64) -> SimTransport {
+    tiny_transport(seed).with_fault_injection(rate)
+}
+
+/// Run the full pipeline with a per-operation transport attempt budget
+/// (1 disables retrying) — the `retry_overhead` benchmark harness.
+pub async fn run_pipeline_retrying(transport: &SimTransport, retries: u32) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::builder(vec![tiny_space()])
+        .retries(retries)
+        .build();
+    Pipeline::new(config)
+        .run(&client)
+        .await
+        .expect("pipeline failed")
 }
 
 /// Ablation: no stage II — every open, non-tarpit endpoint gets every

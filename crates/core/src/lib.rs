@@ -36,14 +36,16 @@ pub mod portscan;
 pub mod prefilter;
 pub mod rate;
 pub mod report;
+pub mod retry;
 pub mod signatures;
 pub mod telemetry;
 
 pub use multipattern::MultiPattern;
 pub use pattern::{MatchMode, Pattern, PreparedBody};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineError};
 pub use plugin::{detect_mav, plugin_steps};
 pub use portscan::{PortScanConfig, PortScanResult, PortScanner};
 pub use prefilter::{Prefilter, PrefilterHit};
 pub use report::{FingerprintMethod, HostFinding, ScanReport};
+pub use retry::{RetryPolicy, RetryTransport};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

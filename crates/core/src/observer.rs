@@ -248,7 +248,7 @@ mod tests {
         let client = nokeys_http::Client::new(t.clone());
         let pipeline =
             Pipeline::new(PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).build());
-        let report = pipeline.run(&client).await;
+        let report = pipeline.run(&client).await.expect("pipeline failed");
         let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
         assert!(!vulnerable.is_empty());
         // Daily rescans keep the test fast; the repro harness uses the

@@ -21,22 +21,61 @@
 //! probes are merged in endpoint order and stage-III verifications in
 //! host order, so a fixed seed yields a bit-for-bit identical
 //! [`ScanReport`] at any `parallelism` (Tables 2–4 and Figure 2 depend
-//! on this). The one caveat is fault injection: the simulated
-//! transport's fault stream is keyed on a global attempt counter, so
-//! *which* connects fault depends on execution order — under injected
-//! faults only `parallelism = 1` replays exactly.
+//! on this). This holds with fault injection enabled too: the simulated
+//! transport keys its fault stream per `(endpoint, lane, attempt
+//! ordinal)`, never on global execution order, so fault-injected
+//! replays are exact at any parallelism — which is why the default
+//! `parallelism` is 8 rather than 1.
+//!
+//! # Fault tolerance
+//!
+//! Transient network failures are retried at the transport layer:
+//! [`Pipeline::run`] wraps the caller's transport in a
+//! [`RetryTransport`] driven by [`PipelineConfig::retry`], giving
+//! stage-I probes, stage-II fetches, stage-III plugin requests and the
+//! fingerprinter a shared seeded retry/backoff budget (the analogue of
+//! masscan's SYN retransmits and the paper's §3.5 rescans). A host task
+//! that dies is absorbed into [`ScanReport::task_failures`] instead of
+//! aborting an internet-scale sweep; only the loss of stage I itself
+//! surfaces as a [`PipelineError`].
 
 use crate::fingerprint::Fingerprinter;
 use crate::plugin::detect_mav_instrumented;
 use crate::portscan::{Cidr, PortScanConfig, PortScanResult, PortScanner};
 use crate::prefilter::{Prefilter, PrefilterHit};
 use crate::report::{HostFinding, ScanReport};
+use crate::retry::{RetryPolicy, RetryTransport};
 use crate::telemetry::{Counter, Histogram, Telemetry};
 use nokeys_apps::AppId;
 use nokeys_http::{Client, Transport};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+
+/// A whole-pipeline failure.
+///
+/// Per-host and per-endpoint problems never surface here — they are
+/// retried, then absorbed into [`ScanReport::task_failures`] — so a
+/// single poisoned host cannot abort an internet-scale sweep. Only
+/// losing stage I itself (no batches, no totals, nothing to report) is
+/// an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// The stage-I sweep task died before delivering its totals.
+    SweepFailed(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::SweepFailed(e) => write!(f, "stage-I sweep task failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
 
 /// Pipeline configuration.
 ///
@@ -59,10 +98,16 @@ pub struct PipelineConfig {
     /// Run stage III plugins (disabling this is only useful for the
     /// prefilter ablation bench).
     pub verify: bool,
-    /// Maximum in-flight stage-II probes / stage-III host verifications.
-    /// `1` runs the stages strictly sequentially (the default); any
-    /// value produces the identical report on a fault-free transport.
+    /// Maximum in-flight stage-II probes / stage-III host verifications
+    /// (default 8; `1` runs the stages strictly sequentially). Any
+    /// value produces the identical report, fault injection included.
+    /// The builder rejects `0`.
     pub parallelism: usize,
+    /// Transport-level retry/backoff applied to every probe and connect
+    /// during [`Pipeline::run`] (default: 3 attempts, deterministic
+    /// capped-exponential backoff on the virtual clock). Use
+    /// [`RetryPolicy::disabled`] to scan without retries.
+    pub retry: RetryPolicy,
     /// Telemetry registry the pipeline records into. `None` gives the
     /// pipeline a private registry, still reachable through
     /// [`Pipeline::telemetry`]; pass a shared one to aggregate several
@@ -72,8 +117,9 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// Start building a configuration over `targets` with the paper's
-    /// defaults (12 ports, batches of 64 blocks, sequential stages,
-    /// fingerprinting and verification on).
+    /// defaults (12 ports, batches of 64 blocks, 8-way stage II/III
+    /// concurrency, 3 attempts per network operation, fingerprinting
+    /// and verification on).
     pub fn builder(targets: Vec<Cidr>) -> PipelineConfigBuilder {
         PipelineConfigBuilder {
             portscan: PortScanConfig::new(targets),
@@ -81,7 +127,8 @@ impl PipelineConfig {
             tarpit_port_threshold: None,
             fingerprint: true,
             verify: true,
-            parallelism: 1,
+            parallelism: 8,
+            retry: RetryPolicy::default(),
             telemetry: None,
         }
     }
@@ -91,10 +138,12 @@ impl PipelineConfig {
         Self::builder(targets).build()
     }
 
-    /// Same configuration with a different concurrency bound.
+    /// Same configuration with a different concurrency bound. Unlike
+    /// the builder, `0` is clamped to `1` (the shim's historical
+    /// behaviour).
     #[deprecated(note = "use PipelineConfig::builder(targets).parallelism(n)")]
     pub fn with_parallelism(mut self, parallelism: usize) -> Self {
-        self.parallelism = parallelism;
+        self.parallelism = parallelism.max(1);
         self
     }
 }
@@ -118,6 +167,7 @@ pub struct PipelineConfigBuilder {
     fingerprint: bool,
     verify: bool,
     parallelism: usize,
+    retry: RetryPolicy,
     telemetry: Option<Telemetry>,
 }
 
@@ -178,8 +228,28 @@ impl PipelineConfigBuilder {
     }
 
     /// Maximum in-flight stage-II probes / stage-III verifications.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0` — a zero-width pipeline can never make progress,
+    /// and silently clamping it would hide a configuration bug.
     pub fn parallelism(mut self, parallelism: usize) -> Self {
+        assert!(parallelism > 0, "pipeline parallelism must be at least 1");
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Total attempts per network operation (probe, connect, fetch).
+    /// `0` and `1` both mean "no retries"; the default is 3. Keeps the
+    /// rest of the configured [`RetryPolicy`] intact.
+    pub fn retries(mut self, attempts: u32) -> Self {
+        self.retry.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// Replace the whole transport retry/backoff policy.
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -201,6 +271,7 @@ impl PipelineConfigBuilder {
             fingerprint: self.fingerprint,
             verify: self.verify,
             parallelism: self.parallelism,
+            retry: self.retry,
             telemetry: self.telemetry,
         }
     }
@@ -221,6 +292,9 @@ struct PipelineMetrics {
     /// `pipeline.open_ports_per_host` — open scan ports on responsive
     /// hosts (tarpits included, so the top bucket exposes them).
     open_ports_per_host: Histogram,
+    /// `pipeline.task_failures` — stage-III host tasks that died and
+    /// were absorbed instead of aborting the sweep.
+    task_failures: Counter,
 }
 
 impl PipelineMetrics {
@@ -231,6 +305,7 @@ impl PipelineMetrics {
             findings: telemetry.counter("pipeline.findings"),
             mavs: telemetry.counter("pipeline.mavs"),
             open_ports_per_host: telemetry.histogram("pipeline.open_ports_per_host", &[1, 2, 4, 8]),
+            task_failures: telemetry.counter("pipeline.task_failures"),
         }
     }
 
@@ -255,7 +330,10 @@ impl Pipeline {
     pub fn new(config: PipelineConfig) -> Self {
         let telemetry = config.telemetry.clone().unwrap_or_default();
         let scanner = PortScanner::with_telemetry(config.portscan.clone(), &telemetry);
-        let prefilter = Arc::new(Prefilter::with_telemetry(&telemetry));
+        let prefilter = Arc::new(Prefilter::with_telemetry_and_retry(
+            &telemetry,
+            config.retry.clone(),
+        ));
         let fingerprinter = Arc::new(Fingerprinter::with_telemetry(&telemetry));
         let metrics = PipelineMetrics::new(&telemetry);
         Pipeline {
@@ -279,13 +357,33 @@ impl Pipeline {
     /// Stage I runs in its own task and hands each /24-batch through a
     /// bounded channel as soon as it completes; stages II/III process
     /// the batches (concurrently, up to `config.parallelism`) while the
-    /// sweep continues.
-    pub async fn run<T>(&self, client: &Client<T>) -> ScanReport
+    /// sweep continues. The caller's transport is wrapped in a
+    /// [`RetryTransport`] for the duration of the run, so every network
+    /// operation of every stage shares [`PipelineConfig::retry`].
+    pub async fn run<T>(&self, client: &Client<T>) -> Result<ScanReport, PipelineError>
+    where
+        T: Transport + Clone + 'static,
+    {
+        let retrying = client.with_transport(RetryTransport::new(
+            client.transport().clone(),
+            self.config.retry.clone(),
+            &self.telemetry,
+        ));
+        self.run_inner(&retrying).await
+    }
+
+    /// Effective stage II/III concurrency. The builder rejects `0`;
+    /// this clamp only guards direct mutation of the public field.
+    fn parallelism(&self) -> usize {
+        self.config.parallelism.max(1)
+    }
+
+    async fn run_inner<T>(&self, client: &Client<T>) -> Result<ScanReport, PipelineError>
     where
         T: Transport + Clone + 'static,
     {
         let mut report = ScanReport::default();
-        let parallelism = self.config.parallelism.max(1);
+        let parallelism = self.parallelism();
 
         // Stage I: stream batches while the sweep continues. The channel
         // bound keeps the sweep at most a few batches ahead of the
@@ -307,13 +405,15 @@ impl Pipeline {
             self.process_batch(client, batch, &mut report).await;
         }
 
-        let totals = sweep.await.expect("stage-I sweep panicked");
+        let totals = sweep
+            .await
+            .map_err(|e| PipelineError::SweepFailed(e.to_string()))?;
         report.addresses_probed = totals.addresses_probed;
         report.probes_sent = totals.probes_sent;
         for (port, n) in &totals.open_per_port {
             report.port_stats.entry(*port).or_default().open = *n;
         }
-        report
+        Ok(report)
     }
 
     /// Stages II + III for one batch of stage-I results.
@@ -325,7 +425,7 @@ impl Pipeline {
     ) where
         T: Transport + Clone + 'static,
     {
-        let parallelism = self.config.parallelism.max(1);
+        let parallelism = self.parallelism();
         self.metrics.batches.incr();
 
         // Exclude all-ports-open artifacts.
@@ -351,6 +451,7 @@ impl Pipeline {
         report.prefilter_discarded += prefilter_result.discarded;
         report.prefilter_silent += prefilter_result.silent;
         report.prefilter_hits += prefilter_result.hits.len() as u64;
+        report.task_failures += prefilter_result.task_failures;
         for (port, stats) in &prefilter_result.per_port {
             let entry = report.port_stats.entry(*port).or_default();
             entry.http += stats.http;
@@ -394,10 +495,10 @@ impl Pipeline {
             let fingerprinter = Arc::clone(&self.fingerprinter);
             let semaphore = Arc::clone(&semaphore);
             join_set.spawn(async move {
-                let _permit = semaphore
-                    .acquire_owned()
-                    .await
-                    .expect("stage-III semaphore closed");
+                // The semaphore lives as long as the join set; if it is
+                // somehow closed, verify unbounded rather than lose the
+                // host.
+                let _permit = semaphore.acquire_owned().await.ok();
                 let findings =
                     Self::verify_host(client, telemetry, fingerprinter, verify, fingerprint, hits)
                         .await;
@@ -406,11 +507,18 @@ impl Pipeline {
         }
         let mut verified: Vec<Option<Vec<HostFinding>>> = (0..n_hosts).map(|_| None).collect();
         while let Some(joined) = join_set.join_next().await {
-            let (seq, findings) = joined.expect("stage-III task panicked");
-            verified[seq] = Some(findings);
+            match joined {
+                Ok((seq, findings)) => verified[seq] = Some(findings),
+                // A poisoned host must not abort the sweep: absorb the
+                // loss (the host simply goes missing from the report,
+                // like one lost to the network) and account for it.
+                Err(_) => {
+                    self.metrics.task_failures.incr();
+                    report.task_failures += 1;
+                }
+            }
         }
-        for findings in verified {
-            let findings = findings.expect("every verified host reports");
+        for findings in verified.into_iter().flatten() {
             self.metrics.note_findings(&findings);
             report.findings.extend(findings);
         }
@@ -497,7 +605,7 @@ mod tests {
         let client = Client::new(t);
         let pipeline =
             Pipeline::new(PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).build());
-        let report = pipeline.run(&client).await;
+        let report = pipeline.run(&client).await.expect("pipeline failed");
         (client, report)
     }
 
@@ -507,7 +615,10 @@ mod tests {
         let config = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
             .parallelism(parallelism)
             .build();
-        Pipeline::new(config).run(&client).await
+        Pipeline::new(config)
+            .run(&client)
+            .await
+            .expect("pipeline failed")
     }
 
     #[test]
@@ -523,6 +634,7 @@ mod tests {
             .fingerprint(false)
             .verify(false)
             .parallelism(4)
+            .retries(5)
             .telemetry(telemetry)
             .build();
         assert_eq!(config.portscan.ports, vec![80, 443]);
@@ -534,7 +646,24 @@ mod tests {
         assert!(!config.fingerprint);
         assert!(!config.verify);
         assert_eq!(config.parallelism, 4);
+        assert_eq!(config.retry.max_attempts, 5);
         assert!(config.telemetry.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "parallelism must be at least 1")]
+    fn builder_rejects_zero_parallelism() {
+        let _ = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).parallelism(0);
+    }
+
+    #[test]
+    fn retries_zero_and_one_both_disable_retrying() {
+        let targets: Vec<Cidr> = vec!["20.0.0.0/16".parse().unwrap()];
+        let zero = PipelineConfig::builder(targets.clone()).retries(0).build();
+        let one = PipelineConfig::builder(targets).retries(1).build();
+        assert_eq!(zero.retry.max_attempts, 1);
+        assert!(!zero.retry.enabled());
+        assert!(!one.retry.enabled());
     }
 
     #[test]
@@ -638,7 +767,7 @@ mod tests {
                 .telemetry(telemetry.clone())
                 .build(),
         );
-        let report = pipeline.run(&client).await;
+        let report = pipeline.run(&client).await.expect("pipeline failed");
         let snap = pipeline.telemetry().snapshot();
         // The external registry and the pipeline's view are the same.
         assert_eq!(snap.to_json(), telemetry.snapshot().to_json());

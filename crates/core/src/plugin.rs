@@ -16,7 +16,11 @@ use std::sync::Mutex;
 /// Run the MAV detection plugin for `app` against `ep`.
 ///
 /// Returns `true` iff all of the plugin's steps succeed; transport errors
-/// and missing pages yield `false` (no MAV confirmed).
+/// and missing pages yield `false` (no MAV confirmed). Transient-fault
+/// tolerance is not handled here: when run under the pipeline, the
+/// client's transport is a [`RetryTransport`](crate::retry::RetryTransport)
+/// that retries timeouts and dropped connections before the plugin ever
+/// sees them.
 pub async fn detect_mav<T: Transport>(
     client: &Client<T>,
     app: AppId,

@@ -52,7 +52,12 @@ pub struct PortScanResult {
     pub open_per_port: BTreeMap<u16, u64>,
     /// Number of addresses probed.
     pub addresses_probed: u64,
-    /// Number of individual (address, port) probes sent.
+    /// Number of individual (address, port) probes sent. This counts
+    /// *logical* probes — one per (address, port) pair. Transport-level
+    /// retransmits (a [`RetryPolicy`](crate::retry::RetryPolicy)
+    /// re-probing a filtered endpoint) are deliberately not counted, so
+    /// fault-injected runs with retries reconcile with fault-free
+    /// reports.
     pub probes_sent: u64,
 }
 

@@ -8,6 +8,7 @@
 
 use crate::multipattern::MultiPattern;
 use crate::pattern::PreparedBody;
+use crate::retry::{RetryMetrics, RetryPolicy};
 use crate::signatures::{all_signatures, rank_candidates, Signature};
 use crate::telemetry::{Counter, Histogram, Telemetry, Timer};
 use nokeys_apps::AppId;
@@ -44,6 +45,9 @@ pub struct PrefilterResult {
     pub discarded: u64,
     /// Endpoints that spoke neither protocol.
     pub silent: u64,
+    /// Probe tasks that died (panic/cancellation) and were absorbed
+    /// instead of aborting the batch; their endpoints are unclassified.
+    pub task_failures: u64,
     /// Protocol stats per port.
     pub per_port: BTreeMap<u16, PortProtocolStats>,
 }
@@ -61,6 +65,7 @@ struct PrefilterMetrics {
     view_squashed: Counter,
     /// One hit counter per signature, catalog order.
     signature_hits: Vec<Counter>,
+    task_failures: Counter,
     redirects: Histogram,
     body_bytes: Histogram,
     probe: Timer,
@@ -83,6 +88,7 @@ impl PrefilterMetrics {
                 .enumerate()
                 .map(|(i, s)| telemetry.counter(&format!("stage2.signature.{i:02}.{}", s.app)))
                 .collect(),
+            task_failures: telemetry.counter("stage2.task_failures"),
             redirects: telemetry.histogram("stage2.redirects", &[0, 1, 2, 4, 8]),
             body_bytes: telemetry.histogram("stage2.body_bytes", &[256, 1024, 4096, 16384, 65536]),
             probe: telemetry.timer("stage2.prefilter"),
@@ -97,6 +103,12 @@ pub struct Prefilter {
     /// loop runs one automaton pass per view instead of 90 searches.
     matcher: MultiPattern,
     metrics: PrefilterMetrics,
+    /// Whole-fetch retry budget for transient errors (a connection that
+    /// dies mid-response surfaces `UnexpectedEof`, which a fresh fetch
+    /// can recover from). Disabled for standalone prefilters; the
+    /// pipeline passes its configured policy.
+    retry: RetryPolicy,
+    fetch_retry: RetryMetrics,
 }
 
 impl Default for Prefilter {
@@ -113,13 +125,23 @@ impl Prefilter {
     /// Build a prefilter that records probe counts, per-signature hit
     /// counts and multipattern view statistics into `telemetry`.
     pub fn with_telemetry(telemetry: &Telemetry) -> Self {
+        Self::with_telemetry_and_retry(telemetry, RetryPolicy::disabled())
+    }
+
+    /// Like [`with_telemetry`](Self::with_telemetry), plus a retry
+    /// budget for transient fetch failures, accounted under
+    /// `retry.fetch.*`.
+    pub fn with_telemetry_and_retry(telemetry: &Telemetry, retry: RetryPolicy) -> Self {
         let signatures = all_signatures();
         let matcher = MultiPattern::new(&signatures);
         let metrics = PrefilterMetrics::new(telemetry, &signatures);
+        let fetch_retry = RetryMetrics::new(telemetry, "fetch");
         Prefilter {
             signatures,
             matcher,
             metrics,
+            retry,
+            fetch_retry,
         }
     }
 
@@ -147,8 +169,13 @@ impl Prefilter {
         self.metrics.endpoints.incr();
         self.metrics.probe.record(schemes.len() as u64);
         for &scheme in schemes {
-            let Ok(fetched) = client.get_path(ep, scheme, "/").await else {
-                continue;
+            let fetched = match self
+                .retry
+                .run(ep, &self.fetch_retry, || client.get_path(ep, scheme, "/"))
+                .await
+            {
+                Ok(fetched) => fetched,
+                Err(_) => continue,
             };
             match scheme {
                 Scheme::Http => {
@@ -264,10 +291,10 @@ impl Prefilter {
             let client = client.clone();
             let semaphore = Arc::clone(&semaphore);
             join_set.spawn(async move {
-                let _permit = semaphore
-                    .acquire_owned()
-                    .await
-                    .expect("prefilter semaphore closed");
+                // The semaphore lives as long as the join set; if it is
+                // somehow closed, probe unbounded rather than lose the
+                // endpoint.
+                let _permit = semaphore.acquire_owned().await.ok();
                 let (hit, stats) = prefilter.probe_endpoint(&client, ep).await;
                 (seq, hit, stats)
             });
@@ -276,15 +303,23 @@ impl Prefilter {
         let mut probed: Vec<Option<(Option<PrefilterHit>, PortProtocolStats)>> =
             (0..endpoints.len()).map(|_| None).collect();
         while let Some(joined) = join_set.join_next().await {
-            let (seq, hit, stats) = joined.expect("prefilter probe task panicked");
-            probed[seq] = Some((hit, stats));
+            // A probe task that dies must not abort the batch; its
+            // endpoint slot stays empty and is counted below.
+            if let Ok((seq, hit, stats)) = joined {
+                probed[seq] = Some((hit, stats));
+            }
         }
 
         // Merge in endpoint order — byte-identical to the sequential run.
         let mut result = PrefilterResult::default();
         for (&ep, slot) in endpoints.iter().zip(probed) {
-            let (hit, stats) = slot.expect("every probe task reports");
-            self.absorb_probe(&mut result, ep, hit, stats);
+            match slot {
+                Some((hit, stats)) => self.absorb_probe(&mut result, ep, hit, stats),
+                None => {
+                    self.metrics.task_failures.incr();
+                    result.task_failures += 1;
+                }
+            }
         }
         result
     }

@@ -74,6 +74,13 @@ impl Pacer {
     }
 
     /// Wait for and consume one token.
+    ///
+    /// Elapsed-time accounting invariant: each loop iteration credits
+    /// the interval since `last` exactly once, then advances `last` to
+    /// the instant that was credited. No interval is ever counted twice
+    /// (which would overfeed the bucket and break the rate ceiling) and
+    /// none is skipped (the next iteration credits exactly the time
+    /// slept); the tests below pin both directions.
     pub async fn acquire(&mut self) {
         loop {
             let now = tokio::time::Instant::now();
@@ -131,6 +138,43 @@ mod tests {
         let elapsed = tokio::time::Instant::now() - start;
         // 1 burst token + 10 at 100/s = at least 100ms of virtual time.
         assert!(elapsed >= Duration::from_millis(95), "{elapsed:?}");
+    }
+
+    /// Pins the refill arithmetic under repeated `acquire` calls: if an
+    /// elapsed interval were ever credited twice (e.g. `last` not
+    /// advancing with the refill), extra tokens would appear and the
+    /// loop would finish early; if an interval were dropped, it would
+    /// finish late.
+    #[tokio::test(start_paused = true)]
+    async fn pacer_never_double_credits_elapsed_time() {
+        let mut p = Pacer::new(10.0, 1.0);
+        let start = tokio::time::Instant::now();
+        for _ in 0..21 {
+            p.acquire().await;
+        }
+        let elapsed = tokio::time::Instant::now() - start;
+        // 1 burst token + 20 refilled at 10/s = 2s of virtual time.
+        assert!(elapsed >= Duration::from_millis(1_990), "{elapsed:?}");
+        assert!(elapsed <= Duration::from_millis(2_200), "{elapsed:?}");
+    }
+
+    /// Burst tokens are consumed without waiting; the first paced
+    /// acquire then waits one full period.
+    #[tokio::test(start_paused = true)]
+    async fn pacer_spends_burst_before_pacing() {
+        let mut p = Pacer::new(1.0, 3.0);
+        let start = tokio::time::Instant::now();
+        for _ in 0..3 {
+            p.acquire().await;
+        }
+        assert_eq!(
+            tokio::time::Instant::now() - start,
+            Duration::ZERO,
+            "burst is free"
+        );
+        p.acquire().await;
+        let elapsed = tokio::time::Instant::now() - start;
+        assert!(elapsed >= Duration::from_millis(990), "{elapsed:?}");
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct ScanReport {
     pub prefilter_silent: u64,
     /// Endpoints whose body matched at least one signature.
     pub prefilter_hits: u64,
+    /// Stage II/III worker tasks that died and were absorbed instead of
+    /// aborting the sweep. Always 0 on a healthy run; a non-zero value
+    /// means some endpoints or hosts are missing from the counts above.
+    pub task_failures: u64,
     /// Identified AWE hosts (one entry per host × application).
     pub findings: Vec<HostFinding>,
 }

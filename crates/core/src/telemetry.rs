@@ -8,7 +8,12 @@
 //! and which signatures fired, stage III the per-application verify
 //! outcomes, the fingerprinter its method mix, the longevity observer
 //! its per-round status transitions, and the honeypot monitor its
-//! attack-rate counters.
+//! attack-rate counters. The retry layer accounts per-lane under
+//! `retry.{probe,connect,fetch}.{retries,recovered,exhausted}` plus a
+//! `retry.<lane>.backoff` timer of virtual backoff units, and the repro
+//! harness bridges the simulator's injected faults in as
+//! `fault.{probe,connect}.injected` — which is what lets a snapshot
+//! reconcile "faults injected" against "retries spent".
 //!
 //! # Design
 //!

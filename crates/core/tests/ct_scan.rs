@@ -80,7 +80,8 @@ async fn ip_sweep_misses_everything_behind_shared_hosting() {
     let client = nokeys_http::Client::new(transport.clone());
     let report = Pipeline::new(PipelineConfig::builder(vec![config.space]).build())
         .run(&client)
-        .await;
+        .await
+        .expect("pipeline failed");
 
     // No finding of the IP sweep points at a shared-hosting machine: the
     // default vhost is a hosting placeholder.

@@ -81,6 +81,16 @@ impl<T: Transport> Client<T> {
         &self.config
     }
 
+    /// Rebuild this client around a different transport, keeping the
+    /// configuration — e.g. to wrap the current transport with retry or
+    /// fault-injection behaviour.
+    pub fn with_transport<U: Transport>(&self, transport: U) -> Client<U> {
+        Client {
+            transport,
+            config: self.config.clone(),
+        }
+    }
+
     /// Issue a single request to `url` without following redirects.
     ///
     /// A caller-provided `Host` header is preserved — that is how

@@ -34,6 +34,17 @@ pub enum Error {
     Io(String),
 }
 
+impl Error {
+    /// Whether the failure is plausibly transient — a retry with
+    /// backoff may succeed. Timeouts, peers dying mid-message and raw
+    /// I/O failures qualify; protocol and addressing errors are
+    /// terminal (retrying a refused connect or a malformed response
+    /// reproduces the same failure).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Timeout | Error::UnexpectedEof | Error::Io(_))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -76,6 +87,23 @@ mod tests {
         };
         assert_eq!(e.to_string(), "HTTP body exceeds limit of 42 bytes");
         assert_eq!(Error::Timeout.to_string(), "operation timed out");
+    }
+
+    #[test]
+    fn transient_classification_separates_retryable_from_terminal() {
+        assert!(Error::Timeout.is_transient());
+        assert!(Error::UnexpectedEof.is_transient());
+        assert!(Error::Io("reset".into()).is_transient());
+        assert!(!Error::Connect("refused".into()).is_transient());
+        assert!(!Error::Malformed("bad status line").is_transient());
+        assert!(!Error::SchemeUnsupported.is_transient());
+        assert!(!Error::InvalidUrl("empty").is_transient());
+        assert!(!Error::TooManyRedirects(5).is_transient());
+        assert!(!Error::TooLarge {
+            what: "body",
+            limit: 1
+        }
+        .is_transient());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 pub mod calibration;
 pub mod clock;
 pub mod events;
+pub mod fault;
 pub mod geo;
 pub mod host;
 pub mod ip;
@@ -25,6 +26,7 @@ pub mod vhost;
 
 pub use clock::{SimDuration, SimTime};
 pub use events::EventQueue;
+pub use fault::{FaultLane, FaultPlan, FaultStats, FaultyTransport};
 pub use geo::{AsInfo, CountryCode, GeoDb, GeoRecord};
 pub use host::{Host, SchemeSupport, Service, ServiceKind};
 pub use ip::{Cidr, ReservedRanges};

@@ -6,6 +6,7 @@
 //! and pipeline code runs against the simulation and against real TCP.
 
 use crate::clock::SimTime;
+use crate::fault::{FaultLane, FaultPlan, FaultStats};
 use crate::universe::{ConnectBehavior, Universe};
 use bytes::{Buf, BytesMut};
 use nokeys_http::parse::{parse_request, Limits, Parsed};
@@ -49,11 +50,13 @@ pub struct SimTransport {
     stats: Arc<TransportStats>,
     /// Source address the universe sees for requests from this transport.
     scanner_ip: Ipv4Addr,
-    /// Fault injection: probability that a connect attempt times out
-    /// (transient network loss). Deterministic per (endpoint, attempt
-    /// counter) so runs remain reproducible.
-    connect_fault_rate: f64,
-    fault_counter: Arc<AtomicU64>,
+    /// Transient-loss schedule: probe faults drop the SYN answer
+    /// (`Filtered`), connect faults time the attempt out. Decisions are
+    /// keyed per `(endpoint, lane, attempt ordinal)` — see
+    /// [`FaultPlan`] — so the schedule one endpoint sees is independent
+    /// of cross-endpoint execution order, and fault-injected runs
+    /// replay exactly at any parallelism.
+    faults: FaultPlan,
 }
 
 impl SimTransport {
@@ -63,37 +66,47 @@ impl SimTransport {
             now: Arc::new(RwLock::new(SimTime::SCAN_START)),
             stats: Arc::new(TransportStats::default()),
             scanner_ip: Ipv4Addr::new(198, 51, 100, 77),
-            connect_fault_rate: 0.0,
-            fault_counter: Arc::new(AtomicU64::new(0)),
+            faults: FaultPlan::disabled(),
         }
     }
 
-    /// Enable transient connect faults with the given probability
+    /// Enable transient faults with the given per-attempt probability
     /// (smoltcp-style fault injection; exercises the pipeline's
-    /// resilience to flaky networks).
-    pub fn with_fault_injection(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate must be a probability");
-        self.connect_fault_rate = rate;
+    /// resilience to flaky networks). Faults fire on both SYN probes
+    /// (dropped answer → `Filtered`) and connects (timeout). Starts a
+    /// fresh schedule, so call during setup — and before
+    /// [`with_fault_observer`](Self::with_fault_observer).
+    pub fn with_fault_injection(self, rate: f64) -> Self {
+        let seed = self.faults.seed();
+        self.with_fault_plan(FaultPlan::new(rate, seed))
+    }
+
+    /// Re-key the fault stream. Starts a fresh schedule, keeping the
+    /// configured rate.
+    pub fn with_fault_seed(self, seed: u64) -> Self {
+        let rate = self.faults.rate();
+        self.with_fault_plan(FaultPlan::new(rate, seed))
+    }
+
+    /// Replace the whole fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
         self
     }
 
-    /// Deterministic per-attempt fault decision.
-    fn fault_fires(&self, ep: Endpoint) -> bool {
-        if self.connect_fault_rate == 0.0 {
-            return false;
-        }
-        let n = self.fault_counter.fetch_add(1, Ordering::Relaxed);
-        // splitmix64 over (endpoint, attempt) for a stable pseudo-random
-        // stream independent of rand crate versions.
-        let mut x = n
-            .wrapping_mul(0x9e3779b97f4a7c15)
-            .wrapping_add(u64::from(u32::from(ep.ip)) << 16)
-            .wrapping_add(ep.port as u64);
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xbf58476d1ce4e5b9);
-        x ^= x >> 27;
-        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.connect_fault_rate
+    /// Observe every injected fault — used to bridge fault counts into
+    /// a telemetry registry this crate cannot depend on.
+    pub fn with_fault_observer(
+        mut self,
+        observer: impl Fn(FaultLane) + Send + Sync + 'static,
+    ) -> Self {
+        self.faults = self.faults.clone().with_observer(observer);
+        self
+    }
+
+    /// Injected-fault counts (shared across clones).
+    pub fn fault_stats(&self) -> &FaultStats {
+        self.faults.stats()
     }
 
     /// Set the virtual time at which the universe is observed.
@@ -128,12 +141,16 @@ impl Transport for SimTransport {
 
     async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
         self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        if self.faults.fires(FaultLane::Probe, ep) {
+            // Injected SYN loss: the probe goes unanswered.
+            return ProbeOutcome::Filtered;
+        }
         self.universe.probe(ep, self.time())
     }
 
     async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<SimConn> {
         self.stats.connects.fetch_add(1, Ordering::Relaxed);
-        if self.fault_fires(ep) {
+        if self.faults.fires(FaultLane::Connect, ep) {
             return Err(nokeys_http::Error::Timeout);
         }
         let at = self.time();
@@ -390,5 +407,50 @@ mod tests {
         t.set_time(end);
         assert_eq!(t.probe(ep).await, ProbeOutcome::Filtered);
         assert!(t.connect(ep, Scheme::Http).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn probes_can_fault_too() {
+        let t = transport().with_fault_injection(1.0);
+        let ep = find_app_ep(&t, AppId::Hadoop, true);
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Filtered);
+        assert_eq!(t.fault_stats().probe_injected(), 1);
+        // A fault-free transport sees the same endpoint open.
+        assert_eq!(transport().probe(ep).await, ProbeOutcome::Open);
+    }
+
+    #[tokio::test]
+    async fn fault_schedule_is_independent_of_endpoint_interleaving() {
+        async fn timed_out(t: &SimTransport, ep: Endpoint) -> bool {
+            matches!(
+                t.connect(ep, Scheme::Http).await,
+                Err(nokeys_http::Error::Timeout)
+            )
+        }
+
+        let t1 = transport().with_fault_injection(0.5).with_fault_seed(7);
+        let t2 = transport().with_fault_injection(0.5).with_fault_seed(7);
+        let a = find_app_ep(&t1, AppId::Hadoop, true);
+        let b = find_app_ep(&t1, AppId::WordPress, true);
+
+        // t1 interleaves a/b; t2 visits b first, then all of a. The
+        // per-endpoint timeout sequences must match regardless.
+        let mut a1 = Vec::new();
+        let mut b1 = Vec::new();
+        for _ in 0..16 {
+            a1.push(timed_out(&t1, a).await);
+            b1.push(timed_out(&t1, b).await);
+        }
+        let mut b2 = Vec::new();
+        for _ in 0..16 {
+            b2.push(timed_out(&t2, b).await);
+        }
+        let mut a2 = Vec::new();
+        for _ in 0..16 {
+            a2.push(timed_out(&t2, a).await);
+        }
+        assert_eq!(a1, a2);
+        assert_eq!(b1, b2);
+        assert!(a1.contains(&true) && a1.contains(&false), "{a1:?}");
     }
 }

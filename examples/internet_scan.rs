@@ -25,15 +25,15 @@ async fn main() {
 
     let transport = SimTransport::new(universe);
     let client = nokeys::http::Client::new(transport.clone());
-    // Concurrency is a pure speedup here: the fault-free simulated
-    // transport yields the same report at any parallelism.
+    // Concurrency is a pure speedup: the simulated transport yields the
+    // same report at any parallelism, faults or no faults.
     let pipeline = Pipeline::new(
         PipelineConfig::builder(vec![config.space])
             .parallelism(8)
             .build(),
     );
     let started = std::time::Instant::now();
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
     println!(
         "scan finished in {:.1?}: {} probes, {} HTTP exchanges\n",
         started.elapsed(),

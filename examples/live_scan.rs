@@ -70,7 +70,7 @@ async fn main() {
     let pipeline = Pipeline::new(config);
     let client = nokeys::http::Client::new(TcpTransport::default());
 
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
     println!(
         "\nscan over real TCP finished: {} probes, {} findings",
         report.probes_sent,

@@ -27,7 +27,7 @@ async fn main() {
     let transport = SimTransport::new(universe);
     let client = nokeys::http::Client::new(transport.clone());
     let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
 
     // 3. Results.
     println!("funnel: {}", report.funnel());

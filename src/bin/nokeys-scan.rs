@@ -4,17 +4,27 @@
 //! ```text
 //! nokeys-scan --target 192.0.2.0/28 [--ports 80,443,8080] [--rate 200]
 //!             [--parallelism 16] [--json out.json] [--metrics-out m.json]
-//!             [--include-reserved]
+//!             [--include-reserved] [--retries N] [--fault-rate P]
 //! ```
 //!
 //! Like the paper's scanner, the tool is strictly non-intrusive: it only
 //! issues non-state-changing `GET` requests and infers the presence of a
 //! MAV from the presence of the vulnerable functionality.
+//!
+//! `--retries N` gives every probe/connect N total attempts with
+//! deterministic exponential backoff (1 disables retrying). For
+//! rehearsing that path against lab targets, `--fault-rate P` injects
+//! synthetic SYN loss and connect timeouts at per-attempt probability
+//! `P` before any packet reaches the network.
 
 use nokeys::http::transport::TcpTransport;
 use nokeys::http::Client;
-use nokeys::scanner::{Pipeline, PipelineConfig, PortScanConfig, PortScanner, Telemetry};
+use nokeys::netsim::{FaultPlan, FaultyTransport};
+use nokeys::scanner::{
+    Pipeline, PipelineConfig, PortScanConfig, PortScanner, RetryPolicy, Telemetry,
+};
 use std::sync::Arc;
+use std::time::Duration;
 
 struct Args {
     targets: Vec<nokeys::scanner::portscan::Cidr>,
@@ -23,6 +33,8 @@ struct Args {
     rate: Option<f64>,
     shard: Option<(usize, usize)>,
     include_reserved: bool,
+    retries: u32,
+    fault_rate: f64,
     json: Option<String>,
     metrics_out: Option<String>,
 }
@@ -31,7 +43,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
          \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
-         \x20                [--shard K/N]\n\
+         \x20                [--shard K/N] [--retries N] [--fault-rate P]\n\
          \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]"
     );
     std::process::exit(2);
@@ -45,6 +57,8 @@ fn parse_args() -> Args {
         rate: None,
         shard: None,
         include_reserved: false,
+        retries: 3,
+        fault_rate: 0.0,
         json: None,
         metrics_out: None,
     };
@@ -95,6 +109,21 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+            "--retries" => {
+                i += 1;
+                args.retries = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--fault-rate" => {
+                i += 1;
+                args.fault_rate = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage());
+            }
             "--include-reserved" => args.include_reserved = true,
             "--json" => {
                 i += 1;
@@ -129,8 +158,18 @@ async fn main() {
     portscan.exclude_reserved = !args.include_reserved;
     portscan.max_probes_per_sec = args.rate;
 
-    // Stage I concurrently over real sockets, then stages II/III.
-    let transport = Arc::new(TcpTransport::default());
+    // Stage I concurrently over real sockets, then stages II/III. The
+    // fault-injection wrapper is a passthrough at rate 0 (the default);
+    // clones share one fault schedule, so the sweep and the pipeline
+    // draw from the same per-endpoint attempt ordinals.
+    let fault_plan = FaultPlan::new(args.fault_rate, 0x6e6f_6b65_7973);
+    if args.fault_rate > 0.0 {
+        eprintln!(
+            "injecting synthetic transport faults at rate {}",
+            args.fault_rate
+        );
+    }
+    let transport = Arc::new(FaultyTransport::new(TcpTransport::default(), fault_plan));
     let scanner = PortScanner::new(portscan.clone());
     let sweep = match args.shard {
         Some((k, n)) => {
@@ -151,17 +190,28 @@ async fn main() {
 
     let telemetry = Telemetry::new();
     let tarpit_port_threshold = portscan.ports.len().max(2);
+    // Over real sockets one backoff unit is a millisecond, so exhausted
+    // budgets actually pace the retries instead of hammering the target.
+    let mut retry = RetryPolicy::with_attempts(args.retries);
+    retry.real_unit = Duration::from_millis(1);
     let config = PipelineConfig::builder(args.targets)
         .portscan(portscan)
         .tarpit_port_threshold(tarpit_port_threshold)
         // --parallelism bounds both the stage-I sweep above and the
         // in-flight stage-II probes / stage-III verifications below.
         .parallelism(args.parallelism)
+        .retry_policy(retry)
         .telemetry(telemetry.clone())
         .build();
     let pipeline = Pipeline::new(config);
-    let client = Client::new(TcpTransport::default());
-    let report = pipeline.run(&client).await;
+    let client = Client::new(transport.as_ref().clone());
+    let report = match pipeline.run(&client).await {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
 
     for f in &report.findings {
         println!(

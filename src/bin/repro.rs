@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <id>... [--seed N] [--quick] [--out DIR] [--metrics-out FILE]
+//!               [--fault-rate P] [--retries N]
 //! repro all [--seed N] [--quick]
 //! repro list
 //! ```
@@ -11,12 +12,19 @@
 //! vulnerable hosts, 3-hourly rescans) — use a release build.
 //! `--metrics-out FILE` writes the harness-wide telemetry snapshot
 //! (deterministic JSON) after all experiments finish.
+//! `--fault-rate P` injects transient faults (SYN loss, connect
+//! timeouts) into the simulated transport at per-attempt probability
+//! `P`; the schedule is keyed per (endpoint, lane, attempt ordinal), so
+//! the report is still byte-identical run to run. `--retries N` sets
+//! the per-operation transport attempt budget (default 3; 1 disables
+//! retrying).
 
 use nokeys::repro::{Repro, Scale};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR] [--metrics-out FILE]"
+        "usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR] [--metrics-out FILE]\n\
+         \x20      [--fault-rate P] [--retries N]"
     );
     eprintln!("experiment ids: {}", Repro::all_ids().join(", "));
     std::process::exit(2);
@@ -33,11 +41,28 @@ async fn main() {
     let mut scale = Scale::Full;
     let mut out_dir: Option<std::path::PathBuf> = None;
     let mut metrics_out: Option<String> = None;
+    let mut fault_rate: f64 = 0.0;
+    let mut retries: u32 = 3;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => scale = Scale::Quick,
+            "--fault-rate" => {
+                i += 1;
+                fault_rate = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage());
+            }
+            "--retries" => {
+                i += 1;
+                retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
             "--out" => {
                 i += 1;
                 out_dir = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
@@ -69,7 +94,9 @@ async fn main() {
         usage();
     }
 
-    let mut harness = Repro::new(seed, scale);
+    let mut harness = Repro::new(seed, scale)
+        .with_fault_rate(fault_rate)
+        .with_retries(retries);
     println!(
         "# nokeys repro — seed {seed}, scale {:?}, universe {}",
         scale,

@@ -6,7 +6,7 @@ use nokeys_analysis as analysis;
 use nokeys_defend::VendorFinding;
 use nokeys_honeypot::{run_study, StudyConfig, StudyResult};
 use nokeys_netsim::observer_clock::wire_observer_clock;
-use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+use nokeys_netsim::{FaultLane, SimTransport, Universe, UniverseConfig};
 use nokeys_scanner::observer::{observe_instrumented, LongevityStudy, ObserverConfig};
 use nokeys_scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry};
 use std::sync::Arc;
@@ -28,6 +28,8 @@ pub struct Repro {
     pub scale: Scale,
     universe_config: UniverseConfig,
     telemetry: Telemetry,
+    fault_rate: f64,
+    retries: u32,
     scan: Option<(SimTransport, ScanReport)>,
     longevity: Option<LongevityStudy>,
     study: Option<StudyResult>,
@@ -45,11 +47,28 @@ impl Repro {
             scale,
             universe_config,
             telemetry: Telemetry::new(),
+            fault_rate: 0.0,
+            retries: 3,
             scan: None,
             longevity: None,
             study: None,
             defenders: None,
         }
+    }
+
+    /// Inject transient faults (SYN loss + connect timeouts) into the
+    /// simulated transport at this per-attempt probability. The fault
+    /// schedule is keyed per (endpoint, lane, attempt ordinal), so the
+    /// report stays byte-identical at any parallelism.
+    pub fn with_fault_rate(mut self, rate: f64) -> Self {
+        self.fault_rate = rate;
+        self
+    }
+
+    /// Per-operation transport attempt budget (1 disables retrying).
+    pub fn with_retries(mut self, attempts: u32) -> Self {
+        self.retries = attempts.max(1);
+        self
     }
 
     /// The universe configuration in use.
@@ -66,16 +85,33 @@ impl Repro {
     pub async fn scan(&mut self) -> &(SimTransport, ScanReport) {
         if self.scan.is_none() {
             let universe = Arc::new(Universe::generate(self.universe_config.clone()));
-            let transport = SimTransport::new(universe);
+            let mut transport = SimTransport::new(universe);
+            if self.fault_rate > 0.0 {
+                // Bridge injected faults into the telemetry registry so a
+                // snapshot can reconcile them against the retry counters.
+                let probe = self.telemetry.counter("fault.probe.injected");
+                let connect = self.telemetry.counter("fault.connect.injected");
+                transport = transport
+                    .with_fault_injection(self.fault_rate)
+                    .with_fault_observer(move |lane| match lane {
+                        FaultLane::Probe => probe.incr(),
+                        FaultLane::Connect => connect.incr(),
+                    });
+            }
             let client = nokeys_http::Client::new(transport.clone());
-            // The repro transport is fault-free, so the concurrent
-            // pipeline reproduces the sequential report byte-for-byte.
+            // Faults or not, the per-(endpoint, lane, ordinal) fault
+            // schedule and the retry layer keep the concurrent pipeline's
+            // report byte-identical to the sequential one.
             let config = PipelineConfig::builder(vec![self.universe_config.space])
                 .parallelism(8)
+                .retries(self.retries)
                 .telemetry(self.telemetry.clone())
                 .build();
             let pipeline = Pipeline::new(config);
-            let report = pipeline.run(&client).await;
+            let report = pipeline
+                .run(&client)
+                .await
+                .unwrap_or_else(|e| panic!("scan pipeline failed: {e}"));
             self.scan = Some((transport, report));
         }
         self.scan.as_ref().expect("just initialized")

@@ -1,0 +1,180 @@
+//! Order-independent fault injection + retry recovery.
+//!
+//! The fault schedule is a pure hash over (endpoint, lane, attempt
+//! ordinal), so *which* attempt faults for an endpoint cannot depend on
+//! how concurrent tasks interleave attempts against other endpoints.
+//! These tests pin the consequences: fault-injected scans stay
+//! byte-identical at any parallelism, retries recover the fault-free
+//! report at realistic fault rates, and the `retry.*` counters
+//! reconcile against the `fault.*` counters the transport bridges in.
+
+use nokeys::apps::AppId;
+use nokeys::netsim::{FaultLane, SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry, TelemetrySnapshot};
+use std::collections::BTreeSet;
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// One full pipeline run over a faulty tiny universe. Injected faults
+/// are bridged into the telemetry registry as `fault.<lane>.injected`,
+/// the way the repro harness wires them.
+async fn run_faulty(
+    seed: u64,
+    parallelism: usize,
+    fault_rate: f64,
+    retries: u32,
+) -> (ScanReport, TelemetrySnapshot) {
+    let config = UniverseConfig::tiny(seed);
+    let telemetry = Telemetry::new();
+    let probe_faults = telemetry.counter("fault.probe.injected");
+    let connect_faults = telemetry.counter("fault.connect.injected");
+    let transport = SimTransport::new(Arc::new(Universe::generate(config.clone())))
+        .with_fault_injection(fault_rate)
+        .with_fault_observer(move |lane| match lane {
+            FaultLane::Probe => probe_faults.incr(),
+            FaultLane::Connect => connect_faults.incr(),
+        });
+    let client = nokeys::http::Client::new(transport);
+    let pipeline = Pipeline::new(
+        PipelineConfig::builder(vec![config.space])
+            .parallelism(parallelism)
+            .retries(retries)
+            .telemetry(telemetry.clone())
+            .build(),
+    );
+    let report = pipeline.run(&client).await.expect("pipeline failed");
+    (report, telemetry.snapshot())
+}
+
+/// Findings as a comparable (ip, app) key set.
+fn keys(report: &ScanReport) -> BTreeSet<(Ipv4Addr, AppId)> {
+    report
+        .findings
+        .iter()
+        .map(|f| (f.endpoint.ip, f.app))
+        .collect()
+}
+
+fn json(report: &ScanReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// The tentpole property: with faults *enabled*, a sequential scan and
+/// an 8-way concurrent scan produce byte-identical reports and
+/// telemetry. Under the old globally-counted schedule this only held at
+/// parallelism 1.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn fault_injected_reports_are_identical_at_any_parallelism() {
+    let (report_seq, snap_seq) = run_faulty(42, 1, 0.1, 3).await;
+    let (report_par, snap_par) = run_faulty(42, 8, 0.1, 3).await;
+    assert!(
+        snap_seq.counter("fault.probe.injected") > 0
+            && snap_seq.counter("fault.connect.injected") > 0,
+        "faults must actually fire for this test to mean anything"
+    );
+    assert_eq!(
+        json(&report_seq),
+        json(&report_par),
+        "fault-injected reports diverged across parallelism"
+    );
+    assert_eq!(
+        snap_seq.to_json(),
+        snap_par.to_json(),
+        "fault/retry telemetry diverged across parallelism"
+    );
+}
+
+/// At low fault rates the retry budget absorbs every transient loss:
+/// the faulty report is byte-identical to the fault-free one. At a
+/// harsher rate losses may appear, but only as losses — never as new
+/// or different findings — and coverage stays near-complete.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn retries_recover_the_fault_free_report() {
+    let (clean, _) = run_faulty(42, 8, 0.0, 4).await;
+    let (recovered, snap) = run_faulty(42, 8, 0.01, 4).await;
+    assert!(
+        snap.counter("fault.probe.injected") + snap.counter("fault.connect.injected") > 0,
+        "the recovered run really was faulty"
+    );
+    assert_eq!(
+        json(&clean),
+        json(&recovered),
+        "1% faults with a 4-attempt budget must scan clean"
+    );
+
+    let (harsher, _) = run_faulty(42, 8, 0.02, 3).await;
+    assert!(
+        keys(&harsher).is_subset(&keys(&clean)),
+        "faults may only lose findings, never invent them"
+    );
+    assert!(
+        harsher.total_hosts() * 20 >= clean.total_hosts() * 19,
+        "2% faults should cost under 5% of hosts: {} of {}",
+        harsher.total_hosts(),
+        clean.total_hosts()
+    );
+}
+
+/// The snapshot's fault and retry families agree with each other.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn retry_and_fault_counters_reconcile() {
+    let (_, snap) = run_faulty(7, 8, 0.05, 3).await;
+    let injected_probe = snap.counter("fault.probe.injected");
+    let injected_connect = snap.counter("fault.connect.injected");
+    assert!(injected_probe > 0, "probe faults fired");
+    assert!(injected_connect > 0, "connect faults fired");
+
+    // Every injected connect timeout is observed by the retry layer
+    // exactly once: it either triggers a retry or exhausts the budget.
+    // (The simulator produces no other transient connect error during a
+    // scan — refused connections and failed handshakes are terminal.)
+    assert_eq!(
+        injected_connect,
+        snap.counter("retry.connect.retries") + snap.counter("retry.connect.exhausted"),
+        "connect lane does not reconcile"
+    );
+
+    // The probe lane only bounds from below: a genuinely filtered
+    // endpoint draws retries without an injected fault.
+    assert!(
+        snap.counter("retry.probe.retries") + snap.counter("retry.probe.exhausted")
+            >= injected_probe,
+        "probe lane does not reconcile"
+    );
+
+    assert!(
+        snap.counter("retry.connect.recovered") > 0,
+        "at 5% faults with 3 attempts, some connects must recover"
+    );
+    assert!(
+        snap.timings["retry.connect.backoff"].units > 0,
+        "recovered retries must have recorded backoff"
+    );
+}
+
+/// Retries earn their keep: at a harsh fault rate a retry-less scan
+/// visibly loses hosts, and the default budget wins most of them back
+/// without ever inventing one.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn retries_recover_hosts_lost_without_them() {
+    let (clean, _) = run_faulty(11, 8, 0.0, 3).await;
+    let (no_retry, _) = run_faulty(11, 8, 0.15, 1).await;
+    let (with_retry, _) = run_faulty(11, 8, 0.15, 3).await;
+    assert!(
+        no_retry.total_hosts() < clean.total_hosts(),
+        "15% faults without retries must lose hosts ({} vs {})",
+        no_retry.total_hosts(),
+        clean.total_hosts()
+    );
+    assert!(
+        with_retry.total_hosts() > no_retry.total_hosts(),
+        "retries must recover hosts ({} vs {})",
+        with_retry.total_hosts(),
+        no_retry.total_hosts()
+    );
+    assert!(
+        with_retry.total_hosts() <= clean.total_hosts(),
+        "retries cannot find more than a clean scan"
+    );
+    assert!(keys(&with_retry).is_subset(&keys(&clean)));
+}

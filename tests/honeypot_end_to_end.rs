@@ -78,7 +78,7 @@ async fn defender_study_and_table9() {
     let pipeline = nokeys::scanner::Pipeline::new(
         nokeys::scanner::PipelineConfig::builder(vec![config.space]).build(),
     );
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
 
     let t9 = nokeys::analysis::table9::build(&report, &result, &s1, &s2, 20_000, 50).render();
     // Spot-check the paper's qualitative findings.

@@ -45,7 +45,7 @@ async fn pipeline_detects_mavs_over_real_tcp() {
         .build();
     let pipeline = Pipeline::new(config);
     let client = nokeys::http::Client::new(TcpTransport::default());
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
 
     assert_eq!(report.findings.len(), 2, "both apps identified");
     let gocd = report

@@ -11,7 +11,7 @@ async fn run(seed: u64) -> (SimTransport, ScanReport) {
     let transport = SimTransport::new(Arc::new(Universe::generate(config.clone())));
     let client = nokeys::http::Client::new(transport.clone());
     let pipeline = Pipeline::new(PipelineConfig::builder(vec![config.space]).build());
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
     (transport, report)
 }
 

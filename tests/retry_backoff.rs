@@ -1,0 +1,164 @@
+//! Cross-layer retry/backoff integration: the scanner's
+//! [`RetryTransport`] stacked on netsim's fault injection, exercised
+//! through the public facade the way the pipeline composes them.
+
+use nokeys::http::{Client, Endpoint, Error, ProbeOutcome, Scheme, Transport};
+use nokeys::netsim::{SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::{Pipeline, PipelineConfig, RetryPolicy, RetryTransport, Telemetry};
+use std::sync::Arc;
+
+/// The first few AWE endpoints of the universe that answer plain HTTP,
+/// discovered behaviourally through a fault-free transport.
+async fn open_http_endpoints(universe: &Arc<Universe>, want: usize) -> Vec<Endpoint> {
+    let clean = SimTransport::new(Arc::clone(universe));
+    let mut found = Vec::new();
+    for host in universe.hosts() {
+        let Some((service, _)) = host.awe() else {
+            continue;
+        };
+        let ep = Endpoint::new(host.ip, service.port);
+        if clean.probe(ep).await == ProbeOutcome::Open
+            && clean.connect(ep, Scheme::Http).await.is_ok()
+        {
+            found.push(ep);
+            if found.len() == want {
+                break;
+            }
+        }
+    }
+    assert_eq!(found.len(), want, "tiny universe lacks HTTP AWE hosts");
+    found
+}
+
+/// SYN loss injected at 25% is invisible behind a generous retry
+/// budget, and every injected fault shows up as exactly one retry.
+#[tokio::test]
+async fn retrying_probe_masks_injected_syn_loss() {
+    let universe = Arc::new(Universe::generate(UniverseConfig::tiny(3)));
+    let ep = open_http_endpoints(&universe, 1).await[0];
+    let telemetry = Telemetry::new();
+    let faulty = SimTransport::new(Arc::clone(&universe)).with_fault_injection(0.25);
+    let t = RetryTransport::new(faulty, RetryPolicy::with_attempts(8), &telemetry);
+    for round in 0..40 {
+        assert_eq!(t.probe(ep).await, ProbeOutcome::Open, "round {round}");
+    }
+    let snap = telemetry.snapshot();
+    let injected = t.inner().fault_stats().probe_injected();
+    assert!(injected > 0, "40 probes at 25% must inject something");
+    // Every probe above came back Open, so no budget was exhausted:
+    // each injected drop corresponds to exactly one retry.
+    assert_eq!(snap.counter("retry.probe.retries"), injected);
+    assert_eq!(snap.counter("retry.probe.exhausted"), 0);
+    assert!(snap.counter("retry.probe.recovered") > 0);
+}
+
+/// A client stacked on the retry transport completes whole fetches
+/// through injected connect timeouts.
+#[tokio::test]
+async fn retrying_client_fetches_through_connect_timeouts() {
+    let universe = Arc::new(Universe::generate(UniverseConfig::tiny(3)));
+    let ep = open_http_endpoints(&universe, 1).await[0];
+    let telemetry = Telemetry::new();
+    let faulty = SimTransport::new(Arc::clone(&universe)).with_fault_injection(0.25);
+    let client = Client::new(RetryTransport::new(
+        faulty,
+        RetryPolicy::with_attempts(8),
+        &telemetry,
+    ));
+    for round in 0..20 {
+        let fetched = client.get_path(ep, Scheme::Http, "/").await;
+        assert!(fetched.is_ok(), "round {round}: {fetched:?}");
+    }
+    let snap = telemetry.snapshot();
+    assert!(snap.counter("retry.connect.retries") > 0);
+    assert_eq!(
+        snap.counter("retry.connect.exhausted"),
+        0,
+        "8 attempts at 25% do not exhaust"
+    );
+    assert!(snap.timings["retry.connect.backoff"].units > 0);
+}
+
+/// Two identically-seeded fault stacks draw identical per-endpoint
+/// schedules even when their probe calls interleave differently — the
+/// property the whole retry stack inherits its parallelism-independence
+/// from, checked here all the way up through the telemetry snapshot.
+#[tokio::test]
+async fn fault_draws_are_order_independent_across_the_retry_stack() {
+    let universe = Arc::new(Universe::generate(UniverseConfig::tiny(5)));
+    let eps = open_http_endpoints(&universe, 2).await;
+    let (a, b) = (eps[0], eps[1]);
+
+    let stack = |u: &Arc<Universe>| {
+        let telemetry = Telemetry::new();
+        let faulty = SimTransport::new(Arc::clone(u)).with_fault_injection(0.5);
+        let t = RetryTransport::new(faulty, RetryPolicy::with_attempts(3), &telemetry);
+        (t, telemetry)
+    };
+    let (t1, tel1) = stack(&universe);
+    let (t2, tel2) = stack(&universe);
+
+    // Stack 1: all of a's probes, then all of b's.
+    let mut a1 = Vec::new();
+    let mut b1 = Vec::new();
+    for _ in 0..16 {
+        a1.push(t1.probe(a).await);
+    }
+    for _ in 0..16 {
+        b1.push(t1.probe(b).await);
+    }
+    // Stack 2: strictly interleaved, b first.
+    let mut a2 = Vec::new();
+    let mut b2 = Vec::new();
+    for _ in 0..16 {
+        b2.push(t2.probe(b).await);
+        a2.push(t2.probe(a).await);
+    }
+
+    assert_eq!(a1, a2, "endpoint a's schedule depended on interleaving");
+    assert_eq!(b1, b2, "endpoint b's schedule depended on interleaving");
+    assert_eq!(
+        t1.inner().fault_stats().probe_injected(),
+        t2.inner().fault_stats().probe_injected()
+    );
+    assert_eq!(tel1.snapshot().to_json(), tel2.snapshot().to_json());
+}
+
+/// The facade-level contract the retry layer is built on: which errors
+/// are worth retrying, and how the policy clamps its budget.
+#[test]
+fn transient_classification_drives_the_retry_budget() {
+    assert!(Error::Timeout.is_transient());
+    assert!(Error::UnexpectedEof.is_transient());
+    assert!(Error::Io("reset".into()).is_transient());
+    assert!(!Error::Connect("refused".into()).is_transient());
+    assert!(!Error::Malformed("bad status line").is_transient());
+    assert!(RetryPolicy::default().enabled());
+    assert!(!RetryPolicy::disabled().enabled());
+    assert_eq!(RetryPolicy::with_attempts(0).attempts(), 1);
+}
+
+/// `retries(0)` and `retries(1)` both mean "one attempt, no retries" at
+/// the pipeline config level, and a retry-less fault-free pipeline still
+/// scans clean — the config plumbing does not disturb the report.
+#[tokio::test]
+async fn pipeline_retry_knob_plumbs_through() {
+    let config = UniverseConfig::tiny(8);
+    let universe = Arc::new(Universe::generate(config.clone()));
+    let run = |retries: u32, u: Arc<Universe>| {
+        let space = config.space;
+        async move {
+            let client = nokeys::http::Client::new(SimTransport::new(u));
+            let pipeline = Pipeline::new(
+                PipelineConfig::builder(vec![space])
+                    .retries(retries)
+                    .build(),
+            );
+            let report = pipeline.run(&client).await.expect("pipeline failed");
+            serde_json::to_string(&report).expect("serializes")
+        }
+    };
+    let without = run(1, Arc::clone(&universe)).await;
+    let with = run(3, universe).await;
+    assert_eq!(without, with, "retries are a no-op on a clean network");
+}

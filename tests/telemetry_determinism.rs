@@ -22,7 +22,7 @@ async fn run(seed: u64, parallelism: usize) -> (ScanReport, TelemetrySnapshot) {
             .telemetry(telemetry.clone())
             .build(),
     );
-    let report = pipeline.run(&client).await;
+    let report = pipeline.run(&client).await.expect("pipeline failed");
     (report, telemetry.snapshot())
 }
 
