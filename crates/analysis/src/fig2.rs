@@ -19,9 +19,19 @@ fn series(
     }
     (0..study.times_secs.len())
         .map(|t| {
+            // Ragged timelines (hosts an incremental rescan stopped
+            // probing as terminally offline) have no entry at `t`;
+            // read the gap as offline, like `counts_at` does.
             let hits = selected
                 .iter()
-                .filter(|&&i| study.timelines[i].statuses[t] == status)
+                .filter(|&&i| {
+                    study.timelines[i]
+                        .statuses
+                        .get(t)
+                        .copied()
+                        .unwrap_or(ObservedStatus::Offline)
+                        == status
+                })
                 .count();
             hits as f64 / selected.len() as f64
         })
@@ -135,20 +145,24 @@ mod tests {
                 HostTimeline {
                     finding: finding.clone(),
                     insecure_by_default: true,
+                    // Truncated after two offline rounds, the way an
+                    // incremental rescan leaves terminally-offline
+                    // hosts; the missing tail reads as offline.
                     statuses: vec![
                         ObservedStatus::Vulnerable,
                         ObservedStatus::Vulnerable,
                         ObservedStatus::Offline,
                         ObservedStatus::Offline,
-                        ObservedStatus::Offline,
                     ],
                     updated: false,
+                    asset_hashes: Vec::new(),
                 },
                 HostTimeline {
                     finding,
                     insecure_by_default: false,
                     statuses: vec![ObservedStatus::Vulnerable; 5],
                     updated: false,
+                    asset_hashes: Vec::new(),
                 },
             ],
         }

@@ -122,6 +122,7 @@ mod tests {
             insecure_by_default: true,
             statuses,
             updated,
+            asset_hashes: Vec::new(),
         };
         use ObservedStatus::*;
         LongevityStudy {

@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nokeys_bench::{
-    faulty_tiny_transport, run_pipeline_batched, run_pipeline_parallel, run_pipeline_retrying,
-    scan_without_prefilter, tiny_transport,
+    faulty_tiny_transport, resume_pipeline, run_pipeline_batched, run_pipeline_checkpointed,
+    run_pipeline_parallel, run_pipeline_retrying, scan_without_prefilter, tiny_transport,
 };
 
 fn bench(c: &mut Criterion) {
@@ -83,6 +83,36 @@ fn bench(c: &mut Criterion) {
             let report = mt.block_on(run_pipeline_retrying(&t, 3));
             assert!(report.total_mavs() > 0);
         })
+    });
+    group.finish();
+
+    // Checkpointing cost: a run writing a checkpoint every other batch
+    // vs the plain runs above (the delta is the staging-registry
+    // bookkeeping plus the serialize + atomic-rename writes), and the
+    // warm resume of a finished checkpoint, which never touches the
+    // network at all.
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    group.bench_function("checkpoint_overhead", |b| {
+        let t = tiny_transport(42);
+        let path =
+            std::env::temp_dir().join(format!("nokeys-bench-checkpoint-{}.json", std::process::id()));
+        b.iter(|| {
+            let report = mt.block_on(run_pipeline_checkpointed(&t, &path, 2));
+            assert!(report.total_mavs() > 0);
+        });
+        let _ = std::fs::remove_file(&path);
+    });
+    group.bench_function("warm_resume", |b| {
+        let t = tiny_transport(42);
+        let path =
+            std::env::temp_dir().join(format!("nokeys-bench-warm-{}.json", std::process::id()));
+        let finished = mt.block_on(run_pipeline_checkpointed(&t, &path, 2));
+        b.iter(|| {
+            let report = mt.block_on(resume_pipeline(&t, &path));
+            assert_eq!(report.total_mavs(), finished.total_mavs());
+        });
+        let _ = std::fs::remove_file(&path);
     });
     group.finish();
 }

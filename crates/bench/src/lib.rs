@@ -75,6 +75,38 @@ pub async fn run_pipeline_retrying(transport: &SimTransport, retries: u32) -> Sc
         .expect("pipeline failed")
 }
 
+/// Run the full pipeline writing a resumable checkpoint every `every`
+/// batches — the `checkpoint_overhead` benchmark harness.
+pub async fn run_pipeline_checkpointed(
+    transport: &SimTransport,
+    path: &std::path::Path,
+    every: u64,
+) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::builder(vec![tiny_space()])
+        .checkpoint_path(path)
+        .checkpoint_every(every)
+        .build();
+    Pipeline::new(config)
+        .run(&client)
+        .await
+        .expect("pipeline failed")
+}
+
+/// Resume the pipeline from the checkpoint at `path`. Against a
+/// *finished* checkpoint this measures the pure warm path: deserialize,
+/// validate the config fingerprint, return the stored report.
+pub async fn resume_pipeline(transport: &SimTransport, path: &std::path::Path) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::builder(vec![tiny_space()])
+        .checkpoint_path(path)
+        .build();
+    Pipeline::new(config)
+        .resume(&client, path)
+        .await
+        .expect("resume failed")
+}
+
 /// Ablation: no stage II — every open, non-tarpit endpoint gets every
 /// application's plugin. Returns (findings, plugin invocations).
 pub async fn scan_without_prefilter(transport: &SimTransport) -> (u64, u64) {

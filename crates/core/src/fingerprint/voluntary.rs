@@ -15,10 +15,19 @@ pub fn parse_version_number(s: &str) -> Option<(u16, u16, u16)> {
         .chars()
         .take_while(|c| c.is_ascii_digit() || *c == '.')
         .collect();
+    // Every dot must separate two non-empty digit runs: "1.2." and
+    // "1..2" are malformed strings (a trailing or doubled dot), not
+    // versions with an implied zero component.
+    if digits.split('.').any(|part| part.is_empty()) {
+        return None;
+    }
     let mut parts = digits.split('.');
     let major: u16 = parts.next()?.parse().ok()?;
     let minor: u16 = parts.next()?.parse().ok()?;
-    let patch: u16 = parts.next().and_then(|p| p.parse().ok()).unwrap_or(0);
+    let patch: u16 = match parts.next() {
+        Some(p) => p.parse().ok()?,
+        None => 0,
+    };
     Some((major, minor, patch))
 }
 
@@ -149,6 +158,26 @@ mod tests {
         assert_eq!(parse_version_number("latest"), None);
         assert_eq!(parse_version_number(""), None);
         assert_eq!(parse_version_number("7"), None, "major alone is not enough");
+        // Four-component versions (phpMyAdmin-style "4.9.0.1") keep
+        // truncating to the leading triple.
+        assert_eq!(parse_version_number("4.9.0.1"), Some((4, 9, 0)));
+    }
+
+    /// Regression: empty components used to slip through — `"1.2."`
+    /// parsed as `(1, 2, 0)` because the absent-patch fallback also
+    /// swallowed the *unparseable* trailing component.
+    #[test]
+    fn version_parsing_rejects_empty_components() {
+        assert_eq!(parse_version_number("1.2."), None, "trailing dot");
+        assert_eq!(parse_version_number("1..2"), None, "doubled dot");
+        assert_eq!(parse_version_number("1.2..3"), None);
+        assert_eq!(parse_version_number(".1.2"), None, "leading dot");
+        assert_eq!(parse_version_number("1."), None);
+        assert_eq!(parse_version_number("."), None);
+        // The well-formed neighbours still parse.
+        assert_eq!(parse_version_number("1.2"), Some((1, 2, 0)));
+        assert_eq!(parse_version_number("1.2.3"), Some((1, 2, 3)));
+        assert_eq!(parse_version_number("1.2.3-beta."), Some((1, 2, 3)));
     }
 
     fn serve(app: AppId, idx: usize, vulnerable: bool) -> (Client<HandlerTransport>, Endpoint) {

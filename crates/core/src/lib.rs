@@ -22,6 +22,7 @@
 //! abstraction: the same code scans the simulated universe
 //! (`nokeys-netsim`) and real sockets (`live_scan` example).
 
+pub mod checkpoint;
 pub mod ct;
 pub mod disclosure;
 pub mod fingerprint;
@@ -40,6 +41,7 @@ pub mod retry;
 pub mod signatures;
 pub mod telemetry;
 
+pub use checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint};
 pub use multipattern::MultiPattern;
 pub use pattern::{MatchMode, Pattern, PreparedBody};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineError};

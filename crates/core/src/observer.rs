@@ -9,16 +9,26 @@
 //! The observer is time-source agnostic: the caller supplies a callback
 //! that advances the (virtual or real) clock to a given offset in seconds
 //! before each rescan round.
+//!
+//! # Incremental rescans
+//!
+//! A finished [`LongevityStudy`] is also a checkpoint:
+//! [`observe_incremental`] extends a prior study to a longer window
+//! instead of starting over. Hosts that have been offline for the last
+//! [`ObserverConfig::terminal_offline_after`] rounds are not re-probed
+//! (their timelines stop growing — timelines are *ragged* after an
+//! incremental round), and version fingerprints are reused when a cheap
+//! hash pass over the host's static assets shows nothing changed.
 
-use crate::fingerprint::Fingerprinter;
+use crate::fingerprint::{crawler, Fingerprinter};
 use crate::plugin::detect_mav;
 use crate::report::HostFinding;
 use crate::telemetry::Telemetry;
-use nokeys_http::{Client, ProbeOutcome, Transport};
-use serde::Serialize;
+use nokeys_http::{Client, Endpoint, ProbeOutcome, Transport};
+use serde::{Deserialize, Serialize};
 
 /// Status of one host at one observation point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ObservedStatus {
     Vulnerable,
     Fixed,
@@ -37,7 +47,7 @@ impl ObservedStatus {
 }
 
 /// Host counts per status at one observation point.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatusCounts {
     /// Hosts still confirmed vulnerable.
     pub vulnerable: u64,
@@ -55,20 +65,45 @@ impl StatusCounts {
 }
 
 /// Timeline of one host across all observation points.
-#[derive(Debug, Clone, Serialize)]
+///
+/// `Deserialize` exists so a serialized [`LongevityStudy`] can be fed
+/// back into [`observe_incremental`] as a checkpoint.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HostTimeline {
     pub finding: HostFinding,
     /// Whether the deployment is insecure *by default* (versus explicitly
     /// modified) — Figure 2 groups by this.
     pub insecure_by_default: bool,
-    /// One status per observation time.
+    /// One status per observation time. After an incremental round this
+    /// may be *shorter* than [`LongevityStudy::times_secs`]: a host
+    /// classified terminally offline stops accumulating observations
+    /// (every missing entry reads as [`ObservedStatus::Offline`]).
     pub statuses: Vec<ObservedStatus>,
     /// Whether the fingerprinted version changed during observation.
     pub updated: bool,
+    /// `(path, hash)` pairs from the last asset crawl, used by
+    /// incremental rescans to skip re-fingerprinting hosts whose static
+    /// files have not changed. Empty for never-crawled hosts (and for
+    /// studies serialized before this field existed).
+    #[serde(default)]
+    pub asset_hashes: Vec<(String, u64)>,
+}
+
+impl HostTimeline {
+    /// Whether the last `threshold` observations are all offline (with
+    /// at least `threshold` observations recorded). Incremental rescans
+    /// stop re-probing such hosts.
+    pub fn terminally_offline(&self, threshold: usize) -> bool {
+        threshold > 0
+            && self.statuses.len() >= threshold
+            && self.statuses[self.statuses.len() - threshold..]
+                .iter()
+                .all(|&s| s == ObservedStatus::Offline)
+    }
 }
 
 /// Full longevity study output.
-#[derive(Debug, Serialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct LongevityStudy {
     /// Observation offsets in seconds from the study start.
     pub times_secs: Vec<i64>,
@@ -77,10 +112,20 @@ pub struct LongevityStudy {
 
 impl LongevityStudy {
     /// Count hosts in each status at observation index `i`.
+    ///
+    /// Timelines with no observation at `i` — hosts an incremental
+    /// rescan stopped re-probing as terminally offline — count as
+    /// [`ObservedStatus::Offline`], so the totals always cover every
+    /// host in the study.
     pub fn counts_at(&self, i: usize) -> StatusCounts {
         let mut counts = StatusCounts::default();
         for t in &self.timelines {
-            match t.statuses[i] {
+            let status = t
+                .statuses
+                .get(i)
+                .copied()
+                .unwrap_or(ObservedStatus::Offline);
+            match status {
                 ObservedStatus::Vulnerable => counts.vulnerable += 1,
                 ObservedStatus::Fixed => counts.fixed += 1,
                 ObservedStatus::Offline => counts.offline += 1,
@@ -102,6 +147,11 @@ pub struct ObserverConfig {
     pub interval_secs: i64,
     /// Total observation window (paper: 28 days).
     pub window_secs: i64,
+    /// Consecutive offline observations after which an *incremental*
+    /// rescan stops re-probing a host (default 8 — a full day at the
+    /// paper's 3-hour cadence). The initial observation pass always
+    /// probes every host every round; `0` disables the skip entirely.
+    pub terminal_offline_after: usize,
 }
 
 impl Default for ObserverConfig {
@@ -109,8 +159,40 @@ impl Default for ObserverConfig {
         ObserverConfig {
             interval_secs: 3 * 3600,
             window_secs: 28 * 86_400,
+            terminal_offline_after: 8,
         }
     }
+}
+
+/// One host status change seen during an incremental rescan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatusTransition {
+    pub endpoint: Endpoint,
+    /// Observation offset (seconds from study start) of the new status.
+    pub at_secs: i64,
+    pub from: ObservedStatus,
+    pub to: ObservedStatus,
+}
+
+/// What an incremental rescan did, reconciling with the
+/// `observer.rescan.*` counters.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RescanDelta {
+    /// Rescan rounds appended to the study.
+    pub rounds: u64,
+    /// Host-rounds skipped because the host was terminally offline
+    /// (`observer.rescan.skipped`).
+    pub skipped: u64,
+    /// Host-rounds actually re-probed (`observer.rescan.reprobed`).
+    pub reprobed: u64,
+    /// Full fingerprint re-runs after the asset hash pass saw a change
+    /// or had no cache (`observer.rescan.refingerprinted`).
+    pub refingerprinted: u64,
+    /// Fingerprint checks satisfied by unchanged asset hashes
+    /// (`observer.rescan.reused`).
+    pub fingerprints_reused: u64,
+    /// Status changes between consecutive observations of a host.
+    pub transitions: Vec<StatusTransition>,
 }
 
 /// Run the longevity observation.
@@ -185,6 +267,7 @@ where
                 .unwrap_or(false),
             statuses: Vec::with_capacity(times.len()),
             updated: false,
+            asset_hashes: Vec::new(),
         })
         .collect();
 
@@ -236,6 +319,152 @@ where
     }
 }
 
+/// Extend a prior [`LongevityStudy`] to `config.window_secs` instead of
+/// re-observing from scratch.
+///
+/// New rounds continue at `config.interval_secs` after the prior study's
+/// last observation. Per round, each host is either:
+///
+/// * **skipped** — [`HostTimeline::terminally_offline`] under
+///   [`ObserverConfig::terminal_offline_after`]; no probe is sent and no
+///   status is appended (the timeline goes ragged;
+///   [`LongevityStudy::counts_at`] reads the gap as offline), or
+/// * **re-probed** — classified exactly like the initial pass.
+///
+/// Version tracking is also incremental: before re-running the full
+/// fingerprinter, the host's static assets are hashed and compared with
+/// [`HostTimeline::asset_hashes`]; an unchanged host reuses its prior
+/// fingerprint. Everything is counted under `observer.rescan.*`
+/// (`skipped`, `reprobed`, `refingerprinted`, `reused`), and the
+/// returned [`RescanDelta`] reconciles with those counters:
+/// `skipped + reprobed == timelines × new rounds`.
+///
+/// If the prior study already covers `config.window_secs`, no rounds run
+/// and the study is returned unchanged (empty delta).
+pub async fn observe_incremental<T, F>(
+    telemetry: &Telemetry,
+    client: &Client<T>,
+    prior: LongevityStudy,
+    config: &ObserverConfig,
+    mut advance_clock: F,
+) -> (LongevityStudy, RescanDelta)
+where
+    T: Transport,
+    F: FnMut(i64),
+{
+    let rounds = telemetry.counter("observer.rounds");
+    let status_counters = [
+        telemetry.counter("observer.status.vulnerable"),
+        telemetry.counter("observer.status.fixed"),
+        telemetry.counter("observer.status.offline"),
+    ];
+    let status_counter = |status: ObservedStatus| match status {
+        ObservedStatus::Vulnerable => &status_counters[0],
+        ObservedStatus::Fixed => &status_counters[1],
+        ObservedStatus::Offline => &status_counters[2],
+    };
+    let transitions = telemetry.counter("observer.transitions");
+    let version_updates = telemetry.counter("observer.version_updates");
+    let recheck = telemetry.timer("observer.recheck");
+    let rescan_skipped = telemetry.counter("observer.rescan.skipped");
+    let rescan_reprobed = telemetry.counter("observer.rescan.reprobed");
+    let rescan_refingerprinted = telemetry.counter("observer.rescan.refingerprinted");
+    let rescan_reused = telemetry.counter("observer.rescan.reused");
+
+    let fingerprinter = Fingerprinter::with_telemetry(telemetry);
+    let mut study = prior;
+    let mut delta = RescanDelta::default();
+
+    // Continue the cadence after the last prior observation. A prior
+    // study is never empty in practice, but starting a cold one here is
+    // well-defined: round 0, then every interval.
+    let mut t = match study.times_secs.last() {
+        Some(&last) => last + config.interval_secs,
+        None => 0,
+    };
+    while t <= config.window_secs {
+        advance_clock(t);
+        rounds.incr();
+        delta.rounds += 1;
+        study.times_secs.push(t);
+
+        let threshold = config.terminal_offline_after;
+        let mut reprobed_this_round = 0u64;
+        for timeline in &mut study.timelines {
+            if timeline.terminally_offline(threshold) {
+                rescan_skipped.incr();
+                delta.skipped += 1;
+                continue;
+            }
+            rescan_reprobed.incr();
+            delta.reprobed += 1;
+            reprobed_this_round += 1;
+
+            let ep = timeline.finding.endpoint;
+            let status = match client.transport().probe(ep).await {
+                ProbeOutcome::Open => {
+                    if detect_mav(client, timeline.finding.app, ep, timeline.finding.scheme).await {
+                        ObservedStatus::Vulnerable
+                    } else {
+                        ObservedStatus::Fixed
+                    }
+                }
+                _ => ObservedStatus::Offline,
+            };
+            status_counter(status).incr();
+            if let Some(&prev) = timeline.statuses.last() {
+                if prev != status {
+                    transitions.incr();
+                    delta.transitions.push(StatusTransition {
+                        endpoint: ep,
+                        at_secs: t,
+                        from: prev,
+                        to: status,
+                    });
+                }
+            }
+            timeline.statuses.push(status);
+
+            // Incremental version tracking: hash the static assets
+            // first; an unchanged host keeps its prior fingerprint
+            // without re-running voluntary extraction or the
+            // knowledge-base identification.
+            if !timeline.updated && status != ObservedStatus::Offline {
+                if let Some(before) = timeline.finding.version {
+                    let hashes = crawler::crawl(
+                        client,
+                        fingerprinter.knowledge_base(),
+                        ep,
+                        timeline.finding.scheme,
+                    )
+                    .await;
+                    if !timeline.asset_hashes.is_empty() && hashes == timeline.asset_hashes {
+                        rescan_reused.incr();
+                        delta.fingerprints_reused += 1;
+                    } else {
+                        rescan_refingerprinted.incr();
+                        delta.refingerprinted += 1;
+                        timeline.asset_hashes = hashes;
+                        if let Some((now, _)) = fingerprinter
+                            .fingerprint(client, timeline.finding.app, ep, timeline.finding.scheme)
+                            .await
+                        {
+                            if now.triple() != before.triple() {
+                                timeline.updated = true;
+                                version_updates.incr();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        recheck.record(reprobed_this_round);
+        t += config.interval_secs;
+    }
+
+    (study, delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +485,7 @@ mod tests {
         let config = ObserverConfig {
             interval_secs: 86_400,
             window_secs: 28 * 86_400,
+            terminal_offline_after: 8,
         };
         observe_instrumented(telemetry, &client, &vulnerable, &config, |secs| {
             t.set_time(SimTime(secs))
@@ -345,5 +575,166 @@ mod tests {
         // insecure by default; Consul/K8s/... require modification).
         assert!(by_default > 0, "no insecure-by-default hosts");
         assert!(modified > 0, "no explicitly modified hosts");
+    }
+
+    fn toy_timeline(statuses: Vec<ObservedStatus>) -> HostTimeline {
+        HostTimeline {
+            finding: HostFinding {
+                endpoint: Endpoint::new(std::net::Ipv4Addr::new(20, 0, 0, 1), 80),
+                scheme: nokeys_http::Scheme::Http,
+                app: nokeys_apps::AppId::Docker,
+                vulnerable: true,
+                version: None,
+                fingerprint_method: None,
+            },
+            insecure_by_default: true,
+            statuses,
+            updated: false,
+            asset_hashes: Vec::new(),
+        }
+    }
+
+    /// Regression: `counts_at` used to index `statuses[i]` directly and
+    /// panicked on ragged timelines (hosts an incremental rescan stopped
+    /// probing). Missing observations must read as offline.
+    #[test]
+    fn counts_at_tolerates_ragged_timelines() {
+        use ObservedStatus::*;
+        let s = LongevityStudy {
+            times_secs: vec![0, 100, 200],
+            timelines: vec![
+                toy_timeline(vec![Vulnerable, Vulnerable, Fixed]),
+                toy_timeline(vec![Vulnerable, Offline]), // ragged
+                toy_timeline(vec![Offline]),             // ragged
+            ],
+        };
+        assert_eq!(
+            s.counts_at(0),
+            StatusCounts {
+                vulnerable: 2,
+                fixed: 0,
+                offline: 1
+            }
+        );
+        assert_eq!(
+            s.counts_at(2),
+            StatusCounts {
+                vulnerable: 0,
+                fixed: 1,
+                offline: 2
+            }
+        );
+        // Entirely past the recorded data: everything reads offline.
+        assert_eq!(s.counts_at(9).offline, 3);
+        assert_eq!(s.counts_at(9).total(), 3);
+    }
+
+    #[test]
+    fn terminal_offline_detection() {
+        use ObservedStatus::*;
+        let t = toy_timeline(vec![Vulnerable, Offline, Offline]);
+        assert!(t.terminally_offline(2));
+        assert!(!t.terminally_offline(3), "vulnerable within the window");
+        assert!(!t.terminally_offline(4), "fewer observations than the threshold");
+        assert!(!t.terminally_offline(0), "0 disables the skip");
+        let live = toy_timeline(vec![Offline, Offline, Vulnerable]);
+        assert!(!live.terminally_offline(2));
+    }
+
+    /// A serialized study (including one predating `asset_hashes`) loads
+    /// back as an incremental-rescan checkpoint.
+    #[test]
+    fn study_round_trips_through_json() {
+        use ObservedStatus::*;
+        let s = LongevityStudy {
+            times_secs: vec![0, 100],
+            timelines: vec![toy_timeline(vec![Vulnerable, Fixed])],
+        };
+        let json = serde_json::to_string(&s).unwrap();
+        let back: LongevityStudy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.times_secs, s.times_secs);
+        assert_eq!(back.timelines[0].statuses, s.timelines[0].statuses);
+
+        // Older serializations carry no asset_hashes field.
+        let mut value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        value["timelines"][0]
+            .as_object_mut()
+            .unwrap()
+            .remove("asset_hashes");
+        let old: LongevityStudy = serde_json::from_value(value).unwrap();
+        assert!(old.timelines[0].asset_hashes.is_empty());
+    }
+
+    /// Extending a study re-probes strictly fewer host-rounds than a
+    /// from-scratch pass, and the `observer.rescan.*` counters reconcile
+    /// with the returned delta.
+    #[tokio::test]
+    async fn incremental_rescan_reconciles() {
+        let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(7))));
+        let client = nokeys_http::Client::new(t.clone());
+        let pipeline =
+            Pipeline::new(PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).build());
+        let report = pipeline.run(&client).await.expect("pipeline failed");
+        let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
+
+        // Initial pass: two weeks at daily cadence.
+        let config = ObserverConfig {
+            interval_secs: 86_400,
+            window_secs: 14 * 86_400,
+            terminal_offline_after: 2,
+        };
+        let prior = observe(&client, &vulnerable, &config, |secs| {
+            t.set_time(SimTime(secs))
+        })
+        .await;
+        let prior_rounds = prior.times_secs.len();
+        let n_hosts = prior.timelines.len();
+
+        // Incremental extension to four weeks.
+        let telemetry = Telemetry::new();
+        let extended_config = ObserverConfig {
+            window_secs: 28 * 86_400,
+            ..config
+        };
+        let (study, delta) =
+            observe_incremental(&telemetry, &client, prior, &extended_config, |secs| {
+                t.set_time(SimTime(secs))
+            })
+            .await;
+
+        assert_eq!(study.times_secs.len(), 29, "extended to the full window");
+        assert_eq!(delta.rounds as usize, 29 - prior_rounds);
+        // The skip actually engaged, and everything is accounted for.
+        assert!(delta.skipped > 0, "no terminally-offline host was skipped");
+        assert!(delta.reprobed < delta.rounds * n_hosts as u64);
+        assert_eq!(delta.skipped + delta.reprobed, delta.rounds * n_hosts as u64);
+        // Counters mirror the delta.
+        let snap = telemetry.snapshot();
+        assert_eq!(snap.counter("observer.rescan.skipped"), delta.skipped);
+        assert_eq!(snap.counter("observer.rescan.reprobed"), delta.reprobed);
+        assert_eq!(
+            snap.counter("observer.rescan.refingerprinted"),
+            delta.refingerprinted
+        );
+        assert_eq!(
+            snap.counter("observer.rescan.reused"),
+            delta.fingerprints_reused
+        );
+        assert_eq!(snap.counter("observer.rounds"), delta.rounds);
+        // Unchanged hosts reused their fingerprints instead of
+        // re-running the full identification.
+        assert!(delta.fingerprints_reused > 0);
+        // Skipped hosts went ragged; counts_at still covers every host.
+        assert!(study
+            .timelines
+            .iter()
+            .any(|tl| tl.statuses.len() < study.times_secs.len()));
+        let last = study.times_secs.len() - 1;
+        assert_eq!(study.counts_at(last).total(), n_hosts as u64);
+        // Transitions recorded in the delta match the counter.
+        assert_eq!(
+            snap.counter("observer.transitions"),
+            delta.transitions.len() as u64
+        );
     }
 }

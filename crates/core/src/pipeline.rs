@@ -39,9 +39,10 @@
 //! aborting an internet-scale sweep; only the loss of stage I itself
 //! surfaces as a [`PipelineError`].
 
+use crate::checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint, CHECKPOINT_FORMAT};
 use crate::fingerprint::Fingerprinter;
 use crate::plugin::detect_mav_instrumented;
-use crate::portscan::{Cidr, PortScanConfig, PortScanResult, PortScanner};
+use crate::portscan::{Cidr, PortScanConfig, PortScanResult, PortScanner, SweepMsg};
 use crate::prefilter::{Prefilter, PrefilterHit};
 use crate::report::{HostFinding, ScanReport};
 use crate::retry::{RetryPolicy, RetryTransport};
@@ -51,6 +52,7 @@ use nokeys_http::{Client, Transport};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// A whole-pipeline failure.
@@ -65,17 +67,28 @@ use std::sync::Arc;
 pub enum PipelineError {
     /// The stage-I sweep task died before delivering its totals.
     SweepFailed(String),
+    /// Reading, writing or validating a [`ScanCheckpoint`] failed.
+    /// Surfaced as a whole-pipeline error because a run that cannot
+    /// checkpoint does not deliver the crash-safety it was asked for.
+    Checkpoint(CheckpointError),
 }
 
 impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PipelineError::SweepFailed(e) => write!(f, "stage-I sweep task failed: {e}"),
+            PipelineError::Checkpoint(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+impl From<CheckpointError> for PipelineError {
+    fn from(e: CheckpointError) -> Self {
+        PipelineError::Checkpoint(e)
+    }
+}
 
 /// Pipeline configuration.
 ///
@@ -113,6 +126,14 @@ pub struct PipelineConfig {
     /// [`Pipeline::telemetry`]; pass a shared one to aggregate several
     /// pipelines (or external components) into a single snapshot.
     pub telemetry: Option<Telemetry>,
+    /// When set, [`Pipeline::run`] persists a [`ScanCheckpoint`] to this
+    /// path every [`checkpoint_every`](Self::checkpoint_every) batches
+    /// (and once more at the end, marked finished), so a killed scan can
+    /// continue via [`Pipeline::resume`].
+    pub checkpoint_path: Option<PathBuf>,
+    /// Batches between checkpoint writes (default 8). Only meaningful
+    /// with [`checkpoint_path`](Self::checkpoint_path) set.
+    pub checkpoint_every: u64,
 }
 
 impl PipelineConfig {
@@ -130,6 +151,8 @@ impl PipelineConfig {
             parallelism: 8,
             retry: RetryPolicy::default(),
             telemetry: None,
+            checkpoint_path: None,
+            checkpoint_every: 8,
         }
     }
 
@@ -169,6 +192,8 @@ pub struct PipelineConfigBuilder {
     parallelism: usize,
     retry: RetryPolicy,
     telemetry: Option<Telemetry>,
+    checkpoint_path: Option<PathBuf>,
+    checkpoint_every: u64,
 }
 
 impl PipelineConfigBuilder {
@@ -259,8 +284,35 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Persist a [`ScanCheckpoint`] to `path` during [`Pipeline::run`].
+    pub fn checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Batches between checkpoint writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0` — a checkpoint cadence of zero batches is a
+    /// configuration bug, not a request for no checkpoints (drop
+    /// [`checkpoint_path`](Self::checkpoint_path) for that).
+    pub fn checkpoint_every(mut self, batches: u64) -> Self {
+        assert!(batches > 0, "checkpoint_every must be at least 1");
+        self.checkpoint_every = batches;
+        self
+    }
+
     /// Finalize the configuration.
-    pub fn build(self) -> PipelineConfig {
+    ///
+    /// Target CIDRs are normalized here: exact duplicates and blocks
+    /// contained in another target are dropped, and the survivors are
+    /// sorted by base address. Aligned CIDR blocks either nest or are
+    /// disjoint, so this leaves a disjoint cover of the same address
+    /// set — listing `10.0.0.0/16` twice, or alongside `10.0.5.0/24`,
+    /// scans each address exactly once.
+    pub fn build(mut self) -> PipelineConfig {
+        self.portscan.targets = normalize_targets(std::mem::take(&mut self.portscan.targets));
         let tarpit_port_threshold = self
             .tarpit_port_threshold
             .unwrap_or(self.portscan.ports.len());
@@ -273,8 +325,31 @@ impl PipelineConfigBuilder {
             parallelism: self.parallelism,
             retry: self.retry,
             telemetry: self.telemetry,
+            checkpoint_path: self.checkpoint_path,
+            checkpoint_every: self.checkpoint_every,
         }
     }
+}
+
+/// Drop duplicate and nested target blocks, sorting the survivors.
+///
+/// Aligned CIDR blocks either nest or are disjoint — two blocks can
+/// never partially overlap — so after sorting by `(base, prefix)` a
+/// contained block always directly follows (one of) its containers, and
+/// a single pass keeping blocks not covered by the last survivor yields
+/// a minimal disjoint cover of the same addresses.
+fn normalize_targets(mut targets: Vec<Cidr>) -> Vec<Cidr> {
+    targets.sort_by_key(|c| (c.base, c.prefix));
+    let mut out: Vec<Cidr> = Vec::with_capacity(targets.len());
+    for t in targets {
+        let covered = out
+            .last()
+            .is_some_and(|last| last.contains(t.first()) && last.contains(t.last()));
+        if !covered {
+            out.push(t);
+        }
+    }
+    out
 }
 
 /// Cached pipeline-level telemetry handles (stage-level instruments live
@@ -360,16 +435,56 @@ impl Pipeline {
     /// sweep continues. The caller's transport is wrapped in a
     /// [`RetryTransport`] for the duration of the run, so every network
     /// operation of every stage shares [`PipelineConfig::retry`].
+    /// With [`PipelineConfig::checkpoint_path`] set, the run starts from
+    /// scratch (ignoring any file already at that path) and persists a
+    /// [`ScanCheckpoint`] every [`PipelineConfig::checkpoint_every`]
+    /// batches; use [`Pipeline::resume`] to continue from such a file.
     pub async fn run<T>(&self, client: &Client<T>) -> Result<ScanReport, PipelineError>
     where
         T: Transport + Clone + 'static,
     {
+        if let Some(path) = self.config.checkpoint_path.clone() {
+            return self.run_checkpointed(client, &path, None).await;
+        }
         let retrying = client.with_transport(RetryTransport::new(
             client.transport().clone(),
             self.config.retry.clone(),
             &self.telemetry,
         ));
         self.run_inner(&retrying).await
+    }
+
+    /// Continue a checkpointed scan from the [`ScanCheckpoint`] at
+    /// `path`, producing a [`ScanReport`] byte-identical to what the
+    /// uninterrupted run would have produced (telemetry snapshot
+    /// included), at any `parallelism`.
+    ///
+    /// The checkpoint's recorded configuration fingerprint must match
+    /// this pipeline's report-affecting knobs (targets, ports, seeds,
+    /// retry budget, …) — resuming under a different configuration
+    /// returns [`CheckpointError::ConfigMismatch`]. Parallelism and
+    /// wall-clock pacing may differ freely; they never change the
+    /// report. Subsequent checkpoints are written back to `path`. A
+    /// checkpoint marked finished warm-resumes: the stored report is
+    /// returned (and its telemetry replayed into the registry) without
+    /// touching the network.
+    ///
+    /// The pipeline must use a **fresh (or otherwise pipeline-private)
+    /// telemetry registry** when resuming: the checkpointed snapshot is
+    /// replayed into [`Pipeline::telemetry`], so pre-existing pipeline
+    /// counts would be double-counted.
+    pub async fn resume<T>(
+        &self,
+        client: &Client<T>,
+        path: impl AsRef<Path>,
+    ) -> Result<ScanReport, PipelineError>
+    where
+        T: Transport + Clone + 'static,
+    {
+        let path = path.as_ref();
+        let checkpoint = ScanCheckpoint::load(path)?;
+        checkpoint.validate(&ConfigFingerprint::of(&self.config))?;
+        self.run_checkpointed(client, path, Some(checkpoint)).await
     }
 
     /// Effective stage II/III concurrency. The builder rejects `0`;
@@ -398,22 +513,147 @@ impl Pipeline {
             );
 
         // Stages II + III, in batch-sequence order (deterministic merge).
+        // Stage-I totals accumulate per batch (rather than from the
+        // sweep's end-of-run totals) so a checkpointed prefix of the
+        // same loop carries the same counts.
         let mut next_seq = 0u64;
         while let Some((seq, batch)) = rx.recv().await {
             debug_assert_eq!(seq, next_seq, "batches must arrive in sweep order");
             next_seq = seq + 1;
+            Self::accumulate_sweep_counts(&mut report, &batch);
             self.process_batch(client, batch, &mut report).await;
         }
 
         let totals = sweep
             .await
             .map_err(|e| PipelineError::SweepFailed(e.to_string()))?;
-        report.addresses_probed = totals.addresses_probed;
-        report.probes_sent = totals.probes_sent;
-        for (port, n) in &totals.open_per_port {
-            report.port_stats.entry(*port).or_default().open = *n;
-        }
+        debug_assert_eq!(totals.probes_sent, report.probes_sent);
+        debug_assert_eq!(totals.addresses_probed, report.addresses_probed);
         Ok(report)
+    }
+
+    /// Fold one batch's stage-I counts into the report.
+    fn accumulate_sweep_counts(report: &mut ScanReport, batch: &PortScanResult) {
+        report.addresses_probed += batch.addresses_probed;
+        report.probes_sent += batch.probes_sent;
+        for (port, n) in &batch.open_per_port {
+            report.port_stats.entry(*port).or_default().open += *n;
+        }
+    }
+
+    /// [`run_inner`](Self::run_inner) with checkpoint persistence.
+    ///
+    /// Byte-identity across a kill/resume hinges on one invariant: when
+    /// a checkpoint is written, the main telemetry registry must hold
+    /// *exactly* the work of the batches processed so far — even though
+    /// the stage-I sweep task has raced a few batches ahead. The sweep
+    /// therefore records into a private staging registry (its scanner
+    /// metrics *and* its own [`RetryTransport`]) and attaches each
+    /// batch's telemetry delta to the batch message; the consumer
+    /// absorbs the delta only when it processes the batch. Telemetry
+    /// recorded after the final emitted batch (trailing all-reserved
+    /// blocks sweep counters, for example) arrives in a final
+    /// [`SweepMsg::Epilogue`].
+    async fn run_checkpointed<T>(
+        &self,
+        client: &Client<T>,
+        path: &Path,
+        prior: Option<ScanCheckpoint>,
+    ) -> Result<ScanReport, PipelineError>
+    where
+        T: Transport + Clone + 'static,
+    {
+        let fingerprint = ConfigFingerprint::of(&self.config);
+        let (mut report, first_batch) = match prior {
+            Some(checkpoint) if checkpoint.finished => {
+                // Warm resume: the stored prefix is the whole run.
+                self.telemetry.absorb(&checkpoint.telemetry);
+                return Ok(checkpoint.report);
+            }
+            Some(checkpoint) => {
+                self.telemetry.absorb(&checkpoint.telemetry);
+                (checkpoint.report, checkpoint.batches_done)
+            }
+            None => (ScanReport::default(), 0),
+        };
+        let parallelism = self.parallelism();
+
+        // Stages II/III record into the main registry as usual…
+        let retrying = client.with_transport(RetryTransport::new(
+            client.transport().clone(),
+            self.config.retry.clone(),
+            &self.telemetry,
+        ));
+        // …while the sweep gets the staging registry: a staged scanner
+        // plus a staging-bound retry transport (the probe retry lane is
+        // used by stage I only, so splitting the transports never splits
+        // a counter between registries).
+        let staging = Telemetry::new();
+        let scanner = PortScanner::with_telemetry(self.config.portscan.clone(), &staging);
+        let sweep_transport = RetryTransport::new(
+            client.transport().clone(),
+            self.config.retry.clone(),
+            &staging,
+        );
+        let blocks_per_batch = self.config.blocks_per_batch;
+        let (tx, mut rx) = tokio::sync::mpsc::channel(parallelism.max(2));
+        let sweep_staging = staging.clone();
+        let sweep = tokio::spawn(async move {
+            scanner
+                .scan_stream_staged(
+                    &sweep_transport,
+                    blocks_per_batch,
+                    first_batch,
+                    &sweep_staging,
+                    tx,
+                )
+                .await
+        });
+
+        let every = self.config.checkpoint_every.max(1);
+        let mut batches_done = first_batch;
+        while let Some(msg) = rx.recv().await {
+            match msg {
+                SweepMsg::Batch { seq, batch, delta } => {
+                    debug_assert_eq!(seq, batches_done, "batches must arrive in sweep order");
+                    self.telemetry.absorb(&delta);
+                    Self::accumulate_sweep_counts(&mut report, &batch);
+                    self.process_batch(&retrying, batch, &mut report).await;
+                    batches_done = seq + 1;
+                    if batches_done % every == 0 {
+                        // Synchronous write between awaits: an abort can
+                        // never leave a torn checkpoint behind.
+                        self.write_checkpoint(path, &fingerprint, batches_done, false, &report)?;
+                    }
+                }
+                SweepMsg::Epilogue { delta } => self.telemetry.absorb(&delta),
+            }
+        }
+        sweep
+            .await
+            .map_err(|e| PipelineError::SweepFailed(e.to_string()))?;
+        self.write_checkpoint(path, &fingerprint, batches_done, true, &report)?;
+        Ok(report)
+    }
+
+    fn write_checkpoint(
+        &self,
+        path: &Path,
+        fingerprint: &ConfigFingerprint,
+        batches_done: u64,
+        finished: bool,
+        report: &ScanReport,
+    ) -> Result<(), PipelineError> {
+        let checkpoint = ScanCheckpoint {
+            format: CHECKPOINT_FORMAT,
+            fingerprint: fingerprint.clone(),
+            batches_done,
+            finished,
+            report: report.clone(),
+            telemetry: self.telemetry.snapshot(),
+        };
+        checkpoint.save(path)?;
+        Ok(())
     }
 
     /// Stages II + III for one batch of stage-I results.
@@ -636,6 +876,8 @@ mod tests {
             .parallelism(4)
             .retries(5)
             .telemetry(telemetry)
+            .checkpoint_path("/tmp/nokeys-checkpoint.json")
+            .checkpoint_every(3)
             .build();
         assert_eq!(config.portscan.ports, vec![80, 443]);
         assert_eq!(config.portscan.seed, 7);
@@ -648,12 +890,79 @@ mod tests {
         assert_eq!(config.parallelism, 4);
         assert_eq!(config.retry.max_attempts, 5);
         assert!(config.telemetry.is_some());
+        assert_eq!(
+            config.checkpoint_path.as_deref(),
+            Some(Path::new("/tmp/nokeys-checkpoint.json"))
+        );
+        assert_eq!(config.checkpoint_every, 3);
     }
 
     #[test]
     #[should_panic(expected = "parallelism must be at least 1")]
     fn builder_rejects_zero_parallelism() {
         let _ = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).parallelism(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint_every must be at least 1")]
+    fn builder_rejects_zero_checkpoint_cadence() {
+        let _ = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).checkpoint_every(0);
+    }
+
+    /// Duplicate, nested and split target blocks collapse to a disjoint
+    /// cover of the same addresses.
+    #[test]
+    fn build_normalizes_overlapping_targets() {
+        let targets: Vec<Cidr> = [
+            "20.0.128.0/17",
+            "20.0.0.0/16",
+            "20.0.0.0/17",
+            "20.0.0.0/16",
+            "20.0.5.0/24",
+            "10.9.0.0/24",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        let config = PipelineConfig::builder(targets).build();
+        let expect: Vec<Cidr> = ["10.9.0.0/24", "20.0.0.0/16"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert_eq!(config.portscan.targets, expect);
+    }
+
+    /// Overlapping targets produce the very report their union would —
+    /// no address is swept or verified twice.
+    #[tokio::test]
+    async fn overlapping_targets_report_equals_their_union() {
+        async fn run_with(targets: Vec<Cidr>) -> String {
+            let t = SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(42))));
+            let client = Client::new(t);
+            let pipeline = Pipeline::new(PipelineConfig::builder(targets).build());
+            let report = pipeline.run(&client).await.expect("pipeline failed");
+            serde_json::to_string(&report).unwrap()
+        }
+        let union = run_with(vec!["20.0.0.0/16".parse().unwrap()]).await;
+        let overlapping = run_with(
+            ["20.0.0.0/17", "20.0.0.0/16", "20.0.128.0/17", "20.0.77.0/24"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect(),
+        )
+        .await;
+        assert_eq!(overlapping, union);
+        // Adjacent halves with no explicit union behave the same: their
+        // /24 decomposition (and thus the shuffled sweep order) matches
+        // the full block's.
+        let halves = run_with(
+            ["20.0.128.0/17", "20.0.0.0/17"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect(),
+        )
+        .await;
+        assert_eq!(halves, union);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! so later (slower) stages can run on fresh data while the sweep
 //! continues — the paper's answer to scan-vs-verify staleness.
 
-use crate::telemetry::{Counter, Telemetry, Timer};
+use crate::telemetry::{Counter, Telemetry, TelemetrySnapshot, Timer};
 use nokeys_apps::SCAN_PORTS;
 use nokeys_http::{Endpoint, ProbeOutcome, Transport};
 use std::collections::BTreeMap;
@@ -102,6 +102,32 @@ impl PortScanResult {
         }
         map
     }
+}
+
+/// One message of a checkpointed streamed sweep
+/// ([`PortScanner::scan_stream_staged`]).
+#[derive(Debug)]
+pub enum SweepMsg {
+    /// A completed batch, plus the delta of the sweep's staging
+    /// telemetry registry covering exactly the work performed since the
+    /// previous message. Absorbing every delta in order reconstructs
+    /// the sweep-side telemetry of the delivered prefix.
+    Batch {
+        /// Batch sequence number (0-based, counting from the start of
+        /// the whole sweep — a resumed sweep starts above 0).
+        seq: u64,
+        /// The batch's open endpoints and counters.
+        batch: PortScanResult,
+        /// Staging-telemetry delta attributable to this batch.
+        delta: TelemetrySnapshot,
+    },
+    /// Telemetry recorded after the last emitted batch (trailing blocks
+    /// that produced no batch — e.g. entirely reserved ranges). Sent
+    /// exactly once, when the sweep completes.
+    Epilogue {
+        /// Staging-telemetry delta since the last batch.
+        delta: TelemetrySnapshot,
+    },
 }
 
 /// Cached stage-I telemetry handles (clone-cheap; all clones of a
@@ -334,6 +360,86 @@ impl PortScanner {
         totals
     }
 
+    /// [`scan_stream`](Self::scan_stream) for checkpointed pipelines:
+    /// skip the first `first_batch` batches entirely (they were
+    /// delivered by a previous, interrupted run) and tag each emitted
+    /// message with a per-batch telemetry delta.
+    ///
+    /// The scanner must have been built with
+    /// [`with_telemetry`](Self::with_telemetry) over `staging`, a
+    /// registry private to this sweep: after each batch the method
+    /// snapshots `staging` and sends the delta since the previous
+    /// message, so the consumer can absorb sweep-side telemetry into
+    /// its own registry *when it processes the batch* — never earlier.
+    /// That is what keeps a checkpoint taken after batch *k* equal to
+    /// the state of an uninterrupted run that has processed exactly
+    /// *k* + 1 batches, even while the sweep races ahead.
+    ///
+    /// A final [`SweepMsg::Epilogue`] carries whatever the sweep
+    /// recorded after its last batch (e.g. trailing all-reserved
+    /// blocks), so no staging telemetry is ever lost.
+    pub async fn scan_stream_staged<T: Transport>(
+        &self,
+        transport: &T,
+        blocks_per_batch: usize,
+        first_batch: u64,
+        staging: &Telemetry,
+        tx: tokio::sync::mpsc::Sender<SweepMsg>,
+    ) -> SweepTotals {
+        assert!(blocks_per_batch > 0, "batch size must be positive");
+        let mut pacer = self
+            .config
+            .max_probes_per_sec
+            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let mut totals = SweepTotals::default();
+        let mut prev = staging.snapshot();
+        let mut batch = PortScanResult::default();
+        let mut seq = first_batch;
+        let mut blocks_in_batch = 0usize;
+        // Completed batches are always full, so the prefix to skip is
+        // exactly `first_batch` × `blocks_per_batch` blocks (a short
+        // tail batch can only ever be the last one).
+        let skip = (first_batch as usize).saturating_mul(blocks_per_batch);
+        for block in self.shuffled_blocks().into_iter().skip(skip) {
+            batch.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            blocks_in_batch += 1;
+            if blocks_in_batch == blocks_per_batch {
+                totals.absorb_counters(&batch);
+                let cur = staging.snapshot();
+                let msg = SweepMsg::Batch {
+                    seq,
+                    batch: std::mem::take(&mut batch),
+                    delta: cur.delta_since(&prev),
+                };
+                prev = cur;
+                if tx.send(msg).await.is_err() {
+                    return totals;
+                }
+                seq += 1;
+                blocks_in_batch = 0;
+            }
+        }
+        if !batch.open.is_empty() || batch.probes_sent > 0 {
+            totals.absorb_counters(&batch);
+            let cur = staging.snapshot();
+            let msg = SweepMsg::Batch {
+                seq,
+                batch,
+                delta: cur.delta_since(&prev),
+            };
+            prev = cur;
+            if tx.send(msg).await.is_err() {
+                return totals;
+            }
+        }
+        let _ = tx
+            .send(SweepMsg::Epilogue {
+                delta: staging.snapshot().delta_since(&prev),
+            })
+            .await;
+        totals
+    }
+
     /// Concurrent sweep for real transports: `parallelism` blocks in
     /// flight at once. Result order differs from the sequential sweep but
     /// contents are identical.
@@ -482,6 +588,88 @@ mod tests {
         assert_eq!(totals.addresses_probed, batched.addresses_probed);
         assert_eq!(totals.probes_sent, batched.probes_sent);
         assert_eq!(totals.open_per_port, batched.open_per_port);
+    }
+
+    /// The staged stream delivers the same batches as the plain stream,
+    /// its deltas reconstruct the sweep telemetry exactly, and a
+    /// non-zero `first_batch` continues precisely where the prefix
+    /// stopped.
+    #[tokio::test]
+    async fn staged_stream_matches_plain_stream_and_resumes() {
+        let t = sim();
+        let plain_telemetry = Telemetry::new();
+        let plain_scanner = PortScanner::with_telemetry(config_for_tiny(), &plain_telemetry);
+        let (tx, mut rx) = tokio::sync::mpsc::channel(4);
+        let (plain_totals, plain_batches) =
+            tokio::join!(plain_scanner.scan_stream(&t, 32, tx), async {
+                let mut batches = Vec::new();
+                while let Some((_, batch)) = rx.recv().await {
+                    batches.push(batch);
+                }
+                batches
+            });
+
+        let staging = Telemetry::new();
+        let staged_scanner = PortScanner::with_telemetry(config_for_tiny(), &staging);
+        let absorbed = Telemetry::new();
+        let (tx, mut rx) = tokio::sync::mpsc::channel(4);
+        let (staged_totals, staged_batches) = tokio::join!(
+            staged_scanner.scan_stream_staged(&t, 32, 0, &staging, tx),
+            async {
+                let mut batches = Vec::new();
+                let mut next_seq = 0u64;
+                while let Some(msg) = rx.recv().await {
+                    match msg {
+                        SweepMsg::Batch { seq, batch, delta } => {
+                            assert_eq!(seq, next_seq);
+                            next_seq += 1;
+                            absorbed.absorb(&delta);
+                            batches.push(batch);
+                        }
+                        SweepMsg::Epilogue { delta } => absorbed.absorb(&delta),
+                    }
+                }
+                batches
+            }
+        );
+
+        assert_eq!(staged_batches.len(), plain_batches.len());
+        for (a, b) in staged_batches.iter().zip(&plain_batches) {
+            assert_eq!(a.open, b.open);
+            assert_eq!(a.probes_sent, b.probes_sent);
+        }
+        assert_eq!(staged_totals.probes_sent, plain_totals.probes_sent);
+        // Absorbing the deltas reproduces the sweep telemetry exactly.
+        assert_eq!(
+            absorbed.snapshot().to_json(),
+            staging.snapshot().to_json(),
+            "deltas must reconstruct the staging registry"
+        );
+        assert_eq!(
+            staging.snapshot().to_json(),
+            plain_telemetry.snapshot().to_json(),
+            "staged sweep records the same telemetry as the plain sweep"
+        );
+
+        // Resuming after 3 of 8 batches yields exactly batches 3..8.
+        let staging = Telemetry::new();
+        let resumed_scanner = PortScanner::with_telemetry(config_for_tiny(), &staging);
+        let (tx, mut rx) = tokio::sync::mpsc::channel(4);
+        let (_, resumed) = tokio::join!(
+            resumed_scanner.scan_stream_staged(&t, 32, 3, &staging, tx),
+            async {
+                let mut batches = Vec::new();
+                while let Some(SweepMsg::Batch { seq, batch, .. }) = rx.recv().await {
+                    batches.push((seq, batch));
+                }
+                batches
+            }
+        );
+        assert_eq!(resumed.len(), plain_batches.len() - 3);
+        for (i, (seq, batch)) in resumed.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 3);
+            assert_eq!(batch.open, plain_batches[i + 3].open);
+        }
     }
 
     #[tokio::test]

@@ -2,11 +2,11 @@
 
 use nokeys_apps::{AppId, ReleaseDate, Version};
 use nokeys_http::{Endpoint, Scheme};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// How a version was determined.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FingerprintMethod {
     /// The application voluntarily reveals its version (API endpoint,
     /// header, generator meta, HTML comment).
@@ -16,7 +16,7 @@ pub enum FingerprintMethod {
 }
 
 /// One identified AWE host.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HostFinding {
     pub endpoint: Endpoint,
     pub scheme: Scheme,
@@ -37,7 +37,7 @@ impl HostFinding {
 }
 
 /// Per-port counters for Table 2.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct PortStat {
     pub open: u64,
     pub http: u64,
@@ -45,7 +45,11 @@ pub struct PortStat {
 }
 
 /// The complete output of one pipeline run.
-#[derive(Debug, Default, Serialize)]
+///
+/// `Clone` + `Deserialize` exist for the
+/// [`checkpoint`](crate::checkpoint) subsystem, which persists the
+/// report accumulated so far and restores it on resume.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ScanReport {
     /// Table 2 data.
     pub port_stats: BTreeMap<u16, PortStat>,

@@ -34,7 +34,7 @@
 //!   [`TelemetrySnapshot::to_json`] has sorted keys and is stable across
 //!   runs and platforms.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -107,6 +107,22 @@ impl Histogram {
         c.sum.fetch_add(value, Ordering::Relaxed);
     }
 
+    /// Add a (delta) snapshot's buckets into this histogram. Used when
+    /// replaying checkpointed telemetry; bounds must match.
+    fn absorb(&self, s: &HistogramSnapshot) {
+        let c = &self.core;
+        assert_eq!(
+            c.bounds, s.bounds,
+            "cannot absorb a histogram snapshot with different bounds"
+        );
+        for (bucket, n) in c.buckets.iter().zip(&s.buckets) {
+            bucket.fetch_add(*n, Ordering::Relaxed);
+        }
+        c.overflow.fetch_add(s.overflow, Ordering::Relaxed);
+        c.count.fetch_add(s.count, Ordering::Relaxed);
+        c.sum.fetch_add(s.sum, Ordering::Relaxed);
+    }
+
     fn snapshot(&self) -> HistogramSnapshot {
         let c = &self.core;
         HistogramSnapshot {
@@ -154,6 +170,15 @@ impl Timer {
     /// Total recorded virtual units.
     pub fn units(&self) -> u64 {
         self.core.units.load(Ordering::Relaxed)
+    }
+
+    /// Add a (delta) snapshot's events and units into this timer,
+    /// advancing the registry's virtual clock by the absorbed units —
+    /// exactly as if the work had been [`record`](Self::record)ed here.
+    fn absorb(&self, s: &TimingSnapshot) {
+        self.core.events.fetch_add(s.events, Ordering::Relaxed);
+        self.core.units.fetch_add(s.units, Ordering::Relaxed);
+        self.clock.fetch_add(s.units, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> TimingSnapshot {
@@ -277,6 +302,30 @@ impl Telemetry {
         self.registry.clock.load(Ordering::Relaxed)
     }
 
+    /// Merge a snapshot's values into this registry, registering any
+    /// instrument the registry does not know yet.
+    ///
+    /// This is the replay half of checkpointing: a checkpointed run
+    /// stores [`TelemetrySnapshot`]s (full prefixes or per-batch
+    /// deltas), and a resuming run absorbs them so its registry ends up
+    /// exactly where an uninterrupted run's would be. Counter values
+    /// add, histogram buckets add bucket-wise (bounds must match), and
+    /// timers add events/units — advancing the virtual clock by the
+    /// absorbed units, which keeps
+    /// [`virtual_clock`](Self::virtual_clock) equal to the sum of all
+    /// timer units.
+    pub fn absorb(&self, snapshot: &TelemetrySnapshot) {
+        for (name, value) in &snapshot.counters {
+            self.counter(name).add(*value);
+        }
+        for (name, h) in &snapshot.histograms {
+            self.histogram(name, &h.bounds).absorb(h);
+        }
+        for (name, t) in &snapshot.timings {
+            self.timer(name).absorb(t);
+        }
+    }
+
     /// A consistent point-in-time view of every instrument. Meant to be
     /// taken after a run completes; taking it while writers are active
     /// yields a valid but possibly mid-update view.
@@ -312,7 +361,7 @@ impl Telemetry {
 }
 
 /// Point-in-time state of one histogram.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     /// Inclusive upper bucket bounds.
     pub bounds: Vec<u64>,
@@ -327,7 +376,7 @@ pub struct HistogramSnapshot {
 }
 
 /// Point-in-time state of one virtual-clock timer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimingSnapshot {
     /// Number of timed sections.
     pub events: u64,
@@ -340,7 +389,7 @@ pub struct TimingSnapshot {
 /// Keys are sorted (`BTreeMap`) and all values are order-independent
 /// sums over virtual time, so the same seed produces byte-identical
 /// JSON at any concurrency level.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TelemetrySnapshot {
     /// Total virtual work units across all timers at snapshot time.
     pub virtual_clock_units: u64,
@@ -361,6 +410,92 @@ impl TelemetrySnapshot {
     /// Pretty-printed deterministic JSON.
     pub fn to_json_pretty(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+
+    /// The work recorded since `prev` (an earlier snapshot of the same
+    /// registry), as a snapshot of differences suitable for
+    /// [`Telemetry::absorb`].
+    ///
+    /// Every instrument of `self` appears in the delta — including ones
+    /// whose difference is zero — so absorbing a delta also registers
+    /// the instruments a live run would have registered. Instruments
+    /// are monotonic, so `prev` must be a genuine prefix; a counter
+    /// that shrank indicates snapshots of two different registries and
+    /// panics.
+    pub fn delta_since(&self, prev: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let behind = |name: &str| -> ! {
+            panic!("delta_since: '{name}' shrank — `prev` is not a prefix of this snapshot")
+        };
+        TelemetrySnapshot {
+            virtual_clock_units: self
+                .virtual_clock_units
+                .checked_sub(prev.virtual_clock_units)
+                .unwrap_or_else(|| behind("virtual_clock_units")),
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| {
+                    let base = prev.counters.get(k).copied().unwrap_or(0);
+                    (
+                        k.clone(),
+                        v.checked_sub(base).unwrap_or_else(|| behind(k)),
+                    )
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let delta = match prev.histograms.get(k) {
+                        None => h.clone(),
+                        Some(base) => {
+                            assert_eq!(
+                                base.bounds, h.bounds,
+                                "delta_since: histogram '{k}' changed bounds"
+                            );
+                            HistogramSnapshot {
+                                bounds: h.bounds.clone(),
+                                buckets: h
+                                    .buckets
+                                    .iter()
+                                    .zip(&base.buckets)
+                                    .map(|(now, was)| {
+                                        now.checked_sub(*was).unwrap_or_else(|| behind(k))
+                                    })
+                                    .collect(),
+                                overflow: h
+                                    .overflow
+                                    .checked_sub(base.overflow)
+                                    .unwrap_or_else(|| behind(k)),
+                                count: h.count.checked_sub(base.count).unwrap_or_else(|| behind(k)),
+                                sum: h.sum.checked_sub(base.sum).unwrap_or_else(|| behind(k)),
+                            }
+                        }
+                    };
+                    (k.clone(), delta)
+                })
+                .collect(),
+            timings: self
+                .timings
+                .iter()
+                .map(|(k, t)| {
+                    let base = prev.timings.get(k).copied().unwrap_or(TimingSnapshot {
+                        events: 0,
+                        units: 0,
+                    });
+                    (
+                        k.clone(),
+                        TimingSnapshot {
+                            events: t
+                                .events
+                                .checked_sub(base.events)
+                                .unwrap_or_else(|| behind(k)),
+                            units: t.units.checked_sub(base.units).unwrap_or_else(|| behind(k)),
+                        },
+                    )
+                })
+                .collect(),
+        }
     }
 
     /// A counter's value, zero if it was never registered.
@@ -539,6 +674,79 @@ mod tests {
         t.counter("stage3.verify.Hadoop.confirmed").add(3);
         t.counter("stage2.hits").add(100);
         assert_eq!(t.snapshot().prefixed_total("stage3.verify."), 5);
+    }
+
+    /// Recording work directly and replaying it through per-batch
+    /// deltas must be indistinguishable — the invariant checkpointed
+    /// scans rely on.
+    #[test]
+    fn absorbing_deltas_reconstructs_the_registry() {
+        let source = Telemetry::new();
+        let replica = Telemetry::new();
+        let mut prev = source.snapshot();
+        for round in 0..3u64 {
+            source.counter("ops").add(round + 1);
+            source.histogram("sizes", &[10, 100]).observe(round * 60);
+            source.timer("work").record(5 * (round + 1));
+            let cur = source.snapshot();
+            replica.absorb(&cur.delta_since(&prev));
+            prev = cur;
+        }
+        assert_eq!(source.snapshot().to_json(), replica.snapshot().to_json());
+        assert_eq!(replica.virtual_clock(), source.virtual_clock());
+    }
+
+    /// A full snapshot absorbed into a fresh registry reproduces it,
+    /// and zero-valued instruments still get registered.
+    #[test]
+    fn absorbing_a_full_snapshot_reproduces_it() {
+        let source = Telemetry::new();
+        source.counter("hits").add(7);
+        source.counter("never-incremented");
+        source.histogram("h", &[1, 2]).observe(2);
+        source.timer("t").record(9);
+        let snap = source.snapshot();
+
+        let replica = Telemetry::new();
+        replica.absorb(&snap);
+        assert_eq!(replica.snapshot().to_json(), snap.to_json());
+        assert!(replica.snapshot().counters.contains_key("never-incremented"));
+    }
+
+    #[test]
+    fn delta_since_keeps_every_key_and_subtracts_values() {
+        let t = Telemetry::new();
+        t.counter("a").add(2);
+        let prev = t.snapshot();
+        t.counter("a").add(3);
+        t.counter("b").incr();
+        let delta = t.snapshot().delta_since(&prev);
+        assert_eq!(delta.counter("a"), 3);
+        assert_eq!(delta.counter("b"), 1);
+        // Unchanged keys survive (at zero) so absorption registers them.
+        assert!(delta.counters.contains_key("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prefix")]
+    fn delta_since_rejects_non_prefix_snapshots() {
+        let a = Telemetry::new();
+        a.counter("x").add(5);
+        let big = a.snapshot();
+        let b = Telemetry::new();
+        b.counter("x").add(1);
+        let _ = b.snapshot().delta_since(&big);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let t = Telemetry::new();
+        t.counter("c").add(3);
+        t.histogram("h", &[1, 4]).observe(2);
+        t.timer("w").record(6);
+        let snap = t.snapshot();
+        let back: TelemetrySnapshot = serde_json::from_str(&snap.to_json()).expect("parses");
+        assert_eq!(back, snap);
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Kill-and-resume rehearsal for checkpointed scans.
+//!
+//! [`KillableTransport`] lets a test simulate a scanner process dying
+//! mid-run: after a budget of network operations, every further probe
+//! or connect *hangs forever* instead of erroring. A hang (rather than
+//! an error) is the honest model of `kill -9` — the pipeline cannot
+//! observe its own death, clean up, or write a farewell checkpoint; the
+//! test simply aborts the pipeline task once [`KillSwitch::tripped`]
+//! resolves, then resumes a fresh pipeline from the last checkpoint the
+//! dead one left behind.
+
+use nokeys_http::{Endpoint, ProbeOutcome, Result, Scheme, Transport};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::watch;
+
+/// Shared operation budget with a trip signal. Clones share the budget.
+#[derive(Debug, Clone)]
+pub struct KillSwitch {
+    remaining: Arc<AtomicU64>,
+    used: Arc<AtomicU64>,
+    trip_tx: Arc<watch::Sender<bool>>,
+    trip_rx: watch::Receiver<bool>,
+}
+
+impl KillSwitch {
+    /// A switch that admits `ops` operations, then trips.
+    pub fn after(ops: u64) -> Self {
+        let (trip_tx, trip_rx) = watch::channel(false);
+        KillSwitch {
+            remaining: Arc::new(AtomicU64::new(ops)),
+            used: Arc::new(AtomicU64::new(0)),
+            trip_tx: Arc::new(trip_tx),
+            trip_rx,
+        }
+    }
+
+    /// Operations admitted so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Whether the budget has been exhausted and an operation blocked.
+    pub fn is_tripped(&self) -> bool {
+        *self.trip_rx.borrow()
+    }
+
+    /// Resolve once the switch trips (immediately if it already has).
+    /// The budget alone running out does not trip the switch — an
+    /// operation must actually be refused, i.e. the wrapped process is
+    /// genuinely wedged.
+    pub async fn tripped(&self) {
+        let mut rx = self.trip_rx.clone();
+        while !*rx.borrow_and_update() {
+            if rx.changed().await.is_err() {
+                return; // sender gone; nothing can trip any more
+            }
+        }
+    }
+
+    /// Consume one unit of budget; `false` means the operation must
+    /// hang. The first refusal fires the trip signal.
+    fn admit(&self) -> bool {
+        let mut current = self.remaining.load(Ordering::Relaxed);
+        loop {
+            if current == 0 {
+                self.trip_tx.send_if_modified(|tripped| {
+                    let first = !*tripped;
+                    *tripped = true;
+                    first
+                });
+                return false;
+            }
+            match self.remaining.compare_exchange_weak(
+                current,
+                current - 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.used.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+/// Wrap any [`Transport`] so it freezes after the switch's budget.
+#[derive(Debug, Clone)]
+pub struct KillableTransport<T> {
+    inner: T,
+    switch: KillSwitch,
+}
+
+impl<T> KillableTransport<T> {
+    pub fn new(inner: T, switch: KillSwitch) -> Self {
+        KillableTransport { inner, switch }
+    }
+
+    /// The switch governing this transport.
+    pub fn switch(&self) -> &KillSwitch {
+        &self.switch
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// A future that never resolves, in any return position.
+async fn wedge<R>() -> R {
+    std::future::pending::<R>().await
+}
+
+impl<T: Transport> Transport for KillableTransport<T> {
+    type Conn = T::Conn;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        if !self.switch.admit() {
+            return wedge().await;
+        }
+        self.inner.probe(ep).await
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<T::Conn> {
+        if !self.switch.admit() {
+            return wedge().await;
+        }
+        self.inner.connect(ep, scheme).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimTransport, Universe, UniverseConfig};
+    use std::net::Ipv4Addr;
+
+    fn transport() -> SimTransport {
+        SimTransport::new(Arc::new(Universe::generate(UniverseConfig::tiny(1))))
+    }
+
+    #[tokio::test]
+    async fn operations_within_budget_pass_through() {
+        let switch = KillSwitch::after(4);
+        let t = KillableTransport::new(transport(), switch.clone());
+        for i in 0..4u8 {
+            let _ = t.probe(Endpoint::new(Ipv4Addr::new(20, 0, 0, i), 80)).await;
+        }
+        assert_eq!(switch.used(), 4);
+        assert!(!switch.is_tripped(), "budget exhaustion alone must not trip");
+    }
+
+    #[tokio::test]
+    async fn exhausted_budget_wedges_and_trips() {
+        let switch = KillSwitch::after(1);
+        let t = KillableTransport::new(transport(), switch.clone());
+        let ep = Endpoint::new(Ipv4Addr::new(20, 0, 0, 1), 80);
+        let _ = t.probe(ep).await;
+
+        // The over-budget probe hangs forever; abort it like a kill -9.
+        let task = tokio::spawn(async move { t.probe(ep).await });
+        switch.tripped().await;
+        assert!(switch.is_tripped());
+        task.abort();
+        assert!(task.await.unwrap_err().is_cancelled());
+        assert_eq!(switch.used(), 1);
+    }
+
+    #[tokio::test]
+    async fn clones_share_one_budget() {
+        let switch = KillSwitch::after(3);
+        let a = KillableTransport::new(transport(), switch.clone());
+        let b = a.clone();
+        let ep = Endpoint::new(Ipv4Addr::new(20, 0, 0, 2), 80);
+        let _ = a.probe(ep).await;
+        let _ = b.probe(ep).await;
+        let _ = a.probe(ep).await;
+        assert_eq!(switch.used(), 3);
+        let wedged = tokio::spawn(async move { b.probe(ep).await });
+        switch.tripped().await;
+        wedged.abort();
+    }
+}

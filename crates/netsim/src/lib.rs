@@ -18,6 +18,7 @@ pub mod fault;
 pub mod geo;
 pub mod host;
 pub mod ip;
+pub mod killswitch;
 pub mod lifecycle;
 pub mod observer_clock;
 pub mod transport;
@@ -30,6 +31,7 @@ pub use fault::{FaultLane, FaultPlan, FaultStats, FaultyTransport};
 pub use geo::{AsInfo, CountryCode, GeoDb, GeoRecord};
 pub use host::{Host, SchemeSupport, Service, ServiceKind};
 pub use ip::{Cidr, ReservedRanges};
+pub use killswitch::{KillSwitch, KillableTransport};
 pub use lifecycle::LifecyclePlan;
 pub use transport::SimTransport;
 pub use universe::{Universe, UniverseConfig};

@@ -5,7 +5,12 @@
 //! nokeys-scan --target 192.0.2.0/28 [--ports 80,443,8080] [--rate 200]
 //!             [--parallelism 16] [--json out.json] [--metrics-out m.json]
 //!             [--include-reserved] [--retries N] [--fault-rate P]
+//!             [--checkpoint FILE] [--resume] [--checkpoint-every N]
 //! ```
+//!
+//! `--checkpoint FILE` persists a resumable checkpoint every
+//! `--checkpoint-every N` batches (default 8); `--resume` continues an
+//! interrupted scan from that file instead of starting over.
 //!
 //! Like the paper's scanner, the tool is strictly non-intrusive: it only
 //! issues non-state-changing `GET` requests and infers the presence of a
@@ -37,6 +42,9 @@ struct Args {
     fault_rate: f64,
     json: Option<String>,
     metrics_out: Option<String>,
+    checkpoint: Option<std::path::PathBuf>,
+    checkpoint_every: u64,
+    resume: bool,
 }
 
 fn usage() -> ! {
@@ -44,7 +52,8 @@ fn usage() -> ! {
         "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
          \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
          \x20                [--shard K/N] [--retries N] [--fault-rate P]\n\
-         \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]"
+         \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]\n\
+         \x20                [--checkpoint FILE] [--resume] [--checkpoint-every N]"
     );
     std::process::exit(2);
 }
@@ -61,6 +70,9 @@ fn parse_args() -> Args {
         fault_rate: 0.0,
         json: None,
         metrics_out: None,
+        checkpoint: None,
+        checkpoint_every: 8,
+        resume: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,9 +88,16 @@ fn parse_args() -> Args {
             }
             "--ports" => {
                 i += 1;
+                // Every element must parse: "80,abc,443" is an error,
+                // not a two-port list (filter_map used to silently drop
+                // the bad entries).
                 args.ports = argv
                     .get(i)
-                    .map(|s| s.split(',').filter_map(|p| p.parse().ok()).collect())
+                    .and_then(|s| {
+                        s.split(',')
+                            .map(|p| p.parse().ok())
+                            .collect::<Option<Vec<u16>>>()
+                    })
                     .unwrap_or_else(|| usage());
                 if args.ports.is_empty() {
                     usage();
@@ -89,6 +108,7 @@ fn parse_args() -> Args {
                 args.rate = Some(
                     argv.get(i)
                         .and_then(|s| s.parse().ok())
+                        .filter(|r| *r > 0.0)
                         .unwrap_or_else(|| usage()),
                 );
             }
@@ -97,6 +117,7 @@ fn parse_args() -> Args {
                 args.parallelism = argv
                     .get(i)
                     .and_then(|s| s.parse().ok())
+                    .filter(|p| *p > 0)
                     .unwrap_or_else(|| usage());
             }
             "--shard" => {
@@ -125,6 +146,19 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--include-reserved" => args.include_reserved = true,
+            "--resume" => args.resume = true,
+            "--checkpoint" => {
+                i += 1;
+                args.checkpoint = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                args.checkpoint_every = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--json" => {
                 i += 1;
                 args.json = Some(argv.get(i).cloned().unwrap_or_else(|| usage()));
@@ -138,6 +172,10 @@ fn parse_args() -> Args {
         i += 1;
     }
     if args.targets.is_empty() {
+        usage();
+    }
+    if args.resume && args.checkpoint.is_none() {
+        eprintln!("error: --resume requires --checkpoint FILE");
         usage();
     }
     args
@@ -170,23 +208,33 @@ async fn main() {
         );
     }
     let transport = Arc::new(FaultyTransport::new(TcpTransport::default(), fault_plan));
-    let scanner = PortScanner::new(portscan.clone());
-    let sweep = match args.shard {
-        Some((k, n)) => {
-            eprintln!("scanning shard {k} of {n}");
-            scanner.scan_shard(transport.as_ref(), k, n).await
-        }
-        None => {
-            scanner
-                .scan_concurrent(Arc::clone(&transport), args.parallelism)
-                .await
-        }
-    };
-    eprintln!(
-        "stage I: {} probes, {} open endpoints",
-        sweep.probes_sent,
-        sweep.open.len()
-    );
+    if args.checkpoint.is_none() {
+        let scanner = PortScanner::new(portscan.clone());
+        let sweep = match args.shard {
+            Some((k, n)) => {
+                eprintln!("scanning shard {k} of {n}");
+                scanner.scan_shard(transport.as_ref(), k, n).await
+            }
+            None => {
+                scanner
+                    .scan_concurrent(Arc::clone(&transport), args.parallelism)
+                    .await
+            }
+        };
+        eprintln!(
+            "stage I: {} probes, {} open endpoints",
+            sweep.probes_sent,
+            sweep.open.len()
+        );
+    } else {
+        // The checkpointed pipeline streams stage I itself; a standalone
+        // pre-sweep would probe every target a second time.
+        eprintln!(
+            "checkpointing to {} every {} batches",
+            args.checkpoint.as_ref().expect("checked above").display(),
+            args.checkpoint_every
+        );
+    }
 
     let telemetry = Telemetry::new();
     let tarpit_port_threshold = portscan.ports.len().max(2);
@@ -194,18 +242,33 @@ async fn main() {
     // budgets actually pace the retries instead of hammering the target.
     let mut retry = RetryPolicy::with_attempts(args.retries);
     retry.real_unit = Duration::from_millis(1);
-    let config = PipelineConfig::builder(args.targets)
+    let mut builder = PipelineConfig::builder(args.targets)
         .portscan(portscan)
         .tarpit_port_threshold(tarpit_port_threshold)
         // --parallelism bounds both the stage-I sweep above and the
         // in-flight stage-II probes / stage-III verifications below.
         .parallelism(args.parallelism)
         .retry_policy(retry)
-        .telemetry(telemetry.clone())
-        .build();
-    let pipeline = Pipeline::new(config);
+        .telemetry(telemetry.clone());
+    if let Some(path) = &args.checkpoint {
+        builder = builder
+            .checkpoint_path(path.clone())
+            .checkpoint_every(args.checkpoint_every);
+    }
+    let pipeline = Pipeline::new(builder.build());
     let client = Client::new(transport.as_ref().clone());
-    let report = match pipeline.run(&client).await {
+    let resume_from = args
+        .checkpoint
+        .as_ref()
+        .filter(|p| args.resume && p.exists());
+    let result = match resume_from {
+        Some(path) => {
+            eprintln!("resuming from checkpoint {}", path.display());
+            pipeline.resume(&client, path).await
+        }
+        None => pipeline.run(&client).await,
+    };
+    let report = match result {
         Ok(report) => report,
         Err(e) => {
             eprintln!("error: {e}");

@@ -3,6 +3,7 @@
 //! ```text
 //! repro <id>... [--seed N] [--quick] [--out DIR] [--metrics-out FILE]
 //!               [--fault-rate P] [--retries N]
+//!               [--checkpoint FILE] [--resume] [--checkpoint-every N]
 //! repro all [--seed N] [--quick]
 //! repro list
 //! ```
@@ -18,13 +19,20 @@
 //! the report is still byte-identical run to run. `--retries N` sets
 //! the per-operation transport attempt budget (default 3; 1 disables
 //! retrying).
+//!
+//! `--checkpoint FILE` makes the scan crash-safe: a resumable checkpoint
+//! is written to `FILE` every `--checkpoint-every N` batches (default
+//! 8). With `--resume`, an existing checkpoint at `FILE` is continued
+//! instead of restarting the scan — the final report and telemetry are
+//! byte-identical to an uninterrupted run.
 
-use nokeys::repro::{Repro, Scale};
+use nokeys::repro::{CheckpointOptions, Repro, Scale};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR] [--metrics-out FILE]\n\
-         \x20      [--fault-rate P] [--retries N]"
+         \x20      [--fault-rate P] [--retries N]\n\
+         \x20      [--checkpoint FILE] [--resume] [--checkpoint-every N]"
     );
     eprintln!("experiment ids: {}", Repro::all_ids().join(", "));
     std::process::exit(2);
@@ -43,11 +51,27 @@ async fn main() {
     let mut metrics_out: Option<String> = None;
     let mut fault_rate: f64 = 0.0;
     let mut retries: u32 = 3;
+    let mut checkpoint: Option<std::path::PathBuf> = None;
+    let mut checkpoint_every: u64 = 8;
+    let mut resume = false;
     let mut ids: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => scale = Scale::Quick,
+            "--resume" => resume = true,
+            "--checkpoint" => {
+                i += 1;
+                checkpoint = Some(args.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage());
+            }
             "--fault-rate" => {
                 i += 1;
                 fault_rate = args
@@ -94,9 +118,21 @@ async fn main() {
         usage();
     }
 
+    if resume && checkpoint.is_none() {
+        eprintln!("error: --resume requires --checkpoint FILE");
+        usage();
+    }
+
     let mut harness = Repro::new(seed, scale)
         .with_fault_rate(fault_rate)
         .with_retries(retries);
+    if let Some(path) = checkpoint {
+        harness = harness.with_checkpoint(CheckpointOptions {
+            path,
+            every: checkpoint_every,
+            resume,
+        });
+    }
     println!(
         "# nokeys repro — seed {seed}, scale {:?}, universe {}",
         scale,

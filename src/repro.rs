@@ -9,6 +9,7 @@ use nokeys_netsim::observer_clock::wire_observer_clock;
 use nokeys_netsim::{FaultLane, SimTransport, Universe, UniverseConfig};
 use nokeys_scanner::observer::{observe_instrumented, LongevityStudy, ObserverConfig};
 use nokeys_scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Scale of a reproduction run.
@@ -22,6 +23,18 @@ pub enum Scale {
     Quick,
 }
 
+/// Scan-checkpoint settings for the harness.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// File the scan checkpoint is written to.
+    pub path: PathBuf,
+    /// Batches between checkpoint writes.
+    pub every: u64,
+    /// Resume from an existing checkpoint at `path` instead of starting
+    /// over (starts fresh if the file does not exist yet).
+    pub resume: bool,
+}
+
 /// The harness: lazily runs and caches the expensive studies.
 pub struct Repro {
     pub seed: u64,
@@ -30,6 +43,7 @@ pub struct Repro {
     telemetry: Telemetry,
     fault_rate: f64,
     retries: u32,
+    checkpoint: Option<CheckpointOptions>,
     scan: Option<(SimTransport, ScanReport)>,
     longevity: Option<LongevityStudy>,
     study: Option<StudyResult>,
@@ -49,6 +63,7 @@ impl Repro {
             telemetry: Telemetry::new(),
             fault_rate: 0.0,
             retries: 3,
+            checkpoint: None,
             scan: None,
             longevity: None,
             study: None,
@@ -68,6 +83,12 @@ impl Repro {
     /// Per-operation transport attempt budget (1 disables retrying).
     pub fn with_retries(mut self, attempts: u32) -> Self {
         self.retries = attempts.max(1);
+        self
+    }
+
+    /// Persist (and optionally resume from) a scan checkpoint.
+    pub fn with_checkpoint(mut self, options: CheckpointOptions) -> Self {
+        self.checkpoint = Some(options);
         self
     }
 
@@ -102,16 +123,28 @@ impl Repro {
             // Faults or not, the per-(endpoint, lane, ordinal) fault
             // schedule and the retry layer keep the concurrent pipeline's
             // report byte-identical to the sequential one.
-            let config = PipelineConfig::builder(vec![self.universe_config.space])
+            let mut builder = PipelineConfig::builder(vec![self.universe_config.space])
                 .parallelism(8)
                 .retries(self.retries)
-                .telemetry(self.telemetry.clone())
-                .build();
-            let pipeline = Pipeline::new(config);
-            let report = pipeline
-                .run(&client)
-                .await
-                .unwrap_or_else(|e| panic!("scan pipeline failed: {e}"));
+                .telemetry(self.telemetry.clone());
+            if let Some(checkpoint) = &self.checkpoint {
+                builder = builder
+                    .checkpoint_path(checkpoint.path.clone())
+                    .checkpoint_every(checkpoint.every);
+            }
+            let pipeline = Pipeline::new(builder.build());
+            // Resume when asked to and a checkpoint exists; otherwise a
+            // fresh (checkpointed, if configured) run.
+            let resume_from = self
+                .checkpoint
+                .as_ref()
+                .filter(|c| c.resume && c.path.exists())
+                .map(|c| c.path.clone());
+            let result = match resume_from {
+                Some(path) => pipeline.resume(&client, &path).await,
+                None => pipeline.run(&client).await,
+            };
+            let report = result.unwrap_or_else(|e| panic!("scan pipeline failed: {e}"));
             self.scan = Some((transport, report));
         }
         self.scan.as_ref().expect("just initialized")
@@ -131,6 +164,7 @@ impl Repro {
             let config = ObserverConfig {
                 interval_secs: interval,
                 window_secs: 28 * 86_400,
+                ..ObserverConfig::default()
             };
             let telemetry = self.telemetry.clone();
             let study = observe_instrumented(

@@ -1,0 +1,354 @@
+//! Crash-safe checkpointing: a scan killed mid-run and resumed from its
+//! checkpoint must produce a `ScanReport` and telemetry snapshot
+//! byte-identical to an uninterrupted run — at any parallelism, with or
+//! without injected transport faults. The kill is modeled honestly with
+//! [`KillableTransport`]: after a budget of network operations every
+//! further one hangs forever (a process cannot observe its own
+//! `kill -9`), and the test aborts the wedged pipeline task before
+//! resuming a fresh one from whatever checkpoint the dead run left on
+//! disk.
+//!
+//! Fault-injected runs deliberately skip the `fault.*` observer bridge:
+//! bridged fault counters count injected faults (including those of the
+//! killed run's lost work) rather than processed work, so they sit
+//! outside the byte-identity guarantee.
+
+use nokeys::http::Client;
+use nokeys::netsim::observer_clock::wire_observer_clock;
+use nokeys::netsim::{KillSwitch, KillableTransport, SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::observer::{
+    observe_instrumented, observe_incremental, ObservedStatus, ObserverConfig,
+};
+use nokeys::scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry, TelemetrySnapshot};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn checkpoint_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "nokeys-checkpoint-{tag}-{}.json",
+        std::process::id()
+    ))
+}
+
+fn config(
+    space: nokeys::netsim::Cidr,
+    parallelism: usize,
+    telemetry: &Telemetry,
+    checkpoint: Option<&PathBuf>,
+) -> PipelineConfig {
+    let mut builder = PipelineConfig::builder(vec![space])
+        .parallelism(parallelism)
+        .retries(3)
+        .telemetry(telemetry.clone());
+    if let Some(path) = checkpoint {
+        builder = builder.checkpoint_path(path.clone()).checkpoint_every(2);
+    }
+    builder.build()
+}
+
+fn transport(universe: &Arc<Universe>, fault_rate: f64) -> SimTransport {
+    let t = SimTransport::new(Arc::clone(universe));
+    if fault_rate > 0.0 {
+        t.with_fault_injection(fault_rate)
+    } else {
+        t
+    }
+}
+
+/// One uninterrupted run, optionally checkpointed.
+async fn run_plain(
+    universe: &Arc<Universe>,
+    space: nokeys::netsim::Cidr,
+    parallelism: usize,
+    fault_rate: f64,
+    checkpoint: Option<&PathBuf>,
+) -> (ScanReport, TelemetrySnapshot) {
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, parallelism, &telemetry, checkpoint));
+    let client = Client::new(transport(universe, fault_rate));
+    let report = pipeline.run(&client).await.expect("pipeline failed");
+    (report, telemetry.snapshot())
+}
+
+/// Start a checkpointed run over a transport that wedges after `budget`
+/// network operations, abort it once it wedges, then resume a fresh
+/// pipeline (fresh transport, fresh telemetry registry) from the
+/// checkpoint — or from scratch if the killed run died before writing
+/// one.
+async fn run_killed_then_resumed(
+    universe: &Arc<Universe>,
+    space: nokeys::netsim::Cidr,
+    parallelism: usize,
+    fault_rate: f64,
+    budget: u64,
+    path: &PathBuf,
+) -> (ScanReport, TelemetrySnapshot) {
+    let _ = std::fs::remove_file(path);
+
+    let switch = KillSwitch::after(budget);
+    let doomed = KillableTransport::new(transport(universe, fault_rate), switch.clone());
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, parallelism, &telemetry, Some(path)));
+    let client = Client::new(doomed);
+    let mut task = tokio::spawn(async move { pipeline.run(&client).await });
+    tokio::select! {
+        // The usual case: the budget runs out mid-scan and some network
+        // operation hangs. Kill the process model: abort, don't unwind.
+        _ = switch.tripped() => {
+            task.abort();
+            let _ = task.await;
+        }
+        // A generous budget can let the run finish first; the resume
+        // below then exercises the warm path instead.
+        result = &mut task => {
+            result.expect("pipeline task").expect("pipeline failed");
+        }
+    }
+
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, parallelism, &telemetry, Some(path)));
+    let client = Client::new(transport(universe, fault_rate));
+    let report = if path.exists() {
+        pipeline.resume(&client, path).await.expect("resume failed")
+    } else {
+        // Killed before the first checkpoint write: nothing to resume.
+        pipeline.run(&client).await.expect("fresh run failed")
+    };
+    let snapshot = telemetry.snapshot();
+    let _ = std::fs::remove_file(path);
+    (report, snapshot)
+}
+
+fn report_json(report: &ScanReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn checkpointing_does_not_change_an_uninterrupted_run() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    for (parallelism, fault_rate) in [(1, 0.0), (8, 0.0), (8, 0.05)] {
+        let path = checkpoint_path(&format!("plain-p{parallelism}-f{fault_rate}"));
+        let (clean, clean_snap) =
+            run_plain(&universe, universe_config.space, parallelism, fault_rate, None).await;
+        let (checked, checked_snap) = run_plain(
+            &universe,
+            universe_config.space,
+            parallelism,
+            fault_rate,
+            Some(&path),
+        )
+        .await;
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            report_json(&clean),
+            report_json(&checked),
+            "checkpoint writes changed the report (p{parallelism}, faults {fault_rate})"
+        );
+        assert_eq!(
+            clean_snap.to_json(),
+            checked_snap.to_json(),
+            "checkpoint writes changed the telemetry (p{parallelism}, faults {fault_rate})"
+        );
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn killed_and_resumed_scan_is_byte_identical() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, baseline_snap) =
+        run_plain(&universe, universe_config.space, 8, 0.0, None).await;
+
+    // Budgets spanning "died before any checkpoint" through "died deep
+    // into the scan"; parallelism 1 and 8 must converge to the same
+    // bytes either way.
+    for (parallelism, budget) in [(1, 2_000u64), (8, 1u64), (8, 2_000), (8, 20_000)] {
+        let path = checkpoint_path(&format!("kill-p{parallelism}-b{budget}"));
+        let (resumed, resumed_snap) = run_killed_then_resumed(
+            &universe,
+            universe_config.space,
+            parallelism,
+            0.0,
+            budget,
+            &path,
+        )
+        .await;
+        assert_eq!(
+            report_json(&baseline),
+            report_json(&resumed),
+            "resumed report diverged (p{parallelism}, budget {budget})"
+        );
+        assert_eq!(
+            baseline_snap.to_json(),
+            resumed_snap.to_json(),
+            "resumed telemetry diverged (p{parallelism}, budget {budget})"
+        );
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn killed_and_resumed_scan_survives_fault_injection() {
+    let universe_config = UniverseConfig::tiny(7);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, baseline_snap) =
+        run_plain(&universe, universe_config.space, 8, 0.05, None).await;
+
+    for budget in [3_000u64, 15_000] {
+        let path = checkpoint_path(&format!("faulty-kill-b{budget}"));
+        let (resumed, resumed_snap) = run_killed_then_resumed(
+            &universe,
+            universe_config.space,
+            8,
+            0.05,
+            budget,
+            &path,
+        )
+        .await;
+        assert_eq!(
+            report_json(&baseline),
+            report_json(&resumed),
+            "fault-injected resumed report diverged (budget {budget})"
+        );
+        assert_eq!(
+            baseline_snap.to_json(),
+            resumed_snap.to_json(),
+            "fault-injected resumed telemetry diverged (budget {budget})"
+        );
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn warm_resume_of_a_finished_scan_touches_no_network() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let path = checkpoint_path("warm");
+    let _ = std::fs::remove_file(&path);
+    let (finished, finished_snap) = run_plain(
+        &universe,
+        universe_config.space,
+        8,
+        0.0,
+        Some(&path),
+    )
+    .await;
+
+    // A zero-op budget: any network operation would wedge the resume
+    // forever, so completing at all proves the report came from disk.
+    let switch = KillSwitch::after(0);
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(universe_config.space, 8, &telemetry, Some(&path)));
+    let client = Client::new(KillableTransport::new(
+        transport(&universe, 0.0),
+        switch.clone(),
+    ));
+    let report = tokio::time::timeout(
+        std::time::Duration::from_secs(30),
+        pipeline.resume(&client, &path),
+    )
+    .await
+    .expect("warm resume must not touch the network")
+    .expect("warm resume failed");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(switch.used(), 0, "warm resume performed network operations");
+    assert_eq!(report_json(&finished), report_json(&report));
+    assert_eq!(finished_snap.to_json(), telemetry.snapshot().to_json());
+}
+
+/// Incremental observer reconciliation: observing 14 days and then
+/// extending to 28 via `observe_incremental` must agree everywhere with
+/// a single 28-day observation — terminally-offline hosts are skipped
+/// (their timelines go ragged), but offline is permanent in the
+/// lifecycle model, so the ragged tail reads back as exactly what the
+/// full run recorded.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn incremental_rescan_reconciles_with_a_full_observation() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+
+    // One scan to get the vulnerable population.
+    let transport = SimTransport::new(Arc::clone(&universe));
+    let client = Client::new(transport.clone());
+    let pipeline = Pipeline::new(PipelineConfig::builder(vec![universe_config.space]).build());
+    let report = pipeline.run(&client).await.expect("scan failed");
+    let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
+    assert!(!vulnerable.is_empty());
+
+    let full_config = ObserverConfig {
+        interval_secs: 86_400,
+        window_secs: 28 * 86_400,
+        terminal_offline_after: 2,
+        ..ObserverConfig::default()
+    };
+    let half_config = ObserverConfig {
+        window_secs: 14 * 86_400,
+        ..full_config.clone()
+    };
+
+    let full = observe_instrumented(
+        &Telemetry::new(),
+        &client,
+        &vulnerable,
+        &full_config,
+        wire_observer_clock(&transport),
+    )
+    .await;
+
+    let prior = observe_instrumented(
+        &Telemetry::new(),
+        &client,
+        &vulnerable,
+        &half_config,
+        wire_observer_clock(&transport),
+    )
+    .await;
+    let telemetry = Telemetry::new();
+    let (extended, delta) = observe_incremental(
+        &telemetry,
+        &client,
+        prior,
+        &full_config,
+        wire_observer_clock(&transport),
+    )
+    .await;
+
+    assert_eq!(extended.times_secs, full.times_secs);
+    assert_eq!(delta.rounds, 14);
+    assert_eq!(
+        delta.skipped + delta.reprobed,
+        14 * vulnerable.len() as u64,
+        "every (round, host) pair is either skipped or re-probed"
+    );
+    assert!(delta.skipped > 0, "some host must have gone terminally offline");
+    assert!(
+        delta.fingerprints_reused > 0,
+        "unchanged hosts must reuse their fingerprints"
+    );
+
+    // Observed prefixes agree status for status; the skipped tail of a
+    // ragged timeline is Offline in the full run.
+    for (inc, full_tl) in extended.timelines.iter().zip(&full.timelines) {
+        assert_eq!(inc.finding.endpoint, full_tl.finding.endpoint);
+        let n = inc.statuses.len();
+        assert_eq!(inc.statuses[..], full_tl.statuses[..n]);
+        for &status in &full_tl.statuses[n..] {
+            assert_eq!(status, ObservedStatus::Offline);
+        }
+    }
+
+    // Which makes every per-round census identical.
+    for t in 0..full.times_secs.len() {
+        assert_eq!(extended.counts_at(t), full.counts_at(t));
+    }
+
+    // The rescan counters mirror the delta report.
+    let snap = telemetry.snapshot();
+    assert_eq!(snap.counter("observer.rescan.skipped"), delta.skipped);
+    assert_eq!(snap.counter("observer.rescan.reprobed"), delta.reprobed);
+    assert_eq!(
+        snap.counter("observer.rescan.refingerprinted"),
+        delta.refingerprinted
+    );
+    assert_eq!(delta.transitions.len() as u64, snap.counter("observer.transitions"));
+}

@@ -1,10 +1,14 @@
-//! End-to-end test of the `repro` binary itself (argument parsing,
-//! artifact output, exit codes).
+//! End-to-end tests of the `repro` and `nokeys-scan` binaries themselves
+//! (argument parsing, artifact output, exit codes).
 
 use std::process::Command;
 
 fn repro() -> Command {
     Command::new(env!("CARGO_BIN_EXE_repro"))
+}
+
+fn nokeys_scan() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nokeys-scan"))
 }
 
 #[test]
@@ -44,6 +48,54 @@ fn out_dir_receives_artifacts() {
     let t10 = std::fs::read_to_string(dir.join("table10.txt")).expect("table10 artifact");
     assert!(t10.contains("/wp-admin/install.php"));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repro_rejects_malformed_flag_values() {
+    // Every malformed value must exit with a usage error, not silently
+    // fall back to a default.
+    let cases: &[&[&str]] = &[
+        &["table1", "--quick", "--retries", "abc"],
+        &["table1", "--quick", "--seed", "x"],
+        &["table1", "--quick", "--fault-rate", "7"],
+        &["table1", "--quick", "--fault-rate", "-0.5"],
+        &["table1", "--quick", "--fault-rate", "nan"],
+        &["table1", "--quick", "--checkpoint-every", "0"],
+        &["table1", "--quick", "--checkpoint-every", "three"],
+        &["table1", "--quick", "--resume"], // --resume without --checkpoint
+    ];
+    for case in cases {
+        let out = repro().args(*case).output().expect("runs");
+        assert!(
+            !out.status.success(),
+            "expected usage error for {case:?}, got success"
+        );
+    }
+}
+
+#[test]
+fn nokeys_scan_rejects_malformed_flag_values() {
+    let cases: &[&[&str]] = &[
+        &["--target", "not-a-cidr"],
+        &["--target", "192.0.2.0/28", "--ports", "80,abc"],
+        &["--target", "192.0.2.0/28", "--ports", ""],
+        &["--target", "192.0.2.0/28", "--retries", "abc"],
+        &["--target", "192.0.2.0/28", "--fault-rate", "7"],
+        &["--target", "192.0.2.0/28", "--fault-rate", "-1"],
+        &["--target", "192.0.2.0/28", "--rate", "fast"],
+        &["--target", "192.0.2.0/28", "--parallelism", "0"],
+        &["--target", "192.0.2.0/28", "--shard", "1of4"],
+        &["--target", "192.0.2.0/28", "--checkpoint-every", "0"],
+        &["--target", "192.0.2.0/28", "--resume"],
+        &[], // no targets at all
+    ];
+    for case in cases {
+        let out = nokeys_scan().args(*case).output().expect("runs");
+        assert!(
+            !out.status.success(),
+            "expected usage error for {case:?}, got success"
+        );
+    }
 }
 
 #[test]
