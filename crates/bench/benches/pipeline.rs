@@ -4,8 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nokeys_bench::{
-    faulty_tiny_transport, resume_pipeline, run_pipeline_batched, run_pipeline_checkpointed,
-    run_pipeline_parallel, run_pipeline_retrying, scan_without_prefilter, tiny_transport,
+    faulty_tiny_transport, repro_slice, repro_transport, resume_pipeline, run_pipeline_batched,
+    run_pipeline_checkpointed, run_pipeline_parallel, run_pipeline_retrying, run_pipeline_swept,
+    run_sweep, scan_without_prefilter, tiny_space, tiny_transport,
 };
 
 fn bench(c: &mut Criterion) {
@@ -113,6 +114,39 @@ fn bench(c: &mut Criterion) {
             assert_eq!(report.total_mavs(), finished.total_mavs());
         });
         let _ = std::fs::remove_file(&path);
+    });
+    group.finish();
+
+    // Sparse sweep ablation: stage I visits O(populated endpoints +
+    // blocks) instead of O(address space); the report is byte-identical
+    // either way (asserted in the harness tests and
+    // tests/sparse_sweep.rs), so the wall-clock delta is pure sweep
+    // cost. The repro-slice rows use the paper-scale universe, where
+    // sparsity actually dominates.
+    let mut group = c.benchmark_group("sparse_sweep");
+    group.sample_size(10);
+    for (label, dense) in [("sparse", false), ("dense", true)] {
+        group.bench_function(format!("tiny_stage1_{label}"), |b| {
+            let t = tiny_transport(42);
+            b.iter(|| {
+                let result = rt.block_on(run_sweep(&t, tiny_space(), dense));
+                assert!(result.probes_sent > 0);
+            })
+        });
+        group.bench_function(format!("repro_slice_stage1_{label}"), |b| {
+            let t = repro_transport(42);
+            b.iter(|| {
+                let result = rt.block_on(run_sweep(&t, repro_slice(), dense));
+                assert!(result.probes_sent > 0);
+            })
+        });
+    }
+    group.bench_function("tiny_full_pipeline_sparse", |b| {
+        let t = tiny_transport(42);
+        b.iter(|| {
+            let report = rt.block_on(run_pipeline_swept(&t, false));
+            assert!(report.total_mavs() > 0);
+        })
     });
     group.finish();
 }

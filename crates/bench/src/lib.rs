@@ -62,6 +62,44 @@ pub fn faulty_tiny_transport(seed: u64, rate: f64) -> SimTransport {
     tiny_transport(seed).with_fault_injection(rate)
 }
 
+/// The paper-scale repro universe (a /12, tens of thousands of hosts) —
+/// sparse enough for the block-sweep ablation to show its asymptotics.
+pub fn repro_transport(seed: u64) -> SimTransport {
+    SimTransport::new(Arc::new(Universe::generate(UniverseConfig::repro(seed))))
+}
+
+/// A /14 slice of the repro space: large enough that the dense loop's
+/// O(address space) cost dominates, small enough to iterate in a bench.
+pub fn repro_slice() -> nokeys_scanner::portscan::Cidr {
+    "20.0.0.0/14".parse().expect("static CIDR")
+}
+
+/// Run only the stage-I sweep over `space` in either sweep mode — the
+/// `sparse_sweep` ablation harness. `dense` forces the per-endpoint
+/// oracle loop; the default sparse path hands whole /24 blocks to
+/// `Transport::sweep_block`.
+pub async fn run_sweep(
+    transport: &SimTransport,
+    space: nokeys_scanner::portscan::Cidr,
+    dense: bool,
+) -> nokeys_scanner::portscan::PortScanResult {
+    let mut config = PortScanConfig::new(vec![space]);
+    config.dense_sweep = dense;
+    PortScanner::new(config).scan(transport).await
+}
+
+/// Run the full pipeline in either stage-I sweep mode.
+pub async fn run_pipeline_swept(transport: &SimTransport, dense: bool) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::builder(vec![tiny_space()])
+        .dense_sweep(dense)
+        .build();
+    Pipeline::new(config)
+        .run(&client)
+        .await
+        .expect("pipeline failed")
+}
+
 /// Run the full pipeline with a per-operation transport attempt budget
 /// (1 disables retrying) — the `retry_overhead` benchmark harness.
 pub async fn run_pipeline_retrying(transport: &SimTransport, retries: u32) -> ScanReport {
@@ -176,6 +214,20 @@ mod tests {
             serde_json::to_string(&a).unwrap(),
             serde_json::to_string(&b).unwrap(),
             "concurrency must not change the report"
+        );
+    }
+
+    #[tokio::test]
+    async fn sweep_modes_agree() {
+        let sparse_t = tiny_transport(7);
+        let dense_t = tiny_transport(7);
+        let sparse = run_sweep(&sparse_t, tiny_space(), false).await;
+        let dense = run_sweep(&dense_t, tiny_space(), true).await;
+        assert_eq!(sparse.open, dense.open);
+        assert_eq!(sparse.probes_sent, dense.probes_sent);
+        assert!(
+            sparse_t.stats().probes() < dense_t.stats().probes(),
+            "the sparse path must evaluate fewer transport probes"
         );
     }
 

@@ -115,10 +115,12 @@ pub struct ConfigFingerprint {
 }
 
 impl ConfigFingerprint {
-    /// The fingerprint of a pipeline configuration. `parallelism` and
-    /// the wall-clock pacing knobs (`max_probes_per_sec`,
-    /// `retry.real_unit`) are excluded: they change how fast the scan
-    /// runs, never what it reports.
+    /// The fingerprint of a pipeline configuration. `parallelism`, the
+    /// wall-clock pacing knobs (`max_probes_per_sec`,
+    /// `retry.real_unit`), and the `dense_sweep` oracle switch are
+    /// excluded: they change how fast the scan runs, never what it
+    /// reports — so a run interrupted in one sweep mode may resume in
+    /// the other.
     pub fn of(config: &PipelineConfig) -> Self {
         ConfigFingerprint {
             targets: config.portscan.targets.clone(),

@@ -76,7 +76,7 @@ pub async fn probe_domain<T: Transport>(
     let Some(root) = fetch_vhost(client, ip, domain, "/").await else {
         return (None, false);
     };
-    let body = crate::pattern::PreparedBody::new(root.body_text());
+    let body = crate::pattern::PreparedBody::new(root.body_str());
     let candidates =
         crate::signatures::match_candidates(&crate::signatures::all_signatures(), &body);
     let cms = candidates.into_iter().find(|app| {

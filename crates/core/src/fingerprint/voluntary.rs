@@ -6,7 +6,7 @@
 //! HTML comment."
 
 use nokeys_apps::{release_history, AppId, Version};
-use nokeys_http::{Client, Endpoint, Scheme, Transport};
+use nokeys_http::{Client, Endpoint, Response, Scheme, Transport};
 
 /// Parse a leading `major.minor[.patch]` from `s`.
 pub fn parse_version_number(s: &str) -> Option<(u16, u16, u16)> {
@@ -46,14 +46,16 @@ fn after<'a>(body: &'a str, marker: &str, terminator: char) -> Option<&'a str> {
     Some(&rest[..end])
 }
 
-async fn fetch_body<T: Transport>(
+/// Fetch a page and hand back the whole response: the extraction arms
+/// borrow its body in place with [`Response::body_str`] and parse the
+/// version out of the borrowed slice — no body copy per probe.
+async fn fetch_response<T: Transport>(
     client: &Client<T>,
     ep: Endpoint,
     scheme: Scheme,
     path: &str,
-) -> Option<String> {
-    let fetched = client.get_path(ep, scheme, path).await.ok()?;
-    Some(fetched.response.body_text())
+) -> Option<Response> {
+    Some(client.get_path(ep, scheme, path).await.ok()?.response)
 }
 
 /// Attempt voluntary version extraction for `app` at `ep`.
@@ -71,67 +73,67 @@ pub async fn extract<T: Transport>(
             parse_version_number(&header)?
         }
         AppId::Kubernetes => {
-            let body = fetch_body(client, ep, scheme, "/version").await?;
-            let git = after(&body, "\"gitVersion\":\"v", '"')?.to_string();
-            parse_version_number(&git)?
+            let resp = fetch_response(client, ep, scheme, "/version").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "\"gitVersion\":\"v", '"')?)?
         }
         AppId::Consul => {
-            let body = fetch_body(client, ep, scheme, "/ui/").await?;
-            let comment = after(&body, "CONSUL_VERSION: ", ' ')?.to_string();
-            parse_version_number(&comment)?
+            let resp = fetch_response(client, ep, scheme, "/ui/").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "CONSUL_VERSION: ", ' ')?)?
         }
         AppId::WordPress => {
-            let body = fetch_body(client, ep, scheme, "/").await?;
-            let meta = after(&body, "content=\"WordPress ", '"')?.to_string();
-            parse_version_number(&meta)?
+            let resp = fetch_response(client, ep, scheme, "/").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "content=\"WordPress ", '"')?)?
         }
         AppId::Grav => {
-            let body = fetch_body(client, ep, scheme, "/").await?;
-            let meta = after(&body, "content=\"GravCMS ", '"')?.to_string();
-            parse_version_number(&meta)?
+            let resp = fetch_response(client, ep, scheme, "/").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "content=\"GravCMS ", '"')?)?
         }
         AppId::Zeppelin => {
-            let body = fetch_body(client, ep, scheme, "/api/version").await?;
-            let v = after(&body, "\"version\":\"", '"')?.to_string();
-            parse_version_number(&v)?
+            let resp = fetch_response(client, ep, scheme, "/api/version").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "\"version\":\"", '"')?)?
         }
         AppId::Nomad => {
             // The UI shell's version meta works even with ACLs on.
-            let body = fetch_body(client, ep, scheme, "/ui/").await?;
-            let meta = after(&body, "name=\"nomad-version\" content=\"", '"')?.to_string();
-            parse_version_number(&meta)?
+            let resp = fetch_response(client, ep, scheme, "/ui/").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "name=\"nomad-version\" content=\"", '"')?)?
         }
         AppId::Docker => {
             // Only open daemons answer /version.
-            let body = fetch_body(client, ep, scheme, "/version").await?;
-            let v = after(&body, "\"Version\":\"", '"')?.to_string();
-            parse_version_number(&v)?
+            let resp = fetch_response(client, ep, scheme, "/version").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "\"Version\":\"", '"')?)?
         }
         AppId::Hadoop => {
-            let body = fetch_body(client, ep, scheme, "/ws/v1/cluster/info").await?;
-            let v = after(&body, "\"hadoopVersion\":\"", '"')?.to_string();
-            parse_version_number(&v)?
+            let resp = fetch_response(client, ep, scheme, "/ws/v1/cluster/info").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "\"hadoopVersion\":\"", '"')?)?
         }
         AppId::JupyterLab | AppId::JupyterNotebook => {
             // /api/status answers only without auth.
-            let body = fetch_body(client, ep, scheme, "/api/status").await?;
-            let v = after(&body, "\"version\":\"", '"')?.to_string();
-            parse_version_number(&v)?
+            let resp = fetch_response(client, ep, scheme, "/api/status").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "\"version\":\"", '"')?)?
         }
         AppId::Polynote => {
-            let body = fetch_body(client, ep, scheme, "/").await?;
-            let meta = after(&body, "name=\"polynote-config\" content=\"", '"')?.to_string();
-            parse_version_number(&meta)?
+            let resp = fetch_response(client, ep, scheme, "/").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "name=\"polynote-config\" content=\"", '"')?)?
         }
         AppId::PhpMyAdmin => {
-            let body = fetch_body(client, ep, scheme, "/").await?;
-            let title = after(&body, "phpMyAdmin ", '<')?.to_string();
-            parse_version_number(&title)?
+            let resp = fetch_response(client, ep, scheme, "/").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "phpMyAdmin ", '<')?)?
         }
         AppId::Adminer => {
-            let body = fetch_body(client, ep, scheme, "/adminer.php").await?;
-            let title = after(&body, "- Adminer ", '<')?.to_string();
-            parse_version_number(&title)?
+            let resp = fetch_response(client, ep, scheme, "/adminer.php").await?;
+            let body = resp.body_str();
+            parse_version_number(after(&body, "- Adminer ", '<')?)?
         }
         // GoCD, Joomla, Drupal (major only), Ajenti and the out-of-scope
         // applications do not reveal a full version — knowledge base

@@ -147,17 +147,23 @@ fn contains_ignore_whitespace(hay: &str, needle: &str) -> bool {
 }
 
 /// A body with lazily computed lowered / whitespace-stripped views.
+///
+/// The raw text is a [`Cow`](std::borrow::Cow): signature matching
+/// over a fetched response borrows the response body in place
+/// (via [`Response::body_str`](nokeys_http::Response::body_str))
+/// instead of copying it, and only the lowered/squashed views — when a
+/// signature actually needs them — allocate.
 #[derive(Debug)]
-pub struct PreparedBody {
-    pub raw: String,
+pub struct PreparedBody<'a> {
+    pub raw: std::borrow::Cow<'a, str>,
     lower: std::cell::OnceCell<String>,
     squashed: std::cell::OnceCell<String>,
 }
 
-impl PreparedBody {
-    pub fn new(raw: String) -> Self {
+impl<'a> PreparedBody<'a> {
+    pub fn new(raw: impl Into<std::borrow::Cow<'a, str>>) -> Self {
         PreparedBody {
-            raw,
+            raw: raw.into(),
             lower: Default::default(),
             squashed: Default::default(),
         }
@@ -186,9 +192,9 @@ impl PreparedBody {
     }
 }
 
-impl From<&str> for PreparedBody {
-    fn from(s: &str) -> Self {
-        PreparedBody::new(s.to_string())
+impl<'a> From<&'a str> for PreparedBody<'a> {
+    fn from(s: &'a str) -> Self {
+        PreparedBody::new(s)
     }
 }
 
@@ -219,6 +225,18 @@ mod tests {
         // Newlines inside the needle region don't matter.
         let tight = PreparedBody::from("<li class=\"is-active\">Set up database</li>");
         assert!(Pattern::nospace("<liclass=\"is-active\">Setupdatabase").matches(&tight));
+    }
+
+    #[test]
+    fn prepared_body_borrows_without_copying() {
+        let text = String::from("Dashboard [Jenkins]");
+        let body = PreparedBody::new(text.as_str());
+        assert!(matches!(body.raw, std::borrow::Cow::Borrowed(_)));
+        assert!(Pattern::exact("Jenkins").matches(&body));
+        assert!(
+            !body.lower_materialized() && !body.squashed_materialized(),
+            "exact matching must not materialize any transformed view"
+        );
     }
 
     #[test]

@@ -227,6 +227,15 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Force stage I to probe every (address, port) pair one at a time
+    /// instead of the sparse block-sweep fast path. Reports and
+    /// telemetry are byte-identical either way; this is a
+    /// differential-testing oracle, not a tuning knob.
+    pub fn dense_sweep(mut self, dense: bool) -> Self {
+        self.portscan.dense_sweep = dense;
+        self
+    }
+
     /// /24 blocks handed to stages II/III per batch.
     pub fn blocks_per_batch(mut self, blocks: usize) -> Self {
         self.blocks_per_batch = blocks;
@@ -869,6 +878,7 @@ mod tests {
             .seed(7)
             .exclude_reserved(false)
             .max_probes_per_sec(Some(100.0))
+            .dense_sweep(true)
             .blocks_per_batch(16)
             .tarpit_port_threshold(5)
             .fingerprint(false)
@@ -883,6 +893,7 @@ mod tests {
         assert_eq!(config.portscan.seed, 7);
         assert!(!config.portscan.exclude_reserved);
         assert_eq!(config.portscan.max_probes_per_sec, Some(100.0));
+        assert!(config.portscan.dense_sweep);
         assert_eq!(config.blocks_per_batch, 16);
         assert_eq!(config.tarpit_port_threshold, 5);
         assert!(!config.fingerprint);

@@ -9,6 +9,7 @@
 
 use crate::telemetry::{Counter, Telemetry, TelemetrySnapshot, Timer};
 use nokeys_apps::SCAN_PORTS;
+use nokeys_http::ip::BlockCoverage;
 use nokeys_http::{Endpoint, ProbeOutcome, Transport};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -29,6 +30,13 @@ pub struct PortScanConfig {
     /// Probe-rate ceiling in probes/second (token bucket); `None` scans
     /// at full speed. The paper paced its sweep to stay polite.
     pub max_probes_per_sec: Option<f64>,
+    /// Probe every address of every block one endpoint at a time
+    /// instead of handing whole /24 blocks to
+    /// [`Transport::sweep_block`]. The sparse sweep (default) produces
+    /// byte-identical reports and telemetry; this switch keeps the
+    /// dense loop available as a differential-testing oracle and as an
+    /// escape hatch for transports whose `sweep_block` is untrusted.
+    pub dense_sweep: bool,
 }
 
 impl PortScanConfig {
@@ -39,6 +47,7 @@ impl PortScanConfig {
             seed: 0x6e6f6b657973, // "nokeys"
             exclude_reserved: true,
             max_probes_per_sec: None,
+            dense_sweep: false,
         }
     }
 }
@@ -216,7 +225,7 @@ impl PortScanner {
             .config
             .targets
             .iter()
-            .flat_map(|t| t.slash24_blocks().collect::<Vec<_>>())
+            .flat_map(|t| t.slash24_blocks())
             .collect();
         // Fisher–Yates with a splitmix-style PRNG; deterministic in the
         // seed and independent of the `rand` crate's version.
@@ -250,6 +259,29 @@ impl PortScanner {
         block: Cidr,
         pacer: &mut Option<crate::rate::Pacer>,
     ) -> PortScanResult {
+        let result = if self.config.dense_sweep {
+            self.scan_block_dense(transport, block, pacer).await
+        } else {
+            self.scan_block_sparse(transport, block, pacer).await
+        };
+        self.metrics.blocks_swept.incr();
+        self.metrics.addresses_probed.add(result.addresses_probed);
+        self.metrics.probes_sent.add(result.probes_sent);
+        self.metrics.ports_open.add(result.open.len() as u64);
+        // One virtual unit per probe: the block's share of sweep time.
+        self.metrics.sweep.record(result.probes_sent);
+        result
+    }
+
+    /// The dense per-endpoint loop: one `probe` call and one pacer
+    /// token per (address, port) pair. The oracle the sparse path must
+    /// reproduce byte for byte.
+    async fn scan_block_dense<T: Transport>(
+        &self,
+        transport: &T,
+        block: Cidr,
+        pacer: &mut Option<crate::rate::Pacer>,
+    ) -> PortScanResult {
         let mut result = PortScanResult::default();
         for ip in block.addresses() {
             if self.config.exclude_reserved && self.reserved.contains(ip) {
@@ -268,12 +300,46 @@ impl PortScanner {
                 }
             }
         }
-        self.metrics.blocks_swept.incr();
-        self.metrics.addresses_probed.add(result.addresses_probed);
-        self.metrics.probes_sent.add(result.probes_sent);
-        self.metrics.ports_open.add(result.open.len() as u64);
-        // One virtual unit per probe: the block's share of sweep time.
-        self.metrics.sweep.record(result.probes_sent);
+        result
+    }
+
+    /// The sparse fast path: classify the block against the exclusion
+    /// list once, draw the whole block's pacer tokens in one step, and
+    /// hand the block to [`Transport::sweep_block`] so a transport with
+    /// an endpoint index visits only populated addresses.
+    async fn scan_block_sparse<T: Transport>(
+        &self,
+        transport: &T,
+        block: Cidr,
+        pacer: &mut Option<crate::rate::Pacer>,
+    ) -> PortScanResult {
+        if self.config.exclude_reserved {
+            match self.reserved.coverage(block) {
+                // The dense loop would have skipped every address.
+                BlockCoverage::Full => return PortScanResult::default(),
+                // A /24-or-smaller scan block never straddles an IANA
+                // range (all prefixes are ≤ 24), but stay correct for
+                // any exclusion list by falling back to the loop.
+                BlockCoverage::Partial => {
+                    return self.scan_block_dense(transport, block, pacer).await
+                }
+                BlockCoverage::None => {}
+            }
+        }
+        if let Some(p) = pacer.as_mut() {
+            p.acquire_many(block.size() * self.config.ports.len() as u64)
+                .await;
+        }
+        let sweep = transport.sweep_block(block, &self.config.ports).await;
+        let mut result = PortScanResult {
+            addresses_probed: sweep.addresses_probed,
+            probes_sent: sweep.probes_sent(),
+            ..PortScanResult::default()
+        };
+        for ep in sweep.open() {
+            result.open.push(ep);
+            *result.open_per_port.entry(ep.port).or_default() += 1;
+        }
         result
     }
 
@@ -305,10 +371,17 @@ impl PortScanner {
         F: FnMut(&PortScanResult),
     {
         assert!(blocks_per_batch > 0, "batch size must be positive");
+        // One pacer for the whole sweep: a per-block pacer would grant
+        // a fresh burst allowance for every block and overshoot the
+        // configured aggregate rate.
+        let mut pacer = self
+            .config
+            .max_probes_per_sec
+            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
         let mut total = PortScanResult::default();
         let mut batch = PortScanResult::default();
         for (i, block) in self.shuffled_blocks().into_iter().enumerate() {
-            batch.absorb(self.scan_block(transport, block).await);
+            batch.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
             if (i + 1) % blocks_per_batch == 0 {
                 on_batch(&batch);
                 total.absorb(std::mem::take(&mut batch));
@@ -738,8 +811,57 @@ mod tests {
         );
     }
 
+    /// `scan_batched` shares one pacer across all blocks: the burst
+    /// allowance is granted once for the whole sweep, not once per
+    /// block.
+    #[tokio::test(start_paused = true)]
+    async fn batched_scan_shares_one_pacer_across_blocks() {
+        let t = sim();
+        let mut cfg = PortScanConfig::new(vec![
+            "20.0.0.0/24".parse().unwrap(),
+            "20.0.1.0/24".parse().unwrap(),
+        ]);
+        cfg.ports = vec![80];
+        cfg.max_probes_per_sec = Some(256.0);
+        let scanner = PortScanner::new(cfg);
+        let start = tokio::time::Instant::now();
+        let result = scanner.scan_batched(&t, 1, |_| {}).await;
+        assert_eq!(result.probes_sent, 512);
+        let elapsed = tokio::time::Instant::now() - start;
+        // 512 probes at 256/s with a single 256-token burst: at least
+        // ~1s of virtual pacing. A fresh pacer per block would grant a
+        // second free burst and finish in ~0s.
+        assert!(
+            elapsed >= std::time::Duration::from_millis(900),
+            "{elapsed:?}"
+        );
+    }
+
+    /// The dense per-endpoint loop and the sparse block sweep produce
+    /// identical reports; the sparse path asks the transport for
+    /// O(populated endpoints) probes instead of O(address space).
     #[tokio::test]
-    async fn sweep_telemetry_matches_results() {
+    async fn dense_sweep_switch_reproduces_the_sparse_report() {
+        let sparse_t = sim();
+        let sparse = PortScanner::new(config_for_tiny()).scan(&sparse_t).await;
+
+        let dense_t = sim();
+        let mut cfg = config_for_tiny();
+        cfg.dense_sweep = true;
+        let dense = PortScanner::new(cfg).scan(&dense_t).await;
+
+        assert_eq!(sparse.open, dense.open, "same endpoints, same order");
+        assert_eq!(sparse.open_per_port, dense.open_per_port);
+        assert_eq!(sparse.addresses_probed, dense.addresses_probed);
+        assert_eq!(sparse.probes_sent, dense.probes_sent);
+
+        // Dense evaluated every (address, port) pair; sparse touched
+        // only the populated hosts.
+        assert_eq!(dense_t.stats().probes(), dense.probes_sent);
+        let populated = sparse_t.universe().host_count() as u64 * SCAN_PORTS.len() as u64;
+        assert_eq!(sparse_t.stats().probes(), populated);
+        assert!(sparse_t.stats().probes() < dense_t.stats().probes());
+    }
         let t = sim();
         let telemetry = Telemetry::new();
         let scanner = PortScanner::with_telemetry(config_for_tiny(), &telemetry);

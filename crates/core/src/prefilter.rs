@@ -189,7 +189,7 @@ impl Prefilter {
             }
             self.metrics.redirects.observe(fetched.redirects as u64);
             if hit.is_none() {
-                let body = PreparedBody::new(fetched.response.body_text());
+                let body = PreparedBody::new(fetched.response.body_str());
                 self.metrics.bodies_matched.incr();
                 self.metrics.body_bytes.observe(body.raw.len() as u64);
                 let matched = self.matcher.matched_signatures(&body);

@@ -92,6 +92,36 @@ impl Pacer {
             tokio::time::sleep(self.bucket.time_until_available()).await;
         }
     }
+
+    /// Wait for and consume `n` tokens in one arithmetic step — the
+    /// bulk equivalent of `n` sequential [`acquire`](Self::acquire)
+    /// calls (a whole block's probes drawn at once by the sparse
+    /// sweep).
+    ///
+    /// `n` sequential acquires from `t` stored tokens telescope to a
+    /// single deficit wait of `(n - t) / rate` and leave the bucket
+    /// empty, so `n` may exceed the burst capacity: the excess is paid
+    /// for in waiting time, exactly as the one-by-one loop would.
+    pub async fn acquire_many(&mut self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let now = tokio::time::Instant::now();
+        self.bucket.refill(now - self.last);
+        self.last = now;
+        let n = n as f64;
+        if self.bucket.tokens >= n {
+            self.bucket.tokens -= n;
+            return;
+        }
+        let wait = Duration::from_secs_f64((n - self.bucket.tokens) / self.bucket.rate);
+        // The deficit interval is spent in advance on these n tokens:
+        // empty the bucket now and move `last` past the sleep so the
+        // interval is never credited again.
+        self.bucket.tokens = 0.0;
+        tokio::time::sleep(wait).await;
+        self.last = tokio::time::Instant::now();
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +205,53 @@ mod tests {
         p.acquire().await;
         let elapsed = tokio::time::Instant::now() - start;
         assert!(elapsed >= Duration::from_millis(990), "{elapsed:?}");
+    }
+
+    /// Bulk acquisition pays the same virtual time as the one-by-one
+    /// loop it replaces, and leaves the bucket in the same (empty)
+    /// state.
+    #[tokio::test(start_paused = true)]
+    async fn acquire_many_matches_sequential_acquires() {
+        // 64 tokens at 32/s with burst 32: half free, half paced.
+        let mut seq = Pacer::new(32.0, 32.0);
+        let start = tokio::time::Instant::now();
+        for _ in 0..64 {
+            seq.acquire().await;
+        }
+        let sequential = tokio::time::Instant::now() - start;
+        assert!(sequential >= Duration::from_millis(990), "{sequential:?}");
+
+        let mut bulk = Pacer::new(32.0, 32.0);
+        let start = tokio::time::Instant::now();
+        bulk.acquire_many(64).await;
+        let bulked = tokio::time::Instant::now() - start;
+        assert!(bulked >= Duration::from_millis(990), "{bulked:?}");
+        // The single deficit sleep avoids 32 per-token roundups, so it
+        // can only be at or below the sequential loop's total.
+        assert!(bulked <= sequential, "{bulked:?} > {sequential:?}");
+
+        // Both pacers drained to zero: the next token costs a full
+        // period either way.
+        let start = tokio::time::Instant::now();
+        seq.acquire().await;
+        let seq_next = tokio::time::Instant::now() - start;
+        let start = tokio::time::Instant::now();
+        bulk.acquire_many(1).await;
+        let bulk_next = tokio::time::Instant::now() - start;
+        assert!(seq_next >= Duration::from_millis(30), "{seq_next:?}");
+        assert!(bulk_next >= Duration::from_millis(30), "{bulk_next:?}");
+    }
+
+    /// A bulk draw within the stored burst is free, like the loop.
+    #[tokio::test(start_paused = true)]
+    async fn acquire_many_spends_burst_before_pacing() {
+        let mut p = Pacer::new(1.0, 4.0);
+        let start = tokio::time::Instant::now();
+        p.acquire_many(4).await;
+        assert_eq!(tokio::time::Instant::now() - start, Duration::ZERO);
+        p.acquire_many(2).await;
+        let elapsed = tokio::time::Instant::now() - start;
+        assert!(elapsed >= Duration::from_millis(1_990), "{elapsed:?}");
     }
 
     #[test]

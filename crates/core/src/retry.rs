@@ -22,7 +22,8 @@
 //! parallelism; the real-socket CLI maps units to milliseconds.
 
 use crate::telemetry::{Counter, Telemetry, Timer};
-use nokeys_http::{Endpoint, ProbeOutcome, Scheme, Transport};
+use nokeys_http::ip::Cidr;
+use nokeys_http::{BlockSweepResult, Endpoint, ProbeOutcome, Scheme, Transport};
 use std::future::Future;
 use std::time::Duration;
 
@@ -224,38 +225,55 @@ impl<T> RetryTransport<T> {
     }
 }
 
+impl<T: Transport> RetryTransport<T> {
+    /// Continue a probe's retry schedule given the outcome of its first
+    /// attempt. An unanswered SYN may be transient loss: retransmit,
+    /// masscan-style. `Closed` is terminal — an RST is a definite
+    /// answer. Shared by `probe` and `sweep_block` so a probe first
+    /// answered inside a block sweep retries (and meters) exactly like
+    /// a standalone one.
+    async fn finish_probe_retries(&self, ep: Endpoint, mut outcome: ProbeOutcome) -> ProbeOutcome {
+        let max = self.policy.attempts();
+        let mut attempt = 0;
+        while outcome == ProbeOutcome::Filtered && attempt + 1 < max {
+            self.probe.retries.incr();
+            self.policy
+                .pause(&self.probe, self.policy.backoff_units(ep, attempt))
+                .await;
+            attempt += 1;
+            outcome = self.inner.probe(ep).await;
+        }
+        if attempt > 0 {
+            if outcome == ProbeOutcome::Filtered {
+                self.probe.exhausted.incr();
+            } else {
+                self.probe.recovered.incr();
+            }
+        }
+        outcome
+    }
+}
+
 impl<T: Transport> Transport for RetryTransport<T> {
     type Conn = T::Conn;
 
     async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
-        let max = self.policy.attempts();
-        for attempt in 0..max {
-            let outcome = self.inner.probe(ep).await;
-            match outcome {
-                // An unanswered SYN may be transient loss: retransmit,
-                // masscan-style. `Closed` is terminal — an RST is a
-                // definite answer.
-                ProbeOutcome::Filtered if attempt + 1 < max => {
-                    self.probe.retries.incr();
-                    self.policy
-                        .pause(&self.probe, self.policy.backoff_units(ep, attempt))
-                        .await;
-                }
-                ProbeOutcome::Filtered => {
-                    if attempt > 0 {
-                        self.probe.exhausted.incr();
-                    }
-                    return outcome;
-                }
-                _ => {
-                    if attempt > 0 {
-                        self.probe.recovered.incr();
-                    }
-                    return outcome;
-                }
+        let first = self.inner.probe(ep).await;
+        self.finish_probe_retries(ep, first).await
+    }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        let mut result = self.inner.sweep_block(block, ports).await;
+        // Only probes whose first attempt read `Filtered` owe retries:
+        // `Open` succeeded and `Closed` is terminal, so the probes a
+        // sparse sweep answered in bulk (all `Closed`) have no retry
+        // draws to skip, and the sweep stays sparse.
+        for (ep, outcome) in &mut result.probed {
+            if *outcome == ProbeOutcome::Filtered {
+                *outcome = self.finish_probe_retries(*ep, ProbeOutcome::Filtered).await;
             }
         }
-        unreachable!("probe retry loop returns within its attempt budget")
+        result
     }
 
     async fn connect(&self, ep: Endpoint, scheme: Scheme) -> nokeys_http::Result<T::Conn> {

@@ -78,7 +78,7 @@ impl CommercialScanner {
             Severity::Informational => {
                 // Product presence only: match identification signatures.
                 let fetched = client.get_path(ep, Scheme::Http, "/").await.ok()?;
-                let body = PreparedBody::new(fetched.response.body_text());
+                let body = PreparedBody::new(fetched.response.body_str());
                 let candidates = match_candidates(&all_signatures(), &body);
                 candidates.contains(&app).then_some(VendorFinding {
                     endpoint: ep,

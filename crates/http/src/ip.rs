@@ -53,7 +53,9 @@ impl Cidr {
 
     /// Iterate over the /24 sub-blocks (the scan's shuffling unit). For
     /// blocks smaller than /24 the single covering block is returned.
-    pub fn slash24_blocks(&self) -> impl Iterator<Item = Cidr> + '_ {
+    /// Takes `self` by value (`Cidr` is `Copy`) so the iterator borrows
+    /// nothing and composes directly with `flat_map`.
+    pub fn slash24_blocks(self) -> impl Iterator<Item = Cidr> {
         let step = 256u64;
         let count = if self.prefix >= 24 {
             1
@@ -69,10 +71,25 @@ impl Cidr {
     }
 
     /// Iterate over every address in the block.
-    pub fn addresses(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+    pub fn addresses(self) -> impl Iterator<Item = Ipv4Addr> {
         let base = self.base as u64;
         (0..self.size()).map(move |i| Ipv4Addr::from((base + i) as u32))
     }
+}
+
+/// How much of a block an exclusion list covers. Because exclusion
+/// ranges and scan blocks are both CIDRs (which nest or are disjoint),
+/// a block is `Full`y covered exactly when some range with an equal or
+/// shorter prefix contains it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockCoverage {
+    /// No excluded address falls inside the block.
+    None,
+    /// The block straddles an exclusion boundary (only possible when the
+    /// block is *larger* than some excluded range).
+    Partial,
+    /// Every address of the block is excluded.
+    Full,
 }
 
 impl fmt::Display for Cidr {
@@ -162,6 +179,30 @@ impl ReservedRanges {
     pub fn ranges(&self) -> &[Cidr] {
         &self.ranges
     }
+
+    /// Classify `block` against the exclusion list in one pass, without
+    /// testing its addresses individually. CIDRs nest or are disjoint,
+    /// so a range covers the whole block iff its prefix is no longer
+    /// than the block's and it contains the block's first address; the
+    /// block straddles a boundary only when it strictly contains a
+    /// range. With the IANA list (all prefixes ≤ 24) and /24-or-smaller
+    /// scan blocks, `Partial` is unreachable.
+    pub fn coverage(&self, block: Cidr) -> BlockCoverage {
+        let mut partial = false;
+        for r in &self.ranges {
+            if r.prefix <= block.prefix && r.contains(block.first()) {
+                return BlockCoverage::Full;
+            }
+            if block.contains(r.first()) {
+                partial = true;
+            }
+        }
+        if partial {
+            BlockCoverage::Partial
+        } else {
+            BlockCoverage::None
+        }
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +256,25 @@ mod tests {
         assert!(r.contains(Ipv4Addr::new(255, 255, 255, 255)));
         assert!(!r.contains(Ipv4Addr::new(8, 8, 8, 8)));
         assert!(!r.contains(Ipv4Addr::new(20, 77, 1, 3)));
+    }
+
+    #[test]
+    fn coverage_classifies_blocks_without_enumerating() {
+        let r = ReservedRanges::iana();
+        // Fully inside a reserved /8.
+        let block: Cidr = "10.9.8.0/24".parse().unwrap();
+        assert_eq!(r.coverage(block), BlockCoverage::Full);
+        // Entirely scannable.
+        let block: Cidr = "20.0.7.0/24".parse().unwrap();
+        assert_eq!(r.coverage(block), BlockCoverage::None);
+        // A /6 strictly containing several reserved /8s straddles them.
+        let block: Cidr = "8.0.0.0/6".parse().unwrap();
+        assert_eq!(r.coverage(block), BlockCoverage::Partial);
+        // Every IANA range has prefix <= 24, so no /24-or-smaller scan
+        // block can be Partial — the sparse sweep relies on this.
+        for range in r.ranges() {
+            assert!(range.prefix <= 24, "range {range} longer than /24");
+        }
     }
 
     #[test]

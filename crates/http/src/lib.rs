@@ -42,5 +42,5 @@ pub use method::Method;
 pub use request::Request;
 pub use response::Response;
 pub use status::StatusCode;
-pub use transport::{Endpoint, ProbeOutcome, Scheme, Transport};
+pub use transport::{BlockSweepResult, Endpoint, ProbeOutcome, Scheme, Transport};
 pub use url::Url;

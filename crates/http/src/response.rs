@@ -80,7 +80,15 @@ impl Response {
     /// Body interpreted as UTF-8 (lossy); the prefilter and plugins match
     /// on this text.
     pub fn body_text(&self) -> String {
-        String::from_utf8_lossy(&self.body).into_owned()
+        self.body_str().into_owned()
+    }
+
+    /// Borrowing variant of [`body_text`](Self::body_text): clean UTF-8
+    /// bodies (the common case) come back as a view into the response
+    /// bytes; only bodies with invalid sequences allocate a repaired
+    /// copy.
+    pub fn body_str(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
     }
 
     /// `Location` header for redirect handling.
@@ -145,5 +153,14 @@ mod tests {
     fn body_text_is_lossy() {
         let r = Response::new(StatusCode::OK).with_body(vec![0x68, 0x69, 0xff]);
         assert_eq!(r.body_text(), "hi\u{fffd}");
+    }
+
+    #[test]
+    fn body_str_borrows_clean_utf8() {
+        let clean = Response::new(StatusCode::OK).with_body("plain ascii");
+        assert!(matches!(clean.body_str(), std::borrow::Cow::Borrowed(_)));
+        let dirty = Response::new(StatusCode::OK).with_body(vec![0x68, 0x69, 0xff]);
+        assert!(matches!(dirty.body_str(), std::borrow::Cow::Owned(_)));
+        assert_eq!(dirty.body_str(), "hi\u{fffd}");
     }
 }

@@ -5,6 +5,7 @@
 //! simulated IPv4 universe from `nokeys-netsim`.
 
 use crate::error::{Error, Result};
+use crate::ip::Cidr;
 use std::future::Future;
 use std::net::Ipv4Addr;
 use std::time::Duration;
@@ -85,6 +86,45 @@ pub trait Connection: AsyncRead + AsyncWrite + Unpin + Send {
     }
 }
 
+/// Outcome of sweeping one block with [`Transport::sweep_block`].
+///
+/// A sweep is semantically identical to probing every (address, port)
+/// pair of the block in ascending address order with ports in the given
+/// order, but lets a transport answer for many endpoints at once. Probes
+/// that a sparse implementation can prove `Closed` without evaluating
+/// them individually (empty addresses in a simulated universe) are
+/// accounted arithmetically in [`bulk_closed`](Self::bulk_closed)
+/// instead of appearing in [`probed`](Self::probed).
+#[derive(Debug, Clone, Default)]
+pub struct BlockSweepResult {
+    /// Outcome of every probe that was individually evaluated, in dense
+    /// scan order: addresses ascending, ports in the order given to
+    /// [`Transport::sweep_block`].
+    pub probed: Vec<(Endpoint, ProbeOutcome)>,
+    /// Number of addresses the sweep covered (the block size).
+    pub addresses_probed: u64,
+    /// Probes answered `Closed` in bulk without an individual
+    /// evaluation. Zero for the dense default implementation.
+    pub bulk_closed: u64,
+}
+
+impl BlockSweepResult {
+    /// Total probes the sweep accounts for: individually evaluated ones
+    /// plus the arithmetically closed remainder. Matches what a dense
+    /// per-endpoint loop would have issued.
+    pub fn probes_sent(&self) -> u64 {
+        self.probed.len() as u64 + self.bulk_closed
+    }
+
+    /// Endpoints that answered `Open`, in discovery order.
+    pub fn open(&self) -> impl Iterator<Item = Endpoint> + '_ {
+        self.probed
+            .iter()
+            .filter(|(_, outcome)| *outcome == ProbeOutcome::Open)
+            .map(|(ep, _)| *ep)
+    }
+}
+
 /// Async transport used by the scanner, the client and the honeypots.
 ///
 /// Implementations: [`TcpTransport`] (real sockets) and
@@ -103,6 +143,36 @@ pub trait Transport: Send + Sync {
         ep: Endpoint,
         scheme: Scheme,
     ) -> impl Future<Output = Result<Self::Conn>> + Send;
+
+    /// Probe every (address, port) pair of `block` in one call.
+    ///
+    /// The default implementation loops [`probe`](Self::probe) over the
+    /// block in dense scan order (addresses ascending, then `ports` in
+    /// the given order), so any transport gets correct sweeps for free.
+    /// Implementations that know which addresses are populated may
+    /// answer for the empty remainder arithmetically, as long as the
+    /// result is indistinguishable from the dense loop.
+    fn sweep_block(
+        &self,
+        block: Cidr,
+        ports: &[u16],
+    ) -> impl Future<Output = BlockSweepResult> + Send {
+        async move {
+            let mut probed = Vec::new();
+            for ip in block.addresses() {
+                for &port in ports {
+                    let ep = Endpoint::new(ip, port);
+                    let outcome = self.probe(ep).await;
+                    probed.push((ep, outcome));
+                }
+            }
+            BlockSweepResult {
+                probed,
+                addresses_probed: block.size(),
+                bulk_closed: 0,
+            }
+        }
+    }
 }
 
 /// Real-socket transport backed by tokio TCP. HTTPS is rejected — the real

@@ -15,7 +15,8 @@
 //! `TcpTransport` with it to rehearse flaky-network behaviour on live
 //! scans.
 
-use nokeys_http::{Endpoint, Error, ProbeOutcome, Result, Scheme, Transport};
+use crate::ip::Cidr;
+use nokeys_http::{BlockSweepResult, Endpoint, Error, ProbeOutcome, Result, Scheme, Transport};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -222,10 +223,18 @@ impl<T: Transport> Transport for FaultyTransport<T> {
     type Conn = T::Conn;
 
     async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        let outcome = self.inner.probe(ep).await;
+        if outcome == ProbeOutcome::Closed {
+            // An RST is a definite answer — fault lanes only lose
+            // answers that were in flight. Skipping the draw keeps the
+            // per-endpoint schedule identical whether a block is swept
+            // densely or sparsely (empty addresses never draw).
+            return outcome;
+        }
         if self.plan.fires(FaultLane::Probe, ep) {
             return ProbeOutcome::Filtered;
         }
-        self.inner.probe(ep).await
+        outcome
     }
 
     async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<T::Conn> {
@@ -233,6 +242,20 @@ impl<T: Transport> Transport for FaultyTransport<T> {
             return Err(Error::Timeout);
         }
         self.inner.connect(ep, scheme).await
+    }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        let mut result = self.inner.sweep_block(block, ports).await;
+        // Apply this layer's probe-lane draws to every individually
+        // evaluated probe, in sweep order — exactly the draws the dense
+        // loop would have made through `probe`. Bulk-closed probes are
+        // `Closed`, which draws nothing (see `probe`).
+        for (ep, outcome) in &mut result.probed {
+            if *outcome != ProbeOutcome::Closed && self.plan.fires(FaultLane::Probe, *ep) {
+                *outcome = ProbeOutcome::Filtered;
+            }
+        }
+        result
     }
 }
 

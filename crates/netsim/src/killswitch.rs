@@ -9,7 +9,8 @@
 //! resolves, then resumes a fresh pipeline from the last checkpoint the
 //! dead one left behind.
 
-use nokeys_http::{Endpoint, ProbeOutcome, Result, Scheme, Transport};
+use crate::ip::Cidr;
+use nokeys_http::{BlockSweepResult, Endpoint, ProbeOutcome, Result, Scheme, Transport};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tokio::sync::watch;
@@ -61,25 +62,39 @@ impl KillSwitch {
     /// Consume one unit of budget; `false` means the operation must
     /// hang. The first refusal fires the trip signal.
     fn admit(&self) -> bool {
+        self.admit_many(1)
+    }
+
+    /// Consume `n` units of budget as one batched operation (a block
+    /// sweep); `false` means the batch must hang. If fewer than `n`
+    /// units remain, whatever is left is consumed before refusing — the
+    /// process died partway through the batch, so [`used`](Self::used)
+    /// totals stay identical to admitting the same work one unit at a
+    /// time.
+    fn admit_many(&self, n: u64) -> bool {
         let mut current = self.remaining.load(Ordering::Relaxed);
         loop {
-            if current == 0 {
-                self.trip_tx.send_if_modified(|tripped| {
-                    let first = !*tripped;
-                    *tripped = true;
-                    first
-                });
-                return false;
-            }
+            let (next, granted) = if current >= n {
+                (current - n, true)
+            } else {
+                (0, false)
+            };
             match self.remaining.compare_exchange_weak(
                 current,
-                current - 1,
+                next,
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
                 Ok(_) => {
-                    self.used.fetch_add(1, Ordering::Relaxed);
-                    return true;
+                    self.used.fetch_add(current - next, Ordering::Relaxed);
+                    if !granted {
+                        self.trip_tx.send_if_modified(|tripped| {
+                            let first = !*tripped;
+                            *tripped = true;
+                            first
+                        });
+                    }
+                    return granted;
                 }
                 Err(actual) => current = actual,
             }
@@ -131,6 +146,17 @@ impl<T: Transport> Transport for KillableTransport<T> {
         }
         self.inner.connect(ep, scheme).await
     }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        // Charge exactly what the dense path would have: one operation
+        // per (address, port) pair, regardless of how many probes the
+        // inner transport evaluates individually. Checkpoint/killswitch
+        // tests keep their budget arithmetic either way.
+        if !self.switch.admit_many(block.size() * ports.len() as u64) {
+            return wedge().await;
+        }
+        self.inner.sweep_block(block, ports).await
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +194,24 @@ mod tests {
         task.abort();
         assert!(task.await.unwrap_err().is_cancelled());
         assert_eq!(switch.used(), 1);
+    }
+
+    #[tokio::test]
+    async fn sweeps_charge_dense_ops_and_consume_the_remainder_on_death() {
+        let block: Cidr = "20.0.1.0/24".parse().unwrap();
+        // Budget for one 2-port sweep (512 dense ops) plus 88 spare.
+        let switch = KillSwitch::after(600);
+        let t = KillableTransport::new(transport(), switch.clone());
+        let _ = t.sweep_block(block, &[80, 443]).await;
+        assert_eq!(switch.used(), 512, "sweeps charge the dense op count");
+        assert!(!switch.is_tripped());
+
+        // The next sweep needs 512 but only 88 remain: the process dies
+        // mid-batch, so the remainder is consumed and the sweep wedges.
+        let wedged = tokio::spawn(async move { t.sweep_block(block, &[80, 443]).await });
+        switch.tripped().await;
+        assert_eq!(switch.used(), 600, "partial batch still burns the budget");
+        wedged.abort();
     }
 
     #[tokio::test]

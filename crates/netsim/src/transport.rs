@@ -7,11 +7,12 @@
 
 use crate::clock::SimTime;
 use crate::fault::{FaultLane, FaultPlan, FaultStats};
+use crate::ip::Cidr;
 use crate::universe::{ConnectBehavior, Universe};
 use bytes::{Buf, BytesMut};
 use nokeys_http::parse::{parse_request, Limits, Parsed};
 use nokeys_http::transport::{CertificateInfo, Connection};
-use nokeys_http::{Endpoint, ProbeOutcome, Result, Scheme, Transport};
+use nokeys_http::{BlockSweepResult, Endpoint, ProbeOutcome, Result, Scheme, Transport};
 use parking_lot::RwLock;
 use std::net::Ipv4Addr;
 use std::pin::Pin;
@@ -141,11 +142,39 @@ impl Transport for SimTransport {
 
     async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
         self.stats.probes.fetch_add(1, Ordering::Relaxed);
+        let outcome = self.universe.probe(ep, self.time());
+        if outcome == ProbeOutcome::Closed {
+            // An RST is a definite answer: fault lanes model *lost*
+            // answers, and a closed port stays closed on every attempt,
+            // so no fault draw happens (and no retry would follow). This
+            // is what lets the sparse sweep answer `Closed` for empty
+            // addresses without consuming any fault ordinals.
+            return outcome;
+        }
         if self.faults.fires(FaultLane::Probe, ep) {
             // Injected SYN loss: the probe goes unanswered.
             return ProbeOutcome::Filtered;
         }
-        self.universe.probe(ep, self.time())
+        outcome
+    }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        let populated = self.universe.populated_in(block);
+        let mut probed = Vec::with_capacity(populated.len() * ports.len());
+        for &ip in populated {
+            for &port in ports {
+                let ep = Endpoint::new(Ipv4Addr::from(ip), port);
+                probed.push((ep, self.probe(ep).await));
+            }
+        }
+        // Every unpopulated address answers `Closed` on every port; see
+        // `probe` above for why no fault draws are owed for them.
+        let empty_addresses = block.size() - populated.len() as u64;
+        BlockSweepResult {
+            probed,
+            addresses_probed: block.size(),
+            bulk_closed: empty_addresses * ports.len() as u64,
+        }
     }
 
     async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<SimConn> {
@@ -417,6 +446,118 @@ mod tests {
         assert_eq!(t.fault_stats().probe_injected(), 1);
         // A fault-free transport sees the same endpoint open.
         assert_eq!(transport().probe(ep).await, ProbeOutcome::Open);
+    }
+
+    /// Forwards probes/connects but keeps the trait's dense
+    /// `sweep_block` default, to pit the sparse override against.
+    struct DenseOnly(SimTransport);
+
+    impl Transport for DenseOnly {
+        type Conn = SimConn;
+
+        async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+            self.0.probe(ep).await
+        }
+
+        async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<SimConn> {
+            self.0.connect(ep, scheme).await
+        }
+    }
+
+    fn populated_block(t: &SimTransport) -> Cidr {
+        t.universe()
+            .config()
+            .space
+            .slash24_blocks()
+            .find(|b| t.universe().populated_in(*b).len() >= 2)
+            .expect("tiny universe has a block with hosts")
+    }
+
+    #[tokio::test]
+    async fn sparse_sweep_matches_the_dense_default() {
+        let ports = [80u16, 443, 8080];
+        let sparse_t = transport();
+        let dense_t = DenseOnly(transport());
+        let block = populated_block(&sparse_t);
+
+        let sparse = sparse_t.sweep_block(block, &ports).await;
+        let dense = dense_t.sweep_block(block, &ports).await;
+
+        assert_eq!(sparse.addresses_probed, dense.addresses_probed);
+        assert_eq!(sparse.probes_sent(), dense.probes_sent());
+        assert_eq!(
+            sparse.open().collect::<Vec<_>>(),
+            dense.open().collect::<Vec<_>>(),
+            "discovery order must match the dense loop"
+        );
+        // Sparse evaluated only populated endpoints...
+        let populated = sparse_t.universe().populated_in(block).len();
+        assert_eq!(sparse.probed.len(), populated * ports.len());
+        assert_eq!(sparse_t.stats().probes(), (populated * ports.len()) as u64);
+        // ...while dense paid for the whole block.
+        assert_eq!(dense.probed.len() as u64, block.size() * ports.len() as u64);
+        // Every probe sparse skipped was Closed in the dense sweep.
+        let evaluated: std::collections::HashMap<Endpoint, ProbeOutcome> =
+            sparse.probed.iter().copied().collect();
+        for (ep, outcome) in &dense.probed {
+            match evaluated.get(ep) {
+                Some(sparse_outcome) => assert_eq!(sparse_outcome, outcome, "{ep}"),
+                None => assert_eq!(*outcome, ProbeOutcome::Closed, "{ep}"),
+            }
+        }
+    }
+
+    #[tokio::test]
+    async fn faulty_sweeps_match_the_dense_loop_draw_for_draw() {
+        let mk = || transport().with_fault_injection(0.3).with_fault_seed(11);
+        let ports = [80u16, 443];
+        let sparse_t = mk();
+        let dense_t = DenseOnly(mk());
+        let block = populated_block(&sparse_t);
+
+        let sparse = sparse_t.sweep_block(block, &ports).await;
+        let dense = dense_t.sweep_block(block, &ports).await;
+
+        assert_eq!(sparse.probes_sent(), dense.probes_sent());
+        assert_eq!(
+            sparse.open().collect::<Vec<_>>(),
+            dense.open().collect::<Vec<_>>()
+        );
+        let evaluated: std::collections::HashMap<Endpoint, ProbeOutcome> =
+            sparse.probed.iter().copied().collect();
+        for (ep, outcome) in &dense.probed {
+            match evaluated.get(ep) {
+                Some(sparse_outcome) => assert_eq!(sparse_outcome, outcome, "{ep}"),
+                None => assert_eq!(*outcome, ProbeOutcome::Closed, "{ep}"),
+            }
+        }
+        assert_eq!(
+            sparse_t.fault_stats().probe_injected(),
+            dense_t.0.fault_stats().probe_injected(),
+            "sparse and dense must consume identical fault schedules"
+        );
+    }
+
+    #[tokio::test]
+    async fn empty_addresses_are_closed_under_every_fault_lane() {
+        let t = transport().with_fault_injection(1.0);
+        let empty_ip = t
+            .universe()
+            .config()
+            .space
+            .addresses()
+            .find(|ip| t.universe().host(*ip).is_none())
+            .expect("tiny universe is sparse");
+        let ep = Endpoint::new(empty_ip, 80);
+        // Probe lane at rate 1.0: still a definite RST, no fault drawn.
+        for _ in 0..4 {
+            assert_eq!(t.probe(ep).await, ProbeOutcome::Closed);
+        }
+        assert_eq!(t.fault_stats().probe_injected(), 0);
+        // The standalone wrapper obeys the same invariant.
+        let wrapped = crate::fault::FaultyTransport::new(transport(), FaultPlan::new(1.0, 9));
+        assert_eq!(wrapped.probe(ep).await, ProbeOutcome::Closed);
+        assert_eq!(wrapped.plan().stats().probe_injected(), 0);
     }
 
     #[tokio::test]

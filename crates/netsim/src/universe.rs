@@ -88,6 +88,10 @@ pub enum ConnectBehavior {
 pub struct Universe {
     config: UniverseConfig,
     hosts: HashMap<u32, Host>,
+    /// Populated addresses in ascending order — the sparse sweep's range
+    /// index. Built once at generation time; the host map never changes
+    /// afterwards (lifecycle events mutate hosts in place).
+    sorted_ips: Vec<u32>,
     geo: GeoDb,
 }
 
@@ -188,7 +192,15 @@ impl Universe {
             hosts.insert(u32::from(ip), host);
         }
 
-        Universe { config, hosts, geo }
+        let mut sorted_ips: Vec<u32> = hosts.keys().copied().collect();
+        sorted_ips.sort_unstable();
+
+        Universe {
+            config,
+            hosts,
+            sorted_ips,
+            geo,
+        }
     }
 
     /// Generation parameters.
@@ -214,6 +226,18 @@ impl Universe {
     /// The host at `ip`.
     pub fn host(&self, ip: Ipv4Addr) -> Option<&Host> {
         self.hosts.get(&u32::from(ip))
+    }
+
+    /// Populated addresses inside `block`, ascending. A binary-search
+    /// range query over the sorted index — the sparse sweep uses this to
+    /// visit only real hosts and answer for the empty remainder
+    /// arithmetically.
+    pub fn populated_in(&self, block: Cidr) -> &[u32] {
+        let first = block.base;
+        let last = u32::from(block.last());
+        let lo = self.sorted_ips.partition_point(|&ip| ip < first);
+        let hi = self.sorted_ips.partition_point(|&ip| ip <= last);
+        &self.sorted_ips[lo..hi]
     }
 
     /// Hosts whose AWE is vulnerable at deployment time.
@@ -576,6 +600,29 @@ mod tests {
 
     fn tiny() -> Universe {
         Universe::generate(UniverseConfig::tiny(42))
+    }
+
+    #[test]
+    fn populated_in_matches_a_linear_scan() {
+        let u = tiny();
+        // The whole space, block by block, reconciles with the host map
+        // and comes back in ascending order.
+        let mut total = 0usize;
+        for block in u.config().space.slash24_blocks() {
+            let populated = u.populated_in(block);
+            assert!(populated.windows(2).all(|w| w[0] < w[1]));
+            let expected: Vec<u32> = block
+                .addresses()
+                .map(u32::from)
+                .filter(|ip| u.host(Ipv4Addr::from(*ip)).is_some())
+                .collect();
+            assert_eq!(populated, expected.as_slice());
+            total += populated.len();
+        }
+        assert_eq!(total, u.host_count());
+        // A block outside the space is empty.
+        let outside: Cidr = "198.51.100.0/24".parse().unwrap();
+        assert!(u.populated_in(outside).is_empty());
     }
 
     #[test]

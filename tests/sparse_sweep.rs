@@ -1,0 +1,306 @@
+//! Dense/sparse stage-I equivalence: the sparse block-sweep fast path
+//! (`Transport::sweep_block` over the universe's sorted endpoint index)
+//! must produce a `ScanReport` and telemetry snapshot byte-identical to
+//! the dense per-endpoint loop — at any parallelism, with or without
+//! injected faults and retries, and across a kill/resume boundary even
+//! when the two runs use *different* sweep modes (the checkpoint
+//! fingerprint deliberately excludes `dense_sweep`).
+//!
+//! The payoff being bought is also asserted: a sparse sweep costs
+//! O(populated endpoints) transport probes instead of O(address space),
+//! while the op-budget accounting (`KillSwitch::used`) stays identical
+//! to the dense loop.
+
+use nokeys::http::{Client, Endpoint, ProbeOutcome, Transport};
+use nokeys::netsim::{Cidr, KillSwitch, KillableTransport, SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry, TelemetrySnapshot};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn checkpoint_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nokeys-sparse-{tag}-{}.json", std::process::id()))
+}
+
+fn config(
+    space: Cidr,
+    parallelism: usize,
+    dense: bool,
+    telemetry: &Telemetry,
+    checkpoint: Option<&PathBuf>,
+) -> PipelineConfig {
+    let mut builder = PipelineConfig::builder(vec![space])
+        .parallelism(parallelism)
+        .retries(3)
+        .dense_sweep(dense)
+        .telemetry(telemetry.clone());
+    if let Some(path) = checkpoint {
+        builder = builder.checkpoint_path(path.clone()).checkpoint_every(2);
+    }
+    builder.build()
+}
+
+fn transport(universe: &Arc<Universe>, fault_rate: f64) -> SimTransport {
+    let t = SimTransport::new(Arc::clone(universe));
+    if fault_rate > 0.0 {
+        t.with_fault_injection(fault_rate)
+    } else {
+        t
+    }
+}
+
+async fn run_plain(
+    universe: &Arc<Universe>,
+    space: Cidr,
+    parallelism: usize,
+    dense: bool,
+    fault_rate: f64,
+) -> (ScanReport, TelemetrySnapshot) {
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, parallelism, dense, &telemetry, None));
+    let client = Client::new(transport(universe, fault_rate));
+    let report = pipeline.run(&client).await.expect("pipeline failed");
+    (report, telemetry.snapshot())
+}
+
+fn report_json(report: &ScanReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn sparse_and_dense_sweeps_are_byte_identical() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    for (parallelism, fault_rate) in [(1, 0.0), (8, 0.0), (1, 0.05), (8, 0.05)] {
+        let (sparse, sparse_snap) = run_plain(
+            &universe,
+            universe_config.space,
+            parallelism,
+            false,
+            fault_rate,
+        )
+        .await;
+        let (dense, dense_snap) = run_plain(
+            &universe,
+            universe_config.space,
+            parallelism,
+            true,
+            fault_rate,
+        )
+        .await;
+        assert_eq!(
+            report_json(&sparse),
+            report_json(&dense),
+            "sweep mode changed the report (p{parallelism}, faults {fault_rate})"
+        );
+        assert_eq!(
+            sparse_snap.to_json(),
+            dense_snap.to_json(),
+            "sweep mode changed the telemetry (p{parallelism}, faults {fault_rate})"
+        );
+    }
+}
+
+/// Kill a checkpointed run in one sweep mode and resume it in the
+/// other. `dense_sweep` is excluded from the checkpoint's config
+/// fingerprint precisely because both modes report identical bytes, so
+/// the spliced run must equal an uninterrupted one.
+async fn kill_in_one_mode_resume_in_other(
+    universe: &Arc<Universe>,
+    space: Cidr,
+    parallelism: usize,
+    fault_rate: f64,
+    budget: u64,
+    killed_dense: bool,
+    path: &PathBuf,
+) -> (ScanReport, TelemetrySnapshot) {
+    let _ = std::fs::remove_file(path);
+
+    let switch = KillSwitch::after(budget);
+    let doomed = KillableTransport::new(transport(universe, fault_rate), switch.clone());
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, parallelism, killed_dense, &telemetry, Some(path)));
+    let client = Client::new(doomed);
+    let mut task = tokio::spawn(async move { pipeline.run(&client).await });
+    tokio::select! {
+        _ = switch.tripped() => {
+            task.abort();
+            let _ = task.await;
+        }
+        result = &mut task => {
+            result.expect("pipeline task").expect("pipeline failed");
+        }
+    }
+
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(
+        space,
+        parallelism,
+        !killed_dense,
+        &telemetry,
+        Some(path),
+    ));
+    let client = Client::new(transport(universe, fault_rate));
+    let report = if path.exists() {
+        pipeline.resume(&client, path).await.expect("resume failed")
+    } else {
+        pipeline.run(&client).await.expect("fresh run failed")
+    };
+    let snapshot = telemetry.snapshot();
+    let _ = std::fs::remove_file(path);
+    (report, snapshot)
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn resume_may_switch_sweep_modes() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, baseline_snap) =
+        run_plain(&universe, universe_config.space, 8, 0.05, false).await;
+
+    for (parallelism, budget, killed_dense) in
+        [(1, 2_000u64, false), (8, 3_000, true), (8, 15_000, false)]
+    {
+        let path = checkpoint_path(&format!("mode-switch-p{parallelism}-b{budget}"));
+        let (resumed, resumed_snap) = kill_in_one_mode_resume_in_other(
+            &universe,
+            universe_config.space,
+            parallelism,
+            0.05,
+            budget,
+            killed_dense,
+            &path,
+        )
+        .await;
+        assert_eq!(
+            report_json(&baseline),
+            report_json(&resumed),
+            "mode-switched resume diverged (p{parallelism}, budget {budget}, killed_dense {killed_dense})"
+        );
+        assert_eq!(
+            baseline_snap.to_json(),
+            resumed_snap.to_json(),
+            "mode-switched resume telemetry diverged (p{parallelism}, budget {budget})"
+        );
+    }
+}
+
+/// The sparse sweep's cost is O(populated endpoints + blocks): the
+/// transport evaluates one probe per populated (address, port) pair,
+/// never one per address. The dense loop pays for the whole space.
+/// Meanwhile the killswitch op accounting is charged identically in
+/// both modes, so checkpoint budgets mean the same thing everywhere.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn sparse_probe_cost_is_linear_in_population() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let ports_per_host = 12u64;
+
+    let sparse_switch = KillSwitch::after(u64::MAX);
+    let sparse_t = transport(&universe, 0.0);
+    let client = Client::new(KillableTransport::new(
+        sparse_t.clone(),
+        sparse_switch.clone(),
+    ));
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(universe_config.space, 1, false, &telemetry, None));
+    let sparse_report = pipeline.run(&client).await.expect("sparse run failed");
+
+    let dense_switch = KillSwitch::after(u64::MAX);
+    let dense_t = transport(&universe, 0.0);
+    let client = Client::new(KillableTransport::new(
+        dense_t.clone(),
+        dense_switch.clone(),
+    ));
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(universe_config.space, 1, true, &telemetry, None));
+    let dense_report = pipeline.run(&client).await.expect("dense run failed");
+
+    assert_eq!(report_json(&sparse_report), report_json(&dense_report));
+
+    // Stage I transport probes: population × ports vs. space × ports.
+    let populated = universe.host_count() as u64 * ports_per_host;
+    let space = universe_config.space.size() * ports_per_host;
+    assert_eq!(sparse_t.stats().probes(), populated);
+    assert_eq!(dense_t.stats().probes(), space);
+    assert!(populated * 50 < space, "tiny universe is genuinely sparse");
+
+    // ...but the op budget was charged as if every probe were sent.
+    assert_eq!(
+        sparse_switch.used(),
+        dense_switch.used(),
+        "sweeps must charge the dense op count"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `SimTransport::sweep_block` agrees with a literal per-endpoint
+    /// probe loop on arbitrary (block, ports, population, fault rate):
+    /// same counters, same open set in the same order, and every probe
+    /// the sparse path skipped is `Closed` when actually sent.
+    #[test]
+    fn sweep_counters_match_the_dense_loop(
+        seed in 0u64..(1 << 48),
+        third_octet in 0u32..256u32,
+        fault in prop_oneof![Just(0.0f64), Just(0.25)],
+        ports in proptest::sample::subsequence(vec![80u16, 443, 6443, 8080, 9000], 1..4),
+    ) {
+        let rt = tokio::runtime::Builder::new_current_thread()
+            .build()
+            .expect("runtime");
+        rt.block_on(async {
+            let universe = Arc::new(Universe::generate(UniverseConfig::tiny(seed)));
+            let mk = || {
+                let t = SimTransport::new(Arc::clone(&universe));
+                if fault > 0.0 {
+                    t.with_fault_injection(fault).with_fault_seed(seed ^ 0xabcd)
+                } else {
+                    t
+                }
+            };
+            let block: Cidr = format!("20.0.{third_octet}.0/24").parse().expect("cidr");
+
+            let sweep_t = mk();
+            let sweep = sweep_t.sweep_block(block, &ports).await;
+
+            // The reference loop runs on an identically seeded
+            // transport: per-endpoint fault schedules are independent
+            // of interleaving, so outcomes must agree probe for probe.
+            let dense_t = mk();
+            let mut reference = Vec::new();
+            for ip in block.addresses() {
+                for &port in &ports {
+                    let ep = Endpoint::new(ip, port);
+                    reference.push((ep, dense_t.probe(ep).await));
+                }
+            }
+
+            prop_assert_eq!(sweep.addresses_probed, block.size());
+            prop_assert_eq!(sweep.probes_sent(), reference.len() as u64);
+            let sparse_open: Vec<Endpoint> = sweep.open().collect();
+            let dense_open: Vec<Endpoint> = reference
+                .iter()
+                .filter(|(_, o)| *o == ProbeOutcome::Open)
+                .map(|(ep, _)| *ep)
+                .collect();
+            prop_assert_eq!(sparse_open, dense_open, "open sets or order differ");
+
+            let evaluated: std::collections::HashMap<Endpoint, ProbeOutcome> =
+                sweep.probed.iter().copied().collect();
+            for (ep, outcome) in &reference {
+                match evaluated.get(ep) {
+                    Some(sparse_outcome) => prop_assert_eq!(sparse_outcome, outcome, "{}", ep),
+                    None => prop_assert_eq!(*outcome, ProbeOutcome::Closed, "{}", ep),
+                }
+            }
+            prop_assert_eq!(
+                sweep_t.stats().probes(),
+                sweep.probed.len() as u64,
+                "sparse transport evaluated exactly the populated endpoints"
+            );
+            Ok(())
+        })?;
+    }
+}
