@@ -29,6 +29,14 @@ pub struct PortScanConfig {
     pub exclude_reserved: bool,
     /// Probe-rate ceiling in probes/second (token bucket); `None` scans
     /// at full speed. The paper paced its sweep to stay polite.
+    ///
+    /// With the sparse sweep (the default), tokens are drawn
+    /// block-at-a-time ([`crate::rate::Pacer::acquire_many`]), so the
+    /// cap holds as an average at block granularity rather than
+    /// smoothing every probe: a transport without a sparse index emits
+    /// a /24's probes back-to-back after the block's wait. Set
+    /// [`dense_sweep`](Self::dense_sweep) to restore per-probe
+    /// smoothing.
     pub max_probes_per_sec: Option<f64>,
     /// Probe every address of every block one endpoint at a time
     /// instead of handing whole /24 blocks to
@@ -862,6 +870,9 @@ mod tests {
         assert_eq!(sparse_t.stats().probes(), populated);
         assert!(sparse_t.stats().probes() < dense_t.stats().probes());
     }
+
+    #[tokio::test]
+    async fn sweep_telemetry_matches_results() {
         let t = sim();
         let telemetry = Telemetry::new();
         let scanner = PortScanner::with_telemetry(config_for_tiny(), &telemetry);

@@ -197,6 +197,15 @@ fn unit_interval(x: u64) -> f64 {
 /// went unanswered); injected connect faults surface as
 /// [`Error::Timeout`]. Everything else delegates to the inner
 /// transport. Clones share the plan's attempt counters.
+///
+/// Probe-lane draws are decided *after* the inner probe answers: a
+/// `Closed` outcome (an RST is a definite answer) skips the draw, which
+/// keeps the per-endpoint fault schedule identical between dense and
+/// sparse sweeps (empty addresses never consume an ordinal). The cost
+/// of that invariant is that the inner probe is always issued — when
+/// wrapping a live network transport, a fired fault still sends the
+/// real SYN and discards its answer, and inner-layer probe counters
+/// include faulted probes.
 #[derive(Debug, Clone)]
 pub struct FaultyTransport<T> {
     inner: T,
