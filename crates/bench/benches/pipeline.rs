@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nokeys_bench::{
-    faulty_tiny_transport, repro_slice, repro_transport, resume_pipeline, run_pipeline_batched,
-    run_pipeline_checkpointed, run_pipeline_parallel, run_pipeline_retrying, run_pipeline_swept,
-    run_sweep, scan_without_prefilter, tiny_space, tiny_transport,
+    faulty_tiny_transport, merge_shard_segments, repro_slice, repro_transport, resume_pipeline,
+    run_pipeline_batched, run_pipeline_checkpointed, run_pipeline_parallel, run_pipeline_retrying,
+    run_pipeline_sharded, run_pipeline_swept, run_sweep, scan_shard_segments,
+    scan_without_prefilter, tiny_space, tiny_transport,
 };
 
 fn bench(c: &mut Criterion) {
@@ -146,6 +147,33 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let report = rt.block_on(run_pipeline_swept(&t, false));
             assert!(report.total_mavs() > 0);
+        })
+    });
+    group.finish();
+
+    // Shard scaling: the same scan split across K worker tasks with
+    // work-stealing. The report is byte-identical at every K (asserted
+    // in tests/shard_scan.rs and the harness tests), so the wall-clock
+    // curve is pure orchestration speedup over the paper-scale repro
+    // slice. The reducer row isolates the merge cost: absorbing the
+    // shard partials into a fresh registry, without any scanning.
+    let mut group = c.benchmark_group("shard_scaling");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(format!("repro_slice_shards_{shards}"), |b| {
+            let t = repro_transport(42);
+            b.iter(|| {
+                let report = mt.block_on(run_pipeline_sharded(&t, repro_slice(), shards));
+                assert!(report.total_hosts() > 0);
+            })
+        });
+    }
+    group.bench_function("reducer_merge_8_segments", |b| {
+        let t = repro_transport(42);
+        let segments = mt.block_on(scan_shard_segments(&t, repro_slice(), 8));
+        b.iter(|| {
+            let report = merge_shard_segments(segments.clone());
+            assert!(report.probes_sent > 0);
         })
     });
     group.finish();

@@ -145,6 +145,55 @@ pub async fn resume_pipeline(transport: &SimTransport, path: &std::path::Path) -
         .expect("resume failed")
 }
 
+/// Run the full pipeline over `space` split across `shards` worker
+/// tasks with work-stealing — the `shard_scaling` benchmark harness.
+/// The report is byte-identical at every shard count (asserted in
+/// `tests/shard_scan.rs`), so the wall-clock curve is pure
+/// orchestration speedup.
+pub async fn run_pipeline_sharded(
+    transport: &SimTransport,
+    space: nokeys_scanner::portscan::Cidr,
+    shards: usize,
+) -> ScanReport {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::builder(vec![space]).shards(shards).build();
+    Pipeline::new(config)
+        .run(&client)
+        .await
+        .expect("pipeline failed")
+}
+
+/// Scan `space` as `segments` equal contiguous batch ranges, returning
+/// the shard partials — input for the reducer-cost benchmark.
+pub async fn scan_shard_segments(
+    transport: &SimTransport,
+    space: nokeys_scanner::portscan::Cidr,
+    segments: u64,
+) -> Vec<nokeys_scanner::ShardSegment> {
+    let client = Client::new(transport.clone());
+    let config = PipelineConfig::builder(vec![space]).build();
+    let blocks = PortScanner::new(config.portscan.clone())
+        .shuffled_blocks()
+        .len() as u64;
+    let bpb = config.blocks_per_batch as u64;
+    let total = blocks.div_euclid(bpb) + u64::from(blocks % bpb != 0);
+    let mut out = Vec::new();
+    let mut start = 0;
+    for i in 0..segments {
+        let end = total * (i + 1) / segments;
+        out.push(nokeys_scanner::shard::scan_segment(&config, &client, start, end).await);
+        start = end;
+    }
+    out
+}
+
+/// Reduce shard partials into a final report (into a fresh registry
+/// each call) — isolates the reducer's merge cost from the scanning.
+pub fn merge_shard_segments(segments: Vec<nokeys_scanner::ShardSegment>) -> ScanReport {
+    nokeys_scanner::shard::merge_segments(&nokeys_scanner::Telemetry::new(), segments)
+        .expect("contiguous segments merge")
+}
+
 /// Ablation: no stage II — every open, non-tarpit endpoint gets every
 /// application's plugin. Returns (findings, plugin invocations).
 pub async fn scan_without_prefilter(transport: &SimTransport) -> (u64, u64) {
@@ -228,6 +277,32 @@ mod tests {
         assert!(
             sparse_t.stats().probes() < dense_t.stats().probes(),
             "the sparse path must evaluate fewer transport probes"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn shard_count_does_not_change_results() {
+        let t1 = tiny_transport(7);
+        let t4 = tiny_transport(7);
+        let a = run_pipeline_sharded(&t1, tiny_space(), 1).await;
+        let b = run_pipeline_sharded(&t4, tiny_space(), 4).await;
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "sharding must not change the report"
+        );
+    }
+
+    #[tokio::test]
+    async fn segment_merge_agrees_with_a_single_run() {
+        let t = tiny_transport(7);
+        let segments = scan_shard_segments(&t, tiny_space(), 3).await;
+        let merged = merge_shard_segments(segments);
+        let whole = run_pipeline_batched(&tiny_transport(7), 64).await;
+        assert_eq!(
+            serde_json::to_string(&merged).unwrap(),
+            serde_json::to_string(&whole).unwrap(),
+            "the reducer must reconstruct the single-run report"
         );
     }
 

@@ -115,12 +115,12 @@ pub struct ConfigFingerprint {
 }
 
 impl ConfigFingerprint {
-    /// The fingerprint of a pipeline configuration. `parallelism`, the
-    /// wall-clock pacing knobs (`max_probes_per_sec`,
+    /// The fingerprint of a pipeline configuration. `parallelism`,
+    /// `shards`, the wall-clock pacing knobs (`max_probes_per_sec`,
     /// `retry.real_unit`), and the `dense_sweep` oracle switch are
     /// excluded: they change how fast the scan runs, never what it
-    /// reports — so a run interrupted in one sweep mode may resume in
-    /// the other.
+    /// reports — so a run interrupted in one sweep mode (or at one
+    /// shard count) may resume in another.
     pub fn of(config: &PipelineConfig) -> Self {
         ConfigFingerprint {
             targets: config.portscan.targets.clone(),
@@ -142,7 +142,7 @@ impl ConfigFingerprint {
     }
 
     /// The first knob on which `self` and `other` differ, if any.
-    fn first_mismatch(&self, other: &Self) -> Option<&'static str> {
+    pub(crate) fn first_mismatch(&self, other: &Self) -> Option<&'static str> {
         if self.targets != other.targets {
             return Some("targets");
         }
@@ -337,5 +337,24 @@ mod tests {
             .parallelism(8)
             .build();
         assert_eq!(ConfigFingerprint::of(&p1), ConfigFingerprint::of(&p8));
+    }
+
+    /// A checkpoint taken at `--shards 4` must resume at `--shards 8`
+    /// (or 1): the shard count repartitions the same deterministic
+    /// batch sequence, so it never changes what the scan reports.
+    #[test]
+    fn shards_are_not_fingerprinted() {
+        let s4 = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+            .shards(4)
+            .build();
+        let s8 = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+            .shards(8)
+            .build();
+        assert_eq!(ConfigFingerprint::of(&s4), ConfigFingerprint::of(&s8));
+        let cp = ScanCheckpoint {
+            fingerprint: ConfigFingerprint::of(&s4),
+            ..checkpoint()
+        };
+        assert!(cp.validate(&ConfigFingerprint::of(&s8)).is_ok());
     }
 }

@@ -38,6 +38,7 @@ pub mod prefilter;
 pub mod rate;
 pub mod report;
 pub mod retry;
+pub mod shard;
 pub mod signatures;
 pub mod telemetry;
 
@@ -48,6 +49,8 @@ pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineErro
 pub use plugin::{detect_mav, plugin_steps};
 pub use portscan::{PortScanConfig, PortScanResult, PortScanner};
 pub use prefilter::{Prefilter, PrefilterHit};
+pub use rate::SharedPacer;
 pub use report::{FingerprintMethod, HostFinding, ScanReport};
 pub use retry::{RetryPolicy, RetryTransport};
+pub use shard::{ShardCheckpoint, ShardSegment, ShardStats};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

@@ -116,6 +116,15 @@ pub struct PipelineConfig {
     /// value produces the identical report, fault injection included.
     /// The builder rejects `0`.
     pub parallelism: usize,
+    /// Number of shard workers the target space is split across
+    /// (default 1: the single streaming pipeline). With `shards > 1`,
+    /// [`Pipeline::run`] partitions the batch sequence into contiguous
+    /// shards scanned by independent worker tasks with work-stealing,
+    /// and reduces their partial reports in address order — the report
+    /// and telemetry snapshot are byte-identical at any shard count,
+    /// like `parallelism` (see the [`shard`](crate::shard) module).
+    /// The builder rejects `0`.
+    pub shards: usize,
     /// Transport-level retry/backoff applied to every probe and connect
     /// during [`Pipeline::run`] (default: 3 attempts, deterministic
     /// capped-exponential backoff on the virtual clock). Use
@@ -149,6 +158,7 @@ impl PipelineConfig {
             fingerprint: true,
             verify: true,
             parallelism: 8,
+            shards: 1,
             retry: RetryPolicy::default(),
             telemetry: None,
             checkpoint_path: None,
@@ -190,6 +200,7 @@ pub struct PipelineConfigBuilder {
     fingerprint: bool,
     verify: bool,
     parallelism: usize,
+    shards: usize,
     retry: RetryPolicy,
     telemetry: Option<Telemetry>,
     checkpoint_path: Option<PathBuf>,
@@ -273,6 +284,21 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Shard workers the batch sequence is split across. `1` (the
+    /// default) keeps the single streaming pipeline; higher values run
+    /// the [`shard`](crate::shard) orchestrator. Any value produces the
+    /// identical report and telemetry snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `0` — zero shard workers can never make progress, and
+    /// silently clamping would hide a configuration bug.
+    pub fn shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "pipeline shards must be at least 1");
+        self.shards = shards;
+        self
+    }
+
     /// Total attempts per network operation (probe, connect, fetch).
     /// `0` and `1` both mean "no retries"; the default is 3. Keeps the
     /// rest of the configured [`RetryPolicy`] intact.
@@ -332,6 +358,7 @@ impl PipelineConfigBuilder {
             fingerprint: self.fingerprint,
             verify: self.verify,
             parallelism: self.parallelism,
+            shards: self.shards,
             retry: self.retry,
             telemetry: self.telemetry,
             checkpoint_path: self.checkpoint_path,
@@ -400,33 +427,52 @@ impl PipelineMetrics {
     }
 }
 
+/// Stages II + III for one batch of stage-I results, bound to one
+/// telemetry registry.
+///
+/// Extracted from [`Pipeline`] so the [`shard`](crate::shard) layer can
+/// run one processor per worker against a private staging registry; the
+/// pipeline itself owns one bound to its main registry.
+pub(crate) struct BatchProcessor {
+    telemetry: Telemetry,
+    prefilter: Arc<Prefilter>,
+    fingerprinter: Arc<Fingerprinter>,
+    metrics: PipelineMetrics,
+    tarpit_port_threshold: usize,
+    verify: bool,
+    fingerprint: bool,
+    parallelism: usize,
+}
+
+/// Shared state of one stage-III verify fan-out: hosts are claimed from
+/// an atomic cursor by persistent worker loops and each result is
+/// written to its host's slot, so the merge (by host index) is
+/// independent of completion order.
+struct VerifyQueue {
+    /// `Some(hits)` until the owning worker claims the host.
+    hosts: Vec<std::sync::Mutex<Option<Vec<PrefilterHit>>>>,
+    cursor: std::sync::atomic::AtomicUsize,
+    results: Vec<std::sync::OnceLock<Vec<HostFinding>>>,
+}
+
 /// The pipeline.
 pub struct Pipeline {
     config: PipelineConfig,
     telemetry: Telemetry,
     scanner: PortScanner,
-    prefilter: Arc<Prefilter>,
-    fingerprinter: Arc<Fingerprinter>,
-    metrics: PipelineMetrics,
+    processor: BatchProcessor,
 }
 
 impl Pipeline {
     pub fn new(config: PipelineConfig) -> Self {
         let telemetry = config.telemetry.clone().unwrap_or_default();
         let scanner = PortScanner::with_telemetry(config.portscan.clone(), &telemetry);
-        let prefilter = Arc::new(Prefilter::with_telemetry_and_retry(
-            &telemetry,
-            config.retry.clone(),
-        ));
-        let fingerprinter = Arc::new(Fingerprinter::with_telemetry(&telemetry));
-        let metrics = PipelineMetrics::new(&telemetry);
+        let processor = BatchProcessor::new(&config, &telemetry);
         Pipeline {
             config,
             telemetry,
             scanner,
-            prefilter,
-            fingerprinter,
-            metrics,
+            processor,
         }
     }
 
@@ -448,11 +494,25 @@ impl Pipeline {
     /// scratch (ignoring any file already at that path) and persists a
     /// [`ScanCheckpoint`] every [`PipelineConfig::checkpoint_every`]
     /// batches; use [`Pipeline::resume`] to continue from such a file.
+    ///
+    /// With [`PipelineConfig::shards`] above 1, the batch sequence is
+    /// instead partitioned across that many shard workers with
+    /// work-stealing (see the [`shard`](crate::shard) module); the
+    /// report and telemetry snapshot are byte-identical either way.
     pub async fn run<T>(&self, client: &Client<T>) -> Result<ScanReport, PipelineError>
     where
         T: Transport + Clone + 'static,
     {
+        if self.config.shards > 1 {
+            return self.run_with_shard_stats(client).await.map(|(r, _)| r);
+        }
         if let Some(path) = self.config.checkpoint_path.clone() {
+            // A fresh run starts from scratch: per-shard files left by
+            // an earlier sharded run at this path must not bleed into a
+            // later resume of *this* run's checkpoint.
+            for stale in crate::shard::existing_shard_files(&path) {
+                let _ = std::fs::remove_file(stale);
+            }
             return self.run_checkpointed(client, &path, None).await;
         }
         let retrying = client.with_transport(RetryTransport::new(
@@ -461,6 +521,30 @@ impl Pipeline {
             &self.telemetry,
         ));
         self.run_inner(&retrying).await
+    }
+
+    /// [`run`](Self::run) through the [`shard`](crate::shard)
+    /// orchestrator (even at `shards = 1`), additionally returning the
+    /// per-run [`ShardStats`](crate::shard::ShardStats) — work-stealing
+    /// observability that deliberately lives *outside* the telemetry
+    /// registry, because which worker ran which batch is
+    /// timing-dependent and the registry must stay byte-identical
+    /// across runs.
+    pub async fn run_with_shard_stats<T>(
+        &self,
+        client: &Client<T>,
+    ) -> Result<(ScanReport, crate::shard::ShardStats), PipelineError>
+    where
+        T: Transport + Clone + 'static,
+    {
+        crate::shard::run_sharded(
+            &self.config,
+            &self.telemetry,
+            client,
+            self.config.checkpoint_path.as_deref(),
+            false,
+        )
+        .await
     }
 
     /// Continue a checkpointed scan from the [`ScanCheckpoint`] at
@@ -482,6 +566,13 @@ impl Pipeline {
     /// telemetry registry** when resuming: the checkpointed snapshot is
     /// replayed into [`Pipeline::telemetry`], so pre-existing pipeline
     /// counts would be double-counted.
+    ///
+    /// Shard count is deliberately *not* fingerprinted: a checkpoint
+    /// taken at `--shards 4` resumes at `--shards 8` (or 1). Resume
+    /// routes through the [`shard`](crate::shard) orchestrator whenever
+    /// this pipeline is sharded **or** per-shard checkpoint files
+    /// (`<path>.shard-*`) exist next to `path`, whichever generation
+    /// wrote them.
     pub async fn resume<T>(
         &self,
         client: &Client<T>,
@@ -491,6 +582,17 @@ impl Pipeline {
         T: Transport + Clone + 'static,
     {
         let path = path.as_ref();
+        if self.config.shards > 1 || !crate::shard::existing_shard_files(path).is_empty() {
+            return crate::shard::run_sharded(
+                &self.config,
+                &self.telemetry,
+                client,
+                Some(path),
+                true,
+            )
+            .await
+            .map(|(report, _)| report);
+        }
         let checkpoint = ScanCheckpoint::load(path)?;
         checkpoint.validate(&ConfigFingerprint::of(&self.config))?;
         self.run_checkpointed(client, path, Some(checkpoint)).await
@@ -529,8 +631,10 @@ impl Pipeline {
         while let Some((seq, batch)) = rx.recv().await {
             debug_assert_eq!(seq, next_seq, "batches must arrive in sweep order");
             next_seq = seq + 1;
-            Self::accumulate_sweep_counts(&mut report, &batch);
-            self.process_batch(client, batch, &mut report).await;
+            BatchProcessor::accumulate_sweep_counts(&mut report, &batch);
+            self.processor
+                .process_batch(client, batch, &mut report)
+                .await;
         }
 
         let totals = sweep
@@ -539,15 +643,6 @@ impl Pipeline {
         debug_assert_eq!(totals.probes_sent, report.probes_sent);
         debug_assert_eq!(totals.addresses_probed, report.addresses_probed);
         Ok(report)
-    }
-
-    /// Fold one batch's stage-I counts into the report.
-    fn accumulate_sweep_counts(report: &mut ScanReport, batch: &PortScanResult) {
-        report.addresses_probed += batch.addresses_probed;
-        report.probes_sent += batch.probes_sent;
-        for (port, n) in &batch.open_per_port {
-            report.port_stats.entry(*port).or_default().open += *n;
-        }
     }
 
     /// [`run_inner`](Self::run_inner) with checkpoint persistence.
@@ -626,8 +721,10 @@ impl Pipeline {
                 SweepMsg::Batch { seq, batch, delta } => {
                     debug_assert_eq!(seq, batches_done, "batches must arrive in sweep order");
                     self.telemetry.absorb(&delta);
-                    Self::accumulate_sweep_counts(&mut report, &batch);
-                    self.process_batch(&retrying, batch, &mut report).await;
+                    BatchProcessor::accumulate_sweep_counts(&mut report, &batch);
+                    self.processor
+                        .process_batch(&retrying, batch, &mut report)
+                        .await;
                     batches_done = seq + 1;
                     if batches_done % every == 0 {
                         // Synchronous write between awaits: an abort can
@@ -664,9 +761,38 @@ impl Pipeline {
         checkpoint.save(path)?;
         Ok(())
     }
+}
+
+impl BatchProcessor {
+    /// Build a processor for `config`, registering the stage II/III
+    /// instruments into `telemetry`.
+    pub(crate) fn new(config: &PipelineConfig, telemetry: &Telemetry) -> Self {
+        BatchProcessor {
+            telemetry: telemetry.clone(),
+            prefilter: Arc::new(Prefilter::with_telemetry_and_retry(
+                telemetry,
+                config.retry.clone(),
+            )),
+            fingerprinter: Arc::new(Fingerprinter::with_telemetry(telemetry)),
+            metrics: PipelineMetrics::new(telemetry),
+            tarpit_port_threshold: config.tarpit_port_threshold,
+            verify: config.verify,
+            fingerprint: config.fingerprint,
+            parallelism: config.parallelism.max(1),
+        }
+    }
+
+    /// Fold one batch's stage-I counts into the report.
+    pub(crate) fn accumulate_sweep_counts(report: &mut ScanReport, batch: &PortScanResult) {
+        report.addresses_probed += batch.addresses_probed;
+        report.probes_sent += batch.probes_sent;
+        for (port, n) in &batch.open_per_port {
+            report.port_stats.entry(*port).or_default().open += *n;
+        }
+    }
 
     /// Stages II + III for one batch of stage-I results.
-    async fn process_batch<T>(
+    pub(crate) async fn process_batch<T>(
         &self,
         client: &Client<T>,
         batch: PortScanResult,
@@ -674,7 +800,7 @@ impl Pipeline {
     ) where
         T: Transport + Clone + 'static,
     {
-        let parallelism = self.parallelism();
+        let parallelism = self.parallelism;
         self.metrics.batches.incr();
 
         // Exclude all-ports-open artifacts.
@@ -682,7 +808,7 @@ impl Pipeline {
         let mut endpoints = Vec::new();
         for (ip, ports) in &by_host {
             self.metrics.open_ports_per_host.observe(ports.len() as u64);
-            if ports.len() >= self.config.tarpit_port_threshold {
+            if ports.len() >= self.tarpit_port_threshold {
                 report.excluded_all_ports_open += 1;
                 self.metrics.tarpit_excluded.incr();
                 continue;
@@ -713,11 +839,12 @@ impl Pipeline {
             per_host.entry(hit.endpoint.ip).or_default().push(hit);
         }
 
-        // Stage III + fingerprinting: bounded host-level fan-out, merged
-        // in host order so the findings list is identical to a
-        // sequential run.
-        let verify = self.config.verify;
-        let fingerprint = self.config.fingerprint;
+        // Stage III + fingerprinting: persistent worker loops pull host
+        // indices from a shared cursor (one task per concurrency slot
+        // instead of one per host), and results merge in host order so
+        // the findings list is identical to a sequential run.
+        let verify = self.verify;
+        let fingerprint = self.fingerprint;
         if parallelism <= 1 || per_host.len() <= 1 {
             for (_ip, hits) in per_host {
                 let findings = Self::verify_host(
@@ -735,41 +862,72 @@ impl Pipeline {
             return;
         }
 
-        let semaphore = Arc::new(tokio::sync::Semaphore::new(parallelism));
-        let mut join_set = tokio::task::JoinSet::new();
         let n_hosts = per_host.len();
-        for (seq, (_ip, hits)) in per_host.into_iter().enumerate() {
+        let queue = Arc::new(VerifyQueue {
+            hosts: per_host
+                .into_values()
+                .map(|hits| std::sync::Mutex::new(Some(hits)))
+                .collect(),
+            cursor: std::sync::atomic::AtomicUsize::new(0),
+            results: (0..n_hosts).map(|_| std::sync::OnceLock::new()).collect(),
+        });
+        let mut join_set = tokio::task::JoinSet::new();
+        for _ in 0..parallelism.min(n_hosts) {
+            let queue = Arc::clone(&queue);
             let client = client.clone();
             let telemetry = self.telemetry.clone();
             let fingerprinter = Arc::clone(&self.fingerprinter);
-            let semaphore = Arc::clone(&semaphore);
             join_set.spawn(async move {
-                // The semaphore lives as long as the join set; if it is
-                // somehow closed, verify unbounded rather than lose the
-                // host.
-                let _permit = semaphore.acquire_owned().await.ok();
-                let findings =
-                    Self::verify_host(client, telemetry, fingerprinter, verify, fingerprint, hits)
-                        .await;
-                (seq, findings)
+                loop {
+                    let i = queue
+                        .cursor
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queue.hosts.len() {
+                        break;
+                    }
+                    let hits = queue.hosts[i]
+                        .lock()
+                        .expect("verify slot lock never poisoned")
+                        .take()
+                        .expect("each host index is claimed exactly once");
+                    let findings = Self::verify_host(
+                        client.clone(),
+                        telemetry.clone(),
+                        Arc::clone(&fingerprinter),
+                        verify,
+                        fingerprint,
+                        hits,
+                    )
+                    .await;
+                    let _ = queue.results[i].set(findings);
+                }
             });
         }
-        let mut verified: Vec<Option<Vec<HostFinding>>> = (0..n_hosts).map(|_| None).collect();
-        while let Some(joined) = join_set.join_next().await {
-            match joined {
-                Ok((seq, findings)) => verified[seq] = Some(findings),
+        // A worker that panics mid-host leaves that host's slot empty;
+        // survivors keep claiming the remaining indices from the cursor.
+        while join_set.join_next().await.is_some() {}
+        let results: Vec<Option<Vec<HostFinding>>> = match Arc::try_unwrap(queue) {
+            Ok(queue) => queue
+                .results
+                .into_iter()
+                .map(std::sync::OnceLock::into_inner)
+                .collect(),
+            Err(queue) => queue.results.iter().map(|r| r.get().cloned()).collect(),
+        };
+        for slot in results {
+            match slot {
+                Some(findings) => {
+                    self.metrics.note_findings(&findings);
+                    report.findings.extend(findings);
+                }
                 // A poisoned host must not abort the sweep: absorb the
                 // loss (the host simply goes missing from the report,
                 // like one lost to the network) and account for it.
-                Err(_) => {
+                None => {
                     self.metrics.task_failures.incr();
                     report.task_failures += 1;
                 }
             }
-        }
-        for findings in verified.into_iter().flatten() {
-            self.metrics.note_findings(&findings);
-            report.findings.extend(findings);
         }
     }
 

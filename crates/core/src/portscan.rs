@@ -7,6 +7,7 @@
 //! so later (slower) stages can run on fresh data while the sweep
 //! continues — the paper's answer to scan-vs-verify staleness.
 
+use crate::rate::SharedPacer;
 use crate::telemetry::{Counter, Telemetry, TelemetrySnapshot, Timer};
 use nokeys_apps::SCAN_PORTS;
 use nokeys_http::ip::BlockCoverage;
@@ -31,12 +32,16 @@ pub struct PortScanConfig {
     /// at full speed. The paper paced its sweep to stay polite.
     ///
     /// With the sparse sweep (the default), tokens are drawn
-    /// block-at-a-time ([`crate::rate::Pacer::acquire_many`]), so the
-    /// cap holds as an average at block granularity rather than
+    /// block-at-a-time ([`crate::rate::SharedPacer::acquire_many`]), so
+    /// the cap holds as an average at block granularity rather than
     /// smoothing every probe: a transport without a sparse index emits
     /// a /24's probes back-to-back after the block's wait. Set
     /// [`dense_sweep`](Self::dense_sweep) to restore per-probe
-    /// smoothing.
+    /// smoothing. A sharded pipeline threads one [`SharedPacer`] through
+    /// every shard worker, so the ceiling bounds the whole scan, not
+    /// each shard.
+    ///
+    /// [`SharedPacer`]: crate::rate::SharedPacer
     pub max_probes_per_sec: Option<f64>,
     /// Probe every address of every block one endpoint at a time
     /// instead of handing whole /24 blocks to
@@ -102,7 +107,7 @@ impl SweepTotals {
 }
 
 impl PortScanResult {
-    fn absorb(&mut self, other: PortScanResult) {
+    pub(crate) fn absorb(&mut self, other: PortScanResult) {
         self.open.extend(other.open);
         for (port, n) in other.open_per_port {
             *self.open_per_port.entry(port).or_default() += n;
@@ -215,15 +220,24 @@ impl PortScanner {
         k: usize,
         n: usize,
     ) -> PortScanResult {
-        let mut pacer = self
-            .config
-            .max_probes_per_sec
-            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let pacer = self.pacer();
         let mut total = PortScanResult::default();
         for block in self.shard_blocks(k, n) {
-            total.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            total.absorb(self.scan_block_paced(transport, block, &pacer).await);
         }
         total
+    }
+
+    /// A fresh [`SharedPacer`] enforcing this scanner's configured rate
+    /// ceiling (`None` when unpaced). Sweeps that must share one token
+    /// budget — the batches of a streamed sweep, or every worker of a
+    /// sharded pipeline — construct this once and thread the clone-cheap
+    /// handle through; constructing one per block would grant a fresh
+    /// burst allowance each time and overshoot the ceiling.
+    pub fn pacer(&self) -> Option<SharedPacer> {
+        self.config
+            .max_probes_per_sec
+            .map(|rate| SharedPacer::new(rate, rate.max(1.0)))
     }
 
     /// The /24 blocks of all targets in the deterministic shuffled scan
@@ -253,11 +267,25 @@ impl PortScanner {
 
     /// Sweep one /24 block.
     pub async fn scan_block<T: Transport>(&self, transport: &T, block: Cidr) -> PortScanResult {
-        let mut pacer = self
-            .config
-            .max_probes_per_sec
-            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
-        self.scan_block_paced(transport, block, &mut pacer).await
+        let pacer = self.pacer();
+        self.scan_block_paced(transport, block, &pacer).await
+    }
+
+    /// Sweep the given /24 blocks in order, drawing probe tokens from
+    /// `pacer` if present. This is the shard-worker entry point: each
+    /// worker sweeps the block slice of one batch at a time, all
+    /// drawing from the one shared pacer.
+    pub async fn scan_blocks<T: Transport>(
+        &self,
+        transport: &T,
+        blocks: &[Cidr],
+        pacer: &Option<SharedPacer>,
+    ) -> PortScanResult {
+        let mut total = PortScanResult::default();
+        for &block in blocks {
+            total.absorb(self.scan_block_paced(transport, block, pacer).await);
+        }
+        total
     }
 
     /// Sweep one /24 block, drawing probe tokens from `pacer` if present.
@@ -265,7 +293,7 @@ impl PortScanner {
         &self,
         transport: &T,
         block: Cidr,
-        pacer: &mut Option<crate::rate::Pacer>,
+        pacer: &Option<SharedPacer>,
     ) -> PortScanResult {
         let result = if self.config.dense_sweep {
             self.scan_block_dense(transport, block, pacer).await
@@ -288,7 +316,7 @@ impl PortScanner {
         &self,
         transport: &T,
         block: Cidr,
-        pacer: &mut Option<crate::rate::Pacer>,
+        pacer: &Option<SharedPacer>,
     ) -> PortScanResult {
         let mut result = PortScanResult::default();
         for ip in block.addresses() {
@@ -297,7 +325,7 @@ impl PortScanner {
             }
             result.addresses_probed += 1;
             for &port in &self.config.ports {
-                if let Some(p) = pacer.as_mut() {
+                if let Some(p) = pacer {
                     p.acquire().await;
                 }
                 result.probes_sent += 1;
@@ -319,7 +347,7 @@ impl PortScanner {
         &self,
         transport: &T,
         block: Cidr,
-        pacer: &mut Option<crate::rate::Pacer>,
+        pacer: &Option<SharedPacer>,
     ) -> PortScanResult {
         if self.config.exclude_reserved {
             match self.reserved.coverage(block) {
@@ -334,7 +362,7 @@ impl PortScanner {
                 BlockCoverage::None => {}
             }
         }
-        if let Some(p) = pacer.as_mut() {
+        if let Some(p) = pacer {
             p.acquire_many(block.size() * self.config.ports.len() as u64)
                 .await;
         }
@@ -354,13 +382,10 @@ impl PortScanner {
     /// Sweep the whole target space sequentially (deterministic; used
     /// with the simulated transport where probes are immediate).
     pub async fn scan<T: Transport>(&self, transport: &T) -> PortScanResult {
-        let mut pacer = self
-            .config
-            .max_probes_per_sec
-            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let pacer = self.pacer();
         let mut total = PortScanResult::default();
         for block in self.shuffled_blocks() {
-            total.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            total.absorb(self.scan_block_paced(transport, block, &pacer).await);
         }
         total
     }
@@ -382,14 +407,11 @@ impl PortScanner {
         // One pacer for the whole sweep: a per-block pacer would grant
         // a fresh burst allowance for every block and overshoot the
         // configured aggregate rate.
-        let mut pacer = self
-            .config
-            .max_probes_per_sec
-            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let pacer = self.pacer();
         let mut total = PortScanResult::default();
         let mut batch = PortScanResult::default();
         for (i, block) in self.shuffled_blocks().into_iter().enumerate() {
-            batch.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            batch.absorb(self.scan_block_paced(transport, block, &pacer).await);
             if (i + 1) % blocks_per_batch == 0 {
                 on_batch(&batch);
                 total.absorb(std::mem::take(&mut batch));
@@ -417,15 +439,12 @@ impl PortScanner {
         tx: tokio::sync::mpsc::Sender<(u64, PortScanResult)>,
     ) -> SweepTotals {
         assert!(blocks_per_batch > 0, "batch size must be positive");
-        let mut pacer = self
-            .config
-            .max_probes_per_sec
-            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let pacer = self.pacer();
         let mut totals = SweepTotals::default();
         let mut batch = PortScanResult::default();
         let mut seq = 0u64;
         for (i, block) in self.shuffled_blocks().into_iter().enumerate() {
-            batch.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            batch.absorb(self.scan_block_paced(transport, block, &pacer).await);
             if (i + 1) % blocks_per_batch == 0 {
                 totals.absorb_counters(&batch);
                 if tx.send((seq, std::mem::take(&mut batch))).await.is_err() {
@@ -468,10 +487,7 @@ impl PortScanner {
         tx: tokio::sync::mpsc::Sender<SweepMsg>,
     ) -> SweepTotals {
         assert!(blocks_per_batch > 0, "batch size must be positive");
-        let mut pacer = self
-            .config
-            .max_probes_per_sec
-            .map(|rate| crate::rate::Pacer::new(rate, rate.max(1.0)));
+        let pacer = self.pacer();
         let mut totals = SweepTotals::default();
         let mut prev = staging.snapshot();
         let mut batch = PortScanResult::default();
@@ -482,7 +498,7 @@ impl PortScanner {
         // tail batch can only ever be the last one).
         let skip = (first_batch as usize).saturating_mul(blocks_per_batch);
         for block in self.shuffled_blocks().into_iter().skip(skip) {
-            batch.absorb(self.scan_block_paced(transport, block, &mut pacer).await);
+            batch.absorb(self.scan_block_paced(transport, block, &pacer).await);
             blocks_in_batch += 1;
             if blocks_in_batch == blocks_per_batch {
                 totals.absorb_counters(&batch);

@@ -264,12 +264,15 @@ impl Prefilter {
     }
 
     /// Prefilter a batch of endpoints with up to `parallelism` probes in
-    /// flight at once (a `JoinSet` bounded by a semaphore).
+    /// flight at once: `parallelism` persistent worker loops pull
+    /// endpoint indices from a shared atomic cursor (one task per
+    /// concurrency slot rather than one per endpoint — per-task spawn
+    /// overhead dominated the profile at batch sizes in the thousands).
     ///
-    /// Deterministic: tasks are tagged with their endpoint index and the
-    /// results are merged in index order, so the returned
+    /// Deterministic: each result is written to its endpoint's index
+    /// slot and the slots are merged in index order, so the returned
     /// [`PrefilterResult`] is identical to the sequential [`run`] no
-    /// matter how the tasks interleave.
+    /// matter how the workers interleave.
     ///
     /// [`run`]: Prefilter::run
     pub async fn run_bounded<T>(
@@ -284,31 +287,49 @@ impl Prefilter {
         if parallelism <= 1 || endpoints.len() <= 1 {
             return self.run(client, endpoints).await;
         }
-        let semaphore = Arc::new(tokio::sync::Semaphore::new(parallelism));
+        struct ProbeQueue {
+            endpoints: Vec<Endpoint>,
+            cursor: std::sync::atomic::AtomicUsize,
+            results: Vec<std::sync::OnceLock<(Option<PrefilterHit>, PortProtocolStats)>>,
+        }
+        let queue = Arc::new(ProbeQueue {
+            endpoints: endpoints.to_vec(),
+            cursor: std::sync::atomic::AtomicUsize::new(0),
+            results: (0..endpoints.len())
+                .map(|_| std::sync::OnceLock::new())
+                .collect(),
+        });
         let mut join_set = tokio::task::JoinSet::new();
-        for (seq, &ep) in endpoints.iter().enumerate() {
+        for _ in 0..parallelism.min(endpoints.len()) {
             let prefilter = Arc::clone(self);
             let client = client.clone();
-            let semaphore = Arc::clone(&semaphore);
+            let queue = Arc::clone(&queue);
             join_set.spawn(async move {
-                // The semaphore lives as long as the join set; if it is
-                // somehow closed, probe unbounded rather than lose the
-                // endpoint.
-                let _permit = semaphore.acquire_owned().await.ok();
-                let (hit, stats) = prefilter.probe_endpoint(&client, ep).await;
-                (seq, hit, stats)
+                loop {
+                    let i = queue
+                        .cursor
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= queue.endpoints.len() {
+                        break;
+                    }
+                    let (hit, stats) = prefilter.probe_endpoint(&client, queue.endpoints[i]).await;
+                    let _ = queue.results[i].set((hit, stats));
+                }
             });
         }
-
-        let mut probed: Vec<Option<(Option<PrefilterHit>, PortProtocolStats)>> =
-            (0..endpoints.len()).map(|_| None).collect();
-        while let Some(joined) = join_set.join_next().await {
-            // A probe task that dies must not abort the batch; its
-            // endpoint slot stays empty and is counted below.
-            if let Ok((seq, hit, stats)) = joined {
-                probed[seq] = Some((hit, stats));
-            }
-        }
+        // A worker that dies mid-probe must not abort the batch: its
+        // in-flight endpoint's slot stays empty (counted below) while
+        // the surviving workers keep claiming the remaining indices.
+        while join_set.join_next().await.is_some() {}
+        let probed: Vec<Option<(Option<PrefilterHit>, PortProtocolStats)>> =
+            match Arc::try_unwrap(queue) {
+                Ok(queue) => queue
+                    .results
+                    .into_iter()
+                    .map(std::sync::OnceLock::into_inner)
+                    .collect(),
+                Err(queue) => queue.results.iter().map(|r| r.get().cloned()).collect(),
+            };
 
         // Merge in endpoint order — byte-identical to the sequential run.
         let mut result = PrefilterResult::default();

@@ -124,6 +124,51 @@ impl Pacer {
     }
 }
 
+/// A clone-cheap shared handle to one [`Pacer`], so several concurrent
+/// consumers (the shard workers of
+/// [`Pipeline::run`](crate::pipeline::Pipeline::run), for instance) draw
+/// from a single token budget: `--max-probes-per-sec` stays a
+/// whole-scan bound no matter how many workers are sweeping.
+///
+/// The inner pacer is guarded by an async mutex that is held **across
+/// the deficit sleep**. That makes concurrent draws serialize exactly
+/// like sequential ones: each draw refills for the interval since the
+/// previous draw finished, then sleeps for its own deficit, so the
+/// total virtual wait of K workers drawing N tokens telescopes to the
+/// same `(N·K − burst) / rate` a single pipeline would pay (the
+/// `shared_pacer_*` tests pin this). Handing out the lock during the
+/// sleep instead would let every waiter observe the same refill
+/// interval and overfeed the bucket.
+#[derive(Debug, Clone)]
+pub struct SharedPacer {
+    inner: std::sync::Arc<tokio::sync::Mutex<Pacer>>,
+}
+
+impl SharedPacer {
+    /// A shared pacer producing `rate` tokens/second with capacity
+    /// `burst`.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        SharedPacer {
+            inner: std::sync::Arc::new(tokio::sync::Mutex::new(Pacer::new(rate, burst))),
+        }
+    }
+
+    /// Wait for and consume one token.
+    pub async fn acquire(&self) {
+        self.inner.lock().await.acquire().await;
+    }
+
+    /// Wait for and consume `n` tokens in one arithmetic step —
+    /// telescoping-equal to `n` sequential [`acquire`](Self::acquire)
+    /// calls, exactly like [`Pacer::acquire_many`].
+    pub async fn acquire_many(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.inner.lock().await.acquire_many(n).await;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,5 +303,97 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_rate_is_rejected() {
         let _ = TokenBucket::new(0.0, 1.0);
+    }
+
+    /// A shared pacer drained by one task behaves exactly like an owned
+    /// pacer: same telescoped deficit wait, same empty bucket after.
+    #[tokio::test(start_paused = true)]
+    async fn shared_pacer_matches_owned_pacer() {
+        let mut owned = Pacer::new(32.0, 32.0);
+        let start = tokio::time::Instant::now();
+        owned.acquire_many(64).await;
+        let owned_elapsed = tokio::time::Instant::now() - start;
+
+        let shared = SharedPacer::new(32.0, 32.0);
+        let start = tokio::time::Instant::now();
+        shared.acquire_many(64).await;
+        let shared_elapsed = tokio::time::Instant::now() - start;
+        assert_eq!(shared_elapsed, owned_elapsed, "{shared_elapsed:?}");
+        assert!(shared_elapsed >= Duration::from_millis(990));
+    }
+
+    /// The shard/pacer pinning test: K workers drawing concurrently
+    /// from one [`SharedPacer`] consume the same total virtual wait as
+    /// one pipeline drawing the same tokens sequentially — the
+    /// whole-scan rate bound does not multiply with the shard count.
+    #[tokio::test(start_paused = true)]
+    async fn shared_pacer_concurrent_draws_equal_one_pipeline() {
+        // One pipeline: 8 blocks of 64 tokens at 64/s, burst 64.
+        // Telescoped: (512 - 64) / 64 = 7s of virtual wait.
+        let mut single = Pacer::new(64.0, 64.0);
+        let start = tokio::time::Instant::now();
+        for _ in 0..8 {
+            single.acquire_many(64).await;
+        }
+        let sequential = tokio::time::Instant::now() - start;
+        assert!(sequential >= Duration::from_millis(6_990), "{sequential:?}");
+
+        // K = 4 shard workers, 2 blocks each, drawing concurrently.
+        let shared = SharedPacer::new(64.0, 64.0);
+        let start = tokio::time::Instant::now();
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let pacer = shared.clone();
+                tokio::spawn(async move {
+                    for _ in 0..2 {
+                        pacer.acquire_many(64).await;
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.await.expect("worker");
+        }
+        let concurrent = tokio::time::Instant::now() - start;
+        assert_eq!(
+            concurrent, sequential,
+            "K concurrent drawers must pay exactly the single-pipeline wait"
+        );
+
+        // Both are drained: the next token costs a full period.
+        let start = tokio::time::Instant::now();
+        shared.acquire().await;
+        let next = tokio::time::Instant::now() - start;
+        assert!(next >= Duration::from_millis(10), "{next:?}");
+    }
+
+    /// `acquire` on the shared handle serializes with `acquire_many`:
+    /// interleaved single draws never double-credit an interval.
+    #[tokio::test(start_paused = true)]
+    async fn shared_pacer_single_acquires_pace_correctly() {
+        let shared = SharedPacer::new(10.0, 1.0);
+        let start = tokio::time::Instant::now();
+        let a = {
+            let pacer = shared.clone();
+            tokio::spawn(async move {
+                for _ in 0..10 {
+                    pacer.acquire().await;
+                }
+            })
+        };
+        let b = {
+            let pacer = shared.clone();
+            tokio::spawn(async move {
+                for _ in 0..11 {
+                    pacer.acquire().await;
+                }
+            })
+        };
+        a.await.expect("task a");
+        b.await.expect("task b");
+        let elapsed = tokio::time::Instant::now() - start;
+        // 1 burst token + 20 refilled at 10/s = 2s of virtual time.
+        assert!(elapsed >= Duration::from_millis(1_990), "{elapsed:?}");
+        assert!(elapsed <= Duration::from_millis(2_200), "{elapsed:?}");
     }
 }

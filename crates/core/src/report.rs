@@ -75,6 +75,45 @@ pub struct ScanReport {
 }
 
 impl ScanReport {
+    /// Fold another report into this one: counters add, per-port stats
+    /// add field-wise, and `other`'s findings are appended after ours.
+    ///
+    /// This is the whole report reducer of the
+    /// [`shard`](crate::shard) layer: every field except `findings` is
+    /// an order-independent sum, and `findings` is ordered by stage-I
+    /// batch sequence — so absorbing per-shard partial reports in
+    /// ascending batch order reconstructs the single-pipeline report
+    /// byte for byte.
+    pub fn absorb(&mut self, other: ScanReport) {
+        // Destructure so a future field cannot be silently dropped from
+        // the merge.
+        let ScanReport {
+            port_stats,
+            excluded_all_ports_open,
+            addresses_probed,
+            probes_sent,
+            prefilter_discarded,
+            prefilter_silent,
+            prefilter_hits,
+            task_failures,
+            findings,
+        } = other;
+        for (port, stat) in port_stats {
+            let entry = self.port_stats.entry(port).or_default();
+            entry.open += stat.open;
+            entry.http += stat.http;
+            entry.https += stat.https;
+        }
+        self.excluded_all_ports_open += excluded_all_ports_open;
+        self.addresses_probed += addresses_probed;
+        self.probes_sent += probes_sent;
+        self.prefilter_discarded += prefilter_discarded;
+        self.prefilter_silent += prefilter_silent;
+        self.prefilter_hits += prefilter_hits;
+        self.task_failures += task_failures;
+        self.findings.extend(findings);
+    }
+
     /// Hosts running `app` (Table 3, "# Hosts" at simulation scale).
     pub fn hosts_running(&self, app: AppId) -> u64 {
         self.findings.iter().filter(|f| f.app == app).count() as u64
@@ -161,6 +200,70 @@ mod tests {
         assert_eq!(report.total_mavs(), 2);
         assert_eq!(report.vulnerable_findings().count(), 2);
         assert!((report.fingerprint_coverage() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_appends_findings() {
+        let mut a = ScanReport {
+            excluded_all_ports_open: 1,
+            addresses_probed: 10,
+            probes_sent: 120,
+            prefilter_discarded: 2,
+            prefilter_silent: 3,
+            prefilter_hits: 4,
+            task_failures: 0,
+            findings: vec![finding(AppId::Docker, true, true)],
+            ..Default::default()
+        };
+        a.port_stats.insert(
+            80,
+            PortStat {
+                open: 5,
+                http: 4,
+                https: 0,
+            },
+        );
+        let mut b = ScanReport {
+            excluded_all_ports_open: 2,
+            addresses_probed: 20,
+            probes_sent: 240,
+            prefilter_discarded: 1,
+            prefilter_silent: 1,
+            prefilter_hits: 1,
+            task_failures: 1,
+            findings: vec![finding(AppId::Hadoop, false, false)],
+            ..Default::default()
+        };
+        b.port_stats.insert(
+            80,
+            PortStat {
+                open: 2,
+                http: 1,
+                https: 0,
+            },
+        );
+        b.port_stats.insert(
+            443,
+            PortStat {
+                open: 1,
+                http: 0,
+                https: 1,
+            },
+        );
+        a.absorb(b);
+        assert_eq!(a.excluded_all_ports_open, 3);
+        assert_eq!(a.addresses_probed, 30);
+        assert_eq!(a.probes_sent, 360);
+        assert_eq!(a.prefilter_discarded, 3);
+        assert_eq!(a.prefilter_silent, 4);
+        assert_eq!(a.prefilter_hits, 5);
+        assert_eq!(a.task_failures, 1);
+        assert_eq!(a.port_stats[&80].open, 7);
+        assert_eq!(a.port_stats[&80].http, 5);
+        assert_eq!(a.port_stats[&443].https, 1);
+        assert_eq!(a.findings.len(), 2);
+        assert_eq!(a.findings[0].app, AppId::Docker);
+        assert_eq!(a.findings[1].app, AppId::Hadoop);
     }
 
     #[test]

@@ -1,0 +1,987 @@
+//! Sharded scan orchestration with work-stealing.
+//!
+//! A single [`Pipeline`](crate::pipeline::Pipeline) streams the whole
+//! target space through one consumer loop, so `parallelism` only helps
+//! *inside* a batch. This module splits the deterministic batch
+//! sequence (the seeded /24 shuffle chunked by
+//! [`blocks_per_batch`](crate::pipeline::PipelineConfig::blocks_per_batch))
+//! into [`PipelineConfig::shards`](crate::pipeline::PipelineConfig::shards)
+//! contiguous ranges, scans each range with an independent worker task
+//! running the existing streaming stages over its slice, and reduces
+//! the per-worker partial results into one [`ScanReport`] and one
+//! telemetry snapshot — byte-identical to the single-pipeline run at
+//! any shard count.
+//!
+//! # Why the merge is order-independent
+//!
+//! Every piece of scan state is either an **order-free sum** or
+//! **keyed by batch sequence**:
+//!
+//! * All [`ScanReport`] fields except `findings` are counters (or
+//!   per-port counter maps); [`ScanReport::absorb`] adds them, and
+//!   addition commutes.
+//! * `findings` are ordered by stage-I batch sequence, and each batch
+//!   is processed entirely by one worker — so sorting the per-worker
+//!   segments by their starting batch index and appending reconstructs
+//!   the single-run findings order exactly.
+//! * Telemetry snapshots are sums too (counters add, histogram buckets
+//!   add, timers add events and virtual units), so absorbing the
+//!   workers' private staging registries in *any* order yields the
+//!   single-run registry (see `telemetry_determinism` tests).
+//! * Fault injection keys its draws per `(endpoint, lane, attempt
+//!   ordinal)`, never on global execution order, and every endpoint's
+//!   operations happen inside exactly one worker in the same relative
+//!   order as a sequential run — so fault-injected replays shard
+//!   exactly, too.
+//!
+//! Which worker runs which batch is timing-dependent, so nothing about
+//! shard scheduling may enter the telemetry registry. Work-stealing
+//! observability travels out-of-band in [`ShardStats`] instead.
+//!
+//! # Work-stealing
+//!
+//! The planned ranges live on a shared [`WorkQueue`]. A worker drains
+//! one range at a time by advancing its `next` cursor; an idle worker
+//! first takes any not-yet-claimed planned range, then *steals* the
+//! tail half of the largest remainder. Because a range only ever loses
+//! its tail, each (worker, range) episode claims a contiguous run of
+//! batch indices — one [`ShardSegment`] — and the deterministic merge
+//! above applies unchanged no matter how aggressively work moves
+//! between workers.
+//!
+//! # Per-shard checkpoints
+//!
+//! With a checkpoint path configured, worker *k* persists its finished
+//! segments (plus the in-progress one) to `<path>.shard-k` every
+//! [`checkpoint_every`](crate::pipeline::PipelineConfig::checkpoint_every)
+//! batches, atomically (write-temp-then-rename), synchronously between
+//! awaits — an abort can never tear a file. Resume gathers the legacy
+//! base checkpoint (as the segment `[0, batches_done)`) and every
+//! `<path>.shard-*` file, dedupes, consolidates the inherited segments
+//! into `<path>.shard-base` (so a worker overwriting its numbered file
+//! cannot lose prior-generation work), and plans new ranges over the
+//! *complement* — only unfinished work is rescanned. The shard count
+//! is not part of [`ConfigFingerprint`], so a checkpoint taken at
+//! `--shards 4` resumes at `--shards 8` (or 1). A completed sharded
+//! run writes one finished legacy [`ScanCheckpoint`] at the base path
+//! and removes its shard files.
+
+use crate::checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint, CHECKPOINT_FORMAT};
+use crate::pipeline::{BatchProcessor, PipelineConfig, PipelineError};
+use crate::portscan::{Cidr, PortScanner};
+use crate::rate::SharedPacer;
+use crate::report::ScanReport;
+use crate::retry::RetryTransport;
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use nokeys_http::{Client, Transport};
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// On-disk format version of [`ShardCheckpoint`] files.
+pub const SHARD_CHECKPOINT_FORMAT: u32 = 1;
+
+/// One contiguous run of completed batches: the partial report and the
+/// telemetry recorded while processing exactly those batches.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardSegment {
+    /// First batch index covered (inclusive).
+    pub start_batch: u64,
+    /// One past the last batch index covered.
+    pub end_batch: u64,
+    /// Report accumulated over `[start_batch, end_batch)`.
+    pub report: ScanReport,
+    /// Telemetry delta recorded over the same batches.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl ShardSegment {
+    fn len(&self) -> u64 {
+        self.end_batch.saturating_sub(self.start_batch)
+    }
+}
+
+/// Persistent state of one shard worker (or the consolidated inherited
+/// state, at `<path>.shard-base`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardCheckpoint {
+    /// On-disk format version ([`SHARD_CHECKPOINT_FORMAT`]).
+    pub format: u32,
+    /// Fingerprint of the configuration that produced this checkpoint.
+    pub fingerprint: ConfigFingerprint,
+    /// Batch count of the whole scan under that configuration; a
+    /// cross-check that segment indices mean what we think they mean.
+    pub total_batches: u64,
+    /// Completed segments, in the order the worker finished them.
+    pub segments: Vec<ShardSegment>,
+}
+
+impl ShardCheckpoint {
+    /// Load and parse a per-shard checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let bytes =
+            std::fs::read(path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))?;
+        let cp: ShardCheckpoint =
+            serde_json::from_slice(&bytes).map_err(|e| CheckpointError::Corrupt(e.to_string()))?;
+        if cp.format != SHARD_CHECKPOINT_FORMAT {
+            return Err(CheckpointError::FormatVersion {
+                found: cp.format,
+                expected: SHARD_CHECKPOINT_FORMAT,
+            });
+        }
+        Ok(cp)
+    }
+
+    /// Write the checkpoint atomically (serialize to `<path>.tmp`, then
+    /// rename), like [`ScanCheckpoint::save`].
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = serde_json::to_vec(self).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, &bytes).map_err(|e| CheckpointError::Io(format!("{tmp:?}: {e}")))?;
+        std::fs::rename(&tmp, path).map_err(|e| CheckpointError::Io(format!("{path:?}: {e}")))
+    }
+
+    /// Reject the checkpoint unless it was produced under `current`
+    /// over the same batch sequence.
+    pub fn validate(
+        &self,
+        current: &ConfigFingerprint,
+        total_batches: u64,
+    ) -> Result<(), CheckpointError> {
+        if let Some(knob) = self.fingerprint.first_mismatch(current) {
+            return Err(CheckpointError::ConfigMismatch(knob.to_string()));
+        }
+        if self.total_batches != total_batches {
+            return Err(CheckpointError::Corrupt(format!(
+                "shard checkpoint covers a {}-batch scan, this scan has {total_batches}",
+                self.total_batches
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Out-of-band observability of one sharded run.
+///
+/// These numbers are timing-dependent (which worker claimed which batch
+/// depends on scheduling), which is exactly why they are returned here
+/// and **never** recorded into the telemetry registry: the registry
+/// must stay byte-identical across runs.
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Configured worker count.
+    pub shards: usize,
+    /// Range splits performed because an idle worker took the tail of
+    /// a busy worker's remainder.
+    pub steals: u64,
+    /// Batches completed by each worker (indexed by worker id); sums to
+    /// the batch count scanned this run.
+    pub batches_by_worker: Vec<u64>,
+    /// Stage-I probes sent by each worker; sums to the single-pipeline
+    /// probe count on a fresh run.
+    pub probes_by_worker: Vec<u64>,
+}
+
+impl ShardStats {
+    fn idle(shards: usize) -> Self {
+        ShardStats {
+            shards,
+            steals: 0,
+            batches_by_worker: vec![0; shards],
+            probes_by_worker: vec![0; shards],
+        }
+    }
+}
+
+/// `<base>.shard-<worker>` — worker `k`'s checkpoint file.
+fn shard_worker_path(base: &Path, worker: usize) -> PathBuf {
+    extend_path(base, &format!(".shard-{worker}"))
+}
+
+/// `<base>.shard-base` — segments inherited from earlier generations,
+/// consolidated at resume time.
+fn shard_base_path(base: &Path) -> PathBuf {
+    extend_path(base, ".shard-base")
+}
+
+fn extend_path(base: &Path, suffix: &str) -> PathBuf {
+    let mut s = base.as_os_str().to_owned();
+    s.push(suffix);
+    PathBuf::from(s)
+}
+
+/// Every `<base>.shard-*` checkpoint file currently on disk (sorted;
+/// in-flight `.tmp` siblings excluded). Used both to load resumable
+/// shard state and to decide whether [`Pipeline::resume`] must route
+/// through the shard engine even at `shards = 1`.
+///
+/// [`Pipeline::resume`]: crate::pipeline::Pipeline::resume
+pub fn existing_shard_files(base: &Path) -> Vec<PathBuf> {
+    let Some(name) = base.file_name().and_then(|n| n.to_str()) else {
+        return Vec::new();
+    };
+    let prefix = format!("{name}.shard-");
+    let dir = match base.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out: Vec<PathBuf> = entries
+        .flatten()
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix) && !n.ends_with(".tmp"))
+        })
+        .map(|e| e.path())
+        .collect();
+    out.sort();
+    out
+}
+
+/// One planned (or stolen) range of batch indices on the shared queue.
+#[derive(Debug)]
+struct RangeState {
+    /// Next batch to claim.
+    next: u64,
+    /// One past the last claimable batch; only ever *reduced* (by a
+    /// steal), so the batches a range hands out are always contiguous.
+    end: u64,
+    /// Whether a worker has taken ownership of this range.
+    claimed: bool,
+}
+
+/// The shared work-stealing queue: planned ranges plus every range
+/// split off by a steal.
+struct WorkQueue {
+    ranges: Mutex<Vec<RangeState>>,
+    steals: AtomicU64,
+}
+
+impl WorkQueue {
+    fn new(initial: Vec<(u64, u64)>) -> Self {
+        WorkQueue {
+            ranges: Mutex::new(
+                initial
+                    .into_iter()
+                    .map(|(next, end)| RangeState {
+                        next,
+                        end,
+                        claimed: false,
+                    })
+                    .collect(),
+            ),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Take ownership of a non-empty range: first any not-yet-claimed
+    /// planned range, else split the tail half off the largest
+    /// remainder (a steal). `None` means all work is claimed and will
+    /// be finished by the workers already running.
+    fn take(&self) -> Option<usize> {
+        let mut ranges = self.ranges.lock().expect("work queue lock never poisoned");
+        if let Some(rid) = ranges.iter().position(|r| !r.claimed && r.next < r.end) {
+            ranges[rid].claimed = true;
+            return Some(rid);
+        }
+        let (victim, remaining) = ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (i, r.end.saturating_sub(r.next)))
+            .max_by_key(|&(_, remaining)| remaining)?;
+        if remaining == 0 {
+            return None;
+        }
+        // The thief takes the tail half, rounded up; stealing may leave
+        // the victim's range empty, but never touches the batch the
+        // victim is currently running (claiming already advanced `next`
+        // past it), so both segments stay contiguous.
+        let mid = ranges[victim].next + remaining / 2;
+        let end = ranges[victim].end;
+        ranges[victim].end = mid;
+        ranges.push(RangeState {
+            next: mid,
+            end,
+            claimed: true,
+        });
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        Some(ranges.len() - 1)
+    }
+
+    /// Claim the next batch of range `rid`. Only the range's owner
+    /// calls this, so each range drains as one contiguous run.
+    fn claim(&self, rid: usize) -> Option<u64> {
+        let mut ranges = self.ranges.lock().expect("work queue lock never poisoned");
+        let r = &mut ranges[rid];
+        if r.next < r.end {
+            let batch = r.next;
+            r.next += 1;
+            Some(batch)
+        } else {
+            None
+        }
+    }
+}
+
+/// One worker's private pipeline: a staged scanner, retry transport and
+/// batch processor all recording into a worker-private telemetry
+/// registry, sweeping slices of the shared shuffled block list.
+struct SegmentRunner<T: Transport + Clone + 'static> {
+    staging: Telemetry,
+    scanner: PortScanner,
+    processor: BatchProcessor,
+    client: Client<RetryTransport<T>>,
+    blocks: Arc<Vec<Cidr>>,
+    blocks_per_batch: usize,
+    /// Shared across all workers so `--max-probes-per-sec` stays a
+    /// whole-scan bound, not a per-shard one.
+    pacer: Option<SharedPacer>,
+}
+
+impl<T: Transport + Clone + 'static> SegmentRunner<T> {
+    fn new(
+        config: &PipelineConfig,
+        client: &Client<T>,
+        blocks: Arc<Vec<Cidr>>,
+        pacer: Option<SharedPacer>,
+    ) -> Self {
+        let staging = Telemetry::new();
+        let scanner = PortScanner::with_telemetry(config.portscan.clone(), &staging);
+        let processor = BatchProcessor::new(config, &staging);
+        let client = client.with_transport(RetryTransport::new(
+            client.transport().clone(),
+            config.retry.clone(),
+            &staging,
+        ));
+        SegmentRunner {
+            staging,
+            scanner,
+            processor,
+            client,
+            blocks,
+            blocks_per_batch: config.blocks_per_batch,
+            pacer,
+        }
+    }
+
+    /// Sweep and process batch `seq`, folding its results into
+    /// `report`. Returns the stage-I probes sent.
+    ///
+    /// Replicates the streaming sweep's delivery rule exactly: a full
+    /// batch is always processed (even when empty), while the trailing
+    /// short batch is processed only if it swept something — matching
+    /// `scan_stream`, which never emits an all-skipped tail (its sweep
+    /// telemetry still lands in the segment delta, like the legacy
+    /// epilogue message).
+    async fn run_batch(&self, seq: u64, report: &mut ScanReport) -> u64 {
+        let lo = (seq as usize) * self.blocks_per_batch;
+        let hi = self.blocks.len().min(lo + self.blocks_per_batch);
+        let batch = self
+            .scanner
+            .scan_blocks(self.client.transport(), &self.blocks[lo..hi], &self.pacer)
+            .await;
+        let probes = batch.probes_sent;
+        let short_tail = hi - lo < self.blocks_per_batch;
+        if short_tail && batch.open.is_empty() && batch.probes_sent == 0 {
+            return probes;
+        }
+        BatchProcessor::accumulate_sweep_counts(report, &batch);
+        self.processor
+            .process_batch(&self.client, batch, report)
+            .await;
+        probes
+    }
+}
+
+/// What one worker produced: its finished segments plus scheduling
+/// counters for [`ShardStats`].
+struct WorkerReport {
+    segments: Vec<ShardSegment>,
+    batches_done: u64,
+    probes_sent: u64,
+}
+
+/// Where (and how often) one worker persists its segments.
+struct WorkerCheckpoint {
+    path: PathBuf,
+    every: u64,
+    fingerprint: ConfigFingerprint,
+    total_batches: u64,
+}
+
+impl WorkerCheckpoint {
+    fn write(&self, segments: Vec<ShardSegment>) -> Result<(), PipelineError> {
+        ShardCheckpoint {
+            format: SHARD_CHECKPOINT_FORMAT,
+            fingerprint: self.fingerprint.clone(),
+            total_batches: self.total_batches,
+            segments,
+        }
+        .save(&self.path)
+        .map_err(PipelineError::from)
+    }
+}
+
+/// One worker: repeatedly take a range from the queue, drain it into a
+/// segment, and checkpoint along the way.
+async fn drain_queue<T>(
+    runner: SegmentRunner<T>,
+    queue: Arc<WorkQueue>,
+    checkpoint: Option<WorkerCheckpoint>,
+) -> Result<WorkerReport, PipelineError>
+where
+    T: Transport + Clone + 'static,
+{
+    let mut out = WorkerReport {
+        segments: Vec::new(),
+        batches_done: 0,
+        probes_sent: 0,
+    };
+    let mut since_start = 0u64;
+    while let Some(rid) = queue.take() {
+        let mut seg_report = ScanReport::default();
+        let seg_base = runner.staging.snapshot();
+        let mut seg_range: Option<(u64, u64)> = None;
+        while let Some(seq) = queue.claim(rid) {
+            out.probes_sent += runner.run_batch(seq, &mut seg_report).await;
+            out.batches_done += 1;
+            since_start += 1;
+            seg_range = Some((seg_range.map_or(seq, |(start, _)| start), seq + 1));
+            if let Some(ck) = &checkpoint {
+                if since_start % ck.every == 0 {
+                    let (start_batch, end_batch) =
+                        seg_range.expect("segment has at least one batch");
+                    let mut segments = out.segments.clone();
+                    segments.push(ShardSegment {
+                        start_batch,
+                        end_batch,
+                        report: seg_report.clone(),
+                        telemetry: runner.staging.snapshot().delta_since(&seg_base),
+                    });
+                    // Synchronous atomic write between awaits: an abort
+                    // can never leave a torn shard checkpoint behind.
+                    ck.write(segments)?;
+                }
+            }
+        }
+        if let Some((start_batch, end_batch)) = seg_range {
+            out.segments.push(ShardSegment {
+                start_batch,
+                end_batch,
+                report: std::mem::take(&mut seg_report),
+                telemetry: runner.staging.snapshot().delta_since(&seg_base),
+            });
+        }
+    }
+    // Final write so a kill after this worker finished (but before the
+    // whole run does) loses none of its tail segments.
+    if let Some(ck) = &checkpoint {
+        if !out.segments.is_empty() {
+            ck.write(out.segments.clone())?;
+        }
+    }
+    Ok(out)
+}
+
+/// Sort inherited segments, drop exact/contained duplicates (the same
+/// deterministic work persisted in both a numbered file and the
+/// consolidated base), and reject partial overlaps as corruption.
+fn consolidate(mut segments: Vec<ShardSegment>) -> Result<Vec<ShardSegment>, PipelineError> {
+    segments.retain(|s| s.len() > 0);
+    segments.sort_by_key(|s| (s.start_batch, std::cmp::Reverse(s.end_batch)));
+    let mut out: Vec<ShardSegment> = Vec::new();
+    for s in segments {
+        if let Some(last) = out.last() {
+            if s.end_batch <= last.end_batch {
+                // Fully contained in work we already have; identical by
+                // determinism, so keep the first copy.
+                continue;
+            }
+            if s.start_batch < last.end_batch {
+                return Err(PipelineError::Checkpoint(CheckpointError::Corrupt(
+                    format!(
+                        "shard segments [{}, {}) and [{}, {}) partially overlap",
+                        last.start_batch, last.end_batch, s.start_batch, s.end_batch
+                    ),
+                )));
+            }
+        }
+        out.push(s);
+    }
+    Ok(out)
+}
+
+/// The batch ranges of `[0, total_batches)` not covered by `covered`
+/// (which must be sorted and disjoint — [`consolidate`]'s output).
+fn complement(covered: &[ShardSegment], total_batches: u64) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut cursor = 0u64;
+    for s in covered {
+        if s.start_batch > cursor {
+            out.push((cursor, s.start_batch));
+        }
+        cursor = cursor.max(s.end_batch);
+    }
+    if cursor < total_batches {
+        out.push((cursor, total_batches));
+    }
+    out
+}
+
+/// Split the remaining ranges into up to `shards` planned queue ranges
+/// of near-equal batch count. A quota that straddles a gap in
+/// `remaining` yields two queue entries; the queue hands spare entries
+/// to whichever worker frees up first, so balance is best-effort and
+/// work-stealing evens out the rest.
+fn plan_initial_ranges(remaining: &[(u64, u64)], shards: u64) -> Vec<(u64, u64)> {
+    let total: u64 = remaining.iter().map(|(s, e)| e - s).sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, total);
+    let base = total / shards;
+    let extra = total % shards;
+    let mut out = Vec::new();
+    let mut filled = 0u64;
+    let mut quota = base + u64::from(extra > 0);
+    for &(start, end) in remaining {
+        let mut s = start;
+        while s < end {
+            let take = (end - s).min(quota);
+            out.push((s, s + take));
+            s += take;
+            quota -= take;
+            if quota == 0 {
+                filled += 1;
+                quota = if filled < shards {
+                    base + u64::from(filled < extra)
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+    }
+    out
+}
+
+/// Scan one contiguous batch range with a fresh worker over a private
+/// registry, exactly as a shard worker would, returning its
+/// [`ShardSegment`]. Public so tests and benches can build partials to
+/// feed [`merge_segments`] in arbitrary orders.
+pub async fn scan_segment<T>(
+    config: &PipelineConfig,
+    client: &Client<T>,
+    start_batch: u64,
+    end_batch: u64,
+) -> ShardSegment
+where
+    T: Transport + Clone + 'static,
+{
+    let planner = PortScanner::with_telemetry(config.portscan.clone(), &Telemetry::new());
+    let blocks = Arc::new(planner.shuffled_blocks());
+    let runner = SegmentRunner::new(config, client, blocks, planner.pacer());
+    let mut report = ScanReport::default();
+    for seq in start_batch..end_batch {
+        runner.run_batch(seq, &mut report).await;
+    }
+    ShardSegment {
+        start_batch,
+        end_batch,
+        report,
+        telemetry: runner.staging.snapshot(),
+    }
+}
+
+/// The reducer: sort segments by starting batch, verify they are
+/// contiguous, then absorb every partial report and telemetry snapshot
+/// in address order. Input order is irrelevant — that is the point.
+pub fn merge_segments(
+    telemetry: &Telemetry,
+    mut segments: Vec<ShardSegment>,
+) -> Result<ScanReport, PipelineError> {
+    segments.sort_by_key(|s| s.start_batch);
+    let mut expect = segments.first().map_or(0, |s| s.start_batch);
+    for s in &segments {
+        if s.start_batch != expect {
+            return Err(PipelineError::SweepFailed(format!(
+                "shard merge found a coverage gap: expected batch {expect}, got {}",
+                s.start_batch
+            )));
+        }
+        expect = s.end_batch;
+    }
+    let mut report = ScanReport::default();
+    for s in segments {
+        telemetry.absorb(&s.telemetry);
+        report.absorb(s.report);
+    }
+    Ok(report)
+}
+
+/// The shard engine behind [`Pipeline::run`] (`shards > 1`),
+/// [`Pipeline::run_with_shard_stats`] and [`Pipeline::resume`].
+///
+/// `path` is the *base* checkpoint path (worker files hang off it);
+/// `resume` selects whether existing state at that path is loaded or
+/// cleared.
+///
+/// [`Pipeline::run`]: crate::pipeline::Pipeline::run
+/// [`Pipeline::run_with_shard_stats`]: crate::pipeline::Pipeline::run_with_shard_stats
+/// [`Pipeline::resume`]: crate::pipeline::Pipeline::resume
+pub(crate) async fn run_sharded<T>(
+    config: &PipelineConfig,
+    telemetry: &Telemetry,
+    client: &Client<T>,
+    path: Option<&Path>,
+    resume: bool,
+) -> Result<(ScanReport, ShardStats), PipelineError>
+where
+    T: Transport + Clone + 'static,
+{
+    assert!(config.blocks_per_batch > 0, "batch size must be positive");
+    let shards = config.shards.max(1);
+    let fingerprint = ConfigFingerprint::of(config);
+    // Throwaway registry: this scanner only computes the shuffle and
+    // the shared pacer. Workers sweep with their own staged scanners.
+    let planner = PortScanner::with_telemetry(config.portscan.clone(), &Telemetry::new());
+    let blocks = Arc::new(planner.shuffled_blocks());
+    let pacer = planner.pacer();
+    let total_batches = (blocks.len().div_euclid(config.blocks_per_batch)
+        + usize::from(blocks.len() % config.blocks_per_batch != 0)) as u64;
+
+    let mut inherited: Vec<ShardSegment> = Vec::new();
+    if resume {
+        let path = path.expect("resume requires a checkpoint path");
+        let shard_files = existing_shard_files(path);
+        let mut have_state = false;
+        if path.exists() {
+            let cp = ScanCheckpoint::load(path)?;
+            cp.validate(&fingerprint)?;
+            if cp.finished {
+                // Warm resume: the stored prefix is the whole run.
+                telemetry.absorb(&cp.telemetry);
+                for f in &shard_files {
+                    let _ = std::fs::remove_file(f);
+                }
+                return Ok((cp.report, ShardStats::idle(shards)));
+            }
+            if cp.batches_done > 0 {
+                inherited.push(ShardSegment {
+                    start_batch: 0,
+                    end_batch: cp.batches_done,
+                    report: cp.report,
+                    telemetry: cp.telemetry,
+                });
+            }
+            have_state = true;
+        }
+        for f in &shard_files {
+            let cp = ShardCheckpoint::load(f)?;
+            cp.validate(&fingerprint, total_batches)?;
+            inherited.extend(cp.segments);
+            have_state = true;
+        }
+        if !have_state {
+            return Err(PipelineError::Checkpoint(CheckpointError::Io(format!(
+                "{path:?}: no checkpoint or shard files to resume from"
+            ))));
+        }
+        inherited = consolidate(inherited)?;
+        // Persist the consolidated inheritance *before* any new worker
+        // overwrites its numbered file, so a second kill cannot lose
+        // prior-generation segments.
+        if !inherited.is_empty() {
+            ShardCheckpoint {
+                format: SHARD_CHECKPOINT_FORMAT,
+                fingerprint: fingerprint.clone(),
+                total_batches,
+                segments: inherited.clone(),
+            }
+            .save(&shard_base_path(path))?;
+        }
+    } else if let Some(path) = path {
+        // A fresh checkpointed run starts from scratch: stale artifacts
+        // of earlier runs at this path must not bleed into a resume.
+        let _ = std::fs::remove_file(path);
+        for f in existing_shard_files(path) {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+
+    let remaining = complement(&inherited, total_batches);
+    let queue = Arc::new(WorkQueue::new(plan_initial_ranges(
+        &remaining,
+        shards as u64,
+    )));
+    // Workers live in a JoinSet owned by this future: aborting the
+    // caller aborts every worker with it, so no orphan keeps sweeping
+    // (or writing checkpoint files) after the run is gone.
+    let mut join_set: tokio::task::JoinSet<(usize, Result<WorkerReport, PipelineError>)> =
+        tokio::task::JoinSet::new();
+    for worker in 0..shards {
+        let runner = SegmentRunner::new(config, client, Arc::clone(&blocks), pacer.clone());
+        let checkpoint = path.map(|p| WorkerCheckpoint {
+            path: shard_worker_path(p, worker),
+            every: config.checkpoint_every.max(1),
+            fingerprint: fingerprint.clone(),
+            total_batches,
+        });
+        let queue = Arc::clone(&queue);
+        join_set.spawn(async move { (worker, drain_queue(runner, queue, checkpoint).await) });
+    }
+    let mut outputs: Vec<Option<WorkerReport>> = (0..shards).map(|_| None).collect();
+    while let Some(joined) = join_set.join_next().await {
+        let (worker, result) = joined.map_err(|e| PipelineError::SweepFailed(e.to_string()))?;
+        outputs[worker] = Some(result?);
+    }
+
+    let mut stats = ShardStats {
+        shards,
+        steals: queue.steals.load(Ordering::Relaxed),
+        batches_by_worker: Vec::with_capacity(shards),
+        probes_by_worker: Vec::with_capacity(shards),
+    };
+    let mut segments = inherited;
+    for output in outputs {
+        let output = output.expect("every worker index joins exactly once");
+        stats.batches_by_worker.push(output.batches_done);
+        stats.probes_by_worker.push(output.probes_sent);
+        segments.extend(output.segments);
+    }
+    segments.sort_by_key(|s| s.start_batch);
+    let covered_from = segments.first().map_or(0, |s| s.start_batch);
+    let covered_to = segments.last().map_or(0, |s| s.end_batch);
+    if covered_from != 0 || covered_to != total_batches {
+        return Err(PipelineError::SweepFailed(format!(
+            "shard merge covers batches [{covered_from}, {covered_to}) of [0, {total_batches})"
+        )));
+    }
+    let report = merge_segments(telemetry, segments)?;
+
+    if let Some(path) = path {
+        // One finished legacy checkpoint replaces the shard files, so a
+        // later resume (sharded or not) warm-starts from the base path.
+        ScanCheckpoint {
+            format: CHECKPOINT_FORMAT,
+            fingerprint,
+            batches_done: total_batches,
+            finished: true,
+            report: report.clone(),
+            telemetry: telemetry.snapshot(),
+        }
+        .save(path)?;
+        for f in existing_shard_files(path) {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment(start_batch: u64, end_batch: u64) -> ShardSegment {
+        ShardSegment {
+            start_batch,
+            end_batch,
+            report: ScanReport::default(),
+            telemetry: Telemetry::new().snapshot(),
+        }
+    }
+
+    #[test]
+    fn consolidate_sorts_and_drops_contained_duplicates() {
+        let merged = consolidate(vec![
+            segment(8, 12),
+            segment(0, 8),
+            segment(0, 8),   // exact duplicate (numbered file + base)
+            segment(2, 6),   // contained in [0, 8)
+            segment(12, 12), // empty — dropped
+        ])
+        .expect("disjoint segments consolidate");
+        let ranges: Vec<(u64, u64)> = merged
+            .iter()
+            .map(|s| (s.start_batch, s.end_batch))
+            .collect();
+        assert_eq!(ranges, vec![(0, 8), (8, 12)]);
+    }
+
+    #[test]
+    fn consolidate_rejects_partial_overlap() {
+        let err = consolidate(vec![segment(0, 8), segment(4, 12)]).unwrap_err();
+        assert!(
+            matches!(err, PipelineError::Checkpoint(CheckpointError::Corrupt(_))),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn complement_fills_gaps_and_tail() {
+        let covered = vec![segment(2, 4), segment(8, 10)];
+        assert_eq!(complement(&covered, 12), vec![(0, 2), (4, 8), (10, 12)]);
+        assert_eq!(complement(&[], 3), vec![(0, 3)]);
+        assert_eq!(complement(&[segment(0, 3)], 3), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn plan_splits_evenly_and_respects_fragments() {
+        // 32 batches over 4 shards: four ranges of 8.
+        assert_eq!(
+            plan_initial_ranges(&[(0, 32)], 4),
+            vec![(0, 8), (8, 16), (16, 24), (24, 32)]
+        );
+        // 10 batches over 4 shards: 3, 3, 2, 2.
+        assert_eq!(
+            plan_initial_ranges(&[(0, 10)], 4),
+            vec![(0, 3), (3, 6), (6, 8), (8, 10)]
+        );
+        // Fewer batches than shards: one range each, never empty.
+        assert_eq!(plan_initial_ranges(&[(0, 2)], 4), vec![(0, 1), (1, 2)]);
+        // A quota straddling a fragment gap yields two queue entries.
+        assert_eq!(
+            plan_initial_ranges(&[(0, 2), (6, 8)], 2),
+            vec![(0, 2), (6, 8)]
+        );
+        assert_eq!(
+            plan_initial_ranges(&[(0, 3), (6, 7)], 2),
+            vec![(0, 2), (2, 3), (6, 7)]
+        );
+        assert_eq!(plan_initial_ranges(&[], 4), Vec::<(u64, u64)>::new());
+    }
+
+    #[test]
+    fn work_queue_hands_out_planned_ranges_then_steals() {
+        let queue = WorkQueue::new(vec![(0, 8), (8, 16)]);
+        let a = queue.take().expect("first planned range");
+        let b = queue.take().expect("second planned range");
+        assert_eq!(queue.claim(a), Some(0));
+        assert_eq!(queue.claim(b), Some(8));
+        assert_eq!(queue.steals.load(Ordering::Relaxed), 0);
+        // Third taker must steal: range a has [1, 8) remaining (7), so
+        // the thief gets the tail [4, 8).
+        let c = queue.take().expect("steals from the largest remainder");
+        assert_eq!(queue.steals.load(Ordering::Relaxed), 1);
+        assert_eq!(queue.claim(c), Some(4));
+        // The victim keeps claiming its shrunken head.
+        assert_eq!(queue.claim(a), Some(1));
+        // Drain everything; every batch is claimed exactly once.
+        let mut seen = vec![0u32; 16];
+        for &(rid, pre) in &[(a, vec![0u64, 1]), (b, vec![8]), (c, vec![4])] {
+            for batch in pre {
+                seen[batch as usize] += 1;
+            }
+            while let Some(batch) = queue.claim(rid) {
+                seen[batch as usize] += 1;
+            }
+        }
+        // Steal the dregs until nothing is left.
+        while let Some(rid) = queue.take() {
+            while let Some(batch) = queue.claim(rid) {
+                seen[batch as usize] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&n| n == 1), "coverage: {seen:?}");
+    }
+
+    #[test]
+    fn work_queue_can_steal_a_single_remaining_batch() {
+        let queue = WorkQueue::new(vec![(0, 2)]);
+        let a = queue.take().expect("planned range");
+        assert_eq!(queue.claim(a), Some(0));
+        // Remaining = 1; the thief takes it all, leaving the victim
+        // empty (but its in-flight batch 0 untouched).
+        let b = queue.take().expect("steals the last batch");
+        assert_eq!(queue.claim(b), Some(1));
+        assert_eq!(queue.claim(a), None);
+        assert_eq!(queue.claim(b), None);
+        assert!(queue.take().is_none());
+    }
+
+    #[test]
+    fn shard_paths_and_discovery() {
+        let dir = std::env::temp_dir().join(format!("nokeys-shard-disc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("scan.json");
+        assert_eq!(
+            shard_worker_path(&base, 3).file_name().unwrap(),
+            "scan.json.shard-3"
+        );
+        assert_eq!(
+            shard_base_path(&base).file_name().unwrap(),
+            "scan.json.shard-base"
+        );
+        std::fs::write(shard_worker_path(&base, 0), b"x").unwrap();
+        std::fs::write(shard_worker_path(&base, 1), b"x").unwrap();
+        std::fs::write(shard_base_path(&base), b"x").unwrap();
+        // Excluded: the base checkpoint itself, unrelated files, and
+        // in-flight temp files.
+        std::fs::write(&base, b"x").unwrap();
+        std::fs::write(dir.join("other.json.shard-0"), b"x").unwrap();
+        std::fs::write(extend_path(&shard_worker_path(&base, 2), ".tmp"), b"x").unwrap();
+        let found = existing_shard_files(&base);
+        let names: Vec<_> = found
+            .iter()
+            .map(|p| p.file_name().unwrap().to_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "scan.json.shard-0",
+                "scan.json.shard-1",
+                "scan.json.shard-base"
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_checkpoint_round_trip_and_validation() {
+        let config = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()]).build();
+        let fingerprint = ConfigFingerprint::of(&config);
+        let cp = ShardCheckpoint {
+            format: SHARD_CHECKPOINT_FORMAT,
+            fingerprint: fingerprint.clone(),
+            total_batches: 32,
+            segments: vec![segment(4, 9)],
+        };
+        let path = std::env::temp_dir().join(format!(
+            "nokeys-shard-roundtrip-{}.json.shard-0",
+            std::process::id()
+        ));
+        cp.save(&path).expect("saves");
+        let loaded = ShardCheckpoint::load(&path).expect("loads");
+        assert_eq!(loaded.segments.len(), 1);
+        assert_eq!(loaded.segments[0].start_batch, 4);
+        assert!(loaded.validate(&fingerprint, 32).is_ok());
+        // Wrong scan length is corruption, not a config mismatch.
+        assert!(matches!(
+            loaded.validate(&fingerprint, 64).unwrap_err(),
+            CheckpointError::Corrupt(_)
+        ));
+        let other = PipelineConfig::builder(vec!["20.0.0.0/16".parse().unwrap()])
+            .seed(999)
+            .build();
+        assert!(matches!(
+            loaded
+                .validate(&ConfigFingerprint::of(&other), 32)
+                .unwrap_err(),
+            CheckpointError::ConfigMismatch(_)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn merge_rejects_gaps() {
+        let telemetry = Telemetry::new();
+        let err = merge_segments(&telemetry, vec![segment(0, 4), segment(6, 8)]).unwrap_err();
+        assert!(matches!(err, PipelineError::SweepFailed(_)), "{err}");
+        assert!(merge_segments(&telemetry, vec![segment(4, 6), segment(0, 4)]).is_ok());
+    }
+}

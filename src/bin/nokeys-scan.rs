@@ -3,10 +3,17 @@
 //!
 //! ```text
 //! nokeys-scan --target 192.0.2.0/28 [--ports 80,443,8080] [--rate 200]
-//!             [--parallelism 16] [--json out.json] [--metrics-out m.json]
-//!             [--include-reserved] [--retries N] [--fault-rate P]
-//!             [--checkpoint FILE] [--resume] [--checkpoint-every N]
+//!             [--parallelism 16] [--shards N] [--json out.json]
+//!             [--metrics-out m.json] [--include-reserved] [--retries N]
+//!             [--fault-rate P] [--checkpoint FILE] [--resume]
+//!             [--checkpoint-every N]
 //! ```
+//!
+//! `--shards N` splits the batch sequence across N worker tasks with
+//! work-stealing (default: the number of CPUs); the report is
+//! byte-identical at any N, and `--rate` stays a whole-scan bound
+//! shared by all shards. Distinct from `--shard K/N`, which restricts a
+//! *fleet member* to its K-th slice of the sweep.
 //!
 //! `--checkpoint FILE` persists a resumable checkpoint every
 //! `--checkpoint-every N` batches (default 8); `--resume` continues an
@@ -35,6 +42,7 @@ struct Args {
     targets: Vec<nokeys::scanner::portscan::Cidr>,
     ports: Vec<u16>,
     parallelism: usize,
+    shards: usize,
     rate: Option<f64>,
     shard: Option<(usize, usize)>,
     include_reserved: bool,
@@ -51,7 +59,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
          \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
-         \x20                [--shard K/N] [--retries N] [--fault-rate P]\n\
+         \x20                [--shards N] [--shard K/N] [--retries N] [--fault-rate P]\n\
          \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]\n\
          \x20                [--checkpoint FILE] [--resume] [--checkpoint-every N]"
     );
@@ -63,6 +71,9 @@ fn parse_args() -> Args {
         targets: Vec::new(),
         ports: nokeys::apps::SCAN_PORTS.to_vec(),
         parallelism: 16,
+        shards: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         rate: None,
         shard: None,
         include_reserved: false,
@@ -118,6 +129,14 @@ fn parse_args() -> Args {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .filter(|p| *p > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                args.shards = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
                     .unwrap_or_else(|| usage());
             }
             "--shard" => {
@@ -248,6 +267,9 @@ async fn main() {
         // --parallelism bounds both the stage-I sweep above and the
         // in-flight stage-II probes / stage-III verifications below.
         .parallelism(args.parallelism)
+        // Shard workers share one pacer, so --rate bounds the whole
+        // scan no matter how many shards draw from it.
+        .shards(args.shards)
         .retry_policy(retry)
         .telemetry(telemetry.clone());
     if let Some(path) = &args.checkpoint {

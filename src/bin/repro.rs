@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <id>... [--seed N] [--quick] [--out DIR] [--metrics-out FILE]
-//!               [--fault-rate P] [--retries N]
+//!               [--fault-rate P] [--retries N] [--shards N]
 //!               [--checkpoint FILE] [--resume] [--checkpoint-every N]
 //! repro all [--seed N] [--quick]
 //! repro list
@@ -20,6 +20,11 @@
 //! the per-operation transport attempt budget (default 3; 1 disables
 //! retrying).
 //!
+//! `--shards N` splits the scan's batch sequence across N worker tasks
+//! with work-stealing (default: the number of CPUs). Like parallelism
+//! and fault injection, sharding never changes the output: every table
+//! and figure is byte-identical at any N.
+//!
 //! `--checkpoint FILE` makes the scan crash-safe: a resumable checkpoint
 //! is written to `FILE` every `--checkpoint-every N` batches (default
 //! 8). With `--resume`, an existing checkpoint at `FILE` is continued
@@ -31,7 +36,7 @@ use nokeys::repro::{CheckpointOptions, Repro, Scale};
 fn usage() -> ! {
     eprintln!(
         "usage: repro <id>...|all|list [--seed N] [--quick] [--out DIR] [--metrics-out FILE]\n\
-         \x20      [--fault-rate P] [--retries N]\n\
+         \x20      [--fault-rate P] [--retries N] [--shards N]\n\
          \x20      [--checkpoint FILE] [--resume] [--checkpoint-every N]"
     );
     eprintln!("experiment ids: {}", Repro::all_ids().join(", "));
@@ -51,6 +56,9 @@ async fn main() {
     let mut metrics_out: Option<String> = None;
     let mut fault_rate: f64 = 0.0;
     let mut retries: u32 = 3;
+    let mut shards: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut checkpoint: Option<std::path::PathBuf> = None;
     let mut checkpoint_every: u64 = 8;
     let mut resume = false;
@@ -85,6 +93,14 @@ async fn main() {
                 retries = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shards" => {
+                i += 1;
+                shards = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
                     .unwrap_or_else(|| usage());
             }
             "--out" => {
@@ -125,7 +141,8 @@ async fn main() {
 
     let mut harness = Repro::new(seed, scale)
         .with_fault_rate(fault_rate)
-        .with_retries(retries);
+        .with_retries(retries)
+        .with_shards(shards);
     if let Some(path) = checkpoint {
         harness = harness.with_checkpoint(CheckpointOptions {
             path,

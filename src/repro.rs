@@ -43,6 +43,7 @@ pub struct Repro {
     telemetry: Telemetry,
     fault_rate: f64,
     retries: u32,
+    shards: usize,
     checkpoint: Option<CheckpointOptions>,
     scan: Option<(SimTransport, ScanReport)>,
     longevity: Option<LongevityStudy>,
@@ -63,6 +64,7 @@ impl Repro {
             telemetry: Telemetry::new(),
             fault_rate: 0.0,
             retries: 3,
+            shards: 1,
             checkpoint: None,
             scan: None,
             longevity: None,
@@ -83,6 +85,14 @@ impl Repro {
     /// Per-operation transport attempt budget (1 disables retrying).
     pub fn with_retries(mut self, attempts: u32) -> Self {
         self.retries = attempts.max(1);
+        self
+    }
+
+    /// Split the scan across this many shard workers with
+    /// work-stealing. Like parallelism and fault injection, sharding
+    /// never changes the report: it is byte-identical at any count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -125,6 +135,7 @@ impl Repro {
             // report byte-identical to the sequential one.
             let mut builder = PipelineConfig::builder(vec![self.universe_config.space])
                 .parallelism(8)
+                .shards(self.shards)
                 .retries(self.retries)
                 .telemetry(self.telemetry.clone());
             if let Some(checkpoint) = &self.checkpoint {

@@ -1,0 +1,433 @@
+//! The sharded scan orchestrator: splitting the batch sequence across
+//! K worker tasks with work-stealing must be invisible in the output —
+//! the `ScanReport` and telemetry snapshot are byte-identical to the
+//! single-pipeline run at any K, any parallelism, faults on or off,
+//! and across a kill/resume boundary that *changes* K (the shard count
+//! is deliberately not part of the checkpoint's config fingerprint).
+//!
+//! The reducer itself is exercised separately: segments scanned
+//! independently and merged in random permutations (proptest) must
+//! reconstruct the baseline bytes, and a deliberately stalled shard
+//! must have the tail of its range completed by thieves without
+//! changing a single byte.
+
+use nokeys::http::{BlockSweepResult, Client, Endpoint, ProbeOutcome, Scheme, Transport};
+use nokeys::netsim::{Cidr, KillSwitch, KillableTransport, SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::shard::{existing_shard_files, merge_segments, scan_segment};
+use nokeys::scanner::{
+    Pipeline, PipelineConfig, PortScanner, ScanReport, Telemetry, TelemetrySnapshot,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+
+fn checkpoint_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nokeys-shard-{tag}-{}.json", std::process::id()))
+}
+
+fn config(
+    space: Cidr,
+    parallelism: usize,
+    shards: usize,
+    blocks_per_batch: usize,
+    telemetry: &Telemetry,
+    checkpoint: Option<&PathBuf>,
+) -> PipelineConfig {
+    let mut builder = PipelineConfig::builder(vec![space])
+        .parallelism(parallelism)
+        .shards(shards)
+        .blocks_per_batch(blocks_per_batch)
+        .retries(3)
+        .telemetry(telemetry.clone());
+    if let Some(path) = checkpoint {
+        builder = builder.checkpoint_path(path.clone()).checkpoint_every(2);
+    }
+    builder.build()
+}
+
+fn transport(universe: &Arc<Universe>, fault_rate: f64) -> SimTransport {
+    let t = SimTransport::new(Arc::clone(universe));
+    if fault_rate > 0.0 {
+        t.with_fault_injection(fault_rate)
+    } else {
+        t
+    }
+}
+
+/// One uninterrupted run at the given shard count.
+async fn run_once(
+    universe: &Arc<Universe>,
+    space: Cidr,
+    parallelism: usize,
+    shards: usize,
+    blocks_per_batch: usize,
+    fault_rate: f64,
+) -> (ScanReport, TelemetrySnapshot) {
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(
+        space,
+        parallelism,
+        shards,
+        blocks_per_batch,
+        &telemetry,
+        None,
+    ));
+    let client = Client::new(transport(universe, fault_rate));
+    let report = pipeline.run(&client).await.expect("pipeline failed");
+    (report, telemetry.snapshot())
+}
+
+fn report_json(report: &ScanReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// The tentpole guarantee: K, parallelism and fault injection are all
+/// invisible in the output bytes.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn sharded_run_is_byte_identical_at_any_shard_count() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    for fault_rate in [0.0, 0.05] {
+        // K = 1 takes the legacy single-pipeline path — the reference.
+        let (baseline, baseline_snap) =
+            run_once(&universe, universe_config.space, 8, 1, 16, fault_rate).await;
+        for shards in [2usize, 4, 8] {
+            for parallelism in [1usize, 8] {
+                let (report, snap) = run_once(
+                    &universe,
+                    universe_config.space,
+                    parallelism,
+                    shards,
+                    16,
+                    fault_rate,
+                )
+                .await;
+                assert_eq!(
+                    report_json(&baseline),
+                    report_json(&report),
+                    "report diverged (K={shards}, p{parallelism}, faults {fault_rate})"
+                );
+                assert_eq!(
+                    baseline_snap.to_json(),
+                    snap.to_json(),
+                    "telemetry diverged (K={shards}, p{parallelism}, faults {fault_rate})"
+                );
+            }
+        }
+    }
+}
+
+/// Stage-I probe work is partitioned exactly: per-worker probe counts
+/// sum to the single-pipeline probe count, and per-worker batch counts
+/// sum to the batch sequence length — nothing probed twice, nothing
+/// skipped.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn shard_probe_work_partitions_exactly() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, _) = run_once(&universe, universe_config.space, 8, 1, 8, 0.0).await;
+
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(universe_config.space, 8, 4, 8, &telemetry, None));
+    let client = Client::new(transport(&universe, 0.0));
+    let (report, stats) = pipeline
+        .run_with_shard_stats(&client)
+        .await
+        .expect("sharded run failed");
+
+    assert_eq!(stats.shards, 4);
+    assert_eq!(report_json(&baseline), report_json(&report));
+    // 20.0.0.0/16 is 256 /24 blocks; 8 blocks per batch = 32 batches.
+    assert_eq!(stats.batches_by_worker.iter().sum::<u64>(), 32);
+    assert_eq!(
+        stats.probes_by_worker.iter().sum::<u64>(),
+        baseline.probes_sent,
+        "per-worker probe counts must sum to the single-pipeline count"
+    );
+}
+
+/// A transport that wedges the very first block of the shuffled sweep
+/// order until every block of every *other* batch has been swept. The
+/// stalled worker owns batches 0..8 and can finish none of them, so the
+/// run can only complete if idle workers steal the tail of its range —
+/// which is exactly what the work-stealing queue is for.
+#[derive(Clone)]
+struct StallTransport {
+    inner: SimTransport,
+    /// The block whose sweep stalls (first block of batch 0).
+    target: Cidr,
+    /// Block bases that must be swept before the stall releases: every
+    /// block of batches 1.. (batch 0's own later blocks sit *behind*
+    /// the stalled sweep, so requiring them would deadlock).
+    required: Arc<Mutex<HashSet<u32>>>,
+    released: Arc<tokio::sync::Notify>,
+}
+
+impl Transport for StallTransport {
+    type Conn = <SimTransport as Transport>::Conn;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        self.inner.probe(ep).await
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> nokeys::http::Result<Self::Conn> {
+        self.inner.connect(ep, scheme).await
+    }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        if block == self.target {
+            loop {
+                let released = self.released.notified();
+                if self.required.lock().expect("stall lock").is_empty() {
+                    break;
+                }
+                released.await;
+            }
+        }
+        let result = self.inner.sweep_block(block, ports).await;
+        if block != self.target {
+            let mut required = self.required.lock().expect("stall lock");
+            required.remove(&block.base);
+            if required.is_empty() {
+                self.released.notify_waiters();
+            }
+        }
+        result
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn stalled_shard_tail_is_stolen_and_output_unchanged() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, baseline_snap) = run_once(&universe, universe_config.space, 8, 1, 8, 0.0).await;
+
+    let telemetry = Telemetry::new();
+    let config = config(universe_config.space, 8, 4, 8, &telemetry, None);
+    // The sweep order is the seeded shuffle, identical in every engine.
+    let shuffle = PortScanner::new(config.portscan.clone()).shuffled_blocks();
+    assert_eq!(shuffle.len(), 256);
+    let stalled = StallTransport {
+        inner: transport(&universe, 0.0),
+        target: shuffle[0],
+        required: Arc::new(Mutex::new(shuffle[8..].iter().map(|b| b.base).collect())),
+        released: Arc::new(tokio::sync::Notify::new()),
+    };
+    let client = Client::new(stalled);
+    let pipeline = Pipeline::new(config);
+    let (report, stats) = tokio::time::timeout(
+        std::time::Duration::from_secs(120),
+        pipeline.run_with_shard_stats(&client),
+    )
+    .await
+    .expect("a stalled shard must not stall the scan: its batches were never stolen")
+    .expect("sharded run failed");
+
+    assert!(
+        stats.steals > 0,
+        "completing around the stall requires stealing the stalled worker's tail"
+    );
+    assert_eq!(stats.batches_by_worker.iter().sum::<u64>(), 32);
+    assert_eq!(
+        report_json(&baseline),
+        report_json(&report),
+        "work-stealing changed the report"
+    );
+    assert_eq!(
+        baseline_snap.to_json(),
+        telemetry.snapshot().to_json(),
+        "work-stealing changed the telemetry"
+    );
+}
+
+/// Kill a checkpointed sharded scan mid-run (every network operation
+/// hangs after a budget, the pipeline task is aborted) and resume it at
+/// a *different* shard count — the config fingerprint excludes K, so
+/// the per-shard checkpoint files written by the dead run must replay
+/// under the new K to the uninterrupted baseline bytes.
+async fn run_killed_then_resumed(
+    universe: &Arc<Universe>,
+    space: Cidr,
+    shards_first: usize,
+    shards_resume: usize,
+    fault_rate: f64,
+    budget: u64,
+    path: &PathBuf,
+) -> (ScanReport, TelemetrySnapshot) {
+    let _ = std::fs::remove_file(path);
+    for stale in existing_shard_files(path) {
+        let _ = std::fs::remove_file(stale);
+    }
+
+    let switch = KillSwitch::after(budget);
+    let doomed = KillableTransport::new(transport(universe, fault_rate), switch.clone());
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, 8, shards_first, 8, &telemetry, Some(path)));
+    let client = Client::new(doomed);
+    let mut task = tokio::spawn(async move { pipeline.run(&client).await });
+    tokio::select! {
+        _ = switch.tripped() => {
+            task.abort();
+            let _ = task.await;
+        }
+        result = &mut task => {
+            result.expect("pipeline task").expect("pipeline failed");
+        }
+    }
+
+    let telemetry = Telemetry::new();
+    let pipeline = Pipeline::new(config(space, 8, shards_resume, 8, &telemetry, Some(path)));
+    let client = Client::new(transport(universe, fault_rate));
+    let report = if path.exists() || !existing_shard_files(path).is_empty() {
+        pipeline.resume(&client, path).await.expect("resume failed")
+    } else {
+        // Killed before any checkpoint write: nothing to resume.
+        pipeline.run(&client).await.expect("fresh run failed")
+    };
+    let snapshot = telemetry.snapshot();
+    let _ = std::fs::remove_file(path);
+    for stale in existing_shard_files(path) {
+        let _ = std::fs::remove_file(stale);
+    }
+    (report, snapshot)
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn killed_sharded_scan_resumes_at_a_different_shard_count() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, baseline_snap) = run_once(&universe, universe_config.space, 8, 1, 8, 0.0).await;
+
+    // Budgets spanning "died before any write" through "died deep into
+    // the scan"; resume under more shards (4 → 8) and under the legacy
+    // engine's count (8 → 1).
+    for (shards_first, shards_resume, budget) in
+        [(4, 8, 1u64), (4, 8, 2_500), (4, 8, 12_000), (8, 1, 2_500)]
+    {
+        let path = checkpoint_path(&format!("kill-k{shards_first}-k{shards_resume}-b{budget}"));
+        let (resumed, resumed_snap) = run_killed_then_resumed(
+            &universe,
+            universe_config.space,
+            shards_first,
+            shards_resume,
+            0.0,
+            budget,
+            &path,
+        )
+        .await;
+        assert_eq!(
+            report_json(&baseline),
+            report_json(&resumed),
+            "resumed report diverged (K {shards_first} -> {shards_resume}, budget {budget})"
+        );
+        assert_eq!(
+            baseline_snap.to_json(),
+            resumed_snap.to_json(),
+            "resumed telemetry diverged (K {shards_first} -> {shards_resume}, budget {budget})"
+        );
+    }
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn killed_sharded_scan_survives_fault_injection() {
+    let universe_config = UniverseConfig::tiny(7);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+    let (baseline, baseline_snap) = run_once(&universe, universe_config.space, 8, 1, 8, 0.05).await;
+
+    for budget in [2_500u64, 12_000] {
+        let path = checkpoint_path(&format!("faulty-kill-b{budget}"));
+        let (resumed, resumed_snap) =
+            run_killed_then_resumed(&universe, universe_config.space, 4, 8, 0.05, budget, &path)
+                .await;
+        assert_eq!(
+            report_json(&baseline),
+            report_json(&resumed),
+            "fault-injected resumed report diverged (budget {budget})"
+        );
+        assert_eq!(
+            baseline_snap.to_json(),
+            resumed_snap.to_json(),
+            "fault-injected resumed telemetry diverged (budget {budget})"
+        );
+    }
+}
+
+/// Fixtures for the reducer proptest: the universe and the K = 1
+/// baseline bytes, computed once (each proptest case re-enters from a
+/// plain closure, so these cannot live in the async test body).
+fn proptest_universe() -> &'static Arc<Universe> {
+    static UNIVERSE: OnceLock<Arc<Universe>> = OnceLock::new();
+    UNIVERSE.get_or_init(|| Arc::new(Universe::generate(UniverseConfig::tiny(42))))
+}
+
+fn proptest_baseline(rt: &tokio::runtime::Runtime) -> &'static (String, String) {
+    static BASELINE: OnceLock<(String, String)> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let universe = proptest_universe();
+        let space = UniverseConfig::tiny(42).space;
+        let (report, snap) = rt.block_on(run_once(universe, space, 8, 1, 16, 0.0));
+        (report_json(&report), snap.to_json())
+    })
+}
+
+fn proptest_runtime() -> tokio::runtime::Runtime {
+    tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("tokio runtime")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        // Scanning segments is deterministic, so shrinking re-runs buy
+        // nothing but wall-clock.
+        max_shrink_iters: 4,
+        ..ProptestConfig::default()
+    })]
+
+    /// The reducer is order-independent: any partition of the batch
+    /// sequence, scanned segment by segment and merged in any
+    /// permutation, reconstructs the single-pipeline bytes.
+    #[test]
+    fn segment_merge_is_order_independent(
+        cuts in proptest::collection::btree_set(1u64..16, 0..5),
+        perm_seed in 1u64..u64::MAX,
+    ) {
+        let rt = proptest_runtime();
+        let (baseline_report, baseline_snap) = proptest_baseline(&rt).clone();
+        let universe = proptest_universe();
+        let space = UniverseConfig::tiny(42).space;
+        // 20.0.0.0/16 at 16 blocks per batch = 16 batches; the cut set
+        // induces the partition.
+        let mut bounds: Vec<u64> = std::iter::once(0)
+            .chain(cuts.iter().copied())
+            .chain(std::iter::once(16))
+            .collect();
+        bounds.dedup();
+
+        let mut segments = Vec::new();
+        let telemetry = Telemetry::new();
+        let config = config(space, 8, 1, 16, &telemetry, None);
+        let client = Client::new(transport(universe, 0.0));
+        for window in bounds.windows(2) {
+            segments.push(rt.block_on(scan_segment(&config, &client, window[0], window[1])));
+        }
+
+        // Fisher–Yates with a seeded xorshift: a random merge order.
+        let mut state = perm_seed;
+        for i in (1..segments.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            segments.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+
+        let merged_into = Telemetry::new();
+        let report = merge_segments(&merged_into, segments).expect("contiguous segments merge");
+        prop_assert_eq!(report_json(&report), baseline_report);
+        prop_assert_eq!(merged_into.snapshot().to_json(), baseline_snap);
+    }
+}
