@@ -92,18 +92,6 @@ impl Default for Driver {
     }
 }
 
-/// Convenience: drive a `GET` against an app and return the outcome.
-#[deprecated(note = "use traits::Driver::new().get(app, target)")]
-pub fn get(app: &mut dyn WebApp, target: &str) -> HandleOutcome {
-    Driver::new().get(app, target)
-}
-
-/// Convenience: drive a `POST` against an app and return the outcome.
-#[deprecated(note = "use traits::Driver::new().post(app, target, body)")]
-pub fn post(app: &mut dyn WebApp, target: &str, body: &str) -> HandleOutcome {
-    Driver::new().post(app, target, body)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,16 +125,17 @@ mod tests {
         );
     }
 
-    /// The deprecated free helpers keep issuing requests from the
-    /// historical default peer.
+    /// `Driver::new` and `Driver::default` are interchangeable and both
+    /// issue requests from the historical default peer (what the removed
+    /// free `get`/`post` helpers used to pin).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_helpers_match_default_driver() {
-        let mut via_helper = fresh_wordpress();
-        let mut via_driver = fresh_wordpress();
-        let a = get(via_helper.as_mut(), "/wp-admin/install.php?step=1");
-        let b = Driver::new().get(via_driver.as_mut(), "/wp-admin/install.php?step=1");
+    fn new_and_default_drivers_agree() {
+        let mut via_new = fresh_wordpress();
+        let mut via_default = fresh_wordpress();
+        let a = Driver::new().get(via_new.as_mut(), "/wp-admin/install.php?step=1");
+        let b = Driver::default().get(via_default.as_mut(), "/wp-admin/install.php?step=1");
         assert_eq!(a.response.body_text(), b.response.body_text());
+        assert_eq!(Driver::new().peer(), Driver::DEFAULT_PEER);
         assert_eq!(Driver::default().peer(), Driver::DEFAULT_PEER);
     }
 }

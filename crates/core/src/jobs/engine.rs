@@ -1,0 +1,1327 @@
+//! The [`JobEngine`]: tenant registry, job queue, and per-job runners.
+//!
+//! The engine re-hosts the pipeline's own execution strategies rather
+//! than inventing a new one, which is what makes the byte-identity
+//! contract cheap to keep:
+//!
+//! * **Unsharded scans** run a faithful mirror of the checkpointed
+//!   pipeline loop (consumer-side staging-delta absorption), extended
+//!   with two purely-additive capabilities: a [`JobEvent::Batch`]
+//!   stream for subscribers, and a cooperative pause that stops at a
+//!   batch boundary and persists a checkpoint — exactly the state an
+//!   uninterrupted run would have written at that boundary.
+//! * **Sharded scans** delegate to the work-stealing shard orchestrator
+//!   with the job's chained pacer injected. Pause is an abort: shard
+//!   workers persist between awaits, so aborting is the crash the
+//!   resume machinery is already proven against.
+//! * **Observe jobs** run the longevity observer; a recurring observe
+//!   job performs one observation round per recurrence tick via
+//!   [`observe_incremental`], all rounds charging one job registry.
+//!
+//! Every job gets a fresh [`Telemetry`] registry per attempt (a resume
+//! absorbs the checkpoint snapshot into the fresh registry first, like
+//! the CLI resume path), so a job's final snapshot is byte-identical to
+//! a direct [`Pipeline::run`](crate::pipeline::Pipeline::run). The
+//! engine's own `engine.*` counters live in the engine registry and are
+//! never mixed into any job's.
+
+use super::quota::Tenant;
+use super::{
+    CheckpointPolicy, JobError, JobEvent, JobId, JobKind, JobOutcome, JobSpec, JobState,
+    JobStatus, ObserveSpec, Recurrence, ScanSpec, TenantConfig,
+};
+use crate::checkpoint::{ConfigFingerprint, ScanCheckpoint, CHECKPOINT_FORMAT};
+use crate::observer::{
+    observe_incremental, observe_instrumented, ObserverConfig, RescanDelta,
+};
+use crate::pipeline::{BatchProcessor, PipelineConfig, PipelineError};
+use crate::portscan::{PortScanner, SweepMsg};
+use crate::rate::SharedPacer;
+use crate::report::ScanReport;
+use crate::retry::RetryTransport;
+use crate::shard::existing_shard_files;
+use crate::telemetry::{Counter, Telemetry, TelemetrySnapshot};
+use nokeys_http::{Client, Transport};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tokio::sync::{broadcast, mpsc, watch};
+use tokio::task::JoinHandle;
+
+/// Wall-clock hook for observe jobs; wire to
+/// `SimTransport::set_time` in simulation.
+type ClockFn = Box<dyn FnMut(i64) + Send>;
+
+/// Engine-wide settings.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct EngineConfig {
+    /// Directory for [`CheckpointPolicy::Spooled`] job checkpoints.
+    pub spool_dir: PathBuf,
+    /// Maximum concurrently running jobs; further submissions queue by
+    /// (priority desc, submission order).
+    pub max_active: usize,
+    /// Global probe-rate ceiling shared by every tenant; `None` is
+    /// unlimited.
+    pub max_probes_per_sec: Option<f64>,
+    /// Per-job broadcast buffer for [`JobEvent`]s; slow subscribers that
+    /// fall further behind observe `Lagged` and lose oldest events.
+    pub events_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            spool_dir: std::env::temp_dir().join(format!("nokeys-jobs-{}", std::process::id())),
+            max_active: 4,
+            max_probes_per_sec: None,
+            events_capacity: 256,
+        }
+    }
+}
+
+/// `engine.*` counters, recorded in the engine's own registry.
+struct EngineCounters {
+    submitted: Counter,
+    completed: Counter,
+    failed: Counter,
+    cancelled: Counter,
+    paused: Counter,
+    resumed: Counter,
+    batches: Counter,
+    rounds: Counter,
+}
+
+impl EngineCounters {
+    fn new(telemetry: &Telemetry) -> Self {
+        EngineCounters {
+            submitted: telemetry.counter("engine.jobs.submitted"),
+            completed: telemetry.counter("engine.jobs.completed"),
+            failed: telemetry.counter("engine.jobs.failed"),
+            cancelled: telemetry.counter("engine.jobs.cancelled"),
+            paused: telemetry.counter("engine.jobs.paused"),
+            resumed: telemetry.counter("engine.jobs.resumed"),
+            batches: telemetry.counter("engine.batches"),
+            rounds: telemetry.counter("engine.observe.rounds"),
+        }
+    }
+}
+
+/// Everything the engine tracks about one job.
+struct JobRecord {
+    spec: JobSpec,
+    state: JobState,
+    state_tx: watch::Sender<JobState>,
+    events: broadcast::Sender<JobEvent>,
+    pause_tx: watch::Sender<bool>,
+    task: Option<JoinHandle<()>>,
+    outcome: Option<JobOutcome>,
+    error: Option<String>,
+    /// Resolved checkpoint file and cadence (batches per write).
+    checkpoint: Option<(PathBuf, u64)>,
+    /// `CheckpointPolicy::Explicit { resume: true, .. }`: pick up a
+    /// pre-existing checkpoint on first start.
+    resume_spec: bool,
+    /// Restarting after a pause: pick up the job's own checkpoint.
+    resumed: bool,
+    /// The job→tenant→global pacer chain, `None` when nothing limits.
+    pacer: Option<SharedPacer>,
+    batches_done: u64,
+    rounds_done: u32,
+}
+
+struct Inner<T: Transport + Clone + 'static> {
+    client: Client<T>,
+    config: EngineConfig,
+    /// Engine-level registry: `engine.*` counters plus every completed
+    /// job's absorbed snapshot.
+    telemetry: Telemetry,
+    counters: EngineCounters,
+    global: SharedPacer,
+    clock: Mutex<Option<ClockFn>>,
+    tenants: Mutex<HashMap<String, Tenant>>,
+    jobs: Mutex<HashMap<u64, JobRecord>>,
+    queue: Mutex<Vec<u64>>,
+    active: AtomicUsize,
+    next_id: AtomicU64,
+}
+
+/// The multi-tenant scan-as-a-service engine. Cheap to clone; clones
+/// share one tenant registry, queue and job table.
+///
+/// Submission requires a running tokio runtime (jobs are spawned
+/// tasks).
+pub struct JobEngine<T: Transport + Clone + 'static> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T: Transport + Clone + 'static> Clone for JobEngine<T> {
+    fn clone(&self) -> Self {
+        JobEngine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// Control handle for one submitted job. Cheap to clone.
+pub struct JobHandle<T: Transport + Clone + 'static> {
+    inner: Arc<Inner<T>>,
+    id: JobId,
+}
+
+impl<T: Transport + Clone + 'static> Clone for JobHandle<T> {
+    fn clone(&self) -> Self {
+        JobHandle {
+            inner: Arc::clone(&self.inner),
+            id: self.id,
+        }
+    }
+}
+
+impl<T: Transport + Clone + 'static> JobEngine<T> {
+    /// An engine over `client` with default settings.
+    pub fn new(client: Client<T>) -> Self {
+        Self::with_config(client, EngineConfig::default())
+    }
+
+    /// An engine over `client` with explicit settings.
+    pub fn with_config(client: Client<T>, config: EngineConfig) -> Self {
+        let telemetry = Telemetry::new();
+        let counters = EngineCounters::new(&telemetry);
+        let global = match config.max_probes_per_sec {
+            Some(rate) => SharedPacer::new(rate, rate.max(1.0)),
+            None => SharedPacer::passthrough(),
+        };
+        JobEngine {
+            inner: Arc::new(Inner {
+                client,
+                config,
+                telemetry,
+                counters,
+                global,
+                clock: Mutex::new(None),
+                tenants: Mutex::new(HashMap::new()),
+                jobs: Mutex::new(HashMap::new()),
+                queue: Mutex::new(Vec::new()),
+                active: AtomicUsize::new(0),
+                next_id: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// Install the observe-job clock hook (e.g.
+    /// `wire_observer_clock(&sim_transport)`); called with the offset in
+    /// seconds from each study's start before every observation round.
+    pub fn with_clock(self, clock: impl FnMut(i64) + Send + 'static) -> Self {
+        *self.inner.clock.lock().expect("clock lock") = Some(Box::new(clock));
+        self
+    }
+
+    /// Register (or reconfigure) a tenant's quota. Applies to jobs
+    /// submitted afterwards; unknown tenants named by a [`JobSpec`] are
+    /// auto-registered with [`TenantConfig::unlimited`].
+    pub fn register_tenant(&self, name: impl Into<String>, config: TenantConfig) {
+        let mut tenants = self.inner.tenants.lock().expect("tenants lock");
+        tenants.insert(name.into(), Tenant::new(config, &self.inner.global));
+    }
+
+    /// Submit a job; it starts immediately if an active slot is free.
+    pub fn submit(&self, spec: JobSpec) -> JobHandle<T> {
+        let inner = &self.inner;
+        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let job_rate = match &spec.kind {
+            JobKind::Scan(scan) => scan.max_probes_per_sec,
+            JobKind::Observe(_) => None,
+        };
+        let pacer = {
+            let mut tenants = inner.tenants.lock().expect("tenants lock");
+            let tenant = tenants
+                .entry(spec.tenant.clone())
+                .or_insert_with(|| Tenant::new(TenantConfig::unlimited(), &inner.global));
+            tenant.job_pacer(job_rate)
+        };
+        let pacer = if pacer.is_limiting() { Some(pacer) } else { None };
+        let (checkpoint, resume_spec) = match (&spec.kind, &spec.checkpoint) {
+            (JobKind::Observe(_), _) | (_, CheckpointPolicy::Disabled) => (None, false),
+            (_, CheckpointPolicy::Spooled { every }) => {
+                let _ = std::fs::create_dir_all(&inner.config.spool_dir);
+                let path = inner.config.spool_dir.join(format!("job-{id}.ckpt"));
+                (Some((path, (*every).max(1))), false)
+            }
+            (_, CheckpointPolicy::Explicit { path, every, resume }) => {
+                (Some((path.clone(), (*every).max(1))), *resume)
+            }
+        };
+        let (state_tx, _) = watch::channel(JobState::Queued);
+        let (pause_tx, _) = watch::channel(false);
+        let (events, _) = broadcast::channel(inner.config.events_capacity.max(16));
+        let record = JobRecord {
+            spec,
+            state: JobState::Queued,
+            state_tx,
+            events,
+            pause_tx,
+            task: None,
+            outcome: None,
+            error: None,
+            checkpoint,
+            resume_spec,
+            resumed: false,
+            pacer,
+            batches_done: 0,
+            rounds_done: 0,
+        };
+        inner.jobs.lock().expect("jobs lock").insert(id, record);
+        inner.queue.lock().expect("queue lock").push(id);
+        inner.counters.submitted.incr();
+        inner.dispatch();
+        JobHandle {
+            inner: Arc::clone(inner),
+            id: JobId(id),
+        }
+    }
+
+    /// A handle to a previously submitted job.
+    pub fn handle(&self, id: JobId) -> Result<JobHandle<T>, JobError> {
+        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        if !jobs.contains_key(&id.0) {
+            return Err(JobError::UnknownJob(id));
+        }
+        Ok(JobHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+        })
+    }
+
+    /// Point-in-time status of one job.
+    pub fn status(&self, id: JobId) -> Result<JobStatus, JobError> {
+        self.inner.status(id)
+    }
+
+    /// Status of every job this engine has ever accepted, by id.
+    pub fn jobs(&self) -> Vec<JobStatus> {
+        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let mut all: Vec<JobStatus> = jobs
+            .iter()
+            .map(|(raw, job)| JobStatus {
+                id: JobId(*raw),
+                tenant: job.spec.tenant.clone(),
+                state: job.state,
+                batches_done: job.batches_done,
+                rounds_done: job.rounds_done,
+            })
+            .collect();
+        all.sort_by_key(|s| s.id);
+        all
+    }
+
+    /// The engine's own registry (`engine.*` counters plus every
+    /// completed job's absorbed snapshot).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.inner.telemetry
+    }
+
+    /// Snapshot of [`telemetry`](Self::telemetry) — the `metrics` wire
+    /// command.
+    pub fn metrics(&self) -> TelemetrySnapshot {
+        self.inner.telemetry.snapshot()
+    }
+}
+
+impl<T: Transport + Clone + 'static> JobHandle<T> {
+    /// The engine-assigned id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// Point-in-time status.
+    pub fn status(&self) -> Result<JobStatus, JobError> {
+        self.inner.status(self.id)
+    }
+
+    /// Subscribe to this job's [`JobEvent`] stream. Events sent before
+    /// the subscription are not replayed.
+    pub fn subscribe(&self) -> Result<broadcast::Receiver<JobEvent>, JobError> {
+        let jobs = self.inner.jobs.lock().expect("jobs lock");
+        let job = jobs.get(&self.id.0).ok_or(JobError::UnknownJob(self.id))?;
+        Ok(job.events.subscribe())
+    }
+
+    /// Pause at the next batch boundary (unsharded: cooperative stop +
+    /// checkpoint write; sharded: abort, relying on the workers'
+    /// crash-safe shard files). Returns once the job is parked.
+    pub async fn pause(&self) -> Result<(), JobError> {
+        self.inner.pause(self.id).await
+    }
+
+    /// Re-queue a paused job; it continues from its checkpoint and the
+    /// completed run is byte-identical to one that never paused.
+    pub fn resume(&self) -> Result<(), JobError> {
+        self.inner.resume(self.id)
+    }
+
+    /// Cancel the job (any non-terminal state) and remove its
+    /// checkpoint files.
+    pub async fn cancel(&self) -> Result<(), JobError> {
+        self.inner.cancel(self.id).await
+    }
+
+    /// Wait for the job to reach a terminal state and return its
+    /// outcome. A paused job keeps `wait` pending until it is resumed
+    /// or cancelled.
+    pub async fn wait(&self) -> Result<JobOutcome, JobError> {
+        self.inner.wait(self.id).await
+    }
+}
+
+impl<T: Transport + Clone + 'static> Inner<T> {
+    /// Start queued jobs while active slots are free. Highest priority
+    /// first; ties in submission order.
+    fn dispatch(self: &Arc<Self>) {
+        loop {
+            if self.active.load(Ordering::SeqCst) >= self.config.max_active.max(1) {
+                return;
+            }
+            let next = {
+                let queue = self.queue.lock().expect("queue lock");
+                let jobs = self.jobs.lock().expect("jobs lock");
+                queue
+                    .iter()
+                    .copied()
+                    .filter(|id| {
+                        jobs.get(id)
+                            .map(|j| j.state == JobState::Queued)
+                            .unwrap_or(false)
+                    })
+                    .max_by_key(|id| {
+                        let priority = jobs.get(id).map(|j| j.spec.priority).unwrap_or(0);
+                        (priority, std::cmp::Reverse(*id))
+                    })
+            };
+            let Some(id) = next else { return };
+            self.queue.lock().expect("queue lock").retain(|q| *q != id);
+            self.active.fetch_add(1, Ordering::SeqCst);
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let Some(job) = jobs.get_mut(&id) else {
+                drop(jobs);
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            };
+            job.state = JobState::Running;
+            job.state_tx.send_replace(JobState::Running);
+            let engine = Arc::clone(self);
+            job.task = Some(tokio::spawn(run_job(engine, JobId(id))));
+        }
+    }
+
+    fn status(&self, id: JobId) -> Result<JobStatus, JobError> {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let job = jobs.get(&id.0).ok_or(JobError::UnknownJob(id))?;
+        Ok(JobStatus {
+            id,
+            tenant: job.spec.tenant.clone(),
+            state: job.state,
+            batches_done: job.batches_done,
+            rounds_done: job.rounds_done,
+        })
+    }
+
+    fn note_batches(&self, id: JobId, batches_done: u64) {
+        if let Some(job) = self.jobs.lock().expect("jobs lock").get_mut(&id.0) {
+            job.batches_done = batches_done;
+        }
+    }
+
+    fn note_round(&self, id: JobId, rounds_done: u32) {
+        if let Some(job) = self.jobs.lock().expect("jobs lock").get_mut(&id.0) {
+            job.rounds_done = rounds_done;
+        }
+    }
+
+    async fn pause(self: &Arc<Self>, id: JobId) -> Result<(), JobError> {
+        enum PauseMode {
+            Queued,
+            Cooperative(watch::Receiver<JobState>),
+            Abort(JoinHandle<()>),
+        }
+        let mode = {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let job = jobs.get_mut(&id.0).ok_or(JobError::UnknownJob(id))?;
+            match (&job.spec.kind, &job.spec.checkpoint) {
+                (JobKind::Observe(_), _) => {
+                    return Err(JobError::NotPausable(
+                        "observe jobs run to completion; cancel instead",
+                    ))
+                }
+                (_, CheckpointPolicy::Disabled) => {
+                    return Err(JobError::NotPausable(
+                        "checkpointing is disabled for this job",
+                    ))
+                }
+                _ => {}
+            }
+            match job.state {
+                JobState::Queued => {
+                    job.state = JobState::Paused;
+                    self.counters.paused.incr();
+                    job.state_tx.send_replace(JobState::Paused);
+                    let _ = job.events.send(JobEvent::Paused {
+                        job: id,
+                        batches_done: job.batches_done,
+                    });
+                    PauseMode::Queued
+                }
+                JobState::Running => {
+                    let sharded = matches!(
+                        &job.spec.kind,
+                        JobKind::Scan(scan) if scan.shards.unwrap_or(1) > 1
+                    );
+                    if sharded {
+                        match job.task.take() {
+                            Some(handle) => {
+                                handle.abort();
+                                PauseMode::Abort(handle)
+                            }
+                            None => {
+                                return Err(JobError::InvalidState {
+                                    state: job.state,
+                                    op: "pause",
+                                })
+                            }
+                        }
+                    } else {
+                        job.pause_tx.send_replace(true);
+                        PauseMode::Cooperative(job.state_tx.subscribe())
+                    }
+                }
+                state => return Err(JobError::InvalidState { state, op: "pause" }),
+            }
+        };
+        match mode {
+            PauseMode::Queued => {
+                self.queue.lock().expect("queue lock").retain(|q| *q != id.0);
+                Ok(())
+            }
+            PauseMode::Cooperative(mut state_rx) => loop {
+                let state = *state_rx.borrow_and_update();
+                match state {
+                    JobState::Paused => return Ok(()),
+                    JobState::Running => {
+                        if state_rx.changed().await.is_err() {
+                            return Err(JobError::UnknownJob(id));
+                        }
+                    }
+                    state => return Err(JobError::InvalidState { state, op: "pause" }),
+                }
+            },
+            PauseMode::Abort(handle) => {
+                let _ = handle.await;
+                let parked = {
+                    let mut jobs = self.jobs.lock().expect("jobs lock");
+                    let job = jobs.get_mut(&id.0).ok_or(JobError::UnknownJob(id))?;
+                    if job.state == JobState::Running {
+                        // Shard workers checkpoint synchronously between
+                        // awaits, so the abort left crash-safe files.
+                        job.state = JobState::Paused;
+                        job.resumed = true;
+                        self.counters.paused.incr();
+                        job.state_tx.send_replace(JobState::Paused);
+                        let _ = job.events.send(JobEvent::Paused {
+                            job: id,
+                            batches_done: job.batches_done,
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if parked {
+                    self.active.fetch_sub(1, Ordering::SeqCst);
+                    self.dispatch();
+                    Ok(())
+                } else {
+                    // The job finished before the abort landed.
+                    let state = self.status(id)?.state;
+                    Err(JobError::InvalidState { state, op: "pause" })
+                }
+            }
+        }
+    }
+
+    fn resume(self: &Arc<Self>, id: JobId) -> Result<(), JobError> {
+        {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let job = jobs.get_mut(&id.0).ok_or(JobError::UnknownJob(id))?;
+            match job.state {
+                JobState::Paused => {
+                    job.pause_tx.send_replace(false);
+                    job.state = JobState::Queued;
+                    self.counters.resumed.incr();
+                    job.state_tx.send_replace(JobState::Queued);
+                }
+                state => return Err(JobError::InvalidState { state, op: "resume" }),
+            }
+        }
+        self.queue.lock().expect("queue lock").push(id.0);
+        self.dispatch();
+        Ok(())
+    }
+
+    async fn cancel(self: &Arc<Self>, id: JobId) -> Result<(), JobError> {
+        let (handle, checkpoint) = {
+            let mut jobs = self.jobs.lock().expect("jobs lock");
+            let job = jobs.get_mut(&id.0).ok_or(JobError::UnknownJob(id))?;
+            if job.state.is_terminal() {
+                return Err(JobError::InvalidState {
+                    state: job.state,
+                    op: "cancel",
+                });
+            }
+            job.state = JobState::Cancelled;
+            self.counters.cancelled.incr();
+            job.state_tx.send_replace(JobState::Cancelled);
+            let _ = job.events.send(JobEvent::Cancelled { job: id });
+            (job.task.take(), job.checkpoint.clone())
+        };
+        self.queue.lock().expect("queue lock").retain(|q| *q != id.0);
+        if let Some(handle) = handle {
+            handle.abort();
+            // Err means the task never reached its own slot bookkeeping
+            // (aborted mid-run or panicked): release the slot here.
+            // Ok means `run_job` completed and already released it.
+            if handle.await.is_err() {
+                self.active.fetch_sub(1, Ordering::SeqCst);
+                self.dispatch();
+            }
+        }
+        if let Some((path, _)) = checkpoint {
+            remove_job_files(&path);
+        }
+        Ok(())
+    }
+
+    async fn wait(&self, id: JobId) -> Result<JobOutcome, JobError> {
+        let mut state_rx = {
+            let jobs = self.jobs.lock().expect("jobs lock");
+            let job = jobs.get(&id.0).ok_or(JobError::UnknownJob(id))?;
+            job.state_tx.subscribe()
+        };
+        loop {
+            let state = *state_rx.borrow_and_update();
+            if state.is_terminal() {
+                let jobs = self.jobs.lock().expect("jobs lock");
+                let job = jobs.get(&id.0).ok_or(JobError::UnknownJob(id))?;
+                return match state {
+                    JobState::Completed => {
+                        Ok(job.outcome.clone().expect("completed job has an outcome"))
+                    }
+                    JobState::Cancelled => Err(JobError::Cancelled(id)),
+                    _ => Err(JobError::Failed(
+                        job.error.clone().unwrap_or_else(|| "unknown failure".into()),
+                    )),
+                };
+            }
+            if state_rx.changed().await.is_err() {
+                return Err(JobError::Failed("engine dropped the job".into()));
+            }
+        }
+    }
+}
+
+/// How one attempt (spawn-to-park) of a job ended.
+#[allow(clippy::large_enum_variant)]
+enum DriveEnd {
+    Completed(JobOutcome),
+    Paused { batches_done: u64 },
+    Failed(String),
+}
+
+/// One finished or parked scan round.
+#[allow(clippy::large_enum_variant)]
+enum ScanRun {
+    Finished {
+        report: ScanReport,
+        telemetry: TelemetrySnapshot,
+    },
+    Paused {
+        batches_done: u64,
+    },
+}
+
+/// The spawned job task: run the spec, then record the outcome and free
+/// the active slot.
+async fn run_job<T>(inner: Arc<Inner<T>>, id: JobId)
+where
+    T: Transport + Clone + 'static,
+{
+    let params = {
+        let jobs = inner.jobs.lock().expect("jobs lock");
+        jobs.get(&id.0).map(|job| {
+            (
+                job.spec.clone(),
+                job.events.clone(),
+                job.pause_tx.subscribe(),
+                job.pacer.clone(),
+                job.checkpoint.clone(),
+                job.resumed || job.resume_spec,
+                job.rounds_done,
+            )
+        })
+    };
+    let Some((spec, events, mut pause_rx, pacer, checkpoint, pickup, rounds_done)) = params
+    else {
+        inner.active.fetch_sub(1, Ordering::SeqCst);
+        inner.dispatch();
+        return;
+    };
+
+    let end = match &spec.kind {
+        JobKind::Scan(scan) => {
+            drive_scan(
+                &inner,
+                id,
+                scan,
+                spec.recurrence,
+                &events,
+                &mut pause_rx,
+                pacer,
+                checkpoint,
+                pickup,
+                rounds_done,
+            )
+            .await
+        }
+        JobKind::Observe(observe) => {
+            drive_observe(&inner, id, observe, spec.recurrence, &events).await
+        }
+    };
+
+    finish(&inner, id, end);
+    inner.active.fetch_sub(1, Ordering::SeqCst);
+    inner.dispatch();
+}
+
+/// Record a finished attempt. Skipped entirely when the job was
+/// cancelled concurrently (cancel already did the bookkeeping).
+fn finish<T>(inner: &Arc<Inner<T>>, id: JobId, end: DriveEnd)
+where
+    T: Transport + Clone + 'static,
+{
+    let mut jobs = inner.jobs.lock().expect("jobs lock");
+    let Some(job) = jobs.get_mut(&id.0) else { return };
+    if job.state == JobState::Cancelled {
+        return;
+    }
+    match end {
+        DriveEnd::Completed(outcome) => {
+            inner.telemetry.absorb(outcome.telemetry());
+            inner.counters.completed.incr();
+            job.outcome = Some(outcome.clone());
+            job.state = JobState::Completed;
+            job.state_tx.send_replace(JobState::Completed);
+            let _ = job.events.send(JobEvent::Completed {
+                job: id,
+                outcome: Box::new(outcome),
+            });
+        }
+        DriveEnd::Paused { batches_done } => {
+            job.batches_done = batches_done;
+            job.resumed = true;
+            job.state = JobState::Paused;
+            inner.counters.paused.incr();
+            job.state_tx.send_replace(JobState::Paused);
+            let _ = job.events.send(JobEvent::Paused {
+                job: id,
+                batches_done,
+            });
+        }
+        DriveEnd::Failed(error) => {
+            inner.counters.failed.incr();
+            job.error = Some(error.clone());
+            job.state = JobState::Failed;
+            job.state_tx.send_replace(JobState::Failed);
+            let _ = job.events.send(JobEvent::Failed { job: id, error });
+        }
+    }
+    job.task = None;
+}
+
+/// Run a scan job's rounds. A recurring scan re-runs the full scan each
+/// round, deleting checkpoint files between rounds so every round
+/// starts fresh; the outcome is the final round's.
+#[allow(clippy::too_many_arguments)]
+async fn drive_scan<T>(
+    inner: &Arc<Inner<T>>,
+    id: JobId,
+    scan: &ScanSpec,
+    recurrence: Recurrence,
+    events: &broadcast::Sender<JobEvent>,
+    pause_rx: &mut watch::Receiver<bool>,
+    pacer: Option<SharedPacer>,
+    checkpoint: Option<(PathBuf, u64)>,
+    pickup: bool,
+    rounds_done: u32,
+) -> DriveEnd
+where
+    T: Transport + Clone + 'static,
+{
+    let (every_secs, total_rounds) = match recurrence {
+        Recurrence::Once => (0, 1),
+        Recurrence::Repeat { every_secs, rounds } => (every_secs, rounds.max(1)),
+    };
+    let mut builder = scan.to_builder();
+    if let Some((_, every)) = &checkpoint {
+        builder = builder.checkpoint_every((*every).max(1));
+    }
+    let config = builder.build();
+    let pacer = pacer.filter(|p| p.is_limiting());
+
+    let mut resuming = pickup;
+    let mut round = rounds_done;
+    let mut last: Option<(ScanReport, TelemetrySnapshot)> = None;
+    while round < total_rounds {
+        if round > rounds_done {
+            resuming = false;
+            if every_secs > 0 {
+                tokio::time::sleep(Duration::from_secs(every_secs)).await;
+            }
+        }
+        if resuming {
+            let _ = events.send(JobEvent::Resumed { job: id });
+        } else {
+            if let Some((path, _)) = &checkpoint {
+                remove_job_files(path);
+            }
+            let _ = events.send(JobEvent::Started {
+                job: id,
+                round: round + 1,
+            });
+        }
+        // A resume routes through the shard orchestrator whenever shard
+        // files exist, even at shards == 1 (mirrors `Pipeline::resume`).
+        let sharded = config.shards > 1
+            || (resuming
+                && checkpoint
+                    .as_ref()
+                    .map(|(p, _)| !existing_shard_files(p).is_empty())
+                    .unwrap_or(false));
+        let result = if sharded {
+            run_scan_sharded(
+                inner,
+                &config,
+                pacer.as_ref(),
+                checkpoint.as_ref().map(|(p, _)| p.as_path()),
+                resuming,
+            )
+            .await
+        } else {
+            run_scan_streamed(
+                inner,
+                id,
+                &config,
+                pacer.as_ref(),
+                checkpoint.as_ref(),
+                resuming,
+                events,
+                pause_rx,
+            )
+            .await
+        };
+        match result {
+            Ok(ScanRun::Finished { report, telemetry }) => {
+                round += 1;
+                inner.note_round(id, round);
+                last = Some((report, telemetry));
+            }
+            Ok(ScanRun::Paused { batches_done }) => {
+                return DriveEnd::Paused { batches_done };
+            }
+            Err(e) => return DriveEnd::Failed(e.to_string()),
+        }
+    }
+    match last {
+        Some((report, telemetry)) => {
+            DriveEnd::Completed(JobOutcome::Scan { report, telemetry })
+        }
+        None => DriveEnd::Failed("scan job ran zero rounds".into()),
+    }
+}
+
+/// One unsharded scan round: a faithful mirror of the checkpointed
+/// pipeline loop, plus per-batch events and a cooperative pause.
+///
+/// Per-batch deltas are processed into a *fresh* report and absorbed
+/// into the cumulative one — the single-batch case of the shard
+/// orchestrator's segment merge, which the shard suite proves
+/// byte-identical to in-place accumulation.
+#[allow(clippy::too_many_arguments)]
+async fn run_scan_streamed<T>(
+    inner: &Arc<Inner<T>>,
+    id: JobId,
+    config: &PipelineConfig,
+    pacer: Option<&SharedPacer>,
+    checkpoint: Option<&(PathBuf, u64)>,
+    resuming: bool,
+    events: &broadcast::Sender<JobEvent>,
+    pause_rx: &mut watch::Receiver<bool>,
+) -> Result<ScanRun, PipelineError>
+where
+    T: Transport + Clone + 'static,
+{
+    let telemetry = Telemetry::new();
+    let fingerprint = ConfigFingerprint::of(config);
+    let mut report = ScanReport::default();
+    let mut first_batch = 0u64;
+    if resuming {
+        if let Some((path, _)) = checkpoint {
+            if path.exists() {
+                let prior = ScanCheckpoint::load(path)?;
+                prior.validate(&fingerprint)?;
+                telemetry.absorb(&prior.telemetry);
+                if prior.finished {
+                    // Warm resume: the stored prefix is the whole run.
+                    return Ok(ScanRun::Finished {
+                        report: prior.report,
+                        telemetry: telemetry.snapshot(),
+                    });
+                }
+                report = prior.report;
+                first_batch = prior.batches_done;
+            }
+        }
+    }
+
+    let processor = BatchProcessor::new(config, &telemetry);
+    let retrying = inner.client.with_transport(RetryTransport::new(
+        inner.client.transport().clone(),
+        config.retry.clone(),
+        &telemetry,
+    ));
+    // The sweep records into a private staging registry; each batch
+    // message carries the staging delta, absorbed only when that batch
+    // is processed (the checkpoint byte-identity invariant).
+    let staging = Telemetry::new();
+    let mut scanner = PortScanner::with_telemetry(config.portscan.clone(), &staging);
+    if let Some(pacer) = pacer {
+        scanner = scanner.with_shared_pacer(pacer.clone());
+    }
+    let sweep_transport = RetryTransport::new(
+        inner.client.transport().clone(),
+        config.retry.clone(),
+        &staging,
+    );
+    let blocks_per_batch = config.blocks_per_batch;
+    let (tx, mut rx) = mpsc::channel(config.parallelism.max(2));
+    let sweep_staging = staging.clone();
+    let sweep = tokio::spawn(async move {
+        scanner
+            .scan_stream_staged(
+                &sweep_transport,
+                blocks_per_batch,
+                first_batch,
+                &sweep_staging,
+                tx,
+            )
+            .await
+    });
+
+    let every = checkpoint.map(|(_, every)| (*every).max(1));
+    let mut prev = telemetry.snapshot();
+    let mut batches_done = first_batch;
+    let mut pause_alive = true;
+    let mut pausing = false;
+    loop {
+        let msg = tokio::select! {
+            biased;
+            changed = pause_rx.changed(), if pause_alive => {
+                match changed {
+                    Ok(()) => {
+                        if *pause_rx.borrow_and_update() {
+                            pausing = true;
+                            break;
+                        }
+                        continue;
+                    }
+                    Err(_) => {
+                        pause_alive = false;
+                        continue;
+                    }
+                }
+            }
+            msg = rx.recv() => match msg {
+                Some(msg) => msg,
+                None => break,
+            },
+        };
+        match msg {
+            SweepMsg::Batch { seq, batch, delta } => {
+                debug_assert_eq!(seq, batches_done, "batches must arrive in sweep order");
+                telemetry.absorb(&delta);
+                let mut batch_report = ScanReport::default();
+                BatchProcessor::accumulate_sweep_counts(&mut batch_report, &batch);
+                processor
+                    .process_batch(&retrying, batch, &mut batch_report)
+                    .await;
+                report.absorb(batch_report.clone());
+                batches_done = seq + 1;
+                inner.counters.batches.incr();
+                inner.note_batches(id, batches_done);
+                let snapshot = telemetry.snapshot();
+                let event_delta = snapshot.delta_since(&prev);
+                prev = snapshot;
+                let _ = events.send(JobEvent::Batch {
+                    job: id,
+                    seq,
+                    delta: Box::new(batch_report),
+                    telemetry: event_delta,
+                });
+                if let (Some(every), Some((path, _))) = (every, checkpoint) {
+                    if batches_done % every == 0 {
+                        // Synchronous write between awaits: abort-safe.
+                        write_checkpoint(
+                            path,
+                            &fingerprint,
+                            batches_done,
+                            false,
+                            &report,
+                            &telemetry,
+                        )?;
+                        let _ = events.send(JobEvent::Checkpointed {
+                            job: id,
+                            batches_done,
+                        });
+                    }
+                }
+                // A pause requested before this task subscribed never
+                // fires `changed`; the level check catches it.
+                if pause_alive && *pause_rx.borrow() {
+                    pausing = true;
+                    break;
+                }
+            }
+            SweepMsg::Epilogue { delta } => telemetry.absorb(&delta),
+        }
+    }
+    if pausing {
+        // Stop at this batch boundary: the sweep task exits cleanly once
+        // the channel closes, and the checkpoint we write is exactly the
+        // one an uninterrupted run would have written here.
+        drop(rx);
+        sweep.abort();
+        let _ = sweep.await;
+        if let Some((path, _)) = checkpoint {
+            write_checkpoint(path, &fingerprint, batches_done, false, &report, &telemetry)?;
+        }
+        return Ok(ScanRun::Paused { batches_done });
+    }
+    sweep
+        .await
+        .map_err(|e| PipelineError::SweepFailed(e.to_string()))?;
+    if let Some((path, _)) = checkpoint {
+        write_checkpoint(path, &fingerprint, batches_done, true, &report, &telemetry)?;
+    }
+    Ok(ScanRun::Finished {
+        report,
+        telemetry: telemetry.snapshot(),
+    })
+}
+
+/// One sharded scan round through the work-stealing orchestrator, with
+/// the job's pacer chain injected so every worker draws from the
+/// tenant budget.
+async fn run_scan_sharded<T>(
+    inner: &Arc<Inner<T>>,
+    config: &PipelineConfig,
+    pacer: Option<&SharedPacer>,
+    path: Option<&Path>,
+    resuming: bool,
+) -> Result<ScanRun, PipelineError>
+where
+    T: Transport + Clone + 'static,
+{
+    let telemetry = Telemetry::new();
+    let resume = resuming
+        && path
+            .map(|p| p.exists() || !existing_shard_files(p).is_empty())
+            .unwrap_or(false);
+    let (report, _stats) = crate::shard::run_sharded(
+        config,
+        &telemetry,
+        &inner.client,
+        path,
+        resume,
+        pacer.cloned(),
+    )
+    .await?;
+    Ok(ScanRun::Finished {
+        report,
+        telemetry: telemetry.snapshot(),
+    })
+}
+
+/// Run an observe job. [`Recurrence::Once`] is the classic full-window
+/// study; [`Recurrence::Repeat`] performs one observation round per
+/// tick, extending the accumulated study incrementally. All rounds
+/// charge one job registry, so the final snapshot reconciles with a
+/// direct `observe_instrumented` + `observe_incremental` sequence.
+async fn drive_observe<T>(
+    inner: &Arc<Inner<T>>,
+    id: JobId,
+    observe: &ObserveSpec,
+    recurrence: Recurrence,
+    events: &broadcast::Sender<JobEvent>,
+) -> DriveEnd
+where
+    T: Transport + Clone + 'static,
+{
+    let telemetry = Telemetry::new();
+    let defaults = ObserverConfig::default();
+    let interval = observe.interval_secs.max(1);
+    let mut config = ObserverConfig {
+        interval_secs: interval,
+        window_secs: observe.window_secs.max(0),
+        terminal_offline_after: observe
+            .terminal_offline_after
+            .unwrap_or(defaults.terminal_offline_after),
+    };
+    let mut advance = |secs: i64| {
+        if let Some(clock) = inner.clock.lock().expect("clock lock").as_mut() {
+            clock(secs);
+        }
+    };
+    let _ = events.send(JobEvent::Started { job: id, round: 1 });
+
+    match recurrence {
+        Recurrence::Once => {
+            let study = observe_instrumented(
+                &telemetry,
+                &inner.client,
+                &observe.findings,
+                &config,
+                &mut advance,
+            )
+            .await;
+            inner.counters.rounds.incr();
+            inner.note_round(id, 1);
+            let _ = events.send(JobEvent::Round {
+                job: id,
+                round: 1,
+                study: Box::new(study.clone()),
+                delta: Box::new(RescanDelta::default()),
+            });
+            DriveEnd::Completed(JobOutcome::Observe {
+                study,
+                telemetry: telemetry.snapshot(),
+            })
+        }
+        Recurrence::Repeat { every_secs, rounds } => {
+            let rounds = rounds.max(1);
+            // Round 1 observes t=0 only; each later round extends the
+            // window by one interval and rescans incrementally.
+            config.window_secs = 0;
+            let mut study = observe_instrumented(
+                &telemetry,
+                &inner.client,
+                &observe.findings,
+                &config,
+                &mut advance,
+            )
+            .await;
+            inner.counters.rounds.incr();
+            inner.note_round(id, 1);
+            let _ = events.send(JobEvent::Round {
+                job: id,
+                round: 1,
+                study: Box::new(study.clone()),
+                delta: Box::new(RescanDelta::default()),
+            });
+            for round in 2..=rounds {
+                if every_secs > 0 {
+                    tokio::time::sleep(Duration::from_secs(every_secs)).await;
+                }
+                config.window_secs = interval * i64::from(round - 1);
+                let (next, delta) = observe_incremental(
+                    &telemetry,
+                    &inner.client,
+                    study,
+                    &config,
+                    &mut advance,
+                )
+                .await;
+                study = next;
+                inner.counters.rounds.incr();
+                inner.note_round(id, round);
+                let _ = events.send(JobEvent::Round {
+                    job: id,
+                    round,
+                    study: Box::new(study.clone()),
+                    delta: Box::new(delta),
+                });
+            }
+            DriveEnd::Completed(JobOutcome::Observe {
+                study,
+                telemetry: telemetry.snapshot(),
+            })
+        }
+    }
+}
+
+fn write_checkpoint(
+    path: &Path,
+    fingerprint: &ConfigFingerprint,
+    batches_done: u64,
+    finished: bool,
+    report: &ScanReport,
+    telemetry: &Telemetry,
+) -> Result<(), PipelineError> {
+    ScanCheckpoint {
+        format: CHECKPOINT_FORMAT,
+        fingerprint: fingerprint.clone(),
+        batches_done,
+        finished,
+        report: report.clone(),
+        telemetry: telemetry.snapshot(),
+    }
+    .save(path)?;
+    Ok(())
+}
+
+/// Remove a job's checkpoint file and any per-shard worker files.
+fn remove_job_files(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    for file in existing_shard_files(path) {
+        let _ = std::fs::remove_file(&file);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Pipeline;
+    use nokeys_netsim::{SimTransport, Universe, UniverseConfig};
+
+    fn universe() -> Arc<Universe> {
+        Arc::new(Universe::generate(UniverseConfig::tiny(42)))
+    }
+
+    fn targets() -> Vec<crate::portscan::Cidr> {
+        vec![UniverseConfig::tiny(42).space]
+    }
+
+    fn scan_spec(tenant: &str, parallelism: usize) -> JobSpec {
+        let mut spec = ScanSpec::new(targets());
+        spec.parallelism = Some(parallelism);
+        JobSpec::scan(tenant, spec)
+    }
+
+    fn small_engine(client: Client<SimTransport>) -> JobEngine<SimTransport> {
+        let config = EngineConfig {
+            max_active: 1,
+            ..EngineConfig::default()
+        };
+        JobEngine::with_config(client, config)
+    }
+
+    /// A scan submitted through the engine is byte-identical to the
+    /// same configuration driven directly through `Pipeline::run`.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn engine_scan_matches_direct_pipeline() {
+        let universe = universe();
+        let client = Client::new(SimTransport::new(Arc::clone(&universe)));
+
+        let direct_telemetry = Telemetry::new();
+        let config = ScanSpec::new(targets())
+            .to_builder()
+            .telemetry(direct_telemetry.clone())
+            .build();
+        let direct = Pipeline::new(config)
+            .run(&client)
+            .await
+            .expect("direct run");
+
+        let engine = JobEngine::new(client);
+        let mut spec = scan_spec("t0", 8);
+        spec.checkpoint = CheckpointPolicy::Disabled;
+        let handle = engine.submit(spec);
+        let outcome = handle.wait().await.expect("job completes");
+        assert_eq!(outcome.report(), Some(&direct));
+        assert_eq!(outcome.telemetry(), &direct_telemetry.snapshot());
+        assert_eq!(
+            handle.status().expect("status").state,
+            JobState::Completed
+        );
+    }
+
+    /// Cancelling a queued job never runs it; its terminal state is
+    /// Cancelled and `wait` reports the cancellation.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn cancel_queued_job_before_it_runs() {
+        let universe = universe();
+        let client = Client::new(SimTransport::new(Arc::clone(&universe)));
+        let engine = small_engine(client);
+
+        let running = engine.submit(scan_spec("t0", 2));
+        let queued = engine.submit(scan_spec("t0", 2));
+        queued.cancel().await.expect("cancel queued job");
+        assert!(matches!(
+            queued.wait().await,
+            Err(JobError::Cancelled(_))
+        ));
+        assert!(running.wait().await.is_ok());
+        let err = queued.cancel().await.expect_err("double cancel rejected");
+        assert!(matches!(
+            err,
+            JobError::InvalidState {
+                state: JobState::Cancelled,
+                ..
+            }
+        ));
+    }
+
+    /// Observe jobs and checkpoint-disabled jobs refuse to pause.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn pause_requires_checkpointing() {
+        let universe = universe();
+        let client = Client::new(SimTransport::new(Arc::clone(&universe)));
+        let engine = small_engine(client);
+
+        let blocker = engine.submit(scan_spec("t0", 2));
+        let mut unpausable = scan_spec("t0", 2);
+        unpausable.checkpoint = CheckpointPolicy::Disabled;
+        let handle = engine.submit(unpausable);
+        assert!(matches!(
+            handle.pause().await,
+            Err(JobError::NotPausable(_))
+        ));
+        assert!(blocker.wait().await.is_ok());
+        assert!(handle.wait().await.is_ok());
+    }
+
+    /// Queued jobs dispatch by priority, ties in submission order.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn priority_orders_the_queue() {
+        let universe = universe();
+        let client = Client::new(SimTransport::new(Arc::clone(&universe)));
+        let engine = small_engine(client);
+
+        let first = engine.submit(scan_spec("t0", 2));
+        let low = engine.submit(scan_spec("t0", 2));
+        let mut urgent_spec = scan_spec("t0", 2);
+        urgent_spec.priority = 5;
+        let urgent = engine.submit(urgent_spec);
+
+        first.wait().await.expect("first job");
+        urgent.wait().await.expect("urgent job");
+        // The urgent job must have completed while the low-priority one
+        // was still queued or just dispatched — never after it finished.
+        let low_state = low.status().expect("status").state;
+        assert_ne!(low_state, JobState::Completed, "urgent job overtook");
+        low.wait().await.expect("low job");
+        assert_eq!(engine.jobs().len(), 3);
+        let snapshot = engine.metrics();
+        assert_eq!(snapshot.counter("engine.jobs.submitted"), 3);
+        assert_eq!(snapshot.counter("engine.jobs.completed"), 3);
+    }
+}

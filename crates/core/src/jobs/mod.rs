@@ -1,0 +1,597 @@
+//! Scan-as-a-service: a long-running, multi-tenant job engine wrapped
+//! around the pipeline.
+//!
+//! The paper's methodology is inherently a *service*, not a one-shot
+//! invocation: a 4-week longevity study over recurring rescans (§4) on
+//! top of paced, checkpointed, full-address-space sweeps. This module
+//! turns that into an API:
+//!
+//! * [`JobEngine`] owns a transport, a registry of **tenants** (each
+//!   with a token-bucket quota chained under a global ceiling — see
+//!   [`quota`]) and a queue of [`JobSpec`]s.
+//! * A [`JobSpec`] is a serializable superset of
+//!   [`PipelineConfig`](crate::pipeline::PipelineConfig): a scan or
+//!   observer description plus tenant id, priority, recurrence and
+//!   checkpoint policy. Being plain data, it crosses process
+//!   boundaries — the [`wire`] module frames it as newline-delimited
+//!   JSON for the `nokeys-scand` daemon.
+//! * Submitting yields a [`JobHandle`] with
+//!   `pause`/`resume`/`cancel`/`status`/`wait`, backed by the
+//!   checkpoint + per-shard resume machinery so **pause→resume is
+//!   byte-identical** to an uninterrupted run, and a
+//!   [`subscribe`](JobHandle::subscribe) stream of [`JobEvent`]s
+//!   carrying incremental [`ScanReport`] deltas and
+//!   [`TelemetrySnapshot`]s as batches complete (the consumer-side
+//!   staging-delta absorption of the checkpointed pipeline, re-emitted
+//!   to subscribers).
+//! * The longevity observer becomes a **scheduled recurring job**
+//!   ([`JobKind::Observe`] + [`Recurrence::Repeat`]) instead of a
+//!   one-shot binary: each round extends the study via
+//!   [`observe_incremental`](crate::observer::observe_incremental).
+//!
+//! # Determinism contract
+//!
+//! A scan submitted through the engine produces a [`ScanReport`] and
+//! job [`TelemetrySnapshot`] byte-identical to the same configuration
+//! driven directly through [`Pipeline::run`](crate::pipeline::Pipeline::run)
+//! — at any parallelism or shard count, faults on or off, paused and
+//! resumed or not. Tenancy only adds *pacing* (virtual waiting time),
+//! which never changes report bytes. Engine-level counters
+//! (`engine.*`) live in the engine's own registry, never in a job's.
+
+pub mod engine;
+pub mod quota;
+pub mod wire;
+
+pub use engine::{EngineConfig, JobEngine, JobHandle};
+pub use quota::TenantConfig;
+
+use crate::observer::{LongevityStudy, RescanDelta};
+use crate::pipeline::{PipelineConfig, PipelineConfigBuilder};
+use crate::portscan::{Cidr, PortScanConfig};
+use crate::report::{HostFinding, ScanReport};
+use crate::retry::RetryPolicy;
+use crate::telemetry::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Engine-assigned job identifier (monotonic per engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// How often a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Recurrence {
+    /// Run once to completion. For [`JobKind::Observe`] this is the
+    /// classic one-shot study over the full configured window.
+    Once,
+    /// Run `rounds` rounds, sleeping `every_secs` of real time between
+    /// them (0 = back-to-back, the useful setting under a virtual
+    /// clock). A recurring **observe** job performs one observation
+    /// round per tick, extending the accumulated [`LongevityStudy`]
+    /// through [`observe_incremental`](crate::observer::observe_incremental);
+    /// a recurring **scan** re-runs the full scan each round.
+    Repeat { every_secs: u64, rounds: u32 },
+}
+
+/// Where (and whether) a job persists checkpoints.
+///
+/// Checkpoints are what make [`JobHandle::pause`] →
+/// [`JobHandle::resume`] byte-identical to an uninterrupted run; a job
+/// with checkpointing [`Disabled`](Self::Disabled) cannot be paused.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum CheckpointPolicy {
+    /// Engine-assigned file under [`EngineConfig::spool_dir`], one per
+    /// job, written every `every` batches. Always starts fresh.
+    Spooled { every: u64 },
+    /// Caller-supplied path, written every `every` batches. With
+    /// `resume` set, an existing (fingerprint-compatible) checkpoint at
+    /// that path is continued instead of overwritten — the engine
+    /// equivalent of the CLIs' `--checkpoint FILE --resume`.
+    Explicit {
+        path: PathBuf,
+        every: u64,
+        resume: bool,
+    },
+    /// No persistence: the job cannot be paused, and a cancelled or
+    /// killed job leaves nothing behind.
+    Disabled,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy::Spooled { every: 8 }
+    }
+}
+
+/// Serializable description of one pipeline scan — the [`JobSpec`]
+/// counterpart of [`PipelineConfig`], carrying only plain data so it
+/// can cross a process boundary. Unset fields take the builder
+/// defaults.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct ScanSpec {
+    /// Target blocks.
+    pub targets: Vec<Cidr>,
+    /// Ports to probe (default: the paper's 12).
+    #[serde(default)]
+    pub ports: Option<Vec<u16>>,
+    /// Seed for the /24 shuffle.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Exclude IANA reserved ranges (default true).
+    #[serde(default)]
+    pub exclude_reserved: Option<bool>,
+    /// Job-level probe-rate ceiling; chained *under* the tenant and
+    /// global buckets, so the effective rate is the minimum of all
+    /// three.
+    #[serde(default)]
+    pub max_probes_per_sec: Option<f64>,
+    /// Use the dense per-address sweep instead of the sparse fast path.
+    #[serde(default)]
+    pub dense_sweep: bool,
+    /// Stage-I blocks per streamed batch.
+    #[serde(default)]
+    pub blocks_per_batch: Option<usize>,
+    /// All-ports-open artifact threshold.
+    #[serde(default)]
+    pub tarpit_port_threshold: Option<usize>,
+    /// Run the version fingerprinter (default true).
+    #[serde(default)]
+    pub fingerprint: Option<bool>,
+    /// Run stage-III verification (default true).
+    #[serde(default)]
+    pub verify: Option<bool>,
+    /// Stage II/III concurrency.
+    #[serde(default)]
+    pub parallelism: Option<usize>,
+    /// Shard-worker count (>1 routes through the shard orchestrator).
+    #[serde(default)]
+    pub shards: Option<usize>,
+    /// Total attempts per network operation (default 3).
+    #[serde(default)]
+    pub retries: Option<u32>,
+    /// Real milliseconds per backoff unit (default 0: virtual-only).
+    #[serde(default)]
+    pub retry_real_unit_ms: Option<u64>,
+}
+
+impl ScanSpec {
+    /// A spec over `targets` with every knob at its builder default.
+    pub fn new(targets: Vec<Cidr>) -> Self {
+        ScanSpec {
+            targets,
+            ports: None,
+            seed: None,
+            exclude_reserved: None,
+            max_probes_per_sec: None,
+            dense_sweep: false,
+            blocks_per_batch: None,
+            tarpit_port_threshold: None,
+            fingerprint: None,
+            verify: None,
+            parallelism: None,
+            shards: None,
+            retries: None,
+            retry_real_unit_ms: None,
+        }
+    }
+
+    /// Materialize the [`PipelineConfigBuilder`] this spec describes
+    /// (telemetry and checkpoint wiring are the engine's job and are
+    /// deliberately not part of the serializable spec).
+    pub fn to_builder(&self) -> PipelineConfigBuilder {
+        let mut portscan = PortScanConfig::new(self.targets.clone());
+        if let Some(ports) = &self.ports {
+            portscan.ports = ports.clone();
+        }
+        if let Some(seed) = self.seed {
+            portscan.seed = seed;
+        }
+        if let Some(exclude) = self.exclude_reserved {
+            portscan.exclude_reserved = exclude;
+        }
+        portscan.max_probes_per_sec = self.max_probes_per_sec;
+        portscan.dense_sweep = self.dense_sweep;
+
+        let mut retry = match self.retries {
+            Some(n) => RetryPolicy::with_attempts(n),
+            None => RetryPolicy::default(),
+        };
+        if let Some(ms) = self.retry_real_unit_ms {
+            retry.real_unit = Duration::from_millis(ms);
+        }
+
+        let mut builder = PipelineConfig::builder(self.targets.clone())
+            .portscan(portscan)
+            .retry_policy(retry);
+        if let Some(threshold) = self.tarpit_port_threshold {
+            builder = builder.tarpit_port_threshold(threshold);
+        }
+        if let Some(blocks) = self.blocks_per_batch {
+            builder = builder.blocks_per_batch(blocks);
+        }
+        if let Some(fingerprint) = self.fingerprint {
+            builder = builder.fingerprint(fingerprint);
+        }
+        if let Some(verify) = self.verify {
+            builder = builder.verify(verify);
+        }
+        if let Some(parallelism) = self.parallelism {
+            builder = builder.parallelism(parallelism);
+        }
+        if let Some(shards) = self.shards {
+            builder = builder.shards(shards);
+        }
+        builder
+    }
+}
+
+/// Serializable description of one longevity observation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct ObserveSpec {
+    /// The hosts to observe (typically a scan's vulnerable findings).
+    pub findings: Vec<HostFinding>,
+    /// Seconds between observation rounds (the paper: 3 hours).
+    pub interval_secs: i64,
+    /// Total observation window for [`Recurrence::Once`] (the paper: 4
+    /// weeks). Recurring jobs grow the window one interval per round
+    /// and ignore this field.
+    pub window_secs: i64,
+    /// Consecutive offline rounds after which incremental rescans stop
+    /// re-probing a host (default 8, like
+    /// [`ObserverConfig`](crate::observer::ObserverConfig)).
+    #[serde(default)]
+    pub terminal_offline_after: Option<usize>,
+}
+
+impl ObserveSpec {
+    /// Observe `findings` every `interval_secs` over `window_secs`.
+    pub fn new(findings: Vec<HostFinding>, interval_secs: i64, window_secs: i64) -> Self {
+        ObserveSpec {
+            findings,
+            interval_secs,
+            window_secs,
+            terminal_offline_after: None,
+        }
+    }
+}
+
+/// What a job does.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum JobKind {
+    /// A full three-stage pipeline scan.
+    Scan(ScanSpec),
+    /// A longevity observation over prior findings.
+    Observe(ObserveSpec),
+}
+
+/// A complete, serializable job submission.
+///
+/// `#[non_exhaustive]`: construct via [`JobSpec::scan`] /
+/// [`JobSpec::observe`] and set the public fields afterwards, so new
+/// knobs can be added without breaking downstream construction sites.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct JobSpec {
+    /// Owning tenant (quota bucket). Unknown tenants are auto-registered
+    /// with an unlimited quota.
+    pub tenant: String,
+    /// Higher runs first when the engine is at
+    /// [`EngineConfig::max_active`]; ties dispatch in submission order.
+    #[serde(default)]
+    pub priority: i32,
+    /// What to run.
+    pub kind: JobKind,
+    /// How often to run it.
+    #[serde(default = "default_recurrence")]
+    pub recurrence: Recurrence,
+    /// Checkpoint persistence (pause/resume capability).
+    #[serde(default)]
+    pub checkpoint: CheckpointPolicy,
+}
+
+fn default_recurrence() -> Recurrence {
+    Recurrence::Once
+}
+
+impl JobSpec {
+    /// A one-shot scan job for `tenant` with spooled checkpoints.
+    pub fn scan(tenant: impl Into<String>, spec: ScanSpec) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            priority: 0,
+            kind: JobKind::Scan(spec),
+            recurrence: Recurrence::Once,
+            checkpoint: CheckpointPolicy::default(),
+        }
+    }
+
+    /// A one-shot observe job for `tenant` (no checkpointing — the
+    /// observer keeps its state in the accumulated study).
+    pub fn observe(tenant: impl Into<String>, spec: ObserveSpec) -> Self {
+        JobSpec {
+            tenant: tenant.into(),
+            priority: 0,
+            kind: JobKind::Observe(spec),
+            recurrence: Recurrence::Once,
+            checkpoint: CheckpointPolicy::Disabled,
+        }
+    }
+}
+
+/// Job lifecycle states.
+///
+/// ```text
+/// Queued ──▶ Running ──▶ Completed
+///              │  ▲  └──▶ Failed
+///              ▼  │
+///            Paused
+/// (any non-terminal state ──▶ Cancelled)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum JobState {
+    Queued,
+    Running,
+    Paused,
+    Completed,
+    Cancelled,
+    Failed,
+}
+
+impl JobState {
+    /// Whether the job can never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Paused => "paused",
+            JobState::Completed => "completed",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Point-in-time view of a job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct JobStatus {
+    pub id: JobId,
+    pub tenant: String,
+    pub state: JobState,
+    /// Stage-I batches fully processed so far (current round).
+    pub batches_done: u64,
+    /// Completed recurrence rounds.
+    pub rounds_done: u32,
+}
+
+/// Final product of a completed job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum JobOutcome {
+    /// A finished scan: the report plus the job registry's final
+    /// snapshot — both byte-identical to a direct
+    /// [`Pipeline::run`](crate::pipeline::Pipeline::run) of the same
+    /// configuration.
+    Scan {
+        report: ScanReport,
+        telemetry: TelemetrySnapshot,
+    },
+    /// A finished observation (all rounds).
+    Observe {
+        study: LongevityStudy,
+        telemetry: TelemetrySnapshot,
+    },
+}
+
+impl JobOutcome {
+    /// The job registry's final snapshot.
+    pub fn telemetry(&self) -> &TelemetrySnapshot {
+        match self {
+            JobOutcome::Scan { telemetry, .. } | JobOutcome::Observe { telemetry, .. } => telemetry,
+        }
+    }
+
+    /// The scan report, if this was a scan job.
+    pub fn report(&self) -> Option<&ScanReport> {
+        match self {
+            JobOutcome::Scan { report, .. } => Some(report),
+            JobOutcome::Observe { .. } => None,
+        }
+    }
+
+    /// The longevity study, if this was an observe job.
+    pub fn study(&self) -> Option<&LongevityStudy> {
+        match self {
+            JobOutcome::Observe { study, .. } => Some(study),
+            JobOutcome::Scan { .. } => None,
+        }
+    }
+}
+
+/// Streamed job progress, delivered through [`JobHandle::subscribe`].
+///
+/// Large payloads are boxed so the enum stays cheap to clone through
+/// the broadcast channel.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum JobEvent {
+    /// The job started (or restarted for a new recurrence round).
+    Started { job: JobId, round: u32 },
+    /// One stage-I batch was fully processed: `delta` is that batch's
+    /// report contribution and `telemetry` the job registry's delta
+    /// since the previous event — absorb them in order to reconstruct
+    /// the cumulative state. Unsharded scans only; sharded rounds
+    /// report at round granularity.
+    Batch {
+        job: JobId,
+        seq: u64,
+        delta: Box<ScanReport>,
+        telemetry: TelemetrySnapshot,
+    },
+    /// A checkpoint was persisted after `batches_done` batches.
+    Checkpointed { job: JobId, batches_done: u64 },
+    /// The job reached a batch boundary after a pause request and wrote
+    /// its checkpoint.
+    Paused { job: JobId, batches_done: u64 },
+    /// The job resumed from its checkpoint.
+    Resumed { job: JobId },
+    /// One observation round of a recurring observe job completed.
+    Round {
+        job: JobId,
+        round: u32,
+        study: Box<LongevityStudy>,
+        delta: Box<RescanDelta>,
+    },
+    /// Terminal: the job finished; the outcome is also available from
+    /// [`JobHandle::wait`].
+    Completed { job: JobId, outcome: Box<JobOutcome> },
+    /// Terminal: the job was cancelled (checkpoint files removed).
+    Cancelled { job: JobId },
+    /// Terminal: the job failed.
+    Failed { job: JobId, error: String },
+}
+
+impl JobEvent {
+    /// The job this event belongs to.
+    pub fn job(&self) -> JobId {
+        match self {
+            JobEvent::Started { job, .. }
+            | JobEvent::Batch { job, .. }
+            | JobEvent::Checkpointed { job, .. }
+            | JobEvent::Paused { job, .. }
+            | JobEvent::Resumed { job }
+            | JobEvent::Round { job, .. }
+            | JobEvent::Completed { job, .. }
+            | JobEvent::Cancelled { job }
+            | JobEvent::Failed { job, .. } => *job,
+        }
+    }
+}
+
+/// Job-control errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum JobError {
+    /// No job with that id on this engine.
+    UnknownJob(JobId),
+    /// The operation is invalid in the job's current state.
+    InvalidState { state: JobState, op: &'static str },
+    /// Pause requires a checkpoint policy other than
+    /// [`CheckpointPolicy::Disabled`] (and a pausable job kind).
+    NotPausable(&'static str),
+    /// The job was cancelled before producing an outcome.
+    Cancelled(JobId),
+    /// The job's pipeline failed.
+    Failed(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::UnknownJob(id) => write!(f, "unknown job {id}"),
+            JobError::InvalidState { state, op } => {
+                write!(f, "cannot {op} a {state} job")
+            }
+            JobError::NotPausable(why) => write!(f, "job is not pausable: {why}"),
+            JobError::Cancelled(id) => write!(f, "{id} was cancelled"),
+            JobError::Failed(e) => write!(f, "job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_spec_round_trips_through_json() {
+        let mut spec = ScanSpec::new(vec!["20.0.0.0/16".parse().unwrap()]);
+        spec.parallelism = Some(4);
+        spec.retries = Some(5);
+        spec.max_probes_per_sec = Some(250.0);
+        let mut job = JobSpec::scan("acme", spec);
+        job.priority = 3;
+        job.recurrence = Recurrence::Repeat {
+            every_secs: 0,
+            rounds: 2,
+        };
+        let json = serde_json::to_string(&job).expect("serializes");
+        let back: JobSpec = serde_json::from_str(&json).expect("deserializes");
+        assert_eq!(back.tenant, "acme");
+        assert_eq!(back.priority, 3);
+        assert_eq!(
+            back.recurrence,
+            Recurrence::Repeat {
+                every_secs: 0,
+                rounds: 2
+            }
+        );
+        match &back.kind {
+            JobKind::Scan(s) => {
+                assert_eq!(s.parallelism, Some(4));
+                assert_eq!(s.retries, Some(5));
+                assert_eq!(s.max_probes_per_sec, Some(250.0));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_defaults_match_builder_defaults() {
+        let targets: Vec<Cidr> = vec!["20.0.0.0/16".parse().unwrap()];
+        let from_spec = ScanSpec::new(targets.clone()).to_builder().build();
+        let direct = PipelineConfig::builder(targets).build();
+        assert_eq!(from_spec.blocks_per_batch, direct.blocks_per_batch);
+        assert_eq!(from_spec.parallelism, direct.parallelism);
+        assert_eq!(from_spec.shards, direct.shards);
+        assert_eq!(from_spec.verify, direct.verify);
+        assert_eq!(from_spec.fingerprint, direct.fingerprint);
+        assert_eq!(from_spec.tarpit_port_threshold, direct.tarpit_port_threshold);
+        assert_eq!(from_spec.portscan.ports, direct.portscan.ports);
+        assert_eq!(from_spec.portscan.seed, direct.portscan.seed);
+        assert_eq!(from_spec.retry.attempts(), direct.retry.attempts());
+    }
+
+    #[test]
+    fn minimal_wire_submission_fills_defaults() {
+        let json = r#"{
+            "tenant": "t0",
+            "kind": {"kind": "scan", "targets": ["10.0.0.0/24"]}
+        }"#;
+        let spec: JobSpec = serde_json::from_str(json).expect("minimal spec parses");
+        assert_eq!(spec.priority, 0);
+        assert_eq!(spec.recurrence, Recurrence::Once);
+        assert_eq!(spec.checkpoint, CheckpointPolicy::Spooled { every: 8 });
+    }
+}

@@ -1,0 +1,148 @@
+//! Tenant quotas: per-tenant token buckets chained under the engine's
+//! global ceiling.
+//!
+//! This generalizes the single [`SharedPacer`] of the sharded pipeline
+//! (one bucket shared by every worker) into a **two-level budget**:
+//! every probe drawn by any of a tenant's jobs is charged to the
+//! tenant's bucket *and* to the global bucket, so
+//!
+//! * one tenant can never exceed its own quota, no matter how many
+//!   jobs it runs concurrently, and
+//! * all tenants together can never exceed the engine-wide ceiling.
+//!
+//! A job may add a third level below these (its spec's
+//! `max_probes_per_sec`), giving a job→tenant→global chain. Chaining is
+//! implemented by [`SharedPacer::with_upstream`]; a level without a
+//! limit is a free [`SharedPacer::passthrough`]. Pacing only ever adds
+//! virtual waiting time — it never changes report bytes — so quota
+//! settings are deliberately excluded from the checkpoint fingerprint
+//! surface.
+
+use crate::rate::SharedPacer;
+use serde::{Deserialize, Serialize};
+
+/// Quota settings for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[non_exhaustive]
+pub struct TenantConfig {
+    /// Probe-rate ceiling across *all* of the tenant's jobs; `None` is
+    /// unlimited (the tenant still shares the global ceiling).
+    pub max_probes_per_sec: Option<f64>,
+    /// Token-bucket burst capacity; defaults to one second of rate.
+    pub burst: Option<f64>,
+}
+
+impl TenantConfig {
+    /// An unlimited tenant (bounded only by the global ceiling).
+    pub fn unlimited() -> Self {
+        TenantConfig::default()
+    }
+
+    /// A tenant capped at `rate` probes/second.
+    pub fn rate(rate: f64) -> Self {
+        TenantConfig {
+            max_probes_per_sec: Some(rate),
+            burst: None,
+        }
+    }
+
+    /// Build this tenant's pacer, chained under `global`. Clones of the
+    /// returned pacer (one per job) all drain the same tenant bucket.
+    pub(crate) fn build_pacer(&self, global: &SharedPacer) -> SharedPacer {
+        match self.max_probes_per_sec {
+            Some(rate) => {
+                let burst = self.burst.unwrap_or(rate.max(1.0));
+                SharedPacer::new(rate, burst).with_upstream(global.clone())
+            }
+            None => SharedPacer::passthrough().with_upstream(global.clone()),
+        }
+    }
+}
+
+/// One registered tenant: its configuration and its live pacer.
+#[derive(Debug, Clone)]
+pub(crate) struct Tenant {
+    pub config: TenantConfig,
+    pub pacer: SharedPacer,
+}
+
+impl Tenant {
+    pub fn new(config: TenantConfig, global: &SharedPacer) -> Self {
+        let pacer = config.build_pacer(global);
+        Tenant { config, pacer }
+    }
+
+    /// The pacer a job of this tenant should draw from: the job's own
+    /// bucket (if the spec sets a rate) chained under the tenant chain.
+    pub fn job_pacer(&self, job_rate: Option<f64>) -> SharedPacer {
+        match job_rate {
+            Some(rate) => {
+                SharedPacer::new(rate, rate.max(1.0)).with_upstream(self.pacer.clone())
+            }
+            None => SharedPacer::passthrough().with_upstream(self.pacer.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// Two jobs of one tenant drain the tenant bucket together: their
+    /// combined draw pays the tenant's single-bucket wait, exactly like
+    /// the shard workers of one pipeline.
+    #[tokio::test(start_paused = true)]
+    async fn tenant_jobs_share_one_bucket() {
+        let global = SharedPacer::passthrough();
+        let tenant = Tenant::new(TenantConfig::rate(20.0), &global);
+        let a = tenant.job_pacer(None);
+        let b = tenant.job_pacer(None);
+        let start = tokio::time::Instant::now();
+        let ta = tokio::spawn(async move { a.acquire_many(20).await });
+        let tb = tokio::spawn(async move { b.acquire_many(21).await });
+        ta.await.expect("job a");
+        tb.await.expect("job b");
+        let elapsed = tokio::time::Instant::now() - start;
+        // 41 tokens at 20/s with a 20-token burst: ≥ 1.05s of wait.
+        assert!(elapsed >= Duration::from_millis(1_040), "{elapsed:?}");
+    }
+
+    /// A job's own rate binds below an unlimited tenant; an unlimited
+    /// job under a limited tenant is bound by the tenant.
+    #[tokio::test(start_paused = true)]
+    async fn job_rate_chains_under_tenant() {
+        let global = SharedPacer::passthrough();
+        let unlimited = Tenant::new(TenantConfig::unlimited(), &global);
+        let paced_job = unlimited.job_pacer(Some(10.0));
+        let start = tokio::time::Instant::now();
+        for _ in 0..11 {
+            paced_job.acquire().await;
+        }
+        let elapsed = tokio::time::Instant::now() - start;
+        assert!(elapsed >= Duration::from_millis(990), "{elapsed:?}");
+
+        let limited = Tenant::new(TenantConfig::rate(10.0), &global);
+        let free_job = limited.job_pacer(None);
+        let start = tokio::time::Instant::now();
+        for _ in 0..11 {
+            free_job.acquire().await;
+        }
+        let elapsed = tokio::time::Instant::now() - start;
+        assert!(elapsed >= Duration::from_millis(990), "{elapsed:?}");
+    }
+
+    /// Fully unlimited chains report themselves as non-limiting, so the
+    /// engine can skip pacer injection entirely.
+    #[test]
+    fn unlimited_chain_is_not_limiting() {
+        let global = SharedPacer::passthrough();
+        let tenant = Tenant::new(TenantConfig::unlimited(), &global);
+        assert!(!tenant.job_pacer(None).is_limiting());
+        assert!(tenant.job_pacer(Some(5.0)).is_limiting());
+
+        let global = SharedPacer::new(100.0, 100.0);
+        let tenant = Tenant::new(TenantConfig::unlimited(), &global);
+        assert!(tenant.job_pacer(None).is_limiting());
+    }
+}

@@ -1,0 +1,171 @@
+//! Newline-delimited JSON framing for `nokeys-scand`.
+//!
+//! One [`Command`] per input line, one or more [`Reply`] lines out. The
+//! protocol is deliberately flat: every message is a single-line JSON
+//! object tagged by `"op"` (requests) or `"reply"` (responses), so the
+//! daemon can be driven from a shell (`echo '{"op":"metrics"}' |
+//! nokeys-scand`) as easily as from a client library. A `subscribe`
+//! request turns the stream stateful: the daemon keeps emitting
+//! [`Reply::Event`] lines for that job interleaved with other replies
+//! until the job reaches a terminal state.
+
+use super::{JobEvent, JobId, JobSpec, JobStatus, TenantConfig};
+use crate::telemetry::TelemetrySnapshot;
+use serde::{Deserialize, Serialize};
+
+/// One request line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum Command {
+    /// Register (or reconfigure) a tenant quota.
+    Tenant {
+        name: String,
+        #[serde(default)]
+        config: TenantConfig,
+    },
+    /// Submit a job; replies [`Reply::Submitted`].
+    Submit {
+        #[serde(flatten)]
+        spec: Box<JobSpec>,
+    },
+    /// Pause a running job at its next batch boundary.
+    Pause { job: JobId },
+    /// Re-queue a paused job.
+    Resume { job: JobId },
+    /// Cancel a job and remove its checkpoint files.
+    Cancel { job: JobId },
+    /// Point-in-time status of one job.
+    Status { job: JobId },
+    /// Status of every job.
+    Jobs,
+    /// Stream [`Reply::Event`] lines for a job until it terminates.
+    Subscribe { job: JobId },
+    /// Engine registry snapshot (`engine.*` counters plus absorbed job
+    /// snapshots).
+    Metrics,
+    /// Stop reading commands and exit once in-flight replies are
+    /// written. Running jobs are abandoned (their spooled checkpoints
+    /// remain on disk).
+    Shutdown,
+}
+
+impl Command {
+    /// Parse one NDJSON line.
+    pub fn parse(line: &str) -> Result<Command, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+}
+
+/// One response line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum Reply {
+    /// The command was accepted and has no payload.
+    Ok,
+    /// A [`Command::Submit`] was accepted.
+    Submitted { job: JobId },
+    /// A [`Command::Status`] answer.
+    Status { status: JobStatus },
+    /// A [`Command::Jobs`] answer.
+    Jobs { jobs: Vec<JobStatus> },
+    /// One streamed job event (the event itself names the job).
+    Event { event: Box<JobEvent> },
+    /// A [`Command::Metrics`] answer.
+    Metrics { snapshot: TelemetrySnapshot },
+    /// The command failed; the stream stays usable.
+    Error { message: String },
+}
+
+impl Reply {
+    /// Serialize as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("replies serialize")
+    }
+
+    /// An error reply from any displayable error.
+    pub fn error(e: impl std::fmt::Display) -> Reply {
+        Reply::Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::{JobKind, ScanSpec};
+
+    #[test]
+    fn submit_line_carries_a_flattened_spec() {
+        let line = r#"{
+            "op": "submit",
+            "tenant": "acme",
+            "priority": 2,
+            "kind": {"kind": "scan", "targets": ["10.0.0.0/24"], "parallelism": 4}
+        }"#;
+        let cmd = Command::parse(line).expect("submit parses");
+        match cmd {
+            Command::Submit { spec } => {
+                assert_eq!(spec.tenant, "acme");
+                assert_eq!(spec.priority, 2);
+                match &spec.kind {
+                    JobKind::Scan(scan) => assert_eq!(scan.parallelism, Some(4)),
+                    other => panic!("wrong kind: {other:?}"),
+                }
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_commands_are_one_liners() {
+        assert!(matches!(
+            Command::parse(r#"{"op":"pause","job":3}"#),
+            Ok(Command::Pause { job: JobId(3) })
+        ));
+        assert!(matches!(
+            Command::parse(r#"{"op":"metrics"}"#),
+            Ok(Command::Metrics)
+        ));
+        assert!(matches!(
+            Command::parse(r#"{"op":"shutdown"}"#),
+            Ok(Command::Shutdown)
+        ));
+        assert!(Command::parse("not json").is_err());
+    }
+
+    #[test]
+    fn replies_round_trip_and_stay_single_line() {
+        let replies = [
+            Reply::Ok,
+            Reply::Submitted { job: JobId(7) },
+            Reply::error("bad spec"),
+        ];
+        for reply in replies {
+            let line = reply.to_line();
+            assert!(!line.contains('\n'), "reply must be one line: {line}");
+            let _: Reply = serde_json::from_str(&line).expect("reply parses back");
+        }
+        assert_eq!(Reply::Ok.to_line(), r#"{"reply":"ok"}"#);
+        assert_eq!(
+            Reply::Submitted { job: JobId(7) }.to_line(),
+            r#"{"reply":"submitted","job":7}"#
+        );
+    }
+
+    #[test]
+    fn submit_round_trips_through_reply_free_json() {
+        let spec = JobSpec::scan("t0", ScanSpec::new(vec!["10.0.0.0/24".parse().unwrap()]));
+        let cmd = Command::Submit {
+            spec: Box::new(spec),
+        };
+        let line = serde_json::to_string(&cmd).expect("serializes");
+        let back = Command::parse(&line).expect("parses back");
+        match back {
+            Command::Submit { spec } => assert_eq!(spec.tenant, "t0"),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+}

@@ -17,6 +17,11 @@
 //! * **Telemetry** ([`telemetry`]): a lock-cheap metrics registry
 //!   threaded through every stage — counters, fixed-bucket histograms
 //!   and virtual-clock stage timings, snapshot as deterministic JSON.
+//! * **Scan-as-a-service** ([`jobs`]): a multi-tenant [`JobEngine`]
+//!   with token-bucket quotas, pause/resume backed by the checkpoint
+//!   machinery, streamed per-batch results, and recurring observer
+//!   jobs — plus the NDJSON wire protocol of the `nokeys-scand`
+//!   daemon.
 //!
 //! The pipeline is generic over the [`Transport`](nokeys_http::Transport)
 //! abstraction: the same code scans the simulated universe
@@ -27,6 +32,7 @@ pub mod ct;
 pub mod disclosure;
 pub mod fingerprint;
 pub mod htmlcheck;
+pub mod jobs;
 pub mod multipattern;
 pub mod observer;
 pub mod pattern;
@@ -35,6 +41,7 @@ pub mod plugin;
 pub mod plugins;
 pub mod portscan;
 pub mod prefilter;
+pub mod prelude;
 pub mod rate;
 pub mod report;
 pub mod retry;
@@ -43,6 +50,7 @@ pub mod signatures;
 pub mod telemetry;
 
 pub use checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint};
+pub use jobs::{JobEngine, JobHandle, JobSpec};
 pub use multipattern::MultiPattern;
 pub use pattern::{MatchMode, Pattern, PreparedBody};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineError};

@@ -103,7 +103,10 @@ impl HostTimeline {
 }
 
 /// Full longevity study output.
-#[derive(Debug, Serialize, Deserialize)]
+///
+/// `Clone` lets the job engine hand each observation round's study out
+/// through job events while retaining the accumulating original.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LongevityStudy {
     /// Observation offsets in seconds from the study start.
     pub times_secs: Vec<i64>,

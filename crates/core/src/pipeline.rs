@@ -166,19 +166,6 @@ impl PipelineConfig {
         }
     }
 
-    #[deprecated(note = "use PipelineConfig::builder(targets).build()")]
-    pub fn new(targets: Vec<Cidr>) -> Self {
-        Self::builder(targets).build()
-    }
-
-    /// Same configuration with a different concurrency bound. Unlike
-    /// the builder, `0` is clamped to `1` (the shim's historical
-    /// behaviour).
-    #[deprecated(note = "use PipelineConfig::builder(targets).parallelism(n)")]
-    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
-        self.parallelism = parallelism.max(1);
-        self
-    }
 }
 
 /// Fluent builder for [`PipelineConfig`].
@@ -543,6 +530,7 @@ impl Pipeline {
             client,
             self.config.checkpoint_path.as_deref(),
             false,
+            None,
         )
         .await
     }
@@ -589,6 +577,7 @@ impl Pipeline {
                 client,
                 Some(path),
                 true,
+                None,
             )
             .await
             .map(|(report, _)| report);
@@ -1154,20 +1143,20 @@ mod tests {
         assert_eq!(config.tarpit_port_threshold, 3);
     }
 
-    /// The deprecated constructor must keep producing the builder's
-    /// defaults until it is removed.
+    /// The defaults the removed `PipelineConfig::new` shim used to pin:
+    /// a bare `builder(targets).build()` keeps the paper's settings.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructor_matches_builder_defaults() {
+    fn builder_defaults_are_the_papers_settings() {
         let targets: Vec<Cidr> = vec!["20.0.0.0/16".parse().unwrap()];
-        let shim = PipelineConfig::new(targets.clone()).with_parallelism(8);
-        let built = PipelineConfig::builder(targets).parallelism(8).build();
-        assert_eq!(shim.blocks_per_batch, built.blocks_per_batch);
-        assert_eq!(shim.tarpit_port_threshold, built.tarpit_port_threshold);
-        assert_eq!(shim.fingerprint, built.fingerprint);
-        assert_eq!(shim.verify, built.verify);
-        assert_eq!(shim.parallelism, built.parallelism);
-        assert_eq!(shim.portscan.ports, built.portscan.ports);
+        let built = PipelineConfig::builder(targets).build();
+        assert_eq!(built.blocks_per_batch, 64);
+        assert_eq!(built.tarpit_port_threshold, built.portscan.ports.len());
+        assert!(built.fingerprint);
+        assert!(built.verify);
+        assert_eq!(built.parallelism, 8);
+        assert_eq!(built.shards, 1);
+        assert_eq!(built.portscan.ports.len(), 12);
+        assert_eq!(built.retry.attempts(), 3);
     }
 
     #[tokio::test]

@@ -181,6 +181,7 @@ pub struct PortScanner {
     config: PortScanConfig,
     reserved: ReservedRanges,
     metrics: SweepMetrics,
+    external_pacer: Option<SharedPacer>,
 }
 
 impl PortScanner {
@@ -195,7 +196,18 @@ impl PortScanner {
             config,
             reserved: ReservedRanges::iana(),
             metrics: SweepMetrics::new(telemetry),
+            external_pacer: None,
         }
+    }
+
+    /// Draw probe tokens from `pacer` instead of constructing a private
+    /// bucket from `max_probes_per_sec`. The job engine injects its
+    /// chained job→tenant→global pacer here so one scanner's sweep is
+    /// charged against every quota level; pacing never changes report
+    /// bytes, only virtual waiting time.
+    pub fn with_shared_pacer(mut self, pacer: SharedPacer) -> Self {
+        self.external_pacer = Some(pacer);
+        self
     }
 
     /// The subset of shuffled /24 blocks assigned to shard `k` of `n` —
@@ -235,6 +247,9 @@ impl PortScanner {
     /// handle through; constructing one per block would grant a fresh
     /// burst allowance each time and overshoot the ceiling.
     pub fn pacer(&self) -> Option<SharedPacer> {
+        if let Some(external) = &self.external_pacer {
+            return Some(external.clone());
+        }
         self.config
             .max_probes_per_sec
             .map(|rate| SharedPacer::new(rate, rate.max(1.0)))

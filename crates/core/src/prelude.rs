@@ -1,0 +1,28 @@
+//! One-stop import for downstream users of the scanner.
+//!
+//! ```
+//! use nokeys_scanner::prelude::*;
+//! ```
+//!
+//! Re-exports the user-facing surface: pipeline configuration and
+//! execution, reports and telemetry, checkpointing, pacing, and the
+//! [`jobs`](crate::jobs) engine with its spec/handle/event types.
+//! Internal machinery (prefilter internals, shard segments, signature
+//! tables) stays behind its modules.
+
+pub use crate::checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint};
+pub use crate::jobs::wire::{Command, Reply};
+pub use crate::jobs::{
+    CheckpointPolicy, EngineConfig, JobEngine, JobError, JobEvent, JobHandle, JobId, JobKind,
+    JobOutcome, JobSpec, JobState, JobStatus, ObserveSpec, Recurrence, ScanSpec, TenantConfig,
+};
+pub use crate::observer::{
+    observe, observe_incremental, observe_instrumented, LongevityStudy, ObserverConfig,
+    RescanDelta,
+};
+pub use crate::pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineError};
+pub use crate::portscan::{Cidr, PortScanConfig};
+pub use crate::rate::SharedPacer;
+pub use crate::report::{FingerprintMethod, HostFinding, ScanReport};
+pub use crate::retry::RetryPolicy;
+pub use crate::telemetry::{Telemetry, TelemetrySnapshot};

@@ -640,6 +640,7 @@ pub(crate) async fn run_sharded<T>(
     client: &Client<T>,
     path: Option<&Path>,
     resume: bool,
+    pacer_override: Option<SharedPacer>,
 ) -> Result<(ScanReport, ShardStats), PipelineError>
 where
     T: Transport + Clone + 'static,
@@ -651,7 +652,10 @@ where
     // the shared pacer. Workers sweep with their own staged scanners.
     let planner = PortScanner::with_telemetry(config.portscan.clone(), &Telemetry::new());
     let blocks = Arc::new(planner.shuffled_blocks());
-    let pacer = planner.pacer();
+    // An externally injected pacer (the job engine's chained
+    // job→tenant→global budget) replaces the config-derived one; both
+    // are shared across every worker so the bound stays whole-scan.
+    let pacer = pacer_override.or_else(|| planner.pacer());
     let total_batches = (blocks.len().div_euclid(config.blocks_per_batch)
         + usize::from(blocks.len() % config.blocks_per_batch != 0)) as u64;
 

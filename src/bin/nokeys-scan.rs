@@ -6,14 +6,21 @@
 //!             [--parallelism 16] [--shards N] [--json out.json]
 //!             [--metrics-out m.json] [--include-reserved] [--retries N]
 //!             [--fault-rate P] [--checkpoint FILE] [--resume]
-//!             [--checkpoint-every N]
+//!             [--checkpoint-every N] [--fleet-shard K/N]
 //! ```
+//!
+//! The CLI is a thin client of the scan-as-a-service layer: the flags
+//! build a serializable [`JobSpec`] which a local in-process
+//! [`JobEngine`] executes — the same spec, byte for byte, could be
+//! piped to a `nokeys-scand` daemon instead. Reports and metrics are
+//! byte-identical to the pre-engine releases for every existing flag.
 //!
 //! `--shards N` splits the batch sequence across N worker tasks with
 //! work-stealing (default: the number of CPUs); the report is
 //! byte-identical at any N, and `--rate` stays a whole-scan bound
-//! shared by all shards. Distinct from `--shard K/N`, which restricts a
-//! *fleet member* to its K-th slice of the sweep.
+//! shared by all shards. Distinct from `--fleet-shard K/N`, which
+//! restricts a *fleet member* to its K-th slice of the sweep (the flag
+//! was previously spelled `--shard`, which remains a hidden alias).
 //!
 //! `--checkpoint FILE` persists a resumable checkpoint every
 //! `--checkpoint-every N` batches (default 8); `--resume` continues an
@@ -32,11 +39,11 @@
 use nokeys::http::transport::TcpTransport;
 use nokeys::http::Client;
 use nokeys::netsim::{FaultPlan, FaultyTransport};
-use nokeys::scanner::{
-    Pipeline, PipelineConfig, PortScanConfig, PortScanner, RetryPolicy, Telemetry,
+use nokeys::scanner::prelude::{
+    CheckpointPolicy, JobEngine, JobSpec, PortScanConfig, ScanSpec,
 };
+use nokeys::scanner::PortScanner;
 use std::sync::Arc;
-use std::time::Duration;
 
 struct Args {
     targets: Vec<nokeys::scanner::portscan::Cidr>,
@@ -44,7 +51,7 @@ struct Args {
     parallelism: usize,
     shards: usize,
     rate: Option<f64>,
-    shard: Option<(usize, usize)>,
+    fleet_shard: Option<(usize, usize)>,
     include_reserved: bool,
     retries: u32,
     fault_rate: f64,
@@ -59,9 +66,14 @@ fn usage() -> ! {
     eprintln!(
         "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
          \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
-         \x20                [--shards N] [--shard K/N] [--retries N] [--fault-rate P]\n\
+         \x20                [--shards N] [--fleet-shard K/N] [--retries N] [--fault-rate P]\n\
          \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]\n\
-         \x20                [--checkpoint FILE] [--resume] [--checkpoint-every N]"
+         \x20                [--checkpoint FILE] [--resume] [--checkpoint-every N]\n\
+         \n\
+         --shards N       split this scan across N work-stealing workers\n\
+         \x20                (byte-identical report at any N)\n\
+         --fleet-shard K/N  restrict this fleet member to the K-th of N\n\
+         \x20                slices of the stage-I sweep"
     );
     std::process::exit(2);
 }
@@ -75,7 +87,7 @@ fn parse_args() -> Args {
             .map(|n| n.get())
             .unwrap_or(1),
         rate: None,
-        shard: None,
+        fleet_shard: None,
         include_reserved: false,
         retries: 3,
         fault_rate: 0.0,
@@ -139,13 +151,15 @@ fn parse_args() -> Args {
                     .filter(|n| *n > 0)
                     .unwrap_or_else(|| usage());
             }
-            "--shard" => {
+            // "--shard" is the pre-rename spelling, kept as a hidden
+            // alias with the same strict K/N validation.
+            "--fleet-shard" | "--shard" => {
                 i += 1;
-                args.shard = argv.get(i).and_then(|s| {
+                args.fleet_shard = argv.get(i).and_then(|s| {
                     let (k, n) = s.split_once('/')?;
                     Some((k.parse().ok()?, n.parse().ok()?))
                 });
-                if args.shard.is_none() {
+                if args.fleet_shard.is_none() {
                     usage();
                 }
             }
@@ -200,6 +214,33 @@ fn parse_args() -> Args {
     args
 }
 
+/// The serializable job this invocation describes — what would go over
+/// the wire to `nokeys-scand`.
+fn job_spec(args: &Args) -> JobSpec {
+    let mut scan = ScanSpec::new(args.targets.clone());
+    scan.ports = Some(args.ports.clone());
+    scan.exclude_reserved = Some(!args.include_reserved);
+    scan.max_probes_per_sec = args.rate;
+    scan.tarpit_port_threshold = Some(args.ports.len().max(2));
+    scan.parallelism = Some(args.parallelism);
+    scan.shards = Some(args.shards);
+    scan.retries = Some(args.retries);
+    // Over real sockets one backoff unit is a millisecond, so exhausted
+    // budgets actually pace the retries instead of hammering the target.
+    scan.retry_real_unit_ms = Some(1);
+
+    let mut spec = JobSpec::scan("nokeys-scan", scan);
+    spec.checkpoint = match &args.checkpoint {
+        Some(path) => CheckpointPolicy::Explicit {
+            path: path.clone(),
+            every: args.checkpoint_every,
+            resume: args.resume,
+        },
+        None => CheckpointPolicy::Disabled,
+    };
+    spec
+}
+
 #[tokio::main]
 async fn main() {
     let args = parse_args();
@@ -229,9 +270,9 @@ async fn main() {
     let transport = Arc::new(FaultyTransport::new(TcpTransport::default(), fault_plan));
     if args.checkpoint.is_none() {
         let scanner = PortScanner::new(portscan.clone());
-        let sweep = match args.shard {
+        let sweep = match args.fleet_shard {
             Some((k, n)) => {
-                eprintln!("scanning shard {k} of {n}");
+                eprintln!("scanning fleet shard {k} of {n}");
                 scanner.scan_shard(transport.as_ref(), k, n).await
             }
             None => {
@@ -255,48 +296,25 @@ async fn main() {
         );
     }
 
-    let telemetry = Telemetry::new();
-    let tarpit_port_threshold = portscan.ports.len().max(2);
-    // Over real sockets one backoff unit is a millisecond, so exhausted
-    // budgets actually pace the retries instead of hammering the target.
-    let mut retry = RetryPolicy::with_attempts(args.retries);
-    retry.real_unit = Duration::from_millis(1);
-    let mut builder = PipelineConfig::builder(args.targets)
-        .portscan(portscan)
-        .tarpit_port_threshold(tarpit_port_threshold)
-        // --parallelism bounds both the stage-I sweep above and the
-        // in-flight stage-II probes / stage-III verifications below.
-        .parallelism(args.parallelism)
-        // Shard workers share one pacer, so --rate bounds the whole
-        // scan no matter how many shards draw from it.
-        .shards(args.shards)
-        .retry_policy(retry)
-        .telemetry(telemetry.clone());
-    if let Some(path) = &args.checkpoint {
-        builder = builder
-            .checkpoint_path(path.clone())
-            .checkpoint_every(args.checkpoint_every);
-    }
-    let pipeline = Pipeline::new(builder.build());
-    let client = Client::new(transport.as_ref().clone());
-    let resume_from = args
-        .checkpoint
-        .as_ref()
-        .filter(|p| args.resume && p.exists());
-    let result = match resume_from {
-        Some(path) => {
+    if args.resume {
+        if let Some(path) = args.checkpoint.as_ref().filter(|p| p.exists()) {
             eprintln!("resuming from checkpoint {}", path.display());
-            pipeline.resume(&client, path).await
         }
-        None => pipeline.run(&client).await,
-    };
-    let report = match result {
-        Ok(report) => report,
+    }
+
+    // One-job in-process engine: submit the spec and wait. Everything
+    // the pipeline used to be handed directly (telemetry registry,
+    // checkpoint wiring, retry policy) now travels in the spec.
+    let engine = JobEngine::new(Client::new(transport.as_ref().clone()));
+    let handle = engine.submit(job_spec(&args));
+    let outcome = match handle.wait().await {
+        Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(1);
         }
     };
+    let report = outcome.report().expect("scan jobs produce a report");
 
     for f in &report.findings {
         println!(
@@ -330,7 +348,7 @@ async fn main() {
     }
 
     if let Some(path) = args.metrics_out {
-        let snapshot = telemetry.snapshot();
+        let snapshot = outcome.telemetry();
         eprint!("{}", snapshot.render_text());
         std::fs::write(&path, snapshot.to_json_pretty()).unwrap_or_else(|e| {
             eprintln!("error writing {path}: {e}");

@@ -1,0 +1,289 @@
+//! `nokeys-scand` — the scan engine as a long-running service.
+//!
+//! ```text
+//! nokeys-scand [--max-active N] [--rate PROBES_PER_SEC]
+//!              [--spool-dir DIR] [--fault-rate P]
+//! ```
+//!
+//! Reads one NDJSON [`Command`] per stdin line and writes NDJSON
+//! [`Reply`] lines to stdout — scriptable from a shell:
+//!
+//! ```text
+//! $ echo '{"op":"metrics"}' | nokeys-scand
+//! {"reply":"metrics","snapshot":{...}}
+//! ```
+//!
+//! A session drives a single in-process [`JobEngine`] over real TCP.
+//! `tenant` registers per-tenant probe quotas, `submit` accepts the
+//! same [`JobSpec`](nokeys::scanner::prelude::JobSpec) that
+//! `nokeys-scan` builds from its flags, and `subscribe` streams
+//! per-batch [`Reply::Event`] lines interleaved with other replies
+//! until the job terminates. `--rate` is the global token bucket every
+//! tenant draws from; `--max-active` bounds concurrently running jobs
+//! (queued jobs dispatch by priority). Spooled checkpoints land under
+//! `--spool-dir`, so a killed daemon can be restarted and jobs
+//! re-submitted with an explicit resume policy pointing at the spool.
+//!
+//! `--fault-rate P` injects deterministic synthetic transport faults,
+//! for rehearsing retry/pause behaviour against lab targets.
+
+use nokeys::http::transport::TcpTransport;
+use nokeys::http::{Client, Transport};
+use nokeys::netsim::{FaultPlan, FaultyTransport};
+use nokeys::scanner::prelude::{Command, EngineConfig, JobEngine, JobEvent, Reply};
+use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::sync::mpsc;
+use tokio::task::JoinHandle;
+
+struct Args {
+    max_active: Option<usize>,
+    rate: Option<f64>,
+    spool_dir: Option<std::path::PathBuf>,
+    fault_rate: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nokeys-scand [--max-active N] [--rate PROBES_PER_SEC]\n\
+         \x20                 [--spool-dir DIR] [--fault-rate P]\n\
+         \n\
+         Reads NDJSON commands on stdin, writes NDJSON replies on stdout.\n\
+         Commands: tenant, submit, pause, resume, cancel, status, jobs,\n\
+         subscribe, metrics, shutdown."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        max_active: None,
+        rate: None,
+        spool_dir: None,
+        fault_rate: 0.0,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--max-active" => {
+                i += 1;
+                args.max_active = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|n| *n > 0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--rate" => {
+                i += 1;
+                args.rate = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .filter(|r| *r > 0.0)
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--spool-dir" => {
+                i += 1;
+                args.spool_dir = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            "--fault-rate" => {
+                i += 1;
+                args.fault_rate = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    args
+}
+
+#[allow(clippy::field_reassign_with_default)] // EngineConfig is #[non_exhaustive]
+fn engine_config(args: &Args) -> EngineConfig {
+    let mut config = EngineConfig::default();
+    if let Some(n) = args.max_active {
+        config.max_active = n;
+    }
+    config.max_probes_per_sec = args.rate;
+    if let Some(dir) = &args.spool_dir {
+        config.spool_dir = dir.clone();
+    }
+    config
+}
+
+/// Forward a job's event stream to the writer as [`Reply::Event`]
+/// lines, stopping at the first terminal event.
+async fn forward_events(
+    mut events: tokio::sync::broadcast::Receiver<JobEvent>,
+    out: mpsc::UnboundedSender<String>,
+) {
+    loop {
+        match events.recv().await {
+            Ok(event) => {
+                let terminal = matches!(
+                    event,
+                    JobEvent::Completed { .. } | JobEvent::Cancelled { .. } | JobEvent::Failed { .. }
+                );
+                let line = Reply::Event {
+                    event: Box::new(event),
+                }
+                .to_line();
+                if out.send(line).is_err() {
+                    return;
+                }
+                if terminal {
+                    return;
+                }
+            }
+            // A slow subscriber that lagged the ring buffer keeps
+            // streaming from the oldest retained event.
+            Err(tokio::sync::broadcast::error::RecvError::Lagged(_)) => continue,
+            Err(tokio::sync::broadcast::error::RecvError::Closed) => return,
+        }
+    }
+}
+
+async fn serve<T: Transport + Clone + 'static>(engine: JobEngine<T>) {
+    // All replies funnel through one writer task so subscription events
+    // never interleave mid-line with command replies.
+    let (out, mut out_rx) = mpsc::unbounded_channel::<String>();
+    // Spawned helpers (forwarders, slow pause/cancel acks) hold writer
+    // clones; they are aborted on shutdown so the writer can drain.
+    let mut helpers: Vec<JoinHandle<()>> = Vec::new();
+    let writer = tokio::spawn(async move {
+        let mut stdout = tokio::io::stdout();
+        while let Some(line) = out_rx.recv().await {
+            if stdout.write_all(line.as_bytes()).await.is_err() {
+                return;
+            }
+            if stdout.write_all(b"\n").await.is_err() {
+                return;
+            }
+            let _ = stdout.flush().await;
+        }
+        let _ = stdout.flush().await;
+    });
+
+    let mut lines = BufReader::new(tokio::io::stdin()).lines();
+    'commands: while let Ok(Some(line)) = lines.next_line().await {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match Command::parse(&line) {
+            Ok(command) => command,
+            Err(e) => {
+                let _ = out.send(Reply::error(e).to_line());
+                continue;
+            }
+        };
+        let reply = match command {
+            Command::Tenant { name, config } => {
+                engine.register_tenant(name, config);
+                Reply::Ok
+            }
+            Command::Submit { spec } => Reply::Submitted {
+                job: engine.submit(*spec).id(),
+            },
+            Command::Pause { job } => match engine.handle(job) {
+                // Pausing waits for the next batch boundary; run it off
+                // the command loop so other clients stay served.
+                Ok(handle) => {
+                    let out = out.clone();
+                    helpers.push(tokio::spawn(async move {
+                        let reply = match handle.pause().await {
+                            Ok(()) => Reply::Ok,
+                            Err(e) => Reply::error(e),
+                        };
+                        let _ = out.send(reply.to_line());
+                    }));
+                    continue;
+                }
+                Err(e) => Reply::error(e),
+            },
+            Command::Resume { job } => match engine.handle(job).and_then(|h| h.resume()) {
+                Ok(()) => Reply::Ok,
+                Err(e) => Reply::error(e),
+            },
+            Command::Cancel { job } => match engine.handle(job) {
+                Ok(handle) => {
+                    let out = out.clone();
+                    helpers.push(tokio::spawn(async move {
+                        let reply = match handle.cancel().await {
+                            Ok(()) => Reply::Ok,
+                            Err(e) => Reply::error(e),
+                        };
+                        let _ = out.send(reply.to_line());
+                    }));
+                    continue;
+                }
+                Err(e) => Reply::error(e),
+            },
+            Command::Status { job } => match engine.status(job) {
+                Ok(status) => Reply::Status { status },
+                Err(e) => Reply::error(e),
+            },
+            Command::Jobs => Reply::Jobs {
+                jobs: engine.jobs(),
+            },
+            Command::Subscribe { job } => match engine.handle(job) {
+                Ok(handle) => match (handle.status(), handle.subscribe()) {
+                    (Ok(status), Ok(events)) => {
+                        if status.state.is_terminal() {
+                            // Nothing left to stream; ack and move on
+                            // rather than park a forwarder forever.
+                            Reply::Ok
+                        } else {
+                            helpers.push(tokio::spawn(forward_events(events, out.clone())));
+                            Reply::Ok
+                        }
+                    }
+                    (Err(e), _) | (_, Err(e)) => Reply::error(e),
+                },
+                Err(e) => Reply::error(e),
+            },
+            Command::Metrics => Reply::Metrics {
+                snapshot: engine.metrics(),
+            },
+            Command::Shutdown => {
+                let _ = out.send(Reply::Ok.to_line());
+                break 'commands;
+            }
+            // Command is #[non_exhaustive]; future ops degrade to a
+            // structured error instead of a protocol break.
+            _ => Reply::error("unsupported command"),
+        };
+        let _ = out.send(reply.to_line());
+    }
+
+    // Abort the helpers (they hold writer clones and would otherwise
+    // keep the channel open forever), then drop our sender so the
+    // writer drains queued replies and exits. Running jobs are
+    // abandoned, matching the documented shutdown contract.
+    for helper in &helpers {
+        helper.abort();
+    }
+    for helper in helpers {
+        let _ = helper.await;
+    }
+    drop(out);
+    let _ = writer.await;
+}
+
+#[tokio::main]
+async fn main() {
+    let args = parse_args();
+    if args.fault_rate > 0.0 {
+        eprintln!(
+            "injecting synthetic transport faults at rate {}",
+            args.fault_rate
+        );
+    }
+    let fault_plan = FaultPlan::new(args.fault_rate, 0x6e6f_6b65_7973);
+    let transport = FaultyTransport::new(TcpTransport::default(), fault_plan);
+    let engine = JobEngine::with_config(Client::new(transport), engine_config(&args));
+    serve(engine).await;
+}

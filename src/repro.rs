@@ -7,8 +7,9 @@ use nokeys_defend::VendorFinding;
 use nokeys_honeypot::{run_study, StudyConfig, StudyResult};
 use nokeys_netsim::observer_clock::wire_observer_clock;
 use nokeys_netsim::{FaultLane, SimTransport, Universe, UniverseConfig};
-use nokeys_scanner::observer::{observe_instrumented, LongevityStudy, ObserverConfig};
-use nokeys_scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry};
+use nokeys_scanner::observer::LongevityStudy;
+use nokeys_scanner::prelude::{CheckpointPolicy, JobEngine, JobSpec, ObserveSpec, ScanSpec};
+use nokeys_scanner::{ScanReport, Telemetry};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -132,30 +133,34 @@ impl Repro {
             let client = nokeys_http::Client::new(transport.clone());
             // Faults or not, the per-(endpoint, lane, ordinal) fault
             // schedule and the retry layer keep the concurrent pipeline's
-            // report byte-identical to the sequential one.
-            let mut builder = PipelineConfig::builder(vec![self.universe_config.space])
-                .parallelism(8)
-                .shards(self.shards)
-                .retries(self.retries)
-                .telemetry(self.telemetry.clone());
-            if let Some(checkpoint) = &self.checkpoint {
-                builder = builder
-                    .checkpoint_path(checkpoint.path.clone())
-                    .checkpoint_every(checkpoint.every);
-            }
-            let pipeline = Pipeline::new(builder.build());
-            // Resume when asked to and a checkpoint exists; otherwise a
-            // fresh (checkpointed, if configured) run.
-            let resume_from = self
-                .checkpoint
-                .as_ref()
-                .filter(|c| c.resume && c.path.exists())
-                .map(|c| c.path.clone());
-            let result = match resume_from {
-                Some(path) => pipeline.resume(&client, &path).await,
-                None => pipeline.run(&client).await,
+            // report byte-identical to the sequential one. The harness
+            // submits through the job engine — the same serializable
+            // spec path as the CLIs and `nokeys-scand` — and folds the
+            // job's telemetry back into its own registry, so snapshots
+            // are indistinguishable from driving the pipeline directly.
+            let mut scan = ScanSpec::new(vec![self.universe_config.space]);
+            scan.parallelism = Some(8);
+            scan.shards = Some(self.shards);
+            scan.retries = Some(self.retries);
+            let mut spec = JobSpec::scan("repro", scan);
+            spec.checkpoint = match &self.checkpoint {
+                // The engine resumes when asked to and a checkpoint
+                // exists; otherwise a fresh (checkpointed) run.
+                Some(c) => CheckpointPolicy::Explicit {
+                    path: c.path.clone(),
+                    every: c.every,
+                    resume: c.resume,
+                },
+                None => CheckpointPolicy::Disabled,
             };
-            let report = result.unwrap_or_else(|e| panic!("scan pipeline failed: {e}"));
+            let engine = JobEngine::new(client);
+            let outcome = engine
+                .submit(spec)
+                .wait()
+                .await
+                .unwrap_or_else(|e| panic!("scan pipeline failed: {e}"));
+            self.telemetry.absorb(outcome.telemetry());
+            let report = outcome.report().expect("scan jobs report").clone();
             self.scan = Some((transport, report));
         }
         self.scan.as_ref().expect("just initialized")
@@ -172,20 +177,22 @@ impl Repro {
             let transport = transport.clone();
             let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
             let client = nokeys_http::Client::new(transport.clone());
-            let config = ObserverConfig {
-                interval_secs: interval,
-                window_secs: 28 * 86_400,
-                ..ObserverConfig::default()
-            };
-            let telemetry = self.telemetry.clone();
-            let study = observe_instrumented(
-                &telemetry,
-                &client,
-                &vulnerable,
-                &config,
-                wire_observer_clock(&transport),
-            )
-            .await;
+            // A one-shot observe job on an engine wired to the simulated
+            // clock — the recurring flavour of the same job is what
+            // `nokeys-scand` schedules (EXPERIMENTS.md).
+            let engine =
+                JobEngine::new(client).with_clock(wire_observer_clock(&transport));
+            let spec = JobSpec::observe(
+                "repro",
+                ObserveSpec::new(vulnerable, interval, 28 * 86_400),
+            );
+            let outcome = engine
+                .submit(spec)
+                .wait()
+                .await
+                .unwrap_or_else(|e| panic!("longevity observation failed: {e}"));
+            self.telemetry.absorb(outcome.telemetry());
+            let study = outcome.study().expect("observe jobs study").clone();
             self.longevity = Some(study);
         }
         self.longevity.as_ref().expect("just initialized")

@@ -1,0 +1,371 @@
+//! The scan-as-a-service contract: a job submitted through the
+//! multi-tenant `JobEngine` must be indistinguishable — in report bytes
+//! and telemetry — from driving `Pipeline::run` directly, at any
+//! parallelism or shard count, faults on or off, through a mid-run
+//! pause/resume, and when two tenants with unequal probe quotas run
+//! concurrently. Recurring observer jobs must reconcile exactly with
+//! the `observe_instrumented` + `observe_incremental` sequence they
+//! schedule.
+
+use nokeys::http::{BlockSweepResult, Client, Endpoint, ProbeOutcome, Scheme, Transport};
+use nokeys::netsim::observer_clock::wire_observer_clock;
+use nokeys::netsim::{Cidr, SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::observer::{observe_incremental, observe_instrumented, ObserverConfig};
+use nokeys::scanner::prelude::{
+    CheckpointPolicy, JobEngine, JobError, JobEvent, JobSpec, JobState, LongevityStudy,
+    ObserveSpec, PortScanConfig, Recurrence, ScanSpec, TenantConfig,
+};
+use nokeys::scanner::{Pipeline, PortScanner, ScanReport, Telemetry};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn universe() -> Arc<Universe> {
+    Arc::new(Universe::generate(UniverseConfig::tiny(42)))
+}
+
+fn space() -> Cidr {
+    UniverseConfig::tiny(42).space
+}
+
+fn transport(universe: &Arc<Universe>, fault_rate: f64) -> SimTransport {
+    let t = SimTransport::new(Arc::clone(universe));
+    if fault_rate > 0.0 {
+        t.with_fault_injection(fault_rate)
+    } else {
+        t
+    }
+}
+
+fn report_json(report: &ScanReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+fn study_json(study: &LongevityStudy) -> String {
+    serde_json::to_string(study).expect("study serializes")
+}
+
+fn checkpoint_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nokeys-job-engine-{tag}-{}.json", std::process::id()))
+}
+
+/// The reference bytes: the spec's own builder, driven directly.
+async fn direct_baseline(universe: &Arc<Universe>, fault_rate: f64) -> (String, String, u64) {
+    let telemetry = Telemetry::new();
+    let config = ScanSpec::new(vec![space()])
+        .to_builder()
+        .telemetry(telemetry.clone())
+        .build();
+    let report = Pipeline::new(config)
+        .run(&Client::new(transport(universe, fault_rate)))
+        .await
+        .expect("direct run");
+    (
+        report_json(&report),
+        telemetry.snapshot().to_json(),
+        report.probes_sent,
+    )
+}
+
+fn scan_job(tenant: &str, parallelism: usize, shards: usize) -> JobSpec {
+    let mut scan = ScanSpec::new(vec![space()]);
+    scan.parallelism = Some(parallelism);
+    scan.shards = Some(shards);
+    let mut spec = JobSpec::scan(tenant, scan);
+    spec.checkpoint = CheckpointPolicy::Disabled;
+    spec
+}
+
+/// Engine jobs reproduce the direct pipeline bytes at every
+/// (parallelism, shard count, fault rate) combination.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn engine_jobs_match_direct_runs_across_the_matrix() {
+    let universe = universe();
+    for fault_rate in [0.0, 0.05] {
+        let (baseline_report, baseline_snap, _) = direct_baseline(&universe, fault_rate).await;
+        for parallelism in [1usize, 8] {
+            for shards in [1usize, 4] {
+                let engine = JobEngine::new(Client::new(transport(&universe, fault_rate)));
+                let handle = engine.submit(scan_job("t0", parallelism, shards));
+                let outcome = handle.wait().await.expect("job completes");
+                assert_eq!(
+                    report_json(outcome.report().expect("scan report")),
+                    baseline_report,
+                    "report diverged (p{parallelism}, K={shards}, faults {fault_rate})"
+                );
+                assert_eq!(
+                    outcome.telemetry().to_json(),
+                    baseline_snap,
+                    "telemetry diverged (p{parallelism}, K={shards}, faults {fault_rate})"
+                );
+            }
+        }
+    }
+}
+
+/// A transport that wedges the sweep of one block until the test opens
+/// the gate, so a pause request deterministically lands mid-run.
+#[derive(Clone)]
+struct GateTransport {
+    inner: SimTransport,
+    target: Cidr,
+    open: tokio::sync::watch::Receiver<bool>,
+}
+
+impl Transport for GateTransport {
+    type Conn = <SimTransport as Transport>::Conn;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        self.inner.probe(ep).await
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> nokeys::http::Result<Self::Conn> {
+        self.inner.connect(ep, scheme).await
+    }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        if block == self.target {
+            let mut open = self.open.clone();
+            while !*open.borrow_and_update() {
+                if open.changed().await.is_err() {
+                    break;
+                }
+            }
+        }
+        self.inner.sweep_block(block, ports).await
+    }
+}
+
+/// Pause a running job at a batch boundary, resume it, and get the
+/// uninterrupted bytes back — faults on and off.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn paused_and_resumed_job_is_byte_identical() {
+    let universe = universe();
+    // The sweep order is the seeded shuffle; at 16 blocks per batch,
+    // shuffle[32] is the first block of batch 2 — the gate pins the
+    // sweep there while batches 0 and 1 drain to the consumer.
+    let shuffle = PortScanner::new(PortScanConfig::new(vec![space()])).shuffled_blocks();
+    for fault_rate in [0.0, 0.05] {
+        let (baseline_report, baseline_snap, _) = direct_baseline(&universe, fault_rate).await;
+        let (open_tx, open_rx) = tokio::sync::watch::channel(false);
+        let gated = GateTransport {
+            inner: transport(&universe, fault_rate),
+            target: shuffle[32],
+            open: open_rx,
+        };
+        let engine = JobEngine::new(Client::new(gated));
+        let path = checkpoint_path(&format!("pause-f{}", (fault_rate * 100.0) as u32));
+        let _ = std::fs::remove_file(&path);
+        let mut scan = ScanSpec::new(vec![space()]);
+        scan.parallelism = Some(1);
+        scan.blocks_per_batch = Some(16);
+        let mut spec = JobSpec::scan("t0", scan);
+        spec.checkpoint = CheckpointPolicy::Explicit {
+            path: path.clone(),
+            every: 1,
+            resume: false,
+        };
+        let handle = engine.submit(spec);
+
+        // Both completed batches are processed, batch 2 is wedged.
+        while handle.status().expect("status").batches_done < 2 {
+            tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+        }
+        handle.pause().await.expect("pause at the batch boundary");
+        let status = handle.status().expect("status");
+        assert_eq!(status.state, JobState::Paused);
+        assert_eq!(status.batches_done, 2, "paused at the wedged boundary");
+        assert!(path.exists(), "pause persisted a checkpoint");
+
+        let mut events = handle.subscribe().expect("subscribe");
+        open_tx.send(true).expect("open the gate");
+        handle.resume().expect("resume");
+        let mut saw_resumed = false;
+        let mut batch_seqs = Vec::new();
+        loop {
+            match events.recv().await.expect("event stream") {
+                JobEvent::Resumed { .. } => saw_resumed = true,
+                JobEvent::Batch { seq, .. } => batch_seqs.push(seq),
+                JobEvent::Completed { .. } => break,
+                _ => {}
+            }
+        }
+        assert!(saw_resumed, "resume replays from the checkpoint");
+        // 256 blocks at 16 per batch = 16 batches; 0 and 1 ran before
+        // the pause, so the resumed leg streams exactly 2..=15.
+        assert_eq!(batch_seqs, (2u64..16).collect::<Vec<_>>());
+
+        let outcome = handle.wait().await.expect("job completes");
+        assert_eq!(
+            report_json(outcome.report().expect("scan report")),
+            baseline_report,
+            "pause/resume changed the report (faults {fault_rate})"
+        );
+        assert_eq!(
+            outcome.telemetry().to_json(),
+            baseline_snap,
+            "pause/resume changed the telemetry (faults {fault_rate})"
+        );
+        let metrics = engine.metrics();
+        assert_eq!(metrics.counter("engine.jobs.paused"), 1);
+        assert_eq!(metrics.counter("engine.jobs.resumed"), 1);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// Cancelling a gated (running) job reports `Cancelled` and removes its
+/// checkpoint files.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn cancelled_running_job_cleans_up() {
+    let universe = universe();
+    let shuffle = PortScanner::new(PortScanConfig::new(vec![space()])).shuffled_blocks();
+    let (_open_tx, open_rx) = tokio::sync::watch::channel(false);
+    let gated = GateTransport {
+        inner: transport(&universe, 0.0),
+        target: shuffle[32],
+        open: open_rx,
+    };
+    let engine = JobEngine::new(Client::new(gated));
+    let path = checkpoint_path("cancel");
+    let _ = std::fs::remove_file(&path);
+    let mut scan = ScanSpec::new(vec![space()]);
+    scan.parallelism = Some(1);
+    scan.blocks_per_batch = Some(16);
+    let mut spec = JobSpec::scan("t0", scan);
+    spec.checkpoint = CheckpointPolicy::Explicit {
+        path: path.clone(),
+        every: 1,
+        resume: false,
+    };
+    let handle = engine.submit(spec);
+    while handle.status().expect("status").batches_done < 2 {
+        tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+    }
+    handle.cancel().await.expect("cancel running job");
+    assert!(matches!(handle.wait().await, Err(JobError::Cancelled(_))));
+    assert_eq!(handle.status().expect("status").state, JobState::Cancelled);
+    assert!(!path.exists(), "cancel removes checkpoint files");
+    assert_eq!(engine.metrics().counter("engine.jobs.cancelled"), 1);
+}
+
+/// Two tenants with unequal probe quotas run concurrently: pacing slows
+/// the slower tenant but changes no bytes, and probe accounting is
+/// exact and order-independent — each job's counters equal the direct
+/// run's, and the engine registry holds exactly their sum.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn unequal_tenant_quotas_keep_exact_accounting() {
+    let universe = universe();
+    let (baseline_report, baseline_snap, direct_probes) = direct_baseline(&universe, 0.0).await;
+
+    let engine = JobEngine::new(Client::new(transport(&universe, 0.0)));
+    // Unequal quotas: the slower tenant's bucket forces real pacing
+    // while the faster one's burst swallows the whole sweep.
+    engine.register_tenant("gold", TenantConfig::rate(2_000_000.0));
+    engine.register_tenant("steel", TenantConfig::rate(400_000.0));
+    let gold = engine.submit(scan_job("gold", 8, 1));
+    let steel = engine.submit(scan_job("steel", 8, 1));
+    let gold_outcome = gold.wait().await.expect("gold job");
+    let steel_outcome = steel.wait().await.expect("steel job");
+
+    for (tenant, outcome) in [("gold", &gold_outcome), ("steel", &steel_outcome)] {
+        assert_eq!(
+            report_json(outcome.report().expect("scan report")),
+            baseline_report,
+            "tenant {tenant} report diverged under quota"
+        );
+        assert_eq!(
+            outcome.telemetry().to_json(),
+            baseline_snap,
+            "tenant {tenant} telemetry diverged under quota"
+        );
+        assert_eq!(
+            outcome.telemetry().counter("stage1.probes_sent"),
+            direct_probes,
+            "tenant {tenant} probe accounting diverged"
+        );
+    }
+
+    // The engine registry absorbed both jobs: totals are the exact sum
+    // no matter which job finished first.
+    let metrics = engine.metrics();
+    assert_eq!(metrics.counter("engine.jobs.submitted"), 2);
+    assert_eq!(metrics.counter("engine.jobs.completed"), 2);
+    assert_eq!(
+        metrics.counter("stage1.probes_sent"),
+        2 * direct_probes,
+        "engine registry must hold the order-independent sum"
+    );
+}
+
+/// A recurring observer job reconciles exactly with the
+/// `observe_instrumented` (round 1) + `observe_incremental` (rounds
+/// 2..N) sequence it schedules.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn recurring_observer_job_reconciles_with_incremental_rescans() {
+    let universe = universe();
+    let sim = SimTransport::new(Arc::clone(&universe));
+    let client = Client::new(sim.clone());
+    let scan_config = ScanSpec::new(vec![space()])
+        .to_builder()
+        .telemetry(Telemetry::new())
+        .build();
+    let report = Pipeline::new(scan_config)
+        .run(&client)
+        .await
+        .expect("seed scan");
+    let vulnerable: Vec<_> = report.vulnerable_findings().cloned().collect();
+    assert!(!vulnerable.is_empty(), "tiny universe seeds MAV hosts");
+
+    let interval: i64 = 86_400;
+    let rounds: u32 = 4;
+
+    // The direct sequence the recurring job is specified to schedule.
+    let direct_telemetry = Telemetry::new();
+    let mut config = ObserverConfig {
+        interval_secs: interval,
+        window_secs: 0,
+        ..ObserverConfig::default()
+    };
+    let mut study = observe_instrumented(
+        &direct_telemetry,
+        &client,
+        &vulnerable,
+        &config,
+        wire_observer_clock(&sim),
+    )
+    .await;
+    for round in 2..=rounds {
+        config.window_secs = interval * i64::from(round - 1);
+        let (next, _delta) = observe_incremental(
+            &direct_telemetry,
+            &client,
+            study,
+            &config,
+            wire_observer_clock(&sim),
+        )
+        .await;
+        study = next;
+    }
+
+    let engine =
+        JobEngine::new(Client::new(sim.clone())).with_clock(wire_observer_clock(&sim));
+    let mut spec = JobSpec::observe("t0", ObserveSpec::new(vulnerable, interval, 0));
+    spec.recurrence = Recurrence::Repeat {
+        every_secs: 0,
+        rounds,
+    };
+    let handle = engine.submit(spec);
+    let outcome = handle.wait().await.expect("observe job");
+
+    assert_eq!(
+        study_json(outcome.study().expect("observe study")),
+        study_json(&study),
+        "recurring job diverged from the incremental sequence"
+    );
+    assert_eq!(
+        outcome.telemetry().to_json(),
+        direct_telemetry.snapshot().to_json(),
+        "observer telemetry diverged"
+    );
+    assert_eq!(handle.status().expect("status").rounds_done, rounds);
+    assert_eq!(engine.metrics().counter("engine.observe.rounds"), u64::from(rounds));
+}

@@ -84,6 +84,9 @@ fn nokeys_scan_rejects_malformed_flag_values() {
         &["--target", "192.0.2.0/28", "--fault-rate", "-1"],
         &["--target", "192.0.2.0/28", "--rate", "fast"],
         &["--target", "192.0.2.0/28", "--parallelism", "0"],
+        &["--target", "192.0.2.0/28", "--fleet-shard", "1of4"],
+        // the pre-rename spelling survives as a hidden alias with the
+        // same strict K/N validation
         &["--target", "192.0.2.0/28", "--shard", "1of4"],
         &["--target", "192.0.2.0/28", "--checkpoint-every", "0"],
         &["--target", "192.0.2.0/28", "--resume"],
