@@ -357,4 +357,23 @@ mod tests {
         };
         assert!(cp.validate(&ConfigFingerprint::of(&s8)).is_ok());
     }
+
+    /// Like shard count, the external worker count repartitions the
+    /// same deterministic batch sequence: a checkpoint taken at
+    /// `--workers 2` must resume at `--workers 4`, in-process, or
+    /// vice versa. `ScanSpec::workers` never reaches the pipeline
+    /// config, so the fingerprint cannot depend on it.
+    #[test]
+    fn workers_are_not_fingerprinted() {
+        use crate::jobs::ScanSpec;
+        let targets: Vec<crate::portscan::Cidr> = vec!["20.0.0.0/16".parse().unwrap()];
+        let mut w0 = ScanSpec::new(targets.clone());
+        let mut w4 = ScanSpec::new(targets);
+        w0.workers = None;
+        w4.workers = Some(4);
+        assert_eq!(
+            ConfigFingerprint::of(&w0.to_builder().build()),
+            ConfigFingerprint::of(&w4.to_builder().build())
+        );
+    }
 }

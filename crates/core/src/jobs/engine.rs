@@ -25,10 +25,11 @@
 //! engine's own `engine.*` counters live in the engine registry and are
 //! never mixed into any job's.
 
+use super::process::WorkerLaunch;
 use super::quota::Tenant;
 use super::{
-    CheckpointPolicy, JobError, JobEvent, JobId, JobKind, JobOutcome, JobSpec, JobState,
-    JobStatus, ObserveSpec, Recurrence, ScanSpec, TenantConfig,
+    CheckpointPolicy, JobError, JobEvent, JobId, JobKind, JobOutcome, JobResync, JobSpec,
+    JobState, JobStatus, ObserveSpec, Recurrence, ScanSpec, TenantConfig,
 };
 use crate::checkpoint::{ConfigFingerprint, ScanCheckpoint, CHECKPOINT_FORMAT};
 use crate::observer::{
@@ -69,6 +70,10 @@ pub struct EngineConfig {
     /// Per-job broadcast buffer for [`JobEvent`]s; slow subscribers that
     /// fall further behind observe `Lagged` and lose oldest events.
     pub events_capacity: usize,
+    /// How to launch external scan workers; `None` (the default)
+    /// disables the process tier, and a scan with `workers > 0` fails
+    /// with a clear error instead of silently running in-process.
+    pub worker_launch: Option<WorkerLaunch>,
 }
 
 impl Default for EngineConfig {
@@ -78,6 +83,7 @@ impl Default for EngineConfig {
             max_active: 4,
             max_probes_per_sec: None,
             events_capacity: 256,
+            worker_launch: None,
         }
     }
 }
@@ -130,6 +136,10 @@ struct JobRecord {
     pacer: Option<SharedPacer>,
     batches_done: u64,
     rounds_done: u32,
+    /// Cumulative (report, telemetry) of the current unsharded round,
+    /// refreshed per batch — the payload a lagged subscriber resyncs
+    /// from.
+    progress: Option<Box<(ScanReport, TelemetrySnapshot)>>,
 }
 
 struct Inner<T: Transport + Clone + 'static> {
@@ -272,6 +282,7 @@ impl<T: Transport + Clone + 'static> JobEngine<T> {
             pacer,
             batches_done: 0,
             rounds_done: 0,
+            progress: None,
         };
         inner.jobs.lock().expect("jobs lock").insert(id, record);
         inner.queue.lock().expect("queue lock").push(id);
@@ -347,6 +358,14 @@ impl<T: Transport + Clone + 'static> JobHandle<T> {
         let jobs = self.inner.jobs.lock().expect("jobs lock");
         let job = jobs.get(&self.id.0).ok_or(JobError::UnknownJob(self.id))?;
         Ok(job.events.subscribe())
+    }
+
+    /// Full-state snapshot for a subscriber that lagged and lost
+    /// [`JobEvent::Batch`] deltas: current status plus the cumulative
+    /// report and telemetry so far (the final outcome's, once the job
+    /// completed). Rebuild from this instead of summing missed deltas.
+    pub fn resync(&self) -> Result<JobResync, JobError> {
+        self.inner.resync(self.id)
     }
 
     /// Pause at the next batch boundary (unsharded: cooperative stop +
@@ -434,6 +453,42 @@ impl<T: Transport + Clone + 'static> Inner<T> {
         }
     }
 
+    fn note_progress(&self, id: JobId, report: &ScanReport, snapshot: TelemetrySnapshot) {
+        if let Some(job) = self.jobs.lock().expect("jobs lock").get_mut(&id.0) {
+            job.progress = Some(Box::new((report.clone(), snapshot)));
+        }
+    }
+
+    fn resync(&self, id: JobId) -> Result<JobResync, JobError> {
+        let jobs = self.jobs.lock().expect("jobs lock");
+        let job = jobs.get(&id.0).ok_or(JobError::UnknownJob(id))?;
+        let status = JobStatus {
+            id,
+            tenant: job.spec.tenant.clone(),
+            state: job.state,
+            batches_done: job.batches_done,
+            rounds_done: job.rounds_done,
+        };
+        // Completed jobs snapshot from the outcome; live unsharded
+        // scans from the per-batch progress cell.
+        let (report, telemetry) = match (&job.outcome, &job.progress) {
+            (Some(outcome), _) => (
+                outcome.report().cloned().map(Box::new),
+                Some(outcome.telemetry().clone()),
+            ),
+            (None, Some(progress)) => (
+                Some(Box::new(progress.0.clone())),
+                Some(progress.1.clone()),
+            ),
+            (None, None) => (None, None),
+        };
+        Ok(JobResync {
+            status,
+            report,
+            telemetry,
+        })
+    }
+
     fn note_round(&self, id: JobId, rounds_done: u32) {
         if let Some(job) = self.jobs.lock().expect("jobs lock").get_mut(&id.0) {
             job.rounds_done = rounds_done;
@@ -474,9 +529,13 @@ impl<T: Transport + Clone + 'static> Inner<T> {
                     PauseMode::Queued
                 }
                 JobState::Running => {
+                    // Process-tier scans pause like sharded ones: abort
+                    // the coordinator (killing its workers) and rely on
+                    // the crash-safe shard files it wrote.
                     let sharded = matches!(
                         &job.spec.kind,
-                        JobKind::Scan(scan) if scan.shards.unwrap_or(1) > 1
+                        JobKind::Scan(scan)
+                            if scan.shards.unwrap_or(1) > 1 || scan.workers.unwrap_or(0) > 0
                     );
                     if sharded {
                         match job.task.take() {
@@ -807,7 +866,33 @@ where
                     .as_ref()
                     .map(|(p, _)| !existing_shard_files(p).is_empty())
                     .unwrap_or(false));
-        let result = if sharded {
+        // The process tier takes precedence: its shard files resume
+        // through it, not the in-process orchestrator, though either
+        // would produce the same bytes. The job's pacer chain cannot
+        // cross the process boundary — workers self-pace from the spec.
+        let process_workers = scan.workers.unwrap_or(0);
+        let result = if process_workers > 0 {
+            match &inner.config.worker_launch {
+                Some(launch) => {
+                    run_scan_process(
+                        &config,
+                        scan,
+                        launch,
+                        process_workers,
+                        checkpoint.as_ref().map(|(p, _)| p.as_path()),
+                        resuming,
+                    )
+                    .await
+                }
+                None => {
+                    return DriveEnd::Failed(
+                        "scan requests external workers but the engine has no \
+                         worker_launch configured"
+                            .into(),
+                    )
+                }
+            }
+        } else if sharded {
             run_scan_sharded(
                 inner,
                 &config,
@@ -970,6 +1055,7 @@ where
                 inner.note_batches(id, batches_done);
                 let snapshot = telemetry.snapshot();
                 let event_delta = snapshot.delta_since(&prev);
+                inner.note_progress(id, &report, snapshot.clone());
                 prev = snapshot;
                 let _ = events.send(JobEvent::Batch {
                     job: id,
@@ -1053,6 +1139,33 @@ where
         path,
         resume,
         pacer.cloned(),
+    )
+    .await?;
+    Ok(ScanRun::Finished {
+        report,
+        telemetry: telemetry.snapshot(),
+    })
+}
+
+/// One process-tier scan round: lease batch ranges to external
+/// `nokeys-worker` processes and merge their streamed segments. Same
+/// resume semantics as the sharded round — the coordinator writes the
+/// same per-shard files — so a pause-as-abort resumes seamlessly.
+async fn run_scan_process(
+    config: &PipelineConfig,
+    scan: &ScanSpec,
+    launch: &WorkerLaunch,
+    workers: usize,
+    path: Option<&Path>,
+    resuming: bool,
+) -> Result<ScanRun, PipelineError> {
+    let telemetry = Telemetry::new();
+    let resume = resuming
+        && path
+            .map(|p| p.exists() || !existing_shard_files(p).is_empty())
+            .unwrap_or(false);
+    let (report, _stats) = crate::jobs::process::run_process_tier(
+        config, scan, launch, workers, &telemetry, path, resume,
     )
     .await?;
     Ok(ScanRun::Finished {

@@ -40,10 +40,12 @@
 //! (`engine.*`) live in the engine's own registry, never in a job's.
 
 pub mod engine;
+pub mod process;
 pub mod quota;
 pub mod wire;
 
 pub use engine::{EngineConfig, JobEngine, JobHandle};
+pub use process::WorkerLaunch;
 pub use quota::TenantConfig;
 
 use crate::observer::{LongevityStudy, RescanDelta};
@@ -165,6 +167,13 @@ pub struct ScanSpec {
     /// Real milliseconds per backoff unit (default 0: virtual-only).
     #[serde(default)]
     pub retry_real_unit_ms: Option<u64>,
+    /// External worker-process count (>0 routes through the process
+    /// tier — requires [`EngineConfig::worker_launch`]). Deliberately
+    /// *not* part of the pipeline config or its checkpoint fingerprint:
+    /// like `shards`, it changes who does the work, never what the work
+    /// produces.
+    #[serde(default)]
+    pub workers: Option<usize>,
 }
 
 impl ScanSpec {
@@ -185,6 +194,7 @@ impl ScanSpec {
             shards: None,
             retries: None,
             retry_real_unit_ms: None,
+            workers: None,
         }
     }
 
@@ -391,6 +401,22 @@ pub struct JobStatus {
     pub rounds_done: u32,
 }
 
+/// Full-state snapshot of a job, sent to a lagged subscriber (via
+/// [`wire::Reply::Gap`]) so it can rebuild cumulative state instead of
+/// summing [`JobEvent::Batch`] deltas it never received.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[non_exhaustive]
+pub struct JobResync {
+    /// Point-in-time status at the moment of the snapshot.
+    pub status: JobStatus,
+    /// Cumulative report so far (current round), when the job has
+    /// produced one — `None` for observe jobs and not-yet-started
+    /// scans.
+    pub report: Option<Box<ScanReport>>,
+    /// Cumulative job-registry telemetry matching `report`.
+    pub telemetry: Option<TelemetrySnapshot>,
+}
+
 /// Final product of a completed job.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "kind", rename_all = "snake_case")]
@@ -540,6 +566,7 @@ mod tests {
         spec.parallelism = Some(4);
         spec.retries = Some(5);
         spec.max_probes_per_sec = Some(250.0);
+        spec.workers = Some(2);
         let mut job = JobSpec::scan("acme", spec);
         job.priority = 3;
         job.recurrence = Recurrence::Repeat {
@@ -562,6 +589,7 @@ mod tests {
                 assert_eq!(s.parallelism, Some(4));
                 assert_eq!(s.retries, Some(5));
                 assert_eq!(s.max_probes_per_sec, Some(250.0));
+                assert_eq!(s.workers, Some(2));
             }
             other => panic!("wrong kind: {other:?}"),
         }

@@ -1,0 +1,623 @@
+//! Process tier: external `nokeys-worker` processes driven over NDJSON
+//! pipes — the out-of-process mirror of the in-process shard tier.
+//!
+//! The coordinator leases contiguous batch ranges to worker processes
+//! ([`wire::WorkerCommand::Lease`]), each worker runs the shard
+//! pipeline over its lease and streams serialized
+//! [`ShardSegment`](crate::shard::ShardSegment) partials back
+//! ([`wire::WorkerReply::Segment`]). Because both tiers reduce through
+//! the same order-independent [`merge_segments`] and share the same
+//! per-shard checkpoint files, the merged report and telemetry are
+//! **byte-identical** to a single-process run of the same spec at any
+//! worker count — including runs where a worker is killed mid-scan and
+//! its unfinished lease is re-issued.
+//!
+//! Design points, mirroring the in-process [`WorkQueue`]:
+//!
+//! * **Steal-on-straggle** — when a worker goes idle with no pending
+//!   ranges, the coordinator revokes the tail half of the largest
+//!   active lease ([`wire::WorkerCommand::Revoke`]) and re-leases it
+//!   once the victim reports where it actually stopped.
+//! * **Loss detection** — a worker whose pipe goes quiet past the
+//!   heartbeat timeout (or closes outright) is killed; its unscanned
+//!   lease tail `[confirmed, end)` re-enters the pending queue and a
+//!   fresh process is spawned into the slot, up to a respawn budget.
+//! * **Coordinator-owned persistence** — workers never touch the
+//!   filesystem. The coordinator writes each slot's confirmed segments
+//!   to the same `<base>.shard-<slot>` files the in-process tier uses,
+//!   so a killed *coordinator* resumes through the identical
+//!   [`load_resume_state`] path, sharded or process-tiered.
+//!
+//! What does **not** cross the process boundary is the job→tenant→
+//! global pacer chain: each worker self-paces from the spec's rate, so
+//! `N` workers honor `N×` the configured ceiling. Pacing is virtual
+//! waiting time and never changes report bytes.
+//!
+//! [`WorkQueue`]: crate::shard
+//! [`merge_segments`]: crate::shard::merge_segments
+//! [`load_resume_state`]: crate::shard
+//! [`wire::WorkerCommand::Lease`]: super::wire::WorkerCommand::Lease
+//! [`wire::WorkerCommand::Revoke`]: super::wire::WorkerCommand::Revoke
+//! [`wire::WorkerReply::Segment`]: super::wire::WorkerReply::Segment
+
+use super::wire::{WorkerCommand, WorkerReply};
+use super::ScanSpec;
+use crate::checkpoint::ConfigFingerprint;
+use crate::pipeline::{PipelineConfig, PipelineError};
+use crate::report::ScanReport;
+use crate::shard::{
+    check_full_coverage, clear_checkpoint_files, complement, finalize_checkpoint,
+    load_resume_state, merge_segments, plan_initial_ranges, shard_worker_path, total_batches,
+    ResumeState, ShardCheckpoint, ShardSegment, ShardStats, SHARD_CHECKPOINT_FORMAT,
+};
+use crate::telemetry::Telemetry;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::time::{Duration, Instant};
+use tokio::sync::mpsc;
+
+/// How the engine launches external scan workers. Set on
+/// [`EngineConfig::worker_launch`](super::EngineConfig) to enable
+/// process-tier scans (`ScanSpec::workers > 0`).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct WorkerLaunch {
+    /// Worker executable (typically the `nokeys-worker` binary).
+    pub program: PathBuf,
+    /// Extra arguments (fault-injection hooks in tests).
+    pub args: Vec<String>,
+    /// Opaque transport description, forwarded to every worker
+    /// verbatim in its spec line. The core crate deliberately cannot
+    /// decode it: transports live above this crate.
+    pub transport: serde_json::Value,
+    /// Batches per streamed segment chunk (smaller = finer recovery
+    /// granularity, more pipe traffic).
+    pub chunk: u64,
+    /// Real milliseconds of pipe silence after which a leased worker
+    /// is declared lost and respawned.
+    pub heartbeat_timeout_ms: u64,
+    /// Total worker respawns allowed before the run fails.
+    pub max_respawns: u32,
+}
+
+impl WorkerLaunch {
+    /// Launch `program` with `transport` and default tuning.
+    pub fn new(program: impl Into<PathBuf>, transport: serde_json::Value) -> Self {
+        WorkerLaunch {
+            program: program.into(),
+            args: Vec::new(),
+            transport,
+            chunk: 4,
+            heartbeat_timeout_ms: 30_000,
+            max_respawns: 8,
+        }
+    }
+
+    /// Extra command-line arguments for every spawned worker.
+    pub fn with_args(mut self, args: Vec<String>) -> Self {
+        self.args = args;
+        self
+    }
+
+    /// Batches per streamed segment chunk.
+    pub fn with_chunk(mut self, chunk: u64) -> Self {
+        self.chunk = chunk.max(1);
+        self
+    }
+
+    /// Heartbeat timeout in real milliseconds.
+    pub fn with_heartbeat_timeout_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Total respawn budget.
+    pub fn with_max_respawns(mut self, n: u32) -> Self {
+        self.max_respawns = n;
+        self
+    }
+}
+
+/// The first line on a worker's stdin: everything the process needs to
+/// rebuild the coordinator's pipeline exactly. The worker answers with
+/// [`WorkerReply::Hello`] carrying its own batch count, which the
+/// coordinator cross-checks against its own — any disagreement means
+/// config drift and is fatal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkerSpec {
+    /// The scan to run. `workers` and the checkpoint policy are
+    /// coordinator concerns and ignored by the worker.
+    pub scan: ScanSpec,
+    /// Opaque transport description, decoded by the worker binary.
+    pub transport: serde_json::Value,
+    /// Batches per streamed segment chunk.
+    pub chunk: u64,
+}
+
+enum PipeEvent {
+    Reply(WorkerReply),
+    Eof,
+}
+
+type PipeMsg = (usize, u64, PipeEvent);
+
+struct Lease {
+    id: u64,
+    end: u64,
+    /// Batches `[start, confirmed)` have arrived as segments; chunks
+    /// within a lease are contiguous, so one cursor suffices.
+    confirmed: u64,
+    revoke_pending: bool,
+}
+
+struct Slot {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    gen: u64,
+    lease: Option<Lease>,
+    last_seen: Instant,
+    alive: bool,
+}
+
+impl Drop for Slot {
+    fn drop(&mut self) {
+        // The coordinator future can be aborted (pause-as-abort) at any
+        // await point; no orphan may keep scanning after the run is
+        // gone. Checkpoint files carry whatever was confirmed.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_worker(
+    launch: &WorkerLaunch,
+    spec_line: &str,
+    slot: usize,
+    gen: u64,
+    tx: &mpsc::UnboundedSender<PipeMsg>,
+) -> Result<(Child, ChildStdin), PipelineError> {
+    let mut child = Command::new(&launch.program)
+        .args(&launch.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| {
+            PipelineError::SweepFailed(format!("spawn worker {:?}: {e}", launch.program))
+        })?;
+    let mut stdin = child.stdin.take().expect("worker stdin is piped");
+    let stdout = child.stdout.take().expect("worker stdout is piped");
+    let _ = writeln!(stdin, "{spec_line}");
+    let _ = stdin.flush();
+    let tx = tx.clone();
+    // One reader thread per worker generation: events carry (slot, gen)
+    // so lines from a dead generation's pipe are ignored after respawn.
+    std::thread::spawn(move || {
+        for line in std::io::BufReader::new(stdout).lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Unparseable lines are stray output, not protocol.
+            if let Ok(reply) = WorkerReply::parse(&line) {
+                if tx.send((slot, gen, PipeEvent::Reply(reply))).is_err() {
+                    return;
+                }
+            }
+        }
+        let _ = tx.send((slot, gen, PipeEvent::Eof));
+    });
+    Ok((child, stdin))
+}
+
+struct Coordinator<'a> {
+    launch: &'a WorkerLaunch,
+    spec_line: String,
+    path: Option<&'a Path>,
+    fingerprint: ConfigFingerprint,
+    total_batches: u64,
+    slots: Vec<Slot>,
+    /// Confirmed segments per slot, mirrored to `<base>.shard-<slot>`.
+    slot_segments: Vec<Vec<ShardSegment>>,
+    pending: VecDeque<(u64, u64)>,
+    covered: u64,
+    steals: u64,
+    respawns: u32,
+    next_lease: u64,
+    shutting_down: bool,
+    tx: mpsc::UnboundedSender<PipeMsg>,
+    rx: mpsc::UnboundedReceiver<PipeMsg>,
+}
+
+impl<'a> Coordinator<'a> {
+    fn new(
+        launch: &'a WorkerLaunch,
+        spec_line: String,
+        path: Option<&'a Path>,
+        fingerprint: ConfigFingerprint,
+        total_batches: u64,
+        workers: usize,
+        covered: u64,
+    ) -> Result<Self, PipelineError> {
+        let (tx, rx) = mpsc::unbounded_channel();
+        let mut slots = Vec::with_capacity(workers);
+        for idx in 0..workers {
+            let (child, stdin) = spawn_worker(launch, &spec_line, idx, 0, &tx)?;
+            slots.push(Slot {
+                child,
+                stdin: Some(stdin),
+                gen: 0,
+                lease: None,
+                last_seen: Instant::now(),
+                alive: true,
+            });
+        }
+        Ok(Coordinator {
+            launch,
+            spec_line,
+            path,
+            fingerprint,
+            total_batches,
+            slot_segments: vec![Vec::new(); workers],
+            slots,
+            pending: VecDeque::new(),
+            covered,
+            steals: 0,
+            respawns: 0,
+            next_lease: 0,
+            shutting_down: false,
+            tx,
+            rx,
+        })
+    }
+
+    fn done(&self) -> bool {
+        self.covered == self.total_batches
+            && self.pending.is_empty()
+            && self.slots.iter().all(|s| s.lease.is_none())
+    }
+
+    fn send(&mut self, idx: usize, cmd: &WorkerCommand) {
+        if let Some(stdin) = self.slots[idx].stdin.as_mut() {
+            let _ = writeln!(stdin, "{}", cmd.to_line());
+            let _ = stdin.flush();
+        }
+    }
+
+    /// Hand pending ranges to idle workers; once the queue is dry, let
+    /// the remaining idle workers steal tails off active leases.
+    fn dispatch(&mut self) {
+        for idx in 0..self.slots.len() {
+            if !self.slots[idx].alive || self.slots[idx].lease.is_some() {
+                continue;
+            }
+            let Some((start, end)) = self.pending.pop_front() else {
+                break;
+            };
+            let id = self.next_lease;
+            self.next_lease += 1;
+            self.slots[idx].lease = Some(Lease {
+                id,
+                end,
+                confirmed: start,
+                revoke_pending: false,
+            });
+            self.send(idx, &WorkerCommand::Lease { lease: id, start, end });
+        }
+        if !self.pending.is_empty() {
+            return;
+        }
+        let idle = self
+            .slots
+            .iter()
+            .filter(|s| s.alive && s.lease.is_none())
+            .count();
+        for _ in 0..idle {
+            self.try_steal();
+        }
+    }
+
+    /// Revoke the tail half of the largest active remainder, exactly
+    /// like the in-process [`WorkQueue`](crate::shard) steal. The tail
+    /// re-enters the queue when the victim's `Released` reports where
+    /// it actually stopped.
+    fn try_steal(&mut self) {
+        let mut best: Option<(usize, u64)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            let Some(lease) = &slot.lease else { continue };
+            if lease.revoke_pending {
+                continue;
+            }
+            let remaining = lease.end - lease.confirmed;
+            if remaining >= 2 && best.is_none_or(|(_, r)| remaining > r) {
+                best = Some((i, remaining));
+            }
+        }
+        let Some((victim, remaining)) = best else { return };
+        let lease = self.slots[victim].lease.as_mut().expect("victim has a lease");
+        lease.revoke_pending = true;
+        let id = lease.id;
+        let at = lease.confirmed + remaining / 2;
+        self.steals += 1;
+        self.send(victim, &WorkerCommand::Revoke { lease: id, at });
+    }
+
+    fn persist_slot(&mut self, idx: usize) -> Result<(), PipelineError> {
+        let Some(path) = self.path else {
+            return Ok(());
+        };
+        ShardCheckpoint {
+            format: SHARD_CHECKPOINT_FORMAT,
+            fingerprint: self.fingerprint.clone(),
+            total_batches: self.total_batches,
+            segments: self.slot_segments[idx].clone(),
+        }
+        .save(&shard_worker_path(path, idx))?;
+        Ok(())
+    }
+
+    fn handle_reply(&mut self, idx: usize, reply: WorkerReply) -> Result<(), PipelineError> {
+        self.slots[idx].last_seen = Instant::now();
+        match reply {
+            WorkerReply::Hello { total_batches } => {
+                if total_batches != self.total_batches {
+                    return Err(PipelineError::SweepFailed(format!(
+                        "worker {idx} computed {total_batches} batches, \
+                         coordinator expected {} — config drift",
+                        self.total_batches
+                    )));
+                }
+            }
+            WorkerReply::Heartbeat { .. } => {}
+            WorkerReply::Segment { lease, segment } => {
+                let Some(state) = self.slots[idx].lease.as_mut() else {
+                    return Ok(());
+                };
+                if state.id != lease {
+                    return Ok(());
+                }
+                if segment.start_batch != state.confirmed || segment.end_batch > state.end {
+                    return Err(PipelineError::SweepFailed(format!(
+                        "worker {idx} sent batches [{}, {}) but lease {lease} \
+                         confirmed {} of [.., {})",
+                        segment.start_batch, segment.end_batch, state.confirmed, state.end
+                    )));
+                }
+                state.confirmed = segment.end_batch;
+                self.covered += segment.len();
+                self.slot_segments[idx].push(*segment);
+                self.persist_slot(idx)?;
+            }
+            WorkerReply::Released { lease, end } => {
+                let Some(state) = self.slots[idx].lease.take() else {
+                    return Ok(());
+                };
+                if state.id != lease {
+                    self.slots[idx].lease = Some(state);
+                    return Ok(());
+                }
+                // Segments precede Released on the same pipe, so
+                // `confirmed` is final; anything past it up to the
+                // original lease end was never scanned and re-enters
+                // the queue (the steal tail, or nothing).
+                let tail_start = end.max(state.confirmed);
+                if tail_start < state.end {
+                    self.pending.push_back((tail_start, state.end));
+                }
+                self.dispatch();
+            }
+            WorkerReply::Error { message: _ } => {
+                // Fatal for this worker; killing it surfaces EOF on the
+                // reader thread, and the EOF path re-queues + respawns.
+                let _ = self.slots[idx].child.kill();
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_eof(&mut self, idx: usize) -> Result<(), PipelineError> {
+        self.slots[idx].alive = false;
+        let _ = self.slots[idx].child.kill();
+        let _ = self.slots[idx].child.wait();
+        if self.shutting_down {
+            return Ok(());
+        }
+        if let Some(state) = self.slots[idx].lease.take() {
+            if state.confirmed < state.end {
+                self.pending.push_back((state.confirmed, state.end));
+            }
+        }
+        if self.done() {
+            return Ok(());
+        }
+        if self.respawns >= self.launch.max_respawns {
+            return Err(PipelineError::SweepFailed(format!(
+                "worker {idx} exited with work outstanding and the respawn \
+                 budget ({}) is exhausted",
+                self.launch.max_respawns
+            )));
+        }
+        self.respawns += 1;
+        let gen = self.slots[idx].gen + 1;
+        let (child, stdin) = spawn_worker(self.launch, &self.spec_line, idx, gen, &self.tx)?;
+        self.slots[idx] = Slot {
+            child,
+            stdin: Some(stdin),
+            gen,
+            lease: None,
+            last_seen: Instant::now(),
+            alive: true,
+        };
+        self.dispatch();
+        Ok(())
+    }
+
+    fn check_stale(&mut self) {
+        let timeout = Duration::from_millis(self.launch.heartbeat_timeout_ms);
+        for slot in &mut self.slots {
+            if slot.alive && slot.lease.is_some() && slot.last_seen.elapsed() > timeout {
+                // Quiet past the deadline: kill; the reader thread's
+                // EOF drives re-queue + respawn.
+                let _ = slot.child.kill();
+            }
+        }
+    }
+
+    async fn run(&mut self) -> Result<(), PipelineError> {
+        let poll = Duration::from_millis((self.launch.heartbeat_timeout_ms / 4).clamp(50, 500));
+        while !self.done() {
+            match tokio::time::timeout(poll, self.rx.recv()).await {
+                Ok(Some((idx, gen, event))) => {
+                    if idx >= self.slots.len() || self.slots[idx].gen != gen {
+                        continue; // stale generation after a respawn
+                    }
+                    match event {
+                        PipeEvent::Reply(reply) => self.handle_reply(idx, reply)?,
+                        PipeEvent::Eof => self.handle_eof(idx)?,
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => self.check_stale(),
+            }
+        }
+        self.shutting_down = true;
+        for idx in 0..self.slots.len() {
+            self.send(idx, &WorkerCommand::Shutdown);
+        }
+        for slot in &mut self.slots {
+            slot.stdin = None; // EOF unblocks a worker waiting on commands
+            let _ = slot.child.kill();
+            let _ = slot.child.wait();
+        }
+        Ok(())
+    }
+
+    fn finish(mut self, segments: &mut Vec<ShardSegment>) -> ShardStats {
+        let mut stats = ShardStats {
+            shards: self.slots.len(),
+            steals: self.steals,
+            batches_by_worker: Vec::with_capacity(self.slots.len()),
+            // Probe counts stay inside worker processes; the merged
+            // telemetry still carries the totals.
+            probes_by_worker: vec![0; self.slots.len()],
+        };
+        for segs in &self.slot_segments {
+            stats.batches_by_worker.push(segs.iter().map(|s| s.len()).sum());
+        }
+        for segs in self.slot_segments.drain(..) {
+            segments.extend(segs);
+        }
+        stats
+    }
+}
+
+/// The process-tier engine behind `ScanSpec::workers > 0` — the
+/// out-of-process counterpart of [`run_sharded`](crate::shard).
+///
+/// `path` is the same *base* checkpoint path the shard tier uses
+/// (slot files hang off it); `resume` selects whether existing state
+/// there is loaded or cleared. Report and telemetry are byte-identical
+/// to the in-process engine for the same spec.
+pub(crate) async fn run_process_tier(
+    config: &PipelineConfig,
+    scan: &ScanSpec,
+    launch: &WorkerLaunch,
+    workers: usize,
+    telemetry: &Telemetry,
+    path: Option<&Path>,
+    resume: bool,
+) -> Result<(ScanReport, ShardStats), PipelineError> {
+    assert!(config.blocks_per_batch > 0, "batch size must be positive");
+    let workers = workers.max(1);
+    let fingerprint = ConfigFingerprint::of(config);
+    let total = total_batches(config);
+
+    let mut inherited: Vec<ShardSegment> = Vec::new();
+    if resume {
+        let path = path.expect("resume requires a checkpoint path");
+        match load_resume_state(path, &fingerprint, total)? {
+            ResumeState::Finished {
+                report,
+                telemetry: snapshot,
+            } => {
+                telemetry.absorb(&snapshot);
+                return Ok((report, ShardStats::idle(workers)));
+            }
+            ResumeState::Inherited(segments) => inherited = segments,
+        }
+    } else if let Some(path) = path {
+        clear_checkpoint_files(path);
+    }
+
+    let remaining = complement(&inherited, total);
+    let covered: u64 = inherited.iter().map(|s| s.len()).sum();
+    let mut segments = inherited;
+
+    let stats = if remaining.is_empty() {
+        ShardStats::idle(workers)
+    } else {
+        let mut spec = scan.clone();
+        spec.workers = None; // workers never sub-lease
+        let worker_spec = WorkerSpec {
+            scan: spec,
+            transport: launch.transport.clone(),
+            chunk: launch.chunk.max(1),
+        };
+        let spec_line = serde_json::to_string(&worker_spec).expect("worker spec serializes");
+        let mut coordinator = Coordinator::new(
+            launch,
+            spec_line,
+            path,
+            fingerprint.clone(),
+            total,
+            workers,
+            covered,
+        )?;
+        coordinator.pending = plan_initial_ranges(&remaining, workers as u64).into();
+        coordinator.dispatch();
+        coordinator.run().await?;
+        coordinator.finish(&mut segments)
+    };
+
+    check_full_coverage(&mut segments, total)?;
+    let report = merge_segments(telemetry, segments)?;
+    if let Some(path) = path {
+        finalize_checkpoint(path, fingerprint, total, &report, telemetry)?;
+    }
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_spec_round_trips_through_one_line() {
+        let spec = WorkerSpec {
+            scan: ScanSpec::new(vec!["10.0.0.0/24".parse().unwrap()]),
+            transport: serde_json::json!({"kind": "tcp", "fault_rate": 0.0}),
+            chunk: 4,
+        };
+        let line = serde_json::to_string(&spec).expect("serializes");
+        assert!(!line.contains('\n'), "spec must be one line: {line}");
+        let back: WorkerSpec = serde_json::from_str(&line).expect("parses back");
+        assert_eq!(back.chunk, 4);
+        assert_eq!(back.transport["kind"], "tcp");
+        assert_eq!(back.scan.targets, spec.scan.targets);
+    }
+
+    #[test]
+    fn launch_defaults_are_sane() {
+        let launch = WorkerLaunch::new("/bin/true", serde_json::Value::Null);
+        assert_eq!(launch.chunk, 4);
+        assert!(launch.heartbeat_timeout_ms >= 1_000);
+        assert!(launch.max_respawns >= 1);
+        assert!(launch.args.is_empty());
+        let tuned = launch.with_chunk(0).with_heartbeat_timeout_ms(0);
+        assert_eq!(tuned.chunk, 1, "chunk clamps to at least one batch");
+        assert_eq!(tuned.heartbeat_timeout_ms, 1);
+    }
+}

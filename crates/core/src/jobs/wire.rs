@@ -9,7 +9,8 @@
 //! [`Reply::Event`] lines for that job interleaved with other replies
 //! until the job reaches a terminal state.
 
-use super::{JobEvent, JobId, JobSpec, JobStatus, TenantConfig};
+use super::{JobEvent, JobId, JobResync, JobSpec, JobStatus, TenantConfig};
+use crate::shard::ShardSegment;
 use crate::telemetry::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
@@ -74,6 +75,16 @@ pub enum Reply {
     Event { event: Box<JobEvent> },
     /// A [`Command::Metrics`] answer.
     Metrics { snapshot: TelemetrySnapshot },
+    /// A subscriber fell behind and `dropped` events were discarded
+    /// from its queue. `resync` carries a full-state snapshot of the
+    /// job so the subscriber can rebuild instead of summing deltas it
+    /// never saw; it is absent only when the job vanished between the
+    /// lag and the snapshot.
+    Gap {
+        job: JobId,
+        dropped: u64,
+        resync: Option<Box<JobResync>>,
+    },
     /// The command failed; the stream stays usable.
     Error { message: String },
 }
@@ -89,6 +100,84 @@ impl Reply {
         Reply::Error {
             message: e.to_string(),
         }
+    }
+}
+
+/// One coordinator→worker line on a `nokeys-worker` process's stdin.
+///
+/// The worker protocol reuses the daemon's NDJSON framing: flat
+/// single-line JSON objects tagged by `"op"` down the pipe and
+/// `"reply"` back up, so a worker can be driven by hand for debugging
+/// exactly like the daemon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum WorkerCommand {
+    /// Lease the contiguous batch range `[start, end)` to this worker.
+    /// The worker streams [`WorkerReply::Segment`] chunks for it and
+    /// finishes with [`WorkerReply::Released`].
+    Lease { lease: u64, start: u64, end: u64 },
+    /// Shrink lease `lease` to end at `at` (steal-on-straggle: the
+    /// coordinator re-leases the tail elsewhere). The worker clamps —
+    /// its cursor may already be past `at` — and reports where it
+    /// actually stopped in its [`WorkerReply::Released`].
+    Revoke { lease: u64, at: u64 },
+    /// Finish the current chunk, release any lease, and exit cleanly.
+    Shutdown,
+}
+
+impl WorkerCommand {
+    /// Parse one NDJSON line.
+    pub fn parse(line: &str) -> Result<WorkerCommand, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+
+    /// Serialize as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("worker commands serialize")
+    }
+}
+
+/// One worker→coordinator line on a `nokeys-worker` process's stdout.
+///
+/// Ordering contract: all [`WorkerReply::Segment`] lines for a lease
+/// precede its [`WorkerReply::Released`] line on the same pipe, so on
+/// `Released` the coordinator knows the worker's contribution to that
+/// lease is complete.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+#[non_exhaustive]
+pub enum WorkerReply {
+    /// Handshake: the worker decoded its spec and agrees the sweep is
+    /// `total_batches` batches. A mismatch is a config drift bug the
+    /// coordinator must treat as fatal.
+    Hello { total_batches: u64 },
+    /// One scanned chunk of a lease, with its partial report and
+    /// telemetry. Chunks within a lease arrive in address order.
+    Segment {
+        lease: u64,
+        segment: Box<ShardSegment>,
+    },
+    /// The worker's final word on a lease: after any revoke it scanned
+    /// `[start, end)` overall and every segment for it has been sent.
+    Released { lease: u64, end: u64 },
+    /// Liveness marker with the worker's current batch cursor; sent
+    /// between chunks so the coordinator's straggler detector has
+    /// progress to look at.
+    Heartbeat { lease: u64, cursor: u64 },
+    /// Fatal worker-side error; the process exits after this line.
+    Error { message: String },
+}
+
+impl WorkerReply {
+    /// Parse one NDJSON line.
+    pub fn parse(line: &str) -> Result<WorkerReply, String> {
+        serde_json::from_str(line.trim()).map_err(|e| e.to_string())
+    }
+
+    /// Serialize as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("worker replies serialize")
     }
 }
 
@@ -153,6 +242,67 @@ mod tests {
             Reply::Submitted { job: JobId(7) }.to_line(),
             r#"{"reply":"submitted","job":7}"#
         );
+    }
+
+    #[test]
+    fn worker_protocol_round_trips() {
+        let cmds = [
+            WorkerCommand::Lease {
+                lease: 1,
+                start: 0,
+                end: 16,
+            },
+            WorkerCommand::Revoke { lease: 1, at: 8 },
+            WorkerCommand::Shutdown,
+        ];
+        for cmd in cmds {
+            let line = cmd.to_line();
+            assert!(!line.contains('\n'), "command must be one line: {line}");
+            WorkerCommand::parse(&line).expect("command parses back");
+        }
+        assert_eq!(
+            WorkerCommand::Revoke { lease: 1, at: 8 }.to_line(),
+            r#"{"op":"revoke","lease":1,"at":8}"#
+        );
+
+        let replies = [
+            WorkerReply::Hello { total_batches: 32 },
+            WorkerReply::Released { lease: 1, end: 16 },
+            WorkerReply::Heartbeat { lease: 1, cursor: 4 },
+            WorkerReply::Error {
+                message: "boom".into(),
+            },
+        ];
+        for reply in replies {
+            let line = reply.to_line();
+            assert!(!line.contains('\n'), "reply must be one line: {line}");
+            WorkerReply::parse(&line).expect("reply parses back");
+        }
+        assert_eq!(
+            WorkerReply::Hello { total_batches: 32 }.to_line(),
+            r#"{"reply":"hello","total_batches":32}"#
+        );
+        assert!(WorkerReply::parse("not json").is_err());
+    }
+
+    #[test]
+    fn gap_reply_names_job_and_dropped_count() {
+        let line = Reply::Gap {
+            job: JobId(3),
+            dropped: 12,
+            resync: None,
+        }
+        .to_line();
+        assert_eq!(line, r#"{"reply":"gap","job":3,"dropped":12,"resync":null}"#);
+        let back: Reply = serde_json::from_str(&line).expect("gap parses back");
+        assert!(matches!(
+            back,
+            Reply::Gap {
+                job: JobId(3),
+                dropped: 12,
+                resync: None
+            }
+        ));
     }
 
     #[test]

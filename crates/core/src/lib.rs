@@ -50,7 +50,7 @@ pub mod signatures;
 pub mod telemetry;
 
 pub use checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint};
-pub use jobs::{JobEngine, JobHandle, JobSpec};
+pub use jobs::{JobEngine, JobHandle, JobSpec, WorkerLaunch};
 pub use multipattern::MultiPattern;
 pub use pattern::{MatchMode, Pattern, PreparedBody};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineError};

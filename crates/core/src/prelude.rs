@@ -11,10 +11,12 @@
 //! tables) stays behind its modules.
 
 pub use crate::checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint};
-pub use crate::jobs::wire::{Command, Reply};
+pub use crate::jobs::process::WorkerSpec;
+pub use crate::jobs::wire::{Command, Reply, WorkerCommand, WorkerReply};
 pub use crate::jobs::{
     CheckpointPolicy, EngineConfig, JobEngine, JobError, JobEvent, JobHandle, JobId, JobKind,
-    JobOutcome, JobSpec, JobState, JobStatus, ObserveSpec, Recurrence, ScanSpec, TenantConfig,
+    JobOutcome, JobResync, JobSpec, JobState, JobStatus, ObserveSpec, Recurrence, ScanSpec,
+    TenantConfig, WorkerLaunch,
 };
 pub use crate::observer::{
     observe, observe_incremental, observe_instrumented, LongevityStudy, ObserverConfig,

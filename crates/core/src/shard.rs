@@ -97,7 +97,7 @@ pub struct ShardSegment {
 }
 
 impl ShardSegment {
-    fn len(&self) -> u64 {
+    pub(crate) fn len(&self) -> u64 {
         self.end_batch.saturating_sub(self.start_batch)
     }
 }
@@ -186,7 +186,7 @@ pub struct ShardStats {
 }
 
 impl ShardStats {
-    fn idle(shards: usize) -> Self {
+    pub(crate) fn idle(shards: usize) -> Self {
         ShardStats {
             shards,
             steals: 0,
@@ -197,13 +197,13 @@ impl ShardStats {
 }
 
 /// `<base>.shard-<worker>` — worker `k`'s checkpoint file.
-fn shard_worker_path(base: &Path, worker: usize) -> PathBuf {
+pub(crate) fn shard_worker_path(base: &Path, worker: usize) -> PathBuf {
     extend_path(base, &format!(".shard-{worker}"))
 }
 
 /// `<base>.shard-base` — segments inherited from earlier generations,
 /// consolidated at resume time.
-fn shard_base_path(base: &Path) -> PathBuf {
+pub(crate) fn shard_base_path(base: &Path) -> PathBuf {
     extend_path(base, ".shard-base")
 }
 
@@ -492,7 +492,9 @@ where
 /// Sort inherited segments, drop exact/contained duplicates (the same
 /// deterministic work persisted in both a numbered file and the
 /// consolidated base), and reject partial overlaps as corruption.
-fn consolidate(mut segments: Vec<ShardSegment>) -> Result<Vec<ShardSegment>, PipelineError> {
+pub(crate) fn consolidate(
+    mut segments: Vec<ShardSegment>,
+) -> Result<Vec<ShardSegment>, PipelineError> {
     segments.retain(|s| s.len() > 0);
     segments.sort_by_key(|s| (s.start_batch, std::cmp::Reverse(s.end_batch)));
     let mut out: Vec<ShardSegment> = Vec::new();
@@ -519,7 +521,7 @@ fn consolidate(mut segments: Vec<ShardSegment>) -> Result<Vec<ShardSegment>, Pip
 
 /// The batch ranges of `[0, total_batches)` not covered by `covered`
 /// (which must be sorted and disjoint — [`consolidate`]'s output).
-fn complement(covered: &[ShardSegment], total_batches: u64) -> Vec<(u64, u64)> {
+pub(crate) fn complement(covered: &[ShardSegment], total_batches: u64) -> Vec<(u64, u64)> {
     let mut out = Vec::new();
     let mut cursor = 0u64;
     for s in covered {
@@ -539,7 +541,7 @@ fn complement(covered: &[ShardSegment], total_batches: u64) -> Vec<(u64, u64)> {
 /// `remaining` yields two queue entries; the queue hands spare entries
 /// to whichever worker frees up first, so balance is best-effort and
 /// work-stealing evens out the rest.
-fn plan_initial_ranges(remaining: &[(u64, u64)], shards: u64) -> Vec<(u64, u64)> {
+pub(crate) fn plan_initial_ranges(remaining: &[(u64, u64)], shards: u64) -> Vec<(u64, u64)> {
     let total: u64 = remaining.iter().map(|(s, e)| e - s).sum();
     if total == 0 {
         return Vec::new();
@@ -624,6 +626,143 @@ pub fn merge_segments(
     Ok(report)
 }
 
+/// Number of batches the configured sweep covers. This is the shared
+/// contract between the in-process shard tier, the process-tier
+/// coordinator, and external `nokeys-worker` processes: all three must
+/// agree on the batch count for leased ranges to mean the same thing.
+pub fn total_batches(config: &PipelineConfig) -> u64 {
+    let planner = PortScanner::with_telemetry(config.portscan.clone(), &Telemetry::new());
+    batch_count(planner.shuffled_blocks().len(), config.blocks_per_batch)
+}
+
+fn batch_count(blocks: usize, blocks_per_batch: usize) -> u64 {
+    (blocks.div_euclid(blocks_per_batch) + usize::from(blocks % blocks_per_batch != 0)) as u64
+}
+
+/// What a resume found at the base checkpoint path.
+pub(crate) enum ResumeState {
+    /// The stored prefix is the whole run: nothing left to scan.
+    Finished {
+        report: ScanReport,
+        telemetry: TelemetrySnapshot,
+    },
+    /// Consolidated segments inherited from earlier generations.
+    Inherited(Vec<ShardSegment>),
+}
+
+/// Load and consolidate prior-generation state at `path`: the legacy
+/// base checkpoint (a `[0, batches_done)` prefix) plus every numbered
+/// shard file. Shared by the in-process shard tier and the process-tier
+/// coordinator so both resume with identical semantics.
+pub(crate) fn load_resume_state(
+    path: &Path,
+    fingerprint: &ConfigFingerprint,
+    total_batches: u64,
+) -> Result<ResumeState, PipelineError> {
+    let shard_files = existing_shard_files(path);
+    let mut inherited: Vec<ShardSegment> = Vec::new();
+    let mut have_state = false;
+    if path.exists() {
+        let cp = ScanCheckpoint::load(path)?;
+        cp.validate(fingerprint)?;
+        if cp.finished {
+            // Warm resume: the stored prefix is the whole run.
+            for f in &shard_files {
+                let _ = std::fs::remove_file(f);
+            }
+            return Ok(ResumeState::Finished {
+                report: cp.report,
+                telemetry: cp.telemetry,
+            });
+        }
+        if cp.batches_done > 0 {
+            inherited.push(ShardSegment {
+                start_batch: 0,
+                end_batch: cp.batches_done,
+                report: cp.report,
+                telemetry: cp.telemetry,
+            });
+        }
+        have_state = true;
+    }
+    for f in &shard_files {
+        let cp = ShardCheckpoint::load(f)?;
+        cp.validate(fingerprint, total_batches)?;
+        inherited.extend(cp.segments);
+        have_state = true;
+    }
+    if !have_state {
+        return Err(PipelineError::Checkpoint(CheckpointError::Io(format!(
+            "{path:?}: no checkpoint or shard files to resume from"
+        ))));
+    }
+    let inherited = consolidate(inherited)?;
+    // Persist the consolidated inheritance *before* any new worker
+    // overwrites its numbered file, so a second kill cannot lose
+    // prior-generation segments.
+    if !inherited.is_empty() {
+        ShardCheckpoint {
+            format: SHARD_CHECKPOINT_FORMAT,
+            fingerprint: fingerprint.clone(),
+            total_batches,
+            segments: inherited.clone(),
+        }
+        .save(&shard_base_path(path))?;
+    }
+    Ok(ResumeState::Inherited(inherited))
+}
+
+/// Remove every artifact of earlier runs at `path`. A fresh
+/// checkpointed run starts from scratch: stale artifacts of earlier
+/// runs must not bleed into a later resume.
+pub(crate) fn clear_checkpoint_files(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    for f in existing_shard_files(path) {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+/// Sort `segments` in place and verify their span is exactly
+/// `[0, total_batches)`; interior gaps surface in [`merge_segments`].
+pub(crate) fn check_full_coverage(
+    segments: &mut [ShardSegment],
+    total_batches: u64,
+) -> Result<(), PipelineError> {
+    segments.sort_by_key(|s| s.start_batch);
+    let covered_from = segments.first().map_or(0, |s| s.start_batch);
+    let covered_to = segments.last().map_or(0, |s| s.end_batch);
+    if covered_from != 0 || covered_to != total_batches {
+        return Err(PipelineError::SweepFailed(format!(
+            "shard merge covers batches [{covered_from}, {covered_to}) of [0, {total_batches})"
+        )));
+    }
+    Ok(())
+}
+
+/// Write one finished legacy checkpoint replacing the shard files, so a
+/// later resume (sharded or not) warm-starts from the base path.
+pub(crate) fn finalize_checkpoint(
+    path: &Path,
+    fingerprint: ConfigFingerprint,
+    total_batches: u64,
+    report: &ScanReport,
+    telemetry: &Telemetry,
+) -> Result<(), PipelineError> {
+    ScanCheckpoint {
+        format: CHECKPOINT_FORMAT,
+        fingerprint,
+        batches_done: total_batches,
+        finished: true,
+        report: report.clone(),
+        telemetry: telemetry.snapshot(),
+    }
+    .save(path)?;
+    for f in existing_shard_files(path) {
+        let _ = std::fs::remove_file(f);
+    }
+    Ok(())
+}
+
 /// The shard engine behind [`Pipeline::run`] (`shards > 1`),
 /// [`Pipeline::run_with_shard_stats`] and [`Pipeline::resume`].
 ///
@@ -656,66 +795,23 @@ where
     // job→tenant→global budget) replaces the config-derived one; both
     // are shared across every worker so the bound stays whole-scan.
     let pacer = pacer_override.or_else(|| planner.pacer());
-    let total_batches = (blocks.len().div_euclid(config.blocks_per_batch)
-        + usize::from(blocks.len() % config.blocks_per_batch != 0)) as u64;
+    let total_batches = batch_count(blocks.len(), config.blocks_per_batch);
 
     let mut inherited: Vec<ShardSegment> = Vec::new();
     if resume {
         let path = path.expect("resume requires a checkpoint path");
-        let shard_files = existing_shard_files(path);
-        let mut have_state = false;
-        if path.exists() {
-            let cp = ScanCheckpoint::load(path)?;
-            cp.validate(&fingerprint)?;
-            if cp.finished {
-                // Warm resume: the stored prefix is the whole run.
-                telemetry.absorb(&cp.telemetry);
-                for f in &shard_files {
-                    let _ = std::fs::remove_file(f);
-                }
-                return Ok((cp.report, ShardStats::idle(shards)));
+        match load_resume_state(path, &fingerprint, total_batches)? {
+            ResumeState::Finished {
+                report,
+                telemetry: snapshot,
+            } => {
+                telemetry.absorb(&snapshot);
+                return Ok((report, ShardStats::idle(shards)));
             }
-            if cp.batches_done > 0 {
-                inherited.push(ShardSegment {
-                    start_batch: 0,
-                    end_batch: cp.batches_done,
-                    report: cp.report,
-                    telemetry: cp.telemetry,
-                });
-            }
-            have_state = true;
-        }
-        for f in &shard_files {
-            let cp = ShardCheckpoint::load(f)?;
-            cp.validate(&fingerprint, total_batches)?;
-            inherited.extend(cp.segments);
-            have_state = true;
-        }
-        if !have_state {
-            return Err(PipelineError::Checkpoint(CheckpointError::Io(format!(
-                "{path:?}: no checkpoint or shard files to resume from"
-            ))));
-        }
-        inherited = consolidate(inherited)?;
-        // Persist the consolidated inheritance *before* any new worker
-        // overwrites its numbered file, so a second kill cannot lose
-        // prior-generation segments.
-        if !inherited.is_empty() {
-            ShardCheckpoint {
-                format: SHARD_CHECKPOINT_FORMAT,
-                fingerprint: fingerprint.clone(),
-                total_batches,
-                segments: inherited.clone(),
-            }
-            .save(&shard_base_path(path))?;
+            ResumeState::Inherited(segments) => inherited = segments,
         }
     } else if let Some(path) = path {
-        // A fresh checkpointed run starts from scratch: stale artifacts
-        // of earlier runs at this path must not bleed into a resume.
-        let _ = std::fs::remove_file(path);
-        for f in existing_shard_files(path) {
-            let _ = std::fs::remove_file(f);
-        }
+        clear_checkpoint_files(path);
     }
 
     let remaining = complement(&inherited, total_batches);
@@ -758,31 +854,11 @@ where
         stats.probes_by_worker.push(output.probes_sent);
         segments.extend(output.segments);
     }
-    segments.sort_by_key(|s| s.start_batch);
-    let covered_from = segments.first().map_or(0, |s| s.start_batch);
-    let covered_to = segments.last().map_or(0, |s| s.end_batch);
-    if covered_from != 0 || covered_to != total_batches {
-        return Err(PipelineError::SweepFailed(format!(
-            "shard merge covers batches [{covered_from}, {covered_to}) of [0, {total_batches})"
-        )));
-    }
+    check_full_coverage(&mut segments, total_batches)?;
     let report = merge_segments(telemetry, segments)?;
 
     if let Some(path) = path {
-        // One finished legacy checkpoint replaces the shard files, so a
-        // later resume (sharded or not) warm-starts from the base path.
-        ScanCheckpoint {
-            format: CHECKPOINT_FORMAT,
-            fingerprint,
-            batches_done: total_batches,
-            finished: true,
-            report: report.clone(),
-            telemetry: telemetry.snapshot(),
-        }
-        .save(path)?;
-        for f in existing_shard_files(path) {
-            let _ = std::fs::remove_file(f);
-        }
+        finalize_checkpoint(path, fingerprint, total_batches, &report, telemetry)?;
     }
     Ok((report, stats))
 }

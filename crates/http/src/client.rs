@@ -6,7 +6,7 @@
 
 use crate::encode::encode_request;
 use crate::error::{Error, Result};
-use crate::parse::{parse_response, Limits, Parsed};
+use crate::parse::{parse_response_incremental, HeadScanner, Limits, Parsed};
 use crate::request::Request;
 use crate::response::Response;
 use crate::transport::{Connection, Endpoint, Scheme, Transport};
@@ -174,8 +174,9 @@ async fn read_response<C: Connection>(
 ) -> Result<Response> {
     let mut buf = BytesMut::with_capacity(4096);
     let mut eof = false;
+    let mut scanner = HeadScanner::new();
     loop {
-        match parse_response(&buf, eof, head_method, limits)? {
+        match parse_response_incremental(&buf, eof, head_method, limits, &mut scanner)? {
             Parsed::Complete(resp, _) => return Ok(resp),
             Parsed::Partial => {
                 if eof {

@@ -76,7 +76,7 @@ mod tests {
         assert_eq!(back.method, req.method);
         assert_eq!(back.target, req.target);
         assert_eq!(back.body, req.body);
-        assert_eq!(back.headers.content_length(), Some(2));
+        assert_eq!(back.headers.content_length().unwrap(), Some(2));
     }
 
     #[test]

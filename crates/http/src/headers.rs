@@ -1,5 +1,6 @@
 //! Case-insensitive, order-preserving header map.
 
+use crate::error::{Error, Result};
 use std::fmt;
 
 /// An ordered multimap of HTTP header fields.
@@ -57,9 +58,26 @@ impl Headers {
         self.get(name).is_some()
     }
 
-    /// Parsed `Content-Length`, if present and well-formed.
-    pub fn content_length(&self) -> Option<usize> {
-        self.get("content-length")?.trim().parse().ok()
+    /// Parsed `Content-Length`, if present.
+    ///
+    /// Strict per RFC 9110 §8.6: every field value must be a plain ASCII
+    /// decimal (optional surrounding whitespace only — no sign, no radix
+    /// prefix), duplicate fields must agree, and the value must fit in
+    /// `usize`. Anything else is `Error::Malformed` rather than `None`,
+    /// because a length that silently degrades to read-to-close framing
+    /// desynchronizes the connection (the request-smuggling shape).
+    pub fn content_length(&self) -> Result<Option<usize>> {
+        let mut values = self.get_all("content-length");
+        let Some(first) = values.next() else {
+            return Ok(None);
+        };
+        let n = parse_content_length(first)?;
+        for other in values {
+            if parse_content_length(other)? != n {
+                return Err(Error::Malformed("conflicting content-length"));
+            }
+        }
+        Ok(Some(n))
     }
 
     /// Whether `Transfer-Encoding: chunked` is in effect.
@@ -86,6 +104,16 @@ impl Headers {
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
     }
+}
+
+/// Strictly parse one `Content-Length` field value.
+fn parse_content_length(value: &str) -> Result<usize> {
+    let v = value.trim();
+    if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(Error::Malformed("content-length value"));
+    }
+    v.parse()
+        .map_err(|_| Error::Malformed("content-length overflow"))
 }
 
 impl fmt::Display for Headers {
@@ -134,11 +162,50 @@ mod tests {
     #[test]
     fn content_length_parsing() {
         let mut h = Headers::new();
-        assert_eq!(h.content_length(), None);
+        assert_eq!(h.content_length(), Ok(None));
         h.set("Content-Length", " 128 ");
-        assert_eq!(h.content_length(), Some(128));
+        assert_eq!(h.content_length(), Ok(Some(128)));
         h.set("Content-Length", "nope");
-        assert_eq!(h.content_length(), None);
+        assert!(h.content_length().is_err());
+    }
+
+    #[test]
+    fn content_length_rejects_smuggling_shapes() {
+        // Leading sign: `usize::parse` would accept "+5", strict mode must not.
+        let mut h = Headers::new();
+        h.set("Content-Length", "+5");
+        assert_eq!(
+            h.content_length(),
+            Err(Error::Malformed("content-length value"))
+        );
+        // Hex / radix prefixes.
+        h.set("Content-Length", "0x10");
+        assert!(h.content_length().is_err());
+        // Embedded whitespace or comma lists.
+        h.set("Content-Length", "5, 5");
+        assert!(h.content_length().is_err());
+        // Empty value.
+        h.set("Content-Length", "");
+        assert!(h.content_length().is_err());
+        // Overflow past usize.
+        h.set("Content-Length", "99999999999999999999999999999");
+        assert_eq!(
+            h.content_length(),
+            Err(Error::Malformed("content-length overflow"))
+        );
+    }
+
+    #[test]
+    fn duplicate_content_lengths_must_agree() {
+        let mut h = Headers::new();
+        h.append("Content-Length", "7");
+        h.append("content-length", "7");
+        assert_eq!(h.content_length(), Ok(Some(7)));
+        h.append("Content-Length", "8");
+        assert_eq!(
+            h.content_length(),
+            Err(Error::Malformed("conflicting content-length"))
+        );
     }
 
     #[test]

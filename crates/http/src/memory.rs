@@ -5,7 +5,7 @@
 
 use crate::encode::encode_response;
 use crate::error::{Error, Result};
-use crate::parse::{parse_request, Limits, Parsed};
+use crate::parse::{parse_request_incremental, HeadScanner, Limits, Parsed};
 use crate::server::Handler;
 use crate::transport::{Connection, Endpoint, ProbeOutcome, Scheme, Transport};
 use bytes::{Buf, BytesMut};
@@ -79,6 +79,7 @@ impl Transport for HandlerTransport {
                 peer: self.source_ip,
                 write_buf: BytesMut::new(),
                 read_buf: BytesMut::new(),
+                scanner: HeadScanner::new(),
             }),
             None => Err(Error::Connect("connection refused".into())),
         }
@@ -91,20 +92,24 @@ pub struct HandlerConn {
     peer: Ipv4Addr,
     write_buf: BytesMut,
     read_buf: BytesMut,
+    scanner: HeadScanner,
 }
 
 impl HandlerConn {
     fn pump(&mut self) {
         loop {
-            match parse_request(&self.write_buf, &Limits::default()) {
+            match parse_request_incremental(&self.write_buf, &Limits::default(), &mut self.scanner)
+            {
                 Ok(Parsed::Complete(req, used)) => {
                     self.write_buf.advance(used);
+                    self.scanner.reset();
                     let resp = self.handler.handle(&req, self.peer);
                     self.read_buf.extend_from_slice(&encode_response(&resp));
                 }
                 Ok(Parsed::Partial) => break,
                 Err(_) => {
                     self.write_buf.clear();
+                    self.scanner.reset();
                     break;
                 }
             }

@@ -41,12 +41,66 @@ pub enum Parsed<T> {
     Partial,
 }
 
-/// Find the end of the head section (`\r\n\r\n`), returning the offset one
-/// past the terminator.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .map(|idx| idx + 4)
+/// Incremental finder for the head terminator (`\r\n\r\n`).
+///
+/// Re-scanning the whole buffer on every feed makes trickled input O(n²);
+/// the scanner instead remembers how far previous calls got and only
+/// examines new bytes. It also rejects an unterminated head the moment the
+/// buffered prefix crosses `Limits::max_head`, instead of buffering an
+/// arbitrarily long head while still reporting `Partial`.
+///
+/// One scanner tracks one message: callers that parse several messages off
+/// the same connection must [`HeadScanner::reset`] after consuming a
+/// message from the front of the buffer (offsets shift).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeadScanner {
+    /// Buffer offset below which `\r\n\r\n` is known not to start.
+    scanned: usize,
+    /// Cached terminator offset (one past `\r\n\r\n`) once found.
+    head_end: Option<usize>,
+}
+
+impl HeadScanner {
+    /// A scanner positioned at the start of a message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Find the offset one past the head terminator, scanning only bytes
+    /// that previous calls have not examined. Returns `Ok(None)` while the
+    /// head is incomplete and within limits.
+    pub fn find(&mut self, buf: &[u8], limits: &Limits) -> Result<Option<usize>> {
+        if let Some(end) = self.head_end {
+            return Ok(Some(end));
+        }
+        // A terminator spanning the old/new boundary can start at most
+        // three bytes before the previously scanned frontier.
+        let from = self.scanned.saturating_sub(3);
+        if let Some(idx) = buf[from..].windows(4).position(|w| w == b"\r\n\r\n") {
+            let end = from + idx + 4;
+            if end > limits.max_head {
+                return Err(Error::TooLarge {
+                    what: "head",
+                    limit: limits.max_head,
+                });
+            }
+            self.head_end = Some(end);
+            return Ok(Some(end));
+        }
+        self.scanned = buf.len();
+        if buf.len() > limits.max_head {
+            return Err(Error::TooLarge {
+                what: "head",
+                limit: limits.max_head,
+            });
+        }
+        Ok(None)
+    }
+
+    /// Forget all progress, ready for the next message on the connection.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
 }
 
 /// Parse the header block (everything after the start line).
@@ -74,31 +128,46 @@ enum BodyFraming {
     ToEof,
 }
 
-fn response_framing(status: StatusCode, method_was_head: bool, headers: &Headers) -> BodyFraming {
+fn response_framing(
+    status: StatusCode,
+    method_was_head: bool,
+    headers: &Headers,
+) -> Result<BodyFraming> {
+    // Validate `Content-Length` before anything else, including on bodyless
+    // and chunked messages: a malformed length must fail hard rather than
+    // silently falling through to read-to-close framing.
+    let length = headers.content_length()?;
     if method_was_head
         || status == StatusCode::NO_CONTENT
         || (100..200).contains(&status.as_u16())
         || status.as_u16() == 304
     {
-        return BodyFraming::None;
+        return Ok(BodyFraming::None);
     }
     if headers.is_chunked() {
-        return BodyFraming::Chunked;
+        // RFC 9112 §6.3: Transfer-Encoding wins over Content-Length.
+        return Ok(BodyFraming::Chunked);
     }
-    match headers.content_length() {
+    Ok(match length {
         Some(n) => BodyFraming::Length(n),
         None => BodyFraming::ToEof,
-    }
+    })
 }
 
-fn request_framing(headers: &Headers) -> BodyFraming {
+fn request_framing(headers: &Headers) -> Result<BodyFraming> {
+    let length = headers.content_length()?;
     if headers.is_chunked() {
-        return BodyFraming::Chunked;
+        // RFC 9112 §6.1: a request carrying both Transfer-Encoding and
+        // Content-Length is the request-smuggling primitive — reject it.
+        if length.is_some() {
+            return Err(Error::Malformed("content-length with chunked"));
+        }
+        return Ok(BodyFraming::Chunked);
     }
-    match headers.content_length() {
+    Ok(match length {
         Some(n) => BodyFraming::Length(n),
         None => BodyFraming::None,
-    }
+    })
 }
 
 /// Decode a chunked body starting at `buf[start..]`.
@@ -163,24 +232,25 @@ pub fn parse_response(
     head_method: bool,
     limits: &Limits,
 ) -> Result<Parsed<Response>> {
-    let Some(head_end) = find_head_end(buf) else {
-        if buf.len() > limits.max_head {
-            return Err(Error::TooLarge {
-                what: "head",
-                limit: limits.max_head,
-            });
-        }
+    parse_response_incremental(buf, eof, head_method, limits, &mut HeadScanner::new())
+}
+
+/// Like [`parse_response`], but resumes head scanning from where the
+/// caller's [`HeadScanner`] left off — feed loops stay O(n) on trickled
+/// input instead of re-scanning the buffer from the start every read.
+pub fn parse_response_incremental(
+    buf: &[u8],
+    eof: bool,
+    head_method: bool,
+    limits: &Limits,
+    scanner: &mut HeadScanner,
+) -> Result<Parsed<Response>> {
+    let Some(head_end) = scanner.find(buf, limits)? else {
         if eof {
             return Err(Error::UnexpectedEof);
         }
         return Ok(Parsed::Partial);
     };
-    if head_end > limits.max_head {
-        return Err(Error::TooLarge {
-            what: "head",
-            limit: limits.max_head,
-        });
-    }
 
     let head =
         std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| Error::Malformed("head encoding"))?;
@@ -206,7 +276,7 @@ pub fn parse_response(
     let status = StatusCode(code);
     let headers = parse_header_lines(header_block)?;
 
-    match response_framing(status, head_method, &headers) {
+    match response_framing(status, head_method, &headers)? {
         BodyFraming::None => Ok(Parsed::Complete(
             Response {
                 status,
@@ -286,21 +356,20 @@ pub fn parse_response(
 
 /// Attempt to parse a complete request from `buf`.
 pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed<Request>> {
-    let Some(head_end) = find_head_end(buf) else {
-        if buf.len() > limits.max_head {
-            return Err(Error::TooLarge {
-                what: "head",
-                limit: limits.max_head,
-            });
-        }
+    parse_request_incremental(buf, limits, &mut HeadScanner::new())
+}
+
+/// Like [`parse_request`], but resumes head scanning from where the
+/// caller's [`HeadScanner`] left off. Reset the scanner after consuming a
+/// complete request from the front of the buffer.
+pub fn parse_request_incremental(
+    buf: &[u8],
+    limits: &Limits,
+    scanner: &mut HeadScanner,
+) -> Result<Parsed<Request>> {
+    let Some(head_end) = scanner.find(buf, limits)? else {
         return Ok(Parsed::Partial);
     };
-    if head_end > limits.max_head {
-        return Err(Error::TooLarge {
-            what: "head",
-            limit: limits.max_head,
-        });
-    }
 
     let head =
         std::str::from_utf8(&buf[..head_end - 4]).map_err(|_| Error::Malformed("head encoding"))?;
@@ -331,7 +400,7 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> Result<Parsed<Request>> {
     }
     let headers = parse_header_lines(header_block)?;
 
-    match request_framing(&headers) {
+    match request_framing(&headers)? {
         BodyFraming::None | BodyFraming::ToEof => Ok(Parsed::Complete(
             Request {
                 method,
@@ -542,6 +611,148 @@ mod tests {
             &b"GET noslash HTTP/1.1\r\n\r\n"[..],
         ] {
             assert!(parse_request(raw, &limits()).is_err(), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_content_length_is_a_hard_error() {
+        // Each of these used to silently fall through to read-to-close
+        // framing, mis-attributing whatever follows to the body.
+        for raw in [
+            &b"HTTP/1.1 200 OK\r\nContent-Length: +5\r\n\r\nhello"[..],
+            &b"HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n"[..],
+            &b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n"[..],
+            &b"HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999999999\r\n\r\n"[..],
+        ] {
+            assert!(
+                matches!(
+                    parse_response(raw, false, false, &limits()),
+                    Err(Error::Malformed(_))
+                ),
+                "{raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_content_length_rejected_even_when_chunked_or_bodyless() {
+        // Chunked framing must not mask a malformed length...
+        let raw =
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\nContent-Length: x\r\n\r\n0\r\n\r\n";
+        assert!(matches!(
+            parse_response(raw, false, false, &limits()),
+            Err(Error::Malformed(_))
+        ));
+        // ...and neither must a bodyless status.
+        let raw = b"HTTP/1.1 204 No Content\r\nContent-Length: +0\r\n\r\n";
+        assert!(matches!(
+            parse_response(raw, false, false, &limits()),
+            Err(Error::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn request_with_both_length_and_chunked_is_rejected() {
+        // The classic CL.TE smuggling shape.
+        let raw = b"POST / HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert_eq!(
+            parse_request(raw, &limits()).unwrap_err(),
+            Error::Malformed("content-length with chunked")
+        );
+    }
+
+    #[test]
+    fn agreeing_duplicate_content_lengths_still_parse() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello";
+        let Parsed::Complete(resp, used) = parse_response(raw, false, false, &limits()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(resp.body_text(), "hello");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn scanner_resumes_instead_of_rescanning() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhello";
+        let mut scanner = HeadScanner::new();
+        // Feed byte by byte; every step must agree with the stateless parse.
+        for n in 1..raw.len() {
+            assert_eq!(
+                parse_response_incremental(&raw[..n], false, false, &limits(), &mut scanner)
+                    .unwrap(),
+                Parsed::Partial,
+                "at {n}"
+            );
+        }
+        let Parsed::Complete(resp, used) =
+            parse_response_incremental(raw, false, false, &limits(), &mut scanner).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(resp.body_text(), "hello");
+        assert_eq!(used, raw.len());
+    }
+
+    #[test]
+    fn scanner_fails_oversized_head_while_still_partial() {
+        let small = Limits {
+            max_head: 16,
+            max_body: 1024,
+        };
+        // No terminator anywhere — the old stateless loop only failed once
+        // the *complete* head arrived; the scanner fails as soon as the
+        // buffered prefix crosses the limit.
+        let raw = b"HTTP/1.1 200 OK\r\nX-Pad: aaaaaaaaaaaaaaaa";
+        let mut scanner = HeadScanner::new();
+        let mut failed_at = None;
+        for n in 1..=raw.len() {
+            match parse_response_incremental(&raw[..n], false, false, &small, &mut scanner) {
+                Ok(Parsed::Partial) => {}
+                Err(Error::TooLarge { what: "head", .. }) => {
+                    failed_at = Some(n);
+                    break;
+                }
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert_eq!(failed_at, Some(small.max_head + 1));
+    }
+
+    #[test]
+    fn scanner_reset_handles_pipelined_messages() {
+        let raw = b"GET /a HTTP/1.1\r\nHost: h\r\n\r\nGET /b HTTP/1.1\r\nHost: h\r\n\r\n";
+        let mut scanner = HeadScanner::new();
+        let Parsed::Complete(first, used) =
+            parse_request_incremental(raw, &limits(), &mut scanner).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(first.target, "/a");
+        scanner.reset();
+        let Parsed::Complete(second, _) =
+            parse_request_incremental(&raw[used..], &limits(), &mut scanner).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(second.target, "/b");
+    }
+
+    #[test]
+    fn scanner_finds_terminator_split_across_feeds() {
+        let raw = b"HTTP/1.1 204 No Content\r\n\r\n";
+        // Split inside the terminator so the boundary rescan matters.
+        for cut in raw.len() - 3..raw.len() {
+            let mut scanner = HeadScanner::new();
+            assert_eq!(
+                parse_response_incremental(&raw[..cut], false, false, &limits(), &mut scanner)
+                    .unwrap(),
+                Parsed::Partial
+            );
+            assert!(matches!(
+                parse_response_incremental(raw, false, false, &limits(), &mut scanner).unwrap(),
+                Parsed::Complete(_, _)
+            ));
         }
     }
 

@@ -7,7 +7,7 @@
 
 use crate::encode::encode_response;
 use crate::error::{Error, Result};
-use crate::parse::{parse_request, Limits, Parsed};
+use crate::parse::{parse_request_incremental, HeadScanner, Limits, Parsed};
 use crate::request::Request;
 use crate::response::Response;
 use bytes::BytesMut;
@@ -43,8 +43,9 @@ where
 {
     let limits = Limits::default();
     let mut buf = BytesMut::with_capacity(4096);
+    let mut scanner = HeadScanner::new();
     loop {
-        match parse_request(&buf, &limits) {
+        match parse_request_incremental(&buf, &limits, &mut scanner) {
             Ok(Parsed::Complete(req, used)) => {
                 let close = req
                     .headers
@@ -54,6 +55,7 @@ where
                 let resp = handler.handle(&req, peer);
                 stream.write_all(&encode_response(&resp)).await?;
                 let _ = buf.split_to(used);
+                scanner.reset();
                 if close {
                     return Ok(());
                 }

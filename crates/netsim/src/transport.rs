@@ -10,7 +10,7 @@ use crate::fault::{FaultLane, FaultPlan, FaultStats};
 use crate::ip::Cidr;
 use crate::universe::{ConnectBehavior, Universe};
 use bytes::{Buf, BytesMut};
-use nokeys_http::parse::{parse_request, Limits, Parsed};
+use nokeys_http::parse::{parse_request_incremental, HeadScanner, Limits, Parsed};
 use nokeys_http::transport::{CertificateInfo, Connection};
 use nokeys_http::{BlockSweepResult, Endpoint, ProbeOutcome, Result, Scheme, Transport};
 use parking_lot::RwLock;
@@ -203,6 +203,7 @@ impl Transport for SimTransport {
             behavior,
             write_buf: BytesMut::new(),
             read_buf: BytesMut::new(),
+            scanner: HeadScanner::new(),
             banner_sent: false,
             cert,
         })
@@ -221,6 +222,7 @@ pub struct SimConn {
     behavior: ConnectBehavior,
     write_buf: BytesMut,
     read_buf: BytesMut,
+    scanner: HeadScanner,
     banner_sent: bool,
     cert: Option<CertificateInfo>,
 }
@@ -233,9 +235,11 @@ impl SimConn {
             return;
         }
         loop {
-            match parse_request(&self.write_buf, &Limits::default()) {
+            match parse_request_incremental(&self.write_buf, &Limits::default(), &mut self.scanner)
+            {
                 Ok(Parsed::Complete(req, used)) => {
                     self.write_buf.advance(used);
+                    self.scanner.reset();
                     self.stats.requests.fetch_add(1, Ordering::Relaxed);
                     let resp = self.universe.respond(self.ep, &req, self.peer, self.at);
                     self.read_buf
@@ -245,6 +249,7 @@ impl SimConn {
                 Err(_) => {
                     // A malformed request ends the simulated connection.
                     self.write_buf.clear();
+                    self.scanner.reset();
                     break;
                 }
             }

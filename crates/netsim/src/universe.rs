@@ -17,7 +17,10 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 /// Universe generation parameters.
-#[derive(Debug, Clone)]
+///
+/// Serializable so a coordinator can ship the config to worker processes,
+/// which regenerate the identical universe from the seed.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct UniverseConfig {
     /// Master seed; everything derives from it.
     pub seed: u64,

@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! nokeys-scan --target 192.0.2.0/28 [--ports 80,443,8080] [--rate 200]
-//!             [--parallelism 16] [--shards N] [--json out.json]
+//!             [--parallelism 16] [--shards N] [--workers N]
+//!             [--worker-bin PATH] [--json out.json]
 //!             [--metrics-out m.json] [--include-reserved] [--retries N]
 //!             [--fault-rate P] [--checkpoint FILE] [--resume]
 //!             [--checkpoint-every N] [--fleet-shard K/N]
@@ -21,6 +22,16 @@
 //! shared by all shards. Distinct from `--fleet-shard K/N`, which
 //! restricts a *fleet member* to its K-th slice of the sweep (the flag
 //! was previously spelled `--shard`, which remains a hidden alias).
+//!
+//! `--workers N` promotes the shard workers to external `nokeys-worker`
+//! *processes* leased contiguous batch ranges over an NDJSON pipe, with
+//! work-stealing, heartbeat-based loss detection and per-worker
+//! checkpoint files (requires `--checkpoint` for crash recovery; the
+//! report stays byte-identical to `--shards` at any worker count).
+//! `--worker-bin PATH` overrides the default worker binary, which is
+//! the `nokeys-worker` installed next to this executable. One caveat:
+//! `--rate` becomes a per-worker bound, because the shared token bucket
+//! cannot span processes.
 //!
 //! `--checkpoint FILE` persists a resumable checkpoint every
 //! `--checkpoint-every N` batches (default 8); `--resume` continues an
@@ -40,9 +51,10 @@ use nokeys::http::transport::TcpTransport;
 use nokeys::http::Client;
 use nokeys::netsim::{FaultPlan, FaultyTransport};
 use nokeys::scanner::prelude::{
-    CheckpointPolicy, JobEngine, JobSpec, PortScanConfig, ScanSpec,
+    CheckpointPolicy, EngineConfig, JobEngine, JobSpec, PortScanConfig, ScanSpec, WorkerLaunch,
 };
 use nokeys::scanner::PortScanner;
+use nokeys::worker::{default_worker_bin, TransportSpec};
 use std::sync::Arc;
 
 struct Args {
@@ -50,6 +62,8 @@ struct Args {
     ports: Vec<u16>,
     parallelism: usize,
     shards: usize,
+    workers: usize,
+    worker_bin: Option<std::path::PathBuf>,
     rate: Option<f64>,
     fleet_shard: Option<(usize, usize)>,
     include_reserved: bool,
@@ -66,12 +80,15 @@ fn usage() -> ! {
     eprintln!(
         "usage: nokeys-scan --target CIDR [--target CIDR ...]\n\
          \x20                [--ports p1,p2,...] [--parallelism N] [--rate PROBES_PER_SEC]\n\
-         \x20                [--shards N] [--fleet-shard K/N] [--retries N] [--fault-rate P]\n\
+         \x20                [--shards N] [--workers N] [--worker-bin PATH]\n\
+         \x20                [--fleet-shard K/N] [--retries N] [--fault-rate P]\n\
          \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]\n\
          \x20                [--checkpoint FILE] [--resume] [--checkpoint-every N]\n\
          \n\
          --shards N       split this scan across N work-stealing workers\n\
          \x20                (byte-identical report at any N)\n\
+         --workers N      lease batch ranges to N external nokeys-worker\n\
+         \x20                processes over NDJSON (byte-identical to --shards)\n\
          --fleet-shard K/N  restrict this fleet member to the K-th of N\n\
          \x20                slices of the stage-I sweep"
     );
@@ -86,6 +103,8 @@ fn parse_args() -> Args {
         shards: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        workers: 0,
+        worker_bin: None,
         rate: None,
         fleet_shard: None,
         include_reserved: false,
@@ -150,6 +169,18 @@ fn parse_args() -> Args {
                     .and_then(|s| s.parse().ok())
                     .filter(|n| *n > 0)
                     .unwrap_or_else(|| usage());
+            }
+            "--workers" => {
+                i += 1;
+                args.workers = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage());
+            }
+            "--worker-bin" => {
+                i += 1;
+                args.worker_bin = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
             // "--shard" is the pre-rename spelling, kept as a hidden
             // alias with the same strict K/N validation.
@@ -224,6 +255,9 @@ fn job_spec(args: &Args) -> JobSpec {
     scan.tarpit_port_threshold = Some(args.ports.len().max(2));
     scan.parallelism = Some(args.parallelism);
     scan.shards = Some(args.shards);
+    if args.workers > 0 {
+        scan.workers = Some(args.workers);
+    }
     scan.retries = Some(args.retries);
     // Over real sockets one backoff unit is a millisecond, so exhausted
     // budgets actually pace the retries instead of hammering the target.
@@ -268,7 +302,14 @@ async fn main() {
         );
     }
     let transport = Arc::new(FaultyTransport::new(TcpTransport::default(), fault_plan));
-    if args.checkpoint.is_none() {
+    if args.workers > 0 {
+        // The process tier streams stage I inside the workers; a local
+        // pre-sweep would probe every target a second time.
+        eprintln!(
+            "leasing batches to {} external worker process(es)",
+            args.workers
+        );
+    } else if args.checkpoint.is_none() {
         let scanner = PortScanner::new(portscan.clone());
         let sweep = match args.fleet_shard {
             Some((k, n)) => {
@@ -304,8 +345,26 @@ async fn main() {
 
     // One-job in-process engine: submit the spec and wait. Everything
     // the pipeline used to be handed directly (telemetry registry,
-    // checkpoint wiring, retry policy) now travels in the spec.
-    let engine = JobEngine::new(Client::new(transport.as_ref().clone()));
+    // checkpoint wiring, retry policy) now travels in the spec. With
+    // --workers the engine turns coordinator: the workers rebuild this
+    // same transport (TCP + fault plan, no observer) from the launch's
+    // transport spec.
+    let engine = if args.workers > 0 {
+        let worker_transport = TransportSpec::Tcp {
+            fault_rate: args.fault_rate,
+            fault_seed: 0x6e6f_6b65_7973,
+        };
+        let bin = args.worker_bin.clone().unwrap_or_else(default_worker_bin);
+        JobEngine::with_config(
+            Client::new(transport.as_ref().clone()),
+            EngineConfig {
+                worker_launch: Some(WorkerLaunch::new(bin, worker_transport.to_value())),
+                ..EngineConfig::default()
+            },
+        )
+    } else {
+        JobEngine::new(Client::new(transport.as_ref().clone()))
+    };
     let handle = engine.submit(job_spec(&args));
     let outcome = match handle.wait().await {
         Ok(outcome) => outcome,

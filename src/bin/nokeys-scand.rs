@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! nokeys-scand [--max-active N] [--rate PROBES_PER_SEC]
-//!              [--spool-dir DIR] [--fault-rate P]
+//!              [--spool-dir DIR] [--fault-rate P] [--worker-bin PATH]
 //! ```
 //!
 //! Reads one NDJSON [`Command`] per stdin line and writes NDJSON
@@ -26,11 +26,27 @@
 //!
 //! `--fault-rate P` injects deterministic synthetic transport faults,
 //! for rehearsing retry/pause behaviour against lab targets.
+//!
+//! `--worker-bin PATH` enables the process tier: scan jobs submitted
+//! with `workers > 0` lease batch ranges to external `nokeys-worker`
+//! processes launched from `PATH` (pass `nokeys-worker` to use the one
+//! on `$PATH`). Workers inherit the daemon's transport settings — real
+//! TCP plus this `--fault-rate`. Without the flag such jobs fail with
+//! a structured error instead of silently running in-process.
+//!
+//! Subscribers that fall behind the per-job event ring no longer lose
+//! events silently: the dropped span is reported as one
+//! `{"reply":"gap",...}` line carrying a full state snapshot (status,
+//! report-so-far, telemetry), so a client can resynchronize instead of
+//! miscounting batches.
 
 use nokeys::http::transport::TcpTransport;
 use nokeys::http::{Client, Transport};
 use nokeys::netsim::{FaultPlan, FaultyTransport};
-use nokeys::scanner::prelude::{Command, EngineConfig, JobEngine, JobEvent, Reply};
+use nokeys::scanner::prelude::{
+    Command, EngineConfig, JobEngine, JobEvent, JobHandle, JobId, Reply, WorkerLaunch,
+};
+use nokeys::worker::TransportSpec;
 use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
 use tokio::sync::mpsc;
 use tokio::task::JoinHandle;
@@ -40,12 +56,13 @@ struct Args {
     rate: Option<f64>,
     spool_dir: Option<std::path::PathBuf>,
     fault_rate: f64,
+    worker_bin: Option<std::path::PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: nokeys-scand [--max-active N] [--rate PROBES_PER_SEC]\n\
-         \x20                 [--spool-dir DIR] [--fault-rate P]\n\
+         \x20                 [--spool-dir DIR] [--fault-rate P] [--worker-bin PATH]\n\
          \n\
          Reads NDJSON commands on stdin, writes NDJSON replies on stdout.\n\
          Commands: tenant, submit, pause, resume, cancel, status, jobs,\n\
@@ -60,6 +77,7 @@ fn parse_args() -> Args {
         rate: None,
         spool_dir: None,
         fault_rate: 0.0,
+        worker_bin: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -87,6 +105,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.spool_dir = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
             }
+            "--worker-bin" => {
+                i += 1;
+                args.worker_bin = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
             "--fault-rate" => {
                 i += 1;
                 args.fault_rate = argv
@@ -112,12 +134,29 @@ fn engine_config(args: &Args) -> EngineConfig {
     if let Some(dir) = &args.spool_dir {
         config.spool_dir = dir.clone();
     }
+    if let Some(bin) = &args.worker_bin {
+        // Workers rebuild the daemon's transport: TCP behind the same
+        // fault plan (and, like the daemon, no fault observer).
+        let transport = TransportSpec::Tcp {
+            fault_rate: args.fault_rate,
+            fault_seed: 0x6e6f_6b65_7973,
+        };
+        config.worker_launch = Some(WorkerLaunch::new(bin.clone(), transport.to_value()));
+    }
     config
 }
 
 /// Forward a job's event stream to the writer as [`Reply::Event`]
 /// lines, stopping at the first terminal event.
-async fn forward_events(
+///
+/// A subscriber that falls behind the ring buffer drops its oldest
+/// events; silently resuming from the oldest retained one would let a
+/// client keep a wrong batch count forever. Instead the dropped span
+/// becomes one [`Reply::Gap`] line with a resync snapshot of the job's
+/// current state, then streaming continues.
+async fn forward_events<T: Transport + Clone + 'static>(
+    job: JobId,
+    handle: JobHandle<T>,
     mut events: tokio::sync::broadcast::Receiver<JobEvent>,
     out: mpsc::UnboundedSender<String>,
 ) {
@@ -139,9 +178,17 @@ async fn forward_events(
                     return;
                 }
             }
-            // A slow subscriber that lagged the ring buffer keeps
-            // streaming from the oldest retained event.
-            Err(tokio::sync::broadcast::error::RecvError::Lagged(_)) => continue,
+            Err(tokio::sync::broadcast::error::RecvError::Lagged(dropped)) => {
+                let line = Reply::Gap {
+                    job,
+                    dropped,
+                    resync: handle.resync().ok().map(Box::new),
+                }
+                .to_line();
+                if out.send(line).is_err() {
+                    return;
+                }
+            }
             Err(tokio::sync::broadcast::error::RecvError::Closed) => return,
         }
     }
@@ -237,7 +284,8 @@ async fn serve<T: Transport + Clone + 'static>(engine: JobEngine<T>) {
                             // rather than park a forwarder forever.
                             Reply::Ok
                         } else {
-                            helpers.push(tokio::spawn(forward_events(events, out.clone())));
+                            helpers
+                                .push(tokio::spawn(forward_events(job, handle, events, out.clone())));
                             Reply::Ok
                         }
                     }

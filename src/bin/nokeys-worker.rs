@@ -1,0 +1,165 @@
+//! `nokeys-worker` — external scan worker for the process tier.
+//!
+//! Not meant to be launched by hand: a coordinator (`nokeys-scand`, or
+//! any [`JobEngine`](nokeys::scanner::JobEngine) with a configured
+//! [`WorkerLaunch`](nokeys::scanner::WorkerLaunch)) spawns this binary,
+//! writes one [`WorkerSpec`](nokeys::scanner::prelude::WorkerSpec) line
+//! to its stdin followed by lease/revoke/shutdown commands, and reads
+//! segment/heartbeat/released replies from its stdout. All human-facing
+//! output goes to stderr.
+//!
+//! ```text
+//! nokeys-worker [--crash-after N --crash-token FILE]
+//! ```
+//!
+//! The crash flags are a deterministic fault hook for the recovery
+//! tests: the worker exits(1) right after its N-th segment, once per
+//! token file, so a test can prove the coordinator requeues and
+//! finishes the scan with the respawned worker.
+
+use nokeys::http::transport::TcpTransport;
+use nokeys::http::Client;
+use nokeys::netsim::{FaultLane, FaultPlan, FaultyTransport, SimTransport, Universe};
+use nokeys::scanner::prelude::WorkerSpec;
+use nokeys::scanner::prelude::{WorkerCommand, WorkerReply};
+use nokeys::scanner::Telemetry;
+use nokeys::worker::{run_worker, CrashHook, TransportSpec};
+use std::io::BufRead;
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: nokeys-worker [--crash-after N --crash-token FILE]");
+    std::process::exit(2);
+}
+
+fn parse_crash_hook() -> Option<CrashHook> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut after = None;
+    let mut token = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--crash-after" => {
+                i += 1;
+                after = Some(
+                    argv.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--crash-token" => {
+                i += 1;
+                token = Some(argv.get(i).map(Into::into).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    match (after, token) {
+        (Some(after), Some(token)) => Some(CrashHook { after, token }),
+        (None, None) => None,
+        _ => usage(),
+    }
+}
+
+fn die(message: &str) -> ! {
+    // Fatal setup errors go over the protocol too, so the coordinator
+    // logs something better than a bare EOF.
+    println!(
+        "{}",
+        WorkerReply::Error {
+            message: message.into(),
+        }
+        .to_line()
+    );
+    eprintln!("nokeys-worker: {message}");
+    std::process::exit(1);
+}
+
+/// Forward stdin lines as parsed commands. Unparseable lines are a
+/// protocol error worth dying over — the coordinator and worker must
+/// agree on the wire format exactly.
+fn pump_commands(tx: SyncSender<WorkerCommand>) {
+    let stdin = std::io::stdin().lock();
+    for line in stdin.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match WorkerCommand::parse(&line) {
+            Ok(cmd) => {
+                if tx.send(cmd).is_err() {
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("nokeys-worker: bad command line: {e}");
+                break;
+            }
+        }
+        // Dropping tx closes the channel, which the main loop reads as
+        // coordinator loss and exits.
+    }
+}
+
+fn main() {
+    let crash = parse_crash_hook();
+
+    let mut spec_line = String::new();
+    if std::io::stdin()
+        .read_line(&mut spec_line)
+        .map(|n| n == 0)
+        .unwrap_or(true)
+    {
+        die("no worker spec on stdin");
+    }
+    let spec: WorkerSpec = match serde_json::from_str(spec_line.trim()) {
+        Ok(spec) => spec,
+        Err(e) => die(&format!("bad worker spec: {e}")),
+    };
+    let transport = match TransportSpec::from_value(&spec.transport) {
+        Ok(t) => t,
+        Err(e) => die(&format!("bad transport spec: {e}")),
+    };
+
+    let (tx, rx) = std::sync::mpsc::sync_channel(64);
+    std::thread::spawn(move || pump_commands(tx));
+
+    // The fault registry only matters for the simulated transport: the
+    // in-process engine counts injected faults in its own registry, so
+    // the worker must fold the same counters into its segments for the
+    // merged telemetry to match. The TCP path mirrors `nokeys-scan`,
+    // which attaches no observer.
+    let fault_telemetry = Telemetry::new();
+    let code = match transport {
+        TransportSpec::Tcp {
+            fault_rate,
+            fault_seed,
+        } => {
+            let plan = FaultPlan::new(fault_rate, fault_seed);
+            let client = Client::new(FaultyTransport::new(TcpTransport::default(), plan));
+            run_worker(&client, &spec, &fault_telemetry, &rx, crash.as_ref())
+        }
+        TransportSpec::Sim {
+            universe,
+            fault_rate,
+            fault_seed,
+        } => {
+            let mut sim = SimTransport::new(Arc::new(Universe::generate(universe)));
+            if fault_rate > 0.0 {
+                let probe = fault_telemetry.counter("fault.probe.injected");
+                let connect = fault_telemetry.counter("fault.connect.injected");
+                sim = sim
+                    .with_fault_plan(FaultPlan::new(fault_rate, fault_seed))
+                    .with_fault_observer(move |lane| match lane {
+                        FaultLane::Probe => probe.incr(),
+                        FaultLane::Connect => connect.incr(),
+                    });
+            }
+            let client = Client::new(sim);
+            run_worker(&client, &spec, &fault_telemetry, &rx, crash.as_ref())
+        }
+    };
+    std::process::exit(code);
+}

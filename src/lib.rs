@@ -16,3 +16,4 @@ pub use nokeys_netsim as netsim;
 pub use nokeys_scanner as scanner;
 
 pub mod repro;
+pub mod worker;

@@ -8,10 +8,14 @@ use nokeys_honeypot::{run_study, StudyConfig, StudyResult};
 use nokeys_netsim::observer_clock::wire_observer_clock;
 use nokeys_netsim::{FaultLane, SimTransport, Universe, UniverseConfig};
 use nokeys_scanner::observer::LongevityStudy;
-use nokeys_scanner::prelude::{CheckpointPolicy, JobEngine, JobSpec, ObserveSpec, ScanSpec};
+use nokeys_scanner::prelude::{
+    CheckpointPolicy, EngineConfig, JobEngine, JobSpec, ObserveSpec, ScanSpec, WorkerLaunch,
+};
 use nokeys_scanner::{ScanReport, Telemetry};
 use std::path::PathBuf;
 use std::sync::Arc;
+
+use crate::worker::{default_worker_bin, TransportSpec};
 
 /// Scale of a reproduction run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +49,9 @@ pub struct Repro {
     fault_rate: f64,
     retries: u32,
     shards: usize,
+    workers: usize,
+    worker_bin: Option<PathBuf>,
+    worker_args: Vec<String>,
     checkpoint: Option<CheckpointOptions>,
     scan: Option<(SimTransport, ScanReport)>,
     longevity: Option<LongevityStudy>,
@@ -66,6 +73,9 @@ impl Repro {
             fault_rate: 0.0,
             retries: 3,
             shards: 1,
+            workers: 0,
+            worker_bin: None,
+            worker_args: Vec::new(),
             checkpoint: None,
             scan: None,
             longevity: None,
@@ -94,6 +104,35 @@ impl Repro {
     /// never changes the report: it is byte-identical at any count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Run the scan through this many external `nokeys-worker`
+    /// processes instead of in-process shard tasks (0, the default,
+    /// keeps the scan in-process). Each worker regenerates the same
+    /// universe from its config, so the report — like sharding — is
+    /// byte-identical at any worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Explicit path of the worker binary (defaults to the
+    /// `nokeys-worker` next to the current executable). Tests pass
+    /// `env!("CARGO_BIN_EXE_nokeys-worker")` here.
+    pub fn with_worker_bin(mut self, bin: impl Into<PathBuf>) -> Self {
+        self.worker_bin = Some(bin.into());
+        self
+    }
+
+    /// Extra argv for every spawned worker — the crash-injection flags
+    /// of the recovery tests.
+    pub fn with_worker_args<I, S>(mut self, args: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.worker_args = args.into_iter().map(Into::into).collect();
         self
     }
 
@@ -142,6 +181,9 @@ impl Repro {
             scan.parallelism = Some(8);
             scan.shards = Some(self.shards);
             scan.retries = Some(self.retries);
+            if self.workers > 0 {
+                scan.workers = Some(self.workers);
+            }
             let mut spec = JobSpec::scan("repro", scan);
             spec.checkpoint = match &self.checkpoint {
                 // The engine resumes when asked to and a checkpoint
@@ -153,7 +195,33 @@ impl Repro {
                 },
                 None => CheckpointPolicy::Disabled,
             };
-            let engine = JobEngine::new(client);
+            let engine = if self.workers > 0 {
+                // Process tier: each worker regenerates this universe
+                // from its config and draws from the same fault
+                // schedule (the `with_fault_injection` default seed),
+                // so worker segments are byte-identical to in-process
+                // shard segments.
+                let worker_transport = TransportSpec::Sim {
+                    universe: self.universe_config.clone(),
+                    fault_rate: self.fault_rate,
+                    fault_seed: nokeys_netsim::FaultPlan::disabled().seed(),
+                };
+                let bin = self
+                    .worker_bin
+                    .clone()
+                    .unwrap_or_else(default_worker_bin);
+                let launch = WorkerLaunch::new(bin, worker_transport.to_value())
+                    .with_args(self.worker_args.clone());
+                JobEngine::with_config(
+                    client,
+                    EngineConfig {
+                        worker_launch: Some(launch),
+                        ..EngineConfig::default()
+                    },
+                )
+            } else {
+                JobEngine::new(client)
+            };
             let outcome = engine
                 .submit(spec)
                 .wait()

@@ -1,0 +1,313 @@
+//! Support code for the `nokeys-worker` binary: the transport spec
+//! that crosses the coordinator→worker pipe, worker-binary discovery,
+//! and the worker's command loop.
+//!
+//! The scanner core deliberately cannot name concrete transports (they
+//! live above it), so [`WorkerLaunch`](nokeys_scanner::WorkerLaunch)
+//! carries the transport description as an opaque JSON value. This
+//! module defines the concrete encoding both ends of this crate agree
+//! on: [`TransportSpec`].
+//!
+//! Determinism: a worker rebuilds its pipeline from the same
+//! [`ScanSpec`] the coordinator holds, and — for the simulated
+//! transport — the same universe seed and the same per-(endpoint,
+//! lane, attempt) fault schedule, so every batch it scans produces the
+//! bytes the coordinator's own in-process workers would have produced.
+
+use nokeys_http::{Client, Transport};
+use nokeys_netsim::UniverseConfig;
+use nokeys_scanner::jobs::process::WorkerSpec;
+use nokeys_scanner::jobs::wire::{WorkerCommand, WorkerReply};
+use nokeys_scanner::shard::{scan_segment, total_batches};
+use nokeys_scanner::Telemetry;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::mpsc::{Receiver, TryRecvError};
+
+/// Concrete transport description carried opaquely through
+/// [`WorkerLaunch::transport`](nokeys_scanner::WorkerLaunch). Encoded
+/// by hand (the facade crate has no serde derive) as a small tagged
+/// JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TransportSpec {
+    /// Real sockets, with the CLI's fault-injection wrapper.
+    Tcp { fault_rate: f64, fault_seed: u64 },
+    /// The simulated universe, regenerated from its config. The fault
+    /// schedule is keyed per (endpoint, lane, attempt ordinal), so a
+    /// worker's draws match the in-process engine's exactly.
+    Sim {
+        universe: UniverseConfig,
+        fault_rate: f64,
+        fault_seed: u64,
+    },
+}
+
+impl TransportSpec {
+    /// Encode as the JSON value handed to `WorkerLaunch`.
+    pub fn to_value(&self) -> serde_json::Value {
+        match self {
+            TransportSpec::Tcp {
+                fault_rate,
+                fault_seed,
+            } => serde_json::json!({
+                "kind": "tcp",
+                "fault_rate": fault_rate,
+                "fault_seed": fault_seed,
+            }),
+            TransportSpec::Sim {
+                universe,
+                fault_rate,
+                fault_seed,
+            } => serde_json::json!({
+                "kind": "sim",
+                "universe": serde_json::to_value(universe).expect("universe serializes"),
+                "fault_rate": fault_rate,
+                "fault_seed": fault_seed,
+            }),
+        }
+    }
+
+    /// Decode a value produced by [`to_value`](Self::to_value).
+    pub fn from_value(value: &serde_json::Value) -> Result<Self, String> {
+        let kind = value
+            .get("kind")
+            .and_then(|k| k.as_str())
+            .ok_or("transport spec has no kind")?;
+        let fault_rate = value
+            .get("fault_rate")
+            .and_then(|v| v.as_f64())
+            .unwrap_or(0.0);
+        let fault_seed = value
+            .get("fault_seed")
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| nokeys_netsim::FaultPlan::disabled().seed());
+        match kind {
+            "tcp" => Ok(TransportSpec::Tcp {
+                fault_rate,
+                fault_seed,
+            }),
+            "sim" => {
+                let universe = value.get("universe").ok_or("sim transport has no universe")?;
+                let universe: UniverseConfig = serde_json::from_value(universe.clone())
+                    .map_err(|e| format!("bad universe config: {e}"))?;
+                Ok(TransportSpec::Sim {
+                    universe,
+                    fault_rate,
+                    fault_seed,
+                })
+            }
+            other => Err(format!("unknown transport kind '{other}'")),
+        }
+    }
+}
+
+/// Path of the `nokeys-worker` binary shipped next to the current
+/// executable. Test binaries live one directory deeper (`deps/`), so
+/// fall back to the parent; callers with a known location (tests using
+/// `CARGO_BIN_EXE_nokeys-worker`) should pass it explicitly instead.
+pub fn default_worker_bin() -> PathBuf {
+    let name = format!("nokeys-worker{}", std::env::consts::EXE_SUFFIX);
+    let Ok(exe) = std::env::current_exe() else {
+        return PathBuf::from(name);
+    };
+    if let Some(dir) = exe.parent() {
+        let sibling = dir.join(&name);
+        if sibling.exists() {
+            return sibling;
+        }
+        if let Some(parent) = dir.parent() {
+            let above = parent.join(&name);
+            if above.exists() {
+                return above;
+            }
+        }
+    }
+    PathBuf::from(name)
+}
+
+/// Crash-injection hook for fault tests: after `after` sent segments,
+/// if the token file does not exist yet, create it and exit(1). The
+/// respawned worker sees the token and runs normally, so each test run
+/// crashes exactly once, deterministically.
+#[derive(Debug, Clone)]
+pub struct CrashHook {
+    pub after: u64,
+    pub token: PathBuf,
+}
+
+impl CrashHook {
+    fn fires(&self, sent_segments: u64) -> bool {
+        if sent_segments != self.after || self.token.exists() {
+            return false;
+        }
+        let _ = std::fs::write(&self.token, b"crashed once\n");
+        true
+    }
+}
+
+fn emit(reply: &WorkerReply) {
+    let mut out = std::io::stdout().lock();
+    let _ = writeln!(out, "{}", reply.to_line());
+    let _ = out.flush();
+}
+
+/// The worker command loop: answer the spec with `Hello`, then scan
+/// leases chunk by chunk, checking the command channel between chunks
+/// for revokes and shutdown. `fault_telemetry` is the registry the
+/// transport's fault observer (if any) increments; its per-chunk
+/// deltas are folded into each outgoing segment so the merged job
+/// telemetry carries the same fault counters an in-process run would.
+///
+/// Returns the process exit code.
+pub fn run_worker<T>(
+    client: &Client<T>,
+    spec: &WorkerSpec,
+    fault_telemetry: &Telemetry,
+    commands: &Receiver<WorkerCommand>,
+    crash: Option<&CrashHook>,
+) -> i32
+where
+    T: Transport + Clone + 'static,
+{
+    let config = spec.scan.to_builder().build();
+    let chunk = spec.chunk.max(1);
+    emit(&WorkerReply::Hello {
+        total_batches: total_batches(&config),
+    });
+    let runtime = match tokio::runtime::Builder::new_current_thread()
+        .enable_time()
+        .build()
+    {
+        Ok(rt) => rt,
+        Err(e) => {
+            emit(&WorkerReply::Error {
+                message: format!("runtime: {e}"),
+            });
+            return 1;
+        }
+    };
+
+    let mut sent_segments = 0u64;
+    loop {
+        // Idle: block until the coordinator says something (EOF on the
+        // pipe means the coordinator is gone — exit quietly).
+        let cmd = match commands.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => return 0,
+        };
+        let (lease, start, end) = match cmd {
+            WorkerCommand::Shutdown => return 0,
+            // A revoke for a lease we no longer hold raced our Released.
+            WorkerCommand::Revoke { .. } => continue,
+            WorkerCommand::Lease { lease, start, end } => (lease, start, end),
+        };
+        let mut cursor = start;
+        let mut lease_end = end;
+        'lease: while cursor < lease_end {
+            // Drain commands between chunks without blocking.
+            loop {
+                match commands.try_recv() {
+                    Ok(WorkerCommand::Revoke { lease: l, at }) if l == lease => {
+                        // Clamp: we may already be past the requested
+                        // cut; Released reports where we really stop.
+                        lease_end = lease_end.min(at.max(cursor));
+                    }
+                    Ok(WorkerCommand::Revoke { .. }) => {}
+                    Ok(WorkerCommand::Lease { .. }) => {
+                        emit(&WorkerReply::Error {
+                            message: "lease while one is active".into(),
+                        });
+                        return 1;
+                    }
+                    Ok(WorkerCommand::Shutdown) => {
+                        emit(&WorkerReply::Released { lease, end: cursor });
+                        return 0;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => return 0,
+                }
+            }
+            if cursor >= lease_end {
+                break 'lease;
+            }
+            let seg_end = (cursor + chunk).min(lease_end);
+            let fault_before = fault_telemetry.snapshot();
+            let mut segment = runtime.block_on(scan_segment(&config, client, cursor, seg_end));
+            let fault_delta = fault_telemetry.snapshot().delta_since(&fault_before);
+            // Fold this chunk's injected-fault counters into the
+            // segment snapshot: merged job telemetry then matches an
+            // in-process run, where the observer feeds one registry.
+            let merged = Telemetry::new();
+            merged.absorb(&segment.telemetry);
+            merged.absorb(&fault_delta);
+            segment.telemetry = merged.snapshot();
+            emit(&WorkerReply::Segment {
+                lease,
+                segment: Box::new(segment),
+            });
+            cursor = seg_end;
+            sent_segments += 1;
+            if crash.is_some_and(|c| c.fires(sent_segments)) {
+                return 1;
+            }
+            emit(&WorkerReply::Heartbeat { lease, cursor });
+        }
+        emit(&WorkerReply::Released { lease, end: cursor });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_spec_round_trips() {
+        let spec = TransportSpec::Tcp {
+            fault_rate: 0.25,
+            fault_seed: 0x6e6f_6b65_7973,
+        };
+        let back = TransportSpec::from_value(&spec.to_value()).expect("round trips");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn sim_spec_round_trips_with_universe() {
+        let spec = TransportSpec::Sim {
+            universe: UniverseConfig::tiny(42),
+            fault_rate: 0.1,
+            fault_seed: 0xfa17_5eed,
+        };
+        let value = spec.to_value();
+        assert_eq!(value["kind"], "sim");
+        let back = TransportSpec::from_value(&value).expect("round trips");
+        match back {
+            TransportSpec::Sim {
+                universe,
+                fault_rate,
+                fault_seed,
+            } => {
+                assert_eq!(universe.seed, 42);
+                assert_eq!(fault_rate, 0.1);
+                assert_eq!(fault_seed, 0xfa17_5eed);
+            }
+            other => panic!("wrong spec: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_fault_seed_falls_back_to_the_sim_default() {
+        let value = serde_json::json!({"kind": "tcp", "fault_rate": 0.5});
+        match TransportSpec::from_value(&value).expect("parses") {
+            TransportSpec::Tcp { fault_seed, .. } => {
+                assert_eq!(fault_seed, nokeys_netsim::FaultPlan::disabled().seed());
+            }
+            other => panic!("wrong spec: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_kind_is_rejected() {
+        let value = serde_json::json!({"kind": "carrier-pigeon"});
+        assert!(TransportSpec::from_value(&value).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! The process tier: leasing batch ranges to external `nokeys-worker`
+//! processes over the NDJSON pipe must be invisible in the output —
+//! report and harness telemetry byte-identical to the in-process
+//! sharded engine at any worker count, with fault injection on or off,
+//! when a worker is killed mid-scan and respawned, and across a
+//! checkpoint written by the *in-process* tier and resumed by the
+//! process tier (the shard-file format is shared, so the two tiers'
+//! checkpoints are interchangeable).
+
+use nokeys::http::Client;
+use nokeys::netsim::{KillSwitch, KillableTransport, SimTransport, Universe, UniverseConfig};
+use nokeys::repro::{Repro, Scale};
+use nokeys::scanner::prelude::{
+    CheckpointPolicy, EngineConfig, JobEngine, JobSpec, ScanSpec, WorkerLaunch, WorkerReply,
+    WorkerSpec,
+};
+use nokeys::scanner::shard::existing_shard_files;
+use nokeys::scanner::{Pipeline, Telemetry};
+use nokeys::worker::TransportSpec;
+use std::io::{BufRead, BufReader, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SCAN_TIMEOUT: Duration = Duration::from_secs(300);
+
+fn worker_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_nokeys-worker")
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("nokeys-ptier-{tag}-{}", std::process::id()))
+}
+
+/// Report JSON and harness-wide telemetry JSON of one full Repro scan.
+async fn repro_bytes(repro: &mut Repro) -> (String, String) {
+    let report = {
+        let (_, report) = tokio::time::timeout(SCAN_TIMEOUT, repro.scan())
+            .await
+            .expect("scan timed out");
+        serde_json::to_string(report).expect("report serializes")
+    };
+    (report, repro.telemetry().snapshot().to_json())
+}
+
+/// The tentpole guarantee: worker processes are invisible in the
+/// output bytes at any count, faults on or off.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn process_tier_is_byte_identical_at_any_worker_count() {
+    for (fault_rate, worker_counts) in [(0.0, &[1usize, 2, 3][..]), (0.05, &[2usize, 3][..])] {
+        let mut baseline = Repro::new(42, Scale::Quick)
+            .with_fault_rate(fault_rate)
+            .with_shards(2);
+        let (baseline_report, baseline_telemetry) = repro_bytes(&mut baseline).await;
+
+        for &workers in worker_counts {
+            let mut tiered = Repro::new(42, Scale::Quick)
+                .with_fault_rate(fault_rate)
+                .with_workers(workers)
+                .with_worker_bin(worker_bin());
+            let (report, telemetry) = repro_bytes(&mut tiered).await;
+            assert_eq!(
+                baseline_report, report,
+                "report diverged (workers={workers}, faults {fault_rate})"
+            );
+            assert_eq!(
+                baseline_telemetry, telemetry,
+                "telemetry diverged (workers={workers}, faults {fault_rate})"
+            );
+        }
+    }
+}
+
+/// Kill a worker mid-scan (it exits(1) right after streaming its first
+/// segment) — the coordinator must detect the loss, requeue the
+/// unconfirmed tail, respawn, and still produce the baseline bytes.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn killed_worker_is_respawned_and_scan_completes_unchanged() {
+    for fault_rate in [0.0, 0.05] {
+        let mut baseline = Repro::new(7, Scale::Quick)
+            .with_fault_rate(fault_rate)
+            .with_shards(2);
+        let (baseline_report, baseline_telemetry) = repro_bytes(&mut baseline).await;
+
+        let token = temp_path(&format!("crash-token-{fault_rate}"));
+        let _ = std::fs::remove_file(&token);
+        let mut tiered = Repro::new(7, Scale::Quick)
+            .with_fault_rate(fault_rate)
+            .with_workers(2)
+            .with_worker_bin(worker_bin())
+            .with_worker_args([
+                "--crash-after".to_string(),
+                "1".to_string(),
+                "--crash-token".to_string(),
+                token.display().to_string(),
+            ]);
+        let (report, telemetry) = repro_bytes(&mut tiered).await;
+        assert!(
+            token.exists(),
+            "the crash hook never fired: the recovery path went untested"
+        );
+        let _ = std::fs::remove_file(&token);
+        assert_eq!(
+            baseline_report, report,
+            "worker loss changed the report (faults {fault_rate})"
+        );
+        assert_eq!(
+            baseline_telemetry, telemetry,
+            "worker loss changed the telemetry (faults {fault_rate})"
+        );
+    }
+}
+
+fn quick_scan_spec(shards: usize, workers: Option<usize>) -> ScanSpec {
+    let mut scan = ScanSpec::new(vec![UniverseConfig::tiny(42).space]);
+    scan.parallelism = Some(8);
+    scan.shards = Some(shards);
+    scan.retries = Some(3);
+    scan.workers = workers;
+    scan
+}
+
+fn sim_client(universe: &Arc<Universe>) -> Client<SimTransport> {
+    Client::new(SimTransport::new(Arc::clone(universe)))
+}
+
+/// Checkpoint interop: shard files written by a killed *in-process*
+/// sharded run resume to completion under the *process* tier — the
+/// two tiers share one checkpoint format and one resume prologue.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn in_process_shard_checkpoint_resumes_under_the_process_tier() {
+    let universe_config = UniverseConfig::tiny(42);
+    let universe = Arc::new(Universe::generate(universe_config.clone()));
+
+    // Uninterrupted engine baseline (in-process shards, no checkpoint).
+    let engine = JobEngine::new(sim_client(&universe));
+    let outcome = tokio::time::timeout(
+        SCAN_TIMEOUT,
+        engine
+            .submit(JobSpec::scan("interop", quick_scan_spec(4, None)))
+            .wait(),
+    )
+    .await
+    .expect("baseline timed out")
+    .expect("baseline scan failed");
+    let baseline_report =
+        serde_json::to_string(outcome.report().expect("scan report")).expect("serializes");
+    let baseline_telemetry = outcome.telemetry().to_json();
+
+    // In-process sharded run, killed mid-scan after a transport budget;
+    // its crash-safe per-shard checkpoint files stay on disk.
+    let path = temp_path("interop.json");
+    let _ = std::fs::remove_file(&path);
+    for stale in existing_shard_files(&path) {
+        let _ = std::fs::remove_file(stale);
+    }
+    let switch = KillSwitch::after(2_500);
+    let doomed = KillableTransport::new(SimTransport::new(Arc::clone(&universe)), switch.clone());
+    let config = quick_scan_spec(4, None)
+        .to_builder()
+        .telemetry(Telemetry::new())
+        .checkpoint_path(path.clone())
+        .checkpoint_every(2)
+        .build();
+    let pipeline = Pipeline::new(config);
+    let client = Client::new(doomed);
+    let mut task = tokio::spawn(async move { pipeline.run(&client).await });
+    tokio::select! {
+        _ = switch.tripped() => {
+            task.abort();
+            let _ = task.await;
+        }
+        result = &mut task => {
+            result.expect("pipeline task").expect("pipeline failed");
+        }
+    }
+    assert!(
+        path.exists() || !existing_shard_files(&path).is_empty(),
+        "the killed run left no checkpoint state to resume from"
+    );
+
+    // Resume the same checkpoint through two external workers.
+    let launch = WorkerLaunch::new(
+        worker_bin(),
+        TransportSpec::Sim {
+            universe: universe_config,
+            fault_rate: 0.0,
+            fault_seed: nokeys::netsim::FaultPlan::disabled().seed(),
+        }
+        .to_value(),
+    );
+    let engine = JobEngine::with_config(
+        sim_client(&universe),
+        EngineConfig {
+            worker_launch: Some(launch),
+            ..EngineConfig::default()
+        },
+    );
+    let mut spec = JobSpec::scan("interop", quick_scan_spec(4, Some(2)));
+    spec.checkpoint = CheckpointPolicy::Explicit {
+        path: path.clone(),
+        every: 2,
+        resume: true,
+    };
+    let outcome = tokio::time::timeout(SCAN_TIMEOUT, engine.submit(spec).wait())
+        .await
+        .expect("resume timed out")
+        .expect("process-tier resume failed");
+    let resumed_report =
+        serde_json::to_string(outcome.report().expect("scan report")).expect("serializes");
+    assert_eq!(
+        baseline_report, resumed_report,
+        "the process-tier resume diverged from the uninterrupted run"
+    );
+    assert_eq!(
+        baseline_telemetry,
+        outcome.telemetry().to_json(),
+        "the process-tier resume telemetry diverged"
+    );
+    let _ = std::fs::remove_file(&path);
+    for stale in existing_shard_files(&path) {
+        let _ = std::fs::remove_file(stale);
+    }
+}
+
+/// Drive the worker binary by hand over its pipes: hello handshake,
+/// chunked segment streaming in lease order, revoke clamping, and a
+/// clean released/shutdown exchange.
+#[test]
+fn worker_binary_speaks_the_wire_protocol() {
+    let spec = WorkerSpec {
+        scan: quick_scan_spec(1, None),
+        transport: TransportSpec::Sim {
+            universe: UniverseConfig::tiny(42),
+            fault_rate: 0.0,
+            fault_seed: nokeys::netsim::FaultPlan::disabled().seed(),
+        }
+        .to_value(),
+        chunk: 1,
+    };
+    let mut child = std::process::Command::new(worker_bin())
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn nokeys-worker");
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    let mut replies = stdout.lines().map(|line| {
+        let line = line.expect("worker stdout");
+        WorkerReply::parse(&line).unwrap_or_else(|e| panic!("bad worker line {line}: {e}"))
+    });
+
+    writeln!(stdin, "{}", serde_json::to_string(&spec).expect("spec")).expect("write spec");
+    let total = match replies.next().expect("hello line") {
+        WorkerReply::Hello { total_batches } => total_batches,
+        other => panic!("expected hello, got {other:?}"),
+    };
+    assert!(total >= 4, "tiny universe yields at least 4 batches");
+
+    // Lease [0, 4) and immediately revoke at 2: the worker clamps the
+    // lease (never below its cursor) and reports where it stopped.
+    writeln!(stdin, r#"{{"op":"lease","lease":1,"start":0,"end":4}}"#).expect("write lease");
+    writeln!(stdin, r#"{{"op":"revoke","lease":1,"at":2}}"#).expect("write revoke");
+    let mut covered = 0u64;
+    let released_at = loop {
+        match replies.next().expect("lease stream ended early") {
+            WorkerReply::Segment { lease, segment } => {
+                assert_eq!(lease, 1);
+                assert_eq!(segment.start_batch, covered, "segments arrive in order");
+                covered = segment.end_batch;
+            }
+            WorkerReply::Heartbeat { lease, cursor } => {
+                assert_eq!(lease, 1);
+                assert_eq!(cursor, covered, "heartbeat cursor tracks confirmed work");
+            }
+            WorkerReply::Released { lease, end } => {
+                assert_eq!(lease, 1);
+                break end;
+            }
+            other => panic!("unexpected worker reply {other:?}"),
+        }
+    };
+    assert_eq!(covered, released_at, "released after the last segment");
+    assert!(
+        (2..=4).contains(&released_at),
+        "revoke must clamp the lease to [cursor, 4]: stopped at {released_at}"
+    );
+
+    writeln!(stdin, r#"{{"op":"shutdown"}}"#).expect("write shutdown");
+    drop(stdin);
+    let status = child.wait().expect("worker exits");
+    assert!(status.success(), "worker exit status: {status}");
+}

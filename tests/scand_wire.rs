@@ -1,0 +1,186 @@
+//! Error-path coverage for the `nokeys-scand` NDJSON wire protocol,
+//! driving the real binary over its stdin/stdout pipes: malformed
+//! input, operations on unknown jobs, illegal state transitions
+//! (pause twice, resume an unpaused job), and subscribing to an
+//! already-terminal job must each produce one structured error (or
+//! ack) line and leave the command stream — and the single writer task
+//! behind it — fully usable for the next command.
+
+use nokeys::scanner::prelude::{Command, JobSpec, ScanSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, Command as Process, Stdio};
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::Duration;
+
+/// The daemon under test, with a reader thread so a wedged writer
+/// fails the test by timeout instead of hanging it forever.
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    lines: Receiver<String>,
+}
+
+impl Daemon {
+    fn spawn(args: &[&str]) -> Daemon {
+        let mut child = Process::new(env!("CARGO_BIN_EXE_nokeys-scand"))
+            .args(args)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn nokeys-scand");
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, lines) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            for line in BufReader::new(stdout).lines() {
+                let Ok(line) = line else { break };
+                if tx.send(line).is_err() {
+                    break;
+                }
+            }
+        });
+        Daemon {
+            child,
+            stdin,
+            lines,
+        }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.stdin, "{line}").expect("daemon stdin open");
+        self.stdin.flush().expect("daemon stdin flushes");
+    }
+
+    fn send_command(&mut self, command: &Command) {
+        let line = serde_json::to_string(command).expect("commands serialize");
+        self.send(&line);
+    }
+
+    /// Next reply line that is not a streamed `event`, as JSON.
+    fn recv(&mut self) -> serde_json::Value {
+        loop {
+            let line = match self.lines.recv_timeout(Duration::from_secs(60)) {
+                Ok(line) => line,
+                Err(RecvTimeoutError::Timeout) => panic!("daemon reply timed out: writer wedged?"),
+                Err(RecvTimeoutError::Disconnected) => panic!("daemon closed stdout early"),
+            };
+            let value: serde_json::Value =
+                serde_json::from_str(&line).unwrap_or_else(|e| panic!("bad reply line {line}: {e}"));
+            if value["reply"] != "event" {
+                return value;
+            }
+        }
+    }
+
+    fn expect_error(&mut self, context: &str) -> String {
+        let reply = self.recv();
+        assert_eq!(reply["reply"], "error", "{context}: got {reply}");
+        let message = reply["message"].as_str().unwrap_or_default().to_string();
+        assert!(!message.is_empty(), "{context}: error without a message");
+        message
+    }
+
+    fn shutdown(mut self) {
+        self.send(r#"{"op":"shutdown"}"#);
+        assert_eq!(self.recv()["reply"], "ok", "shutdown must ack");
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exit status: {status}");
+    }
+}
+
+/// A scan job whose sweep is empty (loopback is IANA-reserved and the
+/// spec keeps the default exclusion), so it terminates immediately
+/// without touching the network — a fast way to get a real terminal
+/// job inside the daemon.
+fn instant_job() -> Command {
+    let scan = ScanSpec::new(vec!["127.0.0.1/32".parse().expect("cidr")]);
+    Command::Submit {
+        spec: Box::new(JobSpec::scan("wire-test", scan)),
+    }
+}
+
+#[test]
+fn malformed_and_unknown_job_commands_each_error_once() {
+    let mut daemon = Daemon::spawn(&[]);
+
+    daemon.send("this is not json");
+    daemon.expect_error("malformed line");
+
+    daemon.send(r#"{"op":"no_such_op"}"#);
+    daemon.expect_error("unknown op");
+
+    // Valid JSON, wrong shape: an op that needs a job id without one.
+    daemon.send(r#"{"op":"status"}"#);
+    daemon.expect_error("status without job id");
+
+    for op in ["status", "pause", "resume", "cancel", "subscribe"] {
+        daemon.send(&format!(r#"{{"op":"{op}","job":12345}}"#));
+        let message = daemon.expect_error(&format!("{op} on unknown job"));
+        assert!(
+            message.contains("12345") || message.to_lowercase().contains("unknown"),
+            "{op}: error should name the unknown job: {message}"
+        );
+    }
+
+    // The stream survived six consecutive errors: a real command still
+    // gets its reply.
+    daemon.send(r#"{"op":"jobs"}"#);
+    let reply = daemon.recv();
+    assert_eq!(reply["reply"], "jobs");
+    assert_eq!(reply["jobs"], serde_json::json!([]));
+
+    daemon.shutdown();
+}
+
+#[test]
+fn illegal_transitions_on_a_terminal_job_error_and_stream_stays_usable() {
+    let mut daemon = Daemon::spawn(&[]);
+
+    daemon.send_command(&instant_job());
+    let submitted = daemon.recv();
+    assert_eq!(submitted["reply"], "submitted", "got {submitted}");
+    let job = submitted["job"].as_u64().expect("job id");
+
+    // Poll to terminal (the empty sweep finishes in one dispatch).
+    let mut state = String::new();
+    for _ in 0..600 {
+        daemon.send(&format!(r#"{{"op":"status","job":{job}}}"#));
+        let reply = daemon.recv();
+        assert_eq!(reply["reply"], "status", "got {reply}");
+        state = reply["status"]["state"]
+            .as_str()
+            .unwrap_or_default()
+            .to_string();
+        if !matches!(state.as_str(), "queued" | "running") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(state, "completed", "empty-sweep job must complete");
+
+    // Pause twice: both attempts fail (the job is not running), each
+    // with its own structured error, and neither wedges the writer.
+    for attempt in 1..=2 {
+        daemon.send(&format!(r#"{{"op":"pause","job":{job}}}"#));
+        daemon.expect_error(&format!("pause attempt {attempt} on a completed job"));
+    }
+
+    // Resume a job that was never paused.
+    daemon.send(&format!(r#"{{"op":"resume","job":{job}}}"#));
+    daemon.expect_error("resume on an unpaused (completed) job");
+
+    // Subscribing after completion acks instead of parking a forwarder
+    // that would never see a terminal event.
+    daemon.send(&format!(r#"{{"op":"subscribe","job":{job}}}"#));
+    let reply = daemon.recv();
+    assert_eq!(reply["reply"], "ok", "got {reply}");
+
+    // Final proof the writer never wedged: a full metrics round-trip.
+    daemon.send(r#"{"op":"metrics"}"#);
+    let reply = daemon.recv();
+    assert_eq!(reply["reply"], "metrics", "got {reply}");
+    assert!(reply["snapshot"].is_object());
+
+    daemon.shutdown();
+}
