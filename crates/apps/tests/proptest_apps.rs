@@ -31,6 +31,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         .prop_map(|(method, target, body)| Request {
             method,
             target,
+            version: Default::default(),
             headers: Default::default(),
             body: body.into(),
         })

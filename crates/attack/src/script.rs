@@ -63,6 +63,7 @@ pub fn attack_script(app: AppId, payload: &Payload) -> Vec<Request> {
         AppId::Consul => vec![Request {
             method: Method::Put,
             target: "/v1/agent/check/register".into(),
+            version: Default::default(),
             headers: Default::default(),
             body: format!(
                 "{{\"Name\":\"health\",\"Script\":\"{}\",\"Interval\":\"10s\"}}",

@@ -1,0 +1,53 @@
+//! Keep-alive connection reuse: sequential request bursts against one
+//! loopback host with and without the transport pool. The delta is the
+//! per-request TCP handshake the pool amortises away — the cost stage
+//! II/III pays on every probe when each exchange dials fresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nokeys_http::server::serve_tcp;
+use nokeys_http::transport::{TcpTransport, Transport};
+use nokeys_http::{Client, PooledTransport, Request, Response, Url};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+async fn burst<T: Transport>(client: &Client<T>, url: &Url, requests: usize) {
+    for _ in 0..requests {
+        let fetched = client.get(url).await.expect("loopback request");
+        assert_eq!(fetched.response.status.as_u16(), 200);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let rt = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .unwrap();
+
+    let handler = Arc::new(|req: &Request, _| Response::text(req.path().to_string()));
+    let server = rt
+        .block_on(serve_tcp(Ipv4Addr::LOCALHOST, 0, handler))
+        .unwrap();
+    let url = Url::parse(&format!("http://127.0.0.1:{}/probe", server.port)).unwrap();
+
+    let mut group = c.benchmark_group("connection_reuse");
+    group.sample_size(10);
+    for requests in [4usize, 16] {
+        group.bench_function(format!("unpooled_burst_{requests}"), |b| {
+            let client = Client::new(TcpTransport::default());
+            b.iter(|| rt.block_on(burst(&client, &url, requests)))
+        });
+        group.bench_function(format!("pooled_burst_{requests}"), |b| {
+            // Built once: after the first dial the pool serves every
+            // exchange from the same kept-alive connection.
+            let client = Client::new(PooledTransport::new(TcpTransport::default()));
+            b.iter(|| rt.block_on(burst(&client, &url, requests)))
+        });
+    }
+    group.finish();
+
+    rt.block_on(server.shutdown());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

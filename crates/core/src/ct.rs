@@ -120,13 +120,28 @@ impl<'a, T: Transport> Transport for HostPinned<'a, T> {
 
     async fn connect(&self, ep: Endpoint, scheme: Scheme) -> nokeys_http::Result<Self::Conn> {
         let conn = self.inner.connect(ep, scheme).await?;
-        Ok(PinnedConn {
+        Ok(Self::pin(conn, self.domain.clone()))
+    }
+
+    async fn connect_fresh(&self, ep: Endpoint, scheme: Scheme) -> nokeys_http::Result<Self::Conn> {
+        let conn = self.inner.connect_fresh(ep, scheme).await?;
+        Ok(Self::pin(conn, self.domain.clone()))
+    }
+
+    fn supports_reuse(&self) -> bool {
+        self.inner.supports_reuse()
+    }
+}
+
+impl<'a, T: Transport> HostPinned<'a, T> {
+    fn pin(conn: T::Conn, domain: String) -> PinnedConn<T::Conn> {
+        PinnedConn {
             conn,
-            domain: self.domain.clone(),
+            domain,
             head_buf: Vec::new(),
             out_queue: Vec::new(),
             header_done: false,
-        })
+        }
     }
 }
 
@@ -228,6 +243,19 @@ impl<C: nokeys_http::transport::Connection> tokio::io::AsyncRead for PinnedConn<
 impl<C: nokeys_http::transport::Connection> nokeys_http::transport::Connection for PinnedConn<C> {
     fn certificate(&self) -> Option<nokeys_http::transport::CertificateInfo> {
         self.conn.certificate()
+    }
+
+    fn is_reused(&self) -> bool {
+        self.conn.is_reused()
+    }
+
+    fn set_reusable(&mut self, reusable: bool) {
+        if reusable {
+            // Arm the rewriter for the next request head on this
+            // (kept-alive) connection.
+            self.header_done = false;
+        }
+        self.conn.set_reusable(reusable);
     }
 }
 

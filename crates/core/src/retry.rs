@@ -277,9 +277,36 @@ impl<T: Transport> Transport for RetryTransport<T> {
     }
 
     async fn connect(&self, ep: Endpoint, scheme: Scheme) -> nokeys_http::Result<T::Conn> {
+        self.connect_with_retries(ep, scheme, false).await
+    }
+
+    async fn connect_fresh(&self, ep: Endpoint, scheme: Scheme) -> nokeys_http::Result<T::Conn> {
+        // The client's stale-connection retry deserves the same
+        // transient-error budget as a first connect, but must keep
+        // bypassing any pool below this wrapper.
+        self.connect_with_retries(ep, scheme, true).await
+    }
+
+    fn supports_reuse(&self) -> bool {
+        self.inner.supports_reuse()
+    }
+}
+
+impl<T: Transport> RetryTransport<T> {
+    async fn connect_with_retries(
+        &self,
+        ep: Endpoint,
+        scheme: Scheme,
+        fresh: bool,
+    ) -> nokeys_http::Result<T::Conn> {
         let max = self.policy.attempts();
         for attempt in 0..max {
-            match self.inner.connect(ep, scheme).await {
+            let result = if fresh {
+                self.inner.connect_fresh(ep, scheme).await
+            } else {
+                self.inner.connect(ep, scheme).await
+            };
+            match result {
                 Ok(conn) => {
                     if attempt > 0 {
                         self.connect.recovered.incr();

@@ -251,6 +251,40 @@ mod tests {
         assert_eq!(snap.counter("honeypot.restores"), 1);
     }
 
+    /// A scanner (or attacker) pipelining requests must get every
+    /// response, and the monitor must audit every request — the serve
+    /// loop drains buffered requests before reading more bytes.
+    #[tokio::test]
+    async fn pipelined_requests_are_each_answered_and_audited() {
+        use tokio::io::{AsyncReadExt, AsyncWriteExt};
+        let (m, log, _) = monitored(AppId::Hadoop);
+        let peer = Ipv4Addr::new(81, 2, 0, 5);
+        let (mut attacker_side, honeypot_side) = tokio::io::duplex(16 * 1024);
+        let serve = nokeys_http::server::serve_connection(honeypot_side, &m, peer);
+        let drive = async {
+            // Both requests land in one write; the second asks to close
+            // so the serve loop terminates and read_to_end returns.
+            attacker_side
+                .write_all(
+                    b"GET /cluster/cluster HTTP/1.1\r\nHost: h\r\n\r\n\
+                      GET /cluster/cluster HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n",
+                )
+                .await
+                .unwrap();
+            let mut out = Vec::new();
+            attacker_side.read_to_end(&mut out).await.unwrap();
+            String::from_utf8_lossy(&out).into_owned()
+        };
+        let (served, text) = tokio::join!(serve, drive);
+        served.unwrap();
+        assert_eq!(text.matches("HTTP/1.1 200").count(), 2, "{text}");
+        let records = log.snapshot();
+        assert_eq!(records.len(), 2, "every pipelined request is audited");
+        assert!(records
+            .iter()
+            .all(|r| r.request_line == "GET /cluster/cluster"));
+    }
+
     #[test]
     fn restore_reverts_trust_on_first_use_state() {
         let (m, _, _) = monitored(AppId::WordPress);

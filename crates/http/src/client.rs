@@ -11,6 +11,7 @@ use crate::request::Request;
 use crate::response::Response;
 use crate::transport::{Connection, Endpoint, Scheme, Transport};
 use crate::url::{Host, Url};
+use crate::version::Version;
 use bytes::BytesMut;
 use std::net::Ipv4Addr;
 use std::time::Duration;
@@ -95,7 +96,20 @@ impl<T: Transport> Client<T> {
     ///
     /// A caller-provided `Host` header is preserved — that is how
     /// name-based virtual hosts behind a shared IP are addressed (the
-    /// paper's §6.2 "under counting" discussion).
+    /// paper's §6.2 "under counting" discussion). The same holds for a
+    /// caller-provided `Connection` header; absent one, the client
+    /// requests `Connection: close` unless the transport pools
+    /// connections, in which case the HTTP/1.1 keep-alive default is
+    /// left in effect so sequential probes of one host share a
+    /// connection.
+    ///
+    /// A connection checked out of a pool may have been closed by the
+    /// server while idle (the stale keep-alive race). When a reused
+    /// connection fails before yielding a single response byte, the
+    /// exchange is retried exactly once on a fresh connection that
+    /// bypasses the pool; failures after response bytes arrived are
+    /// surfaced, not retried, because the exchange is no longer known
+    /// to be unprocessed.
     pub async fn execute(&self, url: &Url, mut req: Request) -> Result<Response> {
         let ep = endpoint_of(url)?;
         if !req.headers.contains("host") {
@@ -105,20 +119,43 @@ impl<T: Transport> Client<T> {
             req.headers
                 .set("User-Agent", self.config.user_agent.clone());
         }
-        req.headers.set("Connection", "close");
+        if !req.headers.contains("connection") && !self.transport.supports_reuse() {
+            req.headers.set("Connection", "close");
+        }
+        let request_close = req.headers.connection_close();
+        let head_method = req.method == crate::Method::Head;
+        let wire = encode_request(&req);
 
         let exchange = async {
             let mut conn = self.transport.connect(ep, url.scheme).await?;
-            let wire = encode_request(&req);
-            conn.write_all(&wire).await?;
-            // Not all transports propagate flush, but it is correct to ask.
-            conn.flush().await?;
-            read_response(
+            match exchange_once(
                 &mut conn,
-                req.method == crate::Method::Head,
+                &wire,
+                head_method,
                 &self.config.limits,
+                request_close,
             )
             .await
+            {
+                Outcome::Done(resp) => Ok(resp),
+                Outcome::Fatal(e) => Err(e),
+                Outcome::Stale(_) => {
+                    drop(conn); // tear the corpse down before redialing
+                    let mut fresh = self.transport.connect_fresh(ep, url.scheme).await?;
+                    match exchange_once(
+                        &mut fresh,
+                        &wire,
+                        head_method,
+                        &self.config.limits,
+                        request_close,
+                    )
+                    .await
+                    {
+                        Outcome::Done(resp) => Ok(resp),
+                        Outcome::Stale(e) | Outcome::Fatal(e) => Err(e),
+                    }
+                }
+            }
         };
         match tokio::time::timeout(self.config.request_timeout, exchange).await {
             Ok(res) => res,
@@ -165,28 +202,75 @@ fn endpoint_of(url: &Url) -> Result<Endpoint> {
     }
 }
 
-/// Read one response from `conn`, growing a buffer and re-running the
-/// incremental parser until it is complete.
-async fn read_response<C: Connection>(
+/// How one request/response exchange on one connection ended.
+enum Outcome {
+    /// Response fully parsed; the connection's reusability verdict has
+    /// been recorded via [`Connection::set_reusable`].
+    Done(Response),
+    /// The connection was reused and died before yielding any response
+    /// byte — the stale keep-alive race. Safe to retry once on a fresh
+    /// connection: the server provably processed nothing.
+    Stale(Error),
+    /// Any other failure; retrying could duplicate a processed request.
+    Fatal(Error),
+}
+
+/// Write `wire` and read one response, growing a buffer and re-running
+/// the incremental parser until it is complete. On success the
+/// connection is marked reusable iff keep-alive semantics allow it:
+/// no EOF was needed to delimit the body, the parser consumed every
+/// buffered byte (no unsynchronized trailing data), we did not request
+/// close, and the server's version/`Connection` headers agree
+/// (HTTP/1.1 defaults to keep-alive, HTTP/1.0 must opt in).
+async fn exchange_once<C: Connection>(
     conn: &mut C,
+    wire: &[u8],
     head_method: bool,
     limits: &Limits,
-) -> Result<Response> {
+    request_close: bool,
+) -> Outcome {
+    let reused = conn.is_reused();
+    let stale_or_fatal = |e: Error, unprocessed: bool| {
+        if reused && unprocessed {
+            Outcome::Stale(e)
+        } else {
+            Outcome::Fatal(e)
+        }
+    };
+    if let Err(e) = conn.write_all(wire).await {
+        return stale_or_fatal(e.into(), true);
+    }
+    // Not all transports propagate flush, but it is correct to ask.
+    if let Err(e) = conn.flush().await {
+        return stale_or_fatal(e.into(), true);
+    }
     let mut buf = BytesMut::with_capacity(4096);
     let mut eof = false;
     let mut scanner = HeadScanner::new();
     loop {
-        match parse_response_incremental(&buf, eof, head_method, limits, &mut scanner)? {
-            Parsed::Complete(resp, _) => return Ok(resp),
-            Parsed::Partial => {
+        match parse_response_incremental(&buf, eof, head_method, limits, &mut scanner) {
+            Ok(Parsed::Complete(resp, used)) => {
+                let keep = !eof
+                    && used == buf.len()
+                    && !request_close
+                    && match resp.version {
+                        Version::Http11 => !resp.headers.connection_close(),
+                        Version::Http10 => resp.headers.connection_keep_alive(),
+                    };
+                conn.set_reusable(keep);
+                return Outcome::Done(resp);
+            }
+            Ok(Parsed::Partial) => {
                 if eof {
-                    return Err(Error::UnexpectedEof);
+                    return stale_or_fatal(Error::UnexpectedEof, buf.is_empty());
                 }
             }
+            Err(e) => return stale_or_fatal(e, buf.is_empty()),
         }
-        let n = conn.read_buf(&mut buf).await?;
-        if n == 0 {
-            eof = true;
+        match conn.read_buf(&mut buf).await {
+            Ok(0) => eof = true,
+            Ok(_) => {}
+            Err(e) => return stale_or_fatal(e.into(), buf.is_empty()),
         }
     }
 }
@@ -357,5 +441,23 @@ mod error_path_tests {
         let req = Request::get("/").with_header("Host", "named.example");
         let resp = client.execute(&url, req).await.unwrap();
         assert_eq!(resp.body_text(), "named.example");
+    }
+
+    #[tokio::test]
+    async fn caller_connection_header_is_preserved() {
+        let ep = Endpoint::new(Ipv4Addr::new(10, 0, 0, 7), 80);
+        let handler = Arc::new(|req: &Request, _| {
+            Response::text(req.headers.get("connection").unwrap_or("none").to_string())
+        });
+        let transport = HandlerTransport::new().with(ep, handler);
+        let client = Client::new(transport);
+        let url = Url::for_ip(Scheme::Http, ep.ip, ep.port, "/");
+        // Default on a non-pooling transport: the client requests close.
+        let resp = client.execute(&url, Request::get("/")).await.unwrap();
+        assert_eq!(resp.body_text(), "close");
+        // A caller-provided value must not be clobbered.
+        let req = Request::get("/").with_header("Connection", "keep-alive, close");
+        let resp = client.execute(&url, req).await.unwrap();
+        assert_eq!(resp.body_text(), "keep-alive, close");
     }
 }

@@ -90,6 +90,27 @@ impl Headers {
             .unwrap_or(false)
     }
 
+    /// Whether any field of `name` carries `token` in its
+    /// comma-separated token list, case-insensitively (RFC 9110 §5.6.1).
+    /// `Connection: keep-alive, close` has the token `close`; a bare
+    /// `Connection: close` does too.
+    pub fn has_token(&self, name: &str, token: &str) -> bool {
+        self.get_all(name)
+            .any(|v| v.split(',').any(|t| t.trim().eq_ignore_ascii_case(token)))
+    }
+
+    /// Whether the `Connection` header requests the connection be
+    /// closed after this message.
+    pub fn connection_close(&self) -> bool {
+        self.has_token("connection", "close")
+    }
+
+    /// Whether the `Connection` header opts into keep-alive (needed by
+    /// HTTP/1.0 peers, where close is the default).
+    pub fn connection_keep_alive(&self) -> bool {
+        self.has_token("connection", "keep-alive")
+    }
+
     /// Number of fields (counting duplicates).
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -215,6 +236,28 @@ mod tests {
         assert!(h.is_chunked());
         h.set("Transfer-Encoding", "gzip");
         assert!(!h.is_chunked());
+    }
+
+    #[test]
+    fn connection_tokens_parse_as_lists() {
+        let mut h = Headers::new();
+        assert!(!h.connection_close());
+        assert!(!h.connection_keep_alive());
+        h.set("Connection", "close");
+        assert!(h.connection_close());
+        // The shape the old exact-match check missed.
+        h.set("Connection", "keep-alive, close");
+        assert!(h.connection_close());
+        assert!(h.connection_keep_alive());
+        h.set("Connection", "Keep-Alive");
+        assert!(h.connection_keep_alive());
+        assert!(!h.connection_close());
+        // Token match, not substring match.
+        h.set("Connection", "closed");
+        assert!(!h.connection_close());
+        // Duplicate Connection fields both count.
+        h.append("connection", "close");
+        assert!(h.connection_close());
     }
 
     #[test]

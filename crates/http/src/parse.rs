@@ -11,6 +11,7 @@ use crate::method::Method;
 use crate::request::Request;
 use crate::response::Response;
 use crate::status::StatusCode;
+use crate::version::Version;
 use bytes::Bytes;
 
 /// Limits applied while parsing; generous defaults match the client's
@@ -261,10 +262,11 @@ pub fn parse_response_incremental(
 
     // Status line: HTTP/1.x SP code SP reason.
     let mut parts = status_line.splitn(3, ' ');
-    let version = parts.next().unwrap_or("");
-    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
-        return Err(Error::Malformed("http version"));
-    }
+    let version: Version = parts
+        .next()
+        .unwrap_or("")
+        .parse()
+        .map_err(|()| Error::Malformed("http version"))?;
     let code: u16 = parts
         .next()
         .ok_or(Error::Malformed("status code"))?
@@ -280,6 +282,7 @@ pub fn parse_response_incremental(
         BodyFraming::None => Ok(Parsed::Complete(
             Response {
                 status,
+                version,
                 headers,
                 body: Bytes::new(),
             },
@@ -302,6 +305,7 @@ pub fn parse_response_incremental(
             Ok(Parsed::Complete(
                 Response {
                     status,
+                    version,
                     headers,
                     body,
                 },
@@ -312,6 +316,7 @@ pub fn parse_response_incremental(
             Parsed::Complete(body, consumed) => Ok(Parsed::Complete(
                 Response {
                     status,
+                    version,
                     headers,
                     body: Bytes::from(body),
                 },
@@ -345,6 +350,7 @@ pub fn parse_response_incremental(
             Ok(Parsed::Complete(
                 Response {
                     status,
+                    version,
                     headers,
                     body: Bytes::copy_from_slice(body),
                 },
@@ -391,10 +397,11 @@ pub fn parse_request_incremental(
     if target.is_empty() || (!target.starts_with('/') && target != "*") {
         return Err(Error::Malformed("request target form"));
     }
-    let version = parts.next().ok_or(Error::Malformed("http version"))?;
-    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
-        return Err(Error::Malformed("http version"));
-    }
+    let version: Version = parts
+        .next()
+        .ok_or(Error::Malformed("http version"))?
+        .parse()
+        .map_err(|()| Error::Malformed("http version"))?;
     if parts.next().is_some() {
         return Err(Error::Malformed("request line"));
     }
@@ -405,6 +412,7 @@ pub fn parse_request_incremental(
             Request {
                 method,
                 target,
+                version,
                 headers,
                 body: Bytes::new(),
             },
@@ -425,6 +433,7 @@ pub fn parse_request_incremental(
                 Request {
                     method,
                     target,
+                    version,
                     headers,
                     body,
                 },
@@ -436,6 +445,7 @@ pub fn parse_request_incremental(
                 Request {
                     method,
                     target,
+                    version,
                     headers,
                     body: Bytes::from(body),
                 },
@@ -537,6 +547,27 @@ mod tests {
         assert_eq!(
             parse_response(raw, false, false, &limits()).unwrap(),
             Parsed::Partial
+        );
+    }
+
+    #[test]
+    fn wire_version_is_captured() {
+        let raw = b"HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok";
+        let Parsed::Complete(resp, _) = parse_response(raw, false, false, &limits()).unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(resp.version, Version::Http10);
+
+        let raw = b"GET / HTTP/1.0\r\nHost: h\r\n\r\n";
+        let Parsed::Complete(req, _) = parse_request(raw, &limits()).unwrap() else {
+            panic!();
+        };
+        assert_eq!(req.version, Version::Http10);
+        assert_eq!(
+            Request::get("/").version,
+            Version::Http11,
+            "constructed messages default to 1.1"
         );
     }
 

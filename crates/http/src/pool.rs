@@ -1,0 +1,664 @@
+//! Keep-alive connection pooling for the live transport.
+//!
+//! [`PooledTransport`] wraps any [`Transport`] and keeps per-endpoint
+//! FIFO pools of idle connections, so stage II prefilter fetches and
+//! stage III verification probes against the same host ride one TCP
+//! connection instead of paying connect latency per exchange. The
+//! contract with [`Client`](crate::client::Client):
+//!
+//! * `connect` checks the pool first (a *hit*) and falls back to the
+//!   inner transport (a *miss*);
+//! * after a clean exchange the client calls
+//!   [`Connection::set_reusable`] with the keep-alive verdict, and the
+//!   connection checks itself back in when dropped;
+//! * a reused connection that dies before yielding any response bytes
+//!   is the classic stale keep-alive race — the client retries exactly
+//!   once on [`Transport::connect_fresh`], which bypasses the pool (and
+//!   is metered as a *stale retry*);
+//! * check-ins beyond the per-endpoint cap or the global idle bound
+//!   evict the oldest idle connection (*evicted*).
+//!
+//! Pooling is a performance knob, not a semantic one: reports from a
+//! pooled scan are byte-identical to an unpooled run, and the knob is
+//! deliberately excluded from `ConfigFingerprint` (like parallelism and
+//! shard count). Counters are surfaced both as [`PoolStats`] atomics
+//! and through an optional observer callback, which the scanner bridges
+//! into its telemetry registry (`transport.pool.*`) without this crate
+//! depending on it.
+
+use crate::error::Result;
+use crate::ip::Cidr;
+use crate::transport::{
+    BlockSweepResult, CertificateInfo, Connection, Endpoint, ProbeOutcome, Scheme, Transport,
+};
+use std::collections::{HashMap, VecDeque};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::task::{Context, Poll};
+use tokio::io::{AsyncRead, AsyncWrite, ReadBuf};
+
+/// Sizing knobs for a [`PooledTransport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Idle connections kept per (endpoint, scheme). Scans issue a
+    /// handful of sequential probes per host, so a small cap suffices.
+    pub max_idle_per_endpoint: usize,
+    /// Idle connections kept across all endpoints; the oldest idle
+    /// connection anywhere is evicted when a check-in crosses this.
+    pub max_idle_total: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            max_idle_per_endpoint: 2,
+            max_idle_total: 256,
+        }
+    }
+}
+
+/// A pool lifecycle event, as seen by the stats and the observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// `connect` was served from the pool.
+    Hit,
+    /// `connect` found no idle connection and dialed the inner
+    /// transport.
+    Miss,
+    /// `connect_fresh` was called: a reused connection turned out stale
+    /// and the client is retrying once on a fresh one.
+    StaleRetry,
+    /// An idle connection was discarded to respect a pool bound.
+    Evicted,
+}
+
+/// Monotonic counters shared by all clones of a [`PooledTransport`].
+#[derive(Debug, Default)]
+pub struct PoolStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stale_retries: AtomicU64,
+    evicted: AtomicU64,
+    checked_in: AtomicU64,
+    discarded: AtomicU64,
+}
+
+impl PoolStats {
+    /// Connects served from the pool.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Connects that dialed the inner transport.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Stale-connection retries (calls to `connect_fresh`).
+    pub fn stale_retries(&self) -> u64 {
+        self.stale_retries.load(Ordering::Relaxed)
+    }
+
+    /// Idle connections evicted to respect a pool bound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Connections returned to the pool after a reusable exchange.
+    pub fn checked_in(&self) -> u64 {
+        self.checked_in.load(Ordering::Relaxed)
+    }
+
+    /// Connections torn down instead of pooled (close signaled, EOF
+    /// framing, error, or never marked reusable).
+    pub fn discarded(&self) -> u64 {
+        self.discarded.load(Ordering::Relaxed)
+    }
+}
+
+type Observer = Arc<dyn Fn(PoolEvent) + Send + Sync>;
+type PoolKey = (Endpoint, Scheme);
+
+/// Idle connections, FIFO per endpoint, tagged with a global check-in
+/// sequence number so the globally oldest one can be evicted.
+struct IdleState<C> {
+    by_endpoint: HashMap<PoolKey, VecDeque<(u64, C)>>,
+    total: usize,
+    next_seq: u64,
+}
+
+impl<C> Default for IdleState<C> {
+    fn default() -> Self {
+        IdleState {
+            by_endpoint: HashMap::new(),
+            total: 0,
+            next_seq: 0,
+        }
+    }
+}
+
+struct PoolShared<C> {
+    config: PoolConfig,
+    idle: Mutex<IdleState<C>>,
+    stats: PoolStats,
+    observer: Option<Observer>,
+}
+
+impl<C> PoolShared<C> {
+    fn lock(&self) -> MutexGuard<'_, IdleState<C>> {
+        // A panic while holding the lock leaves only idle connections
+        // behind; recovering the state is strictly better than wedging
+        // every subsequent connect.
+        self.idle.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn record(&self, event: PoolEvent) {
+        let counter = match event {
+            PoolEvent::Hit => &self.stats.hits,
+            PoolEvent::Miss => &self.stats.misses,
+            PoolEvent::StaleRetry => &self.stats.stale_retries,
+            PoolEvent::Evicted => &self.stats.evicted,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if let Some(observer) = &self.observer {
+            observer(event);
+        }
+    }
+
+    /// Oldest idle connection for `key`, if any.
+    fn check_out(&self, key: PoolKey) -> Option<C> {
+        let mut state = self.lock();
+        let conn = state.by_endpoint.get_mut(&key)?.pop_front()?.1;
+        if state
+            .by_endpoint
+            .get(&key)
+            .is_some_and(|queue| queue.is_empty())
+        {
+            state.by_endpoint.remove(&key);
+        }
+        state.total -= 1;
+        Some(conn)
+    }
+
+    /// Return a reusable connection, evicting the oldest idle ones
+    /// until both the per-endpoint cap and the global bound hold.
+    fn check_in(&self, key: PoolKey, conn: C) {
+        let mut evicted = 0u64;
+        {
+            let mut state = self.lock();
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            let over_cap = {
+                let queue = state.by_endpoint.entry(key).or_default();
+                queue.push_back((seq, conn));
+                queue.len() > self.config.max_idle_per_endpoint
+            };
+            state.total += 1;
+            if over_cap {
+                if let Some(queue) = state.by_endpoint.get_mut(&key) {
+                    queue.pop_front();
+                    state.total -= 1;
+                    evicted += 1;
+                }
+            }
+            while state.total > self.config.max_idle_total {
+                let oldest = state
+                    .by_endpoint
+                    .iter()
+                    .filter_map(|(k, queue)| queue.front().map(|(seq, _)| (*seq, *k)))
+                    .min_by_key(|(seq, _)| *seq);
+                let Some((_, victim)) = oldest else { break };
+                if let Some(queue) = state.by_endpoint.get_mut(&victim) {
+                    queue.pop_front();
+                    state.total -= 1;
+                    evicted += 1;
+                    if queue.is_empty() {
+                        state.by_endpoint.remove(&victim);
+                    }
+                }
+            }
+        }
+        self.stats.checked_in.fetch_add(1, Ordering::Relaxed);
+        for _ in 0..evicted {
+            self.record(PoolEvent::Evicted);
+        }
+    }
+
+    fn idle_count(&self) -> usize {
+        self.lock().total
+    }
+}
+
+/// Transport wrapper adding keep-alive connection reuse. Clones share
+/// one pool, so a transport cloned into concurrent pipeline shards
+/// still rides warm connections.
+pub struct PooledTransport<T: Transport> {
+    inner: Arc<T>,
+    shared: Arc<PoolShared<T::Conn>>,
+}
+
+impl<T: Transport> Clone for PooledTransport<T> {
+    fn clone(&self) -> Self {
+        PooledTransport {
+            inner: Arc::clone(&self.inner),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for PooledTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledTransport")
+            .field("config", &self.shared.config)
+            .field("idle", &self.shared.idle_count())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: Transport> PooledTransport<T> {
+    /// Pool `inner` with default sizing.
+    pub fn new(inner: T) -> Self {
+        Self::with_config(inner, PoolConfig::default())
+    }
+
+    /// Pool `inner` with explicit sizing.
+    pub fn with_config(inner: T, config: PoolConfig) -> Self {
+        PooledTransport {
+            inner: Arc::new(inner),
+            shared: Arc::new(PoolShared {
+                config,
+                idle: Mutex::new(IdleState::default()),
+                stats: PoolStats::default(),
+                observer: None,
+            }),
+        }
+    }
+
+    /// Attach a callback invoked on every pool event — the scanner
+    /// bridges this into its telemetry registry (`transport.pool.*`
+    /// counters) without this crate depending on it.
+    pub fn with_observer(self, observer: impl Fn(PoolEvent) + Send + Sync + 'static) -> Self {
+        PooledTransport {
+            inner: self.inner,
+            shared: Arc::new(PoolShared {
+                config: self.shared.config,
+                idle: Mutex::new(IdleState::default()),
+                stats: PoolStats::default(),
+                observer: Some(Arc::new(observer)),
+            }),
+        }
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Shared lifecycle counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.shared.stats
+    }
+
+    /// Idle connections currently pooled, across all endpoints.
+    pub fn idle_count(&self) -> usize {
+        self.shared.idle_count()
+    }
+
+    /// Drop every idle connection.
+    pub fn purge(&self) {
+        let mut state = self.shared.lock();
+        state.by_endpoint.clear();
+        state.total = 0;
+    }
+
+    fn wrap(&self, conn: T::Conn, key: PoolKey, reused: bool) -> PooledConn<T::Conn> {
+        PooledConn {
+            inner: Some(conn),
+            key,
+            shared: Arc::clone(&self.shared),
+            reused,
+            reusable: false,
+        }
+    }
+}
+
+impl<T: Transport> Transport for PooledTransport<T> {
+    type Conn = PooledConn<T::Conn>;
+
+    async fn probe(&self, ep: Endpoint) -> ProbeOutcome {
+        self.inner.probe(ep).await
+    }
+
+    async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
+        self.inner.sweep_block(block, ports).await
+    }
+
+    async fn connect(&self, ep: Endpoint, scheme: Scheme) -> Result<Self::Conn> {
+        let key = (ep, scheme);
+        if let Some(conn) = self.shared.check_out(key) {
+            self.shared.record(PoolEvent::Hit);
+            return Ok(self.wrap(conn, key, true));
+        }
+        self.shared.record(PoolEvent::Miss);
+        let conn = self.inner.connect(ep, scheme).await?;
+        Ok(self.wrap(conn, key, false))
+    }
+
+    async fn connect_fresh(&self, ep: Endpoint, scheme: Scheme) -> Result<Self::Conn> {
+        // Only the client's stale-retry path calls this: a pooled
+        // connection died under the first attempt, so the pool is
+        // bypassed (another idle one could be a second corpse) and the
+        // attempt is metered.
+        self.shared.record(PoolEvent::StaleRetry);
+        let conn = self.inner.connect_fresh(ep, scheme).await?;
+        Ok(self.wrap(conn, (ep, scheme), false))
+    }
+
+    fn supports_reuse(&self) -> bool {
+        true
+    }
+}
+
+/// A connection checked out of (or destined for) the pool. Checks
+/// itself back in on drop if the client marked the last exchange
+/// reusable; otherwise the underlying connection is torn down.
+pub struct PooledConn<C: Connection> {
+    inner: Option<C>,
+    key: PoolKey,
+    shared: Arc<PoolShared<C>>,
+    reused: bool,
+    reusable: bool,
+}
+
+impl<C: Connection> PooledConn<C> {
+    fn conn(&mut self) -> &mut C {
+        self.inner
+            .as_mut()
+            .expect("connection only vacated on drop")
+    }
+
+    /// The underlying connection.
+    pub fn get_ref(&self) -> &C {
+        self.inner
+            .as_ref()
+            .expect("connection only vacated on drop")
+    }
+}
+
+impl<C: Connection> Drop for PooledConn<C> {
+    fn drop(&mut self) {
+        if let Some(conn) = self.inner.take() {
+            if self.reusable {
+                self.shared.check_in(self.key, conn);
+            } else {
+                self.shared.stats.discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<C: Connection> AsyncRead for PooledConn<C> {
+    fn poll_read(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<std::io::Result<()>> {
+        Pin::new(self.conn()).poll_read(cx, buf)
+    }
+}
+
+impl<C: Connection> AsyncWrite for PooledConn<C> {
+    fn poll_write(
+        mut self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<std::io::Result<usize>> {
+        Pin::new(self.conn()).poll_write(cx, buf)
+    }
+
+    fn poll_flush(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(self.conn()).poll_flush(cx)
+    }
+
+    fn poll_shutdown(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+        Pin::new(self.conn()).poll_shutdown(cx)
+    }
+}
+
+impl<C: Connection> Connection for PooledConn<C> {
+    fn certificate(&self) -> Option<CertificateInfo> {
+        self.get_ref().certificate()
+    }
+
+    fn is_reused(&self) -> bool {
+        self.reused
+    }
+
+    fn set_reusable(&mut self, reusable: bool) {
+        self.reusable = reusable;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+    use std::sync::atomic::AtomicU32;
+
+    /// Hands out numbered in-memory connections; no sockets involved.
+    struct FakeTransport {
+        dialed: AtomicU32,
+    }
+
+    impl FakeTransport {
+        fn new() -> Self {
+            FakeTransport {
+                dialed: AtomicU32::new(0),
+            }
+        }
+    }
+
+    struct FakeConn {
+        id: u32,
+    }
+
+    impl AsyncRead for FakeConn {
+        fn poll_read(
+            self: Pin<&mut Self>,
+            _cx: &mut Context<'_>,
+            _buf: &mut ReadBuf<'_>,
+        ) -> Poll<std::io::Result<()>> {
+            Poll::Ready(Ok(())) // permanent EOF
+        }
+    }
+
+    impl AsyncWrite for FakeConn {
+        fn poll_write(
+            self: Pin<&mut Self>,
+            _cx: &mut Context<'_>,
+            buf: &[u8],
+        ) -> Poll<std::io::Result<usize>> {
+            Poll::Ready(Ok(buf.len()))
+        }
+
+        fn poll_flush(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+            Poll::Ready(Ok(()))
+        }
+
+        fn poll_shutdown(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<std::io::Result<()>> {
+            Poll::Ready(Ok(()))
+        }
+    }
+
+    impl Connection for FakeConn {}
+
+    impl Transport for FakeTransport {
+        type Conn = FakeConn;
+
+        async fn probe(&self, _ep: Endpoint) -> ProbeOutcome {
+            ProbeOutcome::Open
+        }
+
+        async fn connect(&self, _ep: Endpoint, _scheme: Scheme) -> Result<FakeConn> {
+            Ok(FakeConn {
+                id: self.dialed.fetch_add(1, Ordering::Relaxed),
+            })
+        }
+    }
+
+    fn ep(last: u8) -> Endpoint {
+        Endpoint::new(Ipv4Addr::new(10, 0, 0, last), 80)
+    }
+
+    /// Connect, mark reusable, and drop — i.e. one clean exchange.
+    async fn cycle(pool: &PooledTransport<FakeTransport>, ep: Endpoint) -> u32 {
+        let mut conn = pool.connect(ep, Scheme::Http).await.unwrap();
+        let id = conn.get_ref().id;
+        conn.set_reusable(true);
+        id
+    }
+
+    #[tokio::test]
+    async fn checkout_is_fifo_and_counts_hits() {
+        let pool = PooledTransport::new(FakeTransport::new());
+        let first = cycle(&pool, ep(1)).await;
+        assert_eq!(pool.idle_count(), 1);
+        let again = cycle(&pool, ep(1)).await;
+        assert_eq!(first, again, "the idle connection is reused");
+        assert_eq!(pool.stats().hits(), 1);
+        assert_eq!(pool.stats().misses(), 1);
+        assert_eq!(pool.stats().checked_in(), 2);
+    }
+
+    #[tokio::test]
+    async fn unmarked_connections_are_discarded_not_pooled() {
+        let pool = PooledTransport::new(FakeTransport::new());
+        let conn = pool.connect(ep(1), Scheme::Http).await.unwrap();
+        drop(conn); // never set_reusable(true)
+        assert_eq!(pool.idle_count(), 0);
+        assert_eq!(pool.stats().discarded(), 1);
+        assert_eq!(pool.stats().hits() + pool.stats().misses(), 1);
+    }
+
+    #[tokio::test]
+    async fn per_endpoint_cap_evicts_the_oldest() {
+        let pool = PooledTransport::with_config(
+            FakeTransport::new(),
+            PoolConfig {
+                max_idle_per_endpoint: 1,
+                max_idle_total: 256,
+            },
+        );
+        // Two concurrent checkouts force two dials; both check in, the
+        // cap keeps only the newer one.
+        let a = pool.connect(ep(1), Scheme::Http).await.unwrap();
+        let b = pool.connect(ep(1), Scheme::Http).await.unwrap();
+        let (a_id, b_id) = (a.get_ref().id, b.get_ref().id);
+        for mut conn in [a, b] {
+            conn.set_reusable(true);
+        }
+        assert_eq!(pool.idle_count(), 1);
+        assert_eq!(pool.stats().evicted(), 1);
+        let survivor = cycle(&pool, ep(1)).await;
+        assert_eq!(survivor, b_id, "oldest ({a_id}) was evicted");
+    }
+
+    #[tokio::test]
+    async fn global_bound_evicts_across_endpoints() {
+        let pool = PooledTransport::with_config(
+            FakeTransport::new(),
+            PoolConfig {
+                max_idle_per_endpoint: 4,
+                max_idle_total: 2,
+            },
+        );
+        let first = cycle(&pool, ep(1)).await;
+        cycle_distinct(&pool, ep(2)).await;
+        cycle_distinct(&pool, ep(3)).await;
+        assert_eq!(pool.idle_count(), 2, "global bound holds");
+        assert_eq!(pool.stats().evicted(), 1);
+        // ep(1) held the globally oldest connection; it is gone.
+        let redialed = cycle(&pool, ep(1)).await;
+        assert_ne!(redialed, first);
+        // Counter reconciliation: every connect is a hit or a miss, and
+        // everything checked in was either evicted, reused, or is idle.
+        let s = pool.stats();
+        assert_eq!(s.hits() + s.misses(), 4);
+        assert_eq!(
+            s.checked_in(),
+            s.evicted() + s.hits() + pool.idle_count() as u64
+        );
+    }
+
+    /// Like `cycle` but via a distinct endpoint (no pool hit expected).
+    async fn cycle_distinct(pool: &PooledTransport<FakeTransport>, ep: Endpoint) -> u32 {
+        cycle(pool, ep).await
+    }
+
+    #[tokio::test]
+    async fn connect_fresh_bypasses_the_pool_and_meters() {
+        let pool = PooledTransport::new(FakeTransport::new());
+        let warm = cycle(&pool, ep(1)).await;
+        let mut fresh = pool.connect_fresh(ep(1), Scheme::Http).await.unwrap();
+        assert_ne!(fresh.get_ref().id, warm, "pool must be bypassed");
+        assert!(!fresh.is_reused());
+        assert_eq!(pool.stats().stale_retries(), 1);
+        assert_eq!(pool.idle_count(), 1, "idle connection left untouched");
+        fresh.set_reusable(true);
+        drop(fresh);
+        assert_eq!(pool.idle_count(), 2, "fresh connections still pool");
+    }
+
+    #[tokio::test]
+    async fn observer_sees_every_event() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let pool = PooledTransport::with_config(
+            FakeTransport::new(),
+            PoolConfig {
+                max_idle_per_endpoint: 1,
+                max_idle_total: 256,
+            },
+        )
+        .with_observer(move |event| sink.lock().unwrap().push(event));
+        let a = pool.connect(ep(1), Scheme::Http).await.unwrap();
+        let b = pool.connect(ep(1), Scheme::Http).await.unwrap();
+        for mut conn in [a, b] {
+            conn.set_reusable(true);
+        }
+        cycle(&pool, ep(1)).await;
+        let _ = pool.connect_fresh(ep(1), Scheme::Http).await.unwrap();
+        let events = seen.lock().unwrap().clone();
+        assert_eq!(
+            events,
+            vec![
+                PoolEvent::Miss,
+                PoolEvent::Miss,
+                PoolEvent::Evicted,
+                PoolEvent::Hit,
+                PoolEvent::StaleRetry,
+            ]
+        );
+    }
+
+    #[tokio::test]
+    async fn schemes_pool_separately() {
+        let pool = PooledTransport::new(FakeTransport::new());
+        cycle(&pool, ep(1)).await;
+        // Same endpoint, different scheme: must not hit the HTTP pool.
+        let conn = pool.connect(ep(1), Scheme::Https).await.unwrap();
+        assert!(!conn.is_reused());
+        assert_eq!(pool.stats().misses(), 2);
+    }
+
+    #[tokio::test]
+    async fn purge_empties_the_pool() {
+        let pool = PooledTransport::new(FakeTransport::new());
+        cycle(&pool, ep(1)).await;
+        cycle_distinct(&pool, ep(2)).await;
+        assert_eq!(pool.idle_count(), 2);
+        pool.purge();
+        assert_eq!(pool.idle_count(), 0);
+    }
+}

@@ -2,14 +2,19 @@
 
 use crate::headers::Headers;
 use crate::method::Method;
+use crate::version::Version;
 use bytes::Bytes;
 
-/// An HTTP/1.1 request.
+/// An HTTP/1.x request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
     pub method: Method,
     /// Origin-form target: path plus optional query, e.g. `/api/v1/pods`.
     pub target: String,
+    /// Protocol version from the request line; constructed requests are
+    /// HTTP/1.1. The server loop uses it to decide whether the
+    /// connection persists after the response.
+    pub version: Version,
     pub headers: Headers,
     pub body: Bytes,
 }
@@ -20,6 +25,7 @@ impl Request {
         Request {
             method: Method::Get,
             target: normalize_target(target.into()),
+            version: Version::default(),
             headers: Headers::new(),
             body: Bytes::new(),
         }
@@ -30,6 +36,7 @@ impl Request {
         Request {
             method: Method::Post,
             target: normalize_target(target.into()),
+            version: Version::default(),
             headers: Headers::new(),
             body: body.into(),
         }

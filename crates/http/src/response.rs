@@ -2,12 +2,17 @@
 
 use crate::headers::Headers;
 use crate::status::StatusCode;
+use crate::version::Version;
 use bytes::Bytes;
 
-/// An HTTP/1.1 response.
+/// An HTTP/1.x response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     pub status: StatusCode,
+    /// Protocol version from the status line; constructed responses are
+    /// HTTP/1.1. The client uses it to decide whether the connection
+    /// may be reused (HTTP/1.0 defaults to close).
+    pub version: Version,
     pub headers: Headers,
     pub body: Bytes,
 }
@@ -17,6 +22,7 @@ impl Response {
     pub fn new(status: StatusCode) -> Self {
         Response {
             status,
+            version: Version::default(),
             headers: Headers::new(),
             body: Bytes::new(),
         }

@@ -10,9 +10,11 @@ use crate::error::{Error, Result};
 use crate::parse::{parse_request_incremental, HeadScanner, Limits, Parsed};
 use crate::request::Request;
 use crate::response::Response;
+use crate::version::Version;
 use bytes::BytesMut;
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, SocketAddr};
 use std::sync::Arc;
+use std::time::Duration;
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 
 /// A synchronous request handler.
@@ -36,6 +38,15 @@ where
 
 /// Serve a single already-accepted connection: read requests until the
 /// peer closes or an error occurs, answering each via `handler`.
+/// Pipelined requests arriving in one read are answered in order — the
+/// parse loop drains the buffer before reading more bytes.
+///
+/// Connection lifecycle follows the request's HTTP version: 1.1 keeps
+/// the connection open unless a `close` token appears, 1.0 closes
+/// unless the peer opted into `keep-alive`. A handler response carrying
+/// `Connection: close` also closes. The decision is echoed explicitly
+/// (`Connection: close` before closing, `Connection: keep-alive` for
+/// 1.0 peers being kept open) so clients never have to guess.
 pub async fn serve_connection<S, H>(mut stream: S, handler: &H, peer: Ipv4Addr) -> Result<()>
 where
     S: AsyncRead + AsyncWrite + Unpin,
@@ -47,16 +58,20 @@ where
     loop {
         match parse_request_incremental(&buf, &limits, &mut scanner) {
             Ok(Parsed::Complete(req, used)) => {
-                let close = req
-                    .headers
-                    .get("connection")
-                    .map(|v| v.eq_ignore_ascii_case("close"))
-                    .unwrap_or(false);
-                let resp = handler.handle(&req, peer);
+                let request_close = req.headers.connection_close()
+                    || (req.version == Version::Http10 && !req.headers.connection_keep_alive());
+                let mut resp = handler.handle(&req, peer);
+                let close = request_close || resp.headers.connection_close();
+                if close {
+                    resp.headers.set("Connection", "close");
+                } else if req.version == Version::Http10 {
+                    resp.headers.set("Connection", "keep-alive");
+                }
                 stream.write_all(&encode_response(&resp)).await?;
                 let _ = buf.split_to(used);
                 scanner.reset();
                 if close {
+                    let _ = stream.shutdown().await;
                     return Ok(());
                 }
             }
@@ -108,30 +123,62 @@ where
         .await
         .map_err(|e| Error::Connect(e.to_string()))?;
     let port = listener.local_addr().map_err(Error::from)?.port();
-    let (tx, mut rx) = tokio::sync::watch::channel(false);
+    let (tx, rx) = tokio::sync::watch::channel(false);
     let task = tokio::spawn(async move {
-        loop {
-            tokio::select! {
-                accepted = listener.accept() => {
-                    let Ok((stream, peer)) = accepted else { break };
-                    let peer_ip = match peer.ip() {
-                        std::net::IpAddr::V4(ip) => ip,
-                        std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
-                    };
-                    let handler = Arc::clone(&handler);
-                    tokio::spawn(async move {
-                        let _ = serve_connection(stream, handler.as_ref(), peer_ip).await;
-                    });
-                }
-                _ = rx.changed() => break,
-            }
-        }
+        accept_loop(|| listener.accept(), handler, rx).await;
     });
     Ok(ServerHandle {
         port,
         shutdown: tx,
         task,
     })
+}
+
+/// Accept connections from `accept` until `shutdown` flips, spawning a
+/// [`serve_connection`] task per stream.
+///
+/// Accept errors are survived, not fatal: they are routinely transient
+/// (`EMFILE`/`ENFILE` under descriptor pressure, `ECONNABORTED` when a
+/// peer resets between SYN and accept) and a permanent exit would
+/// silently kill the listener. The loop backs off briefly — doubling
+/// from 1ms and capped at 100ms — which lets descriptor pressure drain
+/// instead of spinning, and resets the backoff after the next
+/// successful accept.
+async fn accept_loop<A, Fut, S, H>(
+    accept: A,
+    handler: Arc<H>,
+    mut shutdown: tokio::sync::watch::Receiver<bool>,
+) where
+    A: Fn() -> Fut,
+    Fut: std::future::Future<Output = std::io::Result<(S, SocketAddr)>>,
+    S: AsyncRead + AsyncWrite + Unpin + Send + 'static,
+    H: Handler + ?Sized + 'static,
+{
+    let mut backoff = Duration::from_millis(1);
+    loop {
+        tokio::select! {
+            accepted = accept() => {
+                match accepted {
+                    Ok((stream, peer)) => {
+                        backoff = Duration::from_millis(1);
+                        let peer_ip = match peer.ip() {
+                            std::net::IpAddr::V4(ip) => ip,
+                            std::net::IpAddr::V6(_) => Ipv4Addr::UNSPECIFIED,
+                        };
+                        let handler = Arc::clone(&handler);
+                        tokio::spawn(async move {
+                            let _ = serve_connection(stream, handler.as_ref(), peer_ip).await;
+                        });
+                    }
+                    Err(_) => {
+                        tokio::time::sleep(backoff).await;
+                        backoff = (backoff * 2).min(Duration::from_millis(100));
+                    }
+                }
+            }
+            _ = shutdown.changed() => break,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +228,124 @@ mod tests {
             assert!(text.contains(&format!("\r\n\r\n{path}")), "{text}");
         }
         server.shutdown().await;
+    }
+
+    /// Open a raw socket to the server and return the full byte stream
+    /// the server sends before closing — hangs (and fails via the test
+    /// timeout) if the server never closes.
+    async fn raw_exchange(port: u16, request: &str) -> String {
+        let mut stream = tokio::net::TcpStream::connect(("127.0.0.1", port))
+            .await
+            .unwrap();
+        stream.write_all(request.as_bytes()).await.unwrap();
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).await.unwrap();
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[tokio::test]
+    async fn http10_request_closes_after_response() {
+        let handler = Arc::new(|_: &Request, _| Response::text("legacy"));
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+        // An HTTP/1.0 client without keep-alive reads to EOF; the old
+        // server held the connection open and this would hang forever.
+        let text = raw_exchange(server.port, "GET / HTTP/1.0\r\nHost: h\r\n\r\n").await;
+        assert!(text.contains("legacy"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn http10_keep_alive_opt_in_is_honored() {
+        let handler = Arc::new(|req: &Request, _| Response::text(req.path().to_string()));
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+        let mut stream = tokio::net::TcpStream::connect(("127.0.0.1", server.port))
+            .await
+            .unwrap();
+        for path in ["/a", "/b"] {
+            let req = format!("GET {path} HTTP/1.0\r\nHost: h\r\nConnection: keep-alive\r\n\r\n");
+            stream.write_all(req.as_bytes()).await.unwrap();
+            let mut buf = vec![0u8; 1024];
+            let n = stream.read(&mut buf).await.unwrap();
+            let text = String::from_utf8_lossy(&buf[..n]).into_owned();
+            assert!(text.contains(&format!("\r\n\r\n{path}")), "{text}");
+            // The server must echo the keep-alive it is granting.
+            assert!(text.contains("Connection: keep-alive"), "{text}");
+        }
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn connection_token_list_closes() {
+        let handler = Arc::new(|_: &Request, _| Response::text("ok"));
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+        // `close` buried in a token list defeated the old exact match.
+        let text = raw_exchange(
+            server.port,
+            "GET / HTTP/1.1\r\nHost: h\r\nConnection: keep-alive, close\r\n\r\n",
+        )
+        .await;
+        assert!(text.contains("ok"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn handler_close_header_closes_the_connection() {
+        let handler =
+            Arc::new(|_: &Request, _| Response::text("bye").with_header("Connection", "close"));
+        let server = serve_tcp(Ipv4Addr::LOCALHOST, 0, handler).await.unwrap();
+        // Plain keep-alive request; the handler decides to close.
+        let text = raw_exchange(server.port, "GET / HTTP/1.1\r\nHost: h\r\n\r\n").await;
+        assert!(text.contains("bye"), "{text}");
+        assert!(text.contains("Connection: close"), "{text}");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn accept_loop_survives_transient_accept_errors() {
+        use std::sync::Mutex;
+        let handler = Arc::new(|_: &Request, _: Ipv4Addr| Response::text("served"));
+        let (tx, rx) = tokio::sync::watch::channel(false);
+        let (mut client_side, server_side) = tokio::io::duplex(4096);
+        // Acceptor script: three transient errors, then one real
+        // stream, then pend until shutdown. The old loop `break`ed on
+        // the first error and the exchange below would never complete.
+        let state = Arc::new(Mutex::new((0u32, Some(server_side))));
+        let accept_state = Arc::clone(&state);
+        let accept = move || {
+            let state = Arc::clone(&accept_state);
+            async move {
+                let action = {
+                    let mut guard = state.lock().unwrap();
+                    guard.0 += 1;
+                    if guard.0 <= 3 {
+                        Some(Err(std::io::Error::other("accept: EMFILE")))
+                    } else {
+                        guard
+                            .1
+                            .take()
+                            .map(|s| Ok((s, SocketAddr::from(([127, 0, 0, 1], 9)))))
+                    }
+                };
+                match action {
+                    Some(result) => result,
+                    None => std::future::pending().await,
+                }
+            }
+        };
+        let loop_task = tokio::spawn(accept_loop(accept, handler, rx));
+        client_side
+            .write_all(b"GET / HTTP/1.1\r\nHost: h\r\nConnection: close\r\n\r\n")
+            .await
+            .unwrap();
+        let mut out = Vec::new();
+        client_side.read_to_end(&mut out).await.unwrap();
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("served"), "{text}");
+        assert!(state.lock().unwrap().0 >= 4, "errors were not retried");
+        let _ = tx.send(true);
+        loop_task.await.unwrap();
     }
 
     #[tokio::test]

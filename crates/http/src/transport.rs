@@ -84,6 +84,24 @@ pub trait Connection: AsyncRead + AsyncWrite + Unpin + Send {
     fn certificate(&self) -> Option<CertificateInfo> {
         None
     }
+
+    /// Whether this connection already served at least one exchange —
+    /// i.e. it was checked out of a keep-alive pool rather than freshly
+    /// established. A reused connection may be stale (the server closed
+    /// it while idle), so the client allows exactly one retry on a
+    /// fresh connection when a reused one fails before yielding any
+    /// response bytes. Non-pooled connections are never reused.
+    fn is_reused(&self) -> bool {
+        false
+    }
+
+    /// Tell the connection whether the just-completed exchange left it
+    /// reusable (keep-alive negotiated and the response body fully
+    /// delimited). Pooled connections use this to decide between
+    /// check-in and teardown on drop; the default is a no-op.
+    fn set_reusable(&mut self, reusable: bool) {
+        let _ = reusable;
+    }
 }
 
 /// Outcome of sweeping one block with [`Transport::sweep_block`].
@@ -143,6 +161,29 @@ pub trait Transport: Send + Sync {
         ep: Endpoint,
         scheme: Scheme,
     ) -> impl Future<Output = Result<Self::Conn>> + Send;
+
+    /// Establish a connection bypassing any idle-connection pool this
+    /// transport (or a wrapper layer) maintains. The client calls this
+    /// for its single stale-connection retry: a pooled connection died
+    /// under the first attempt, so drawing another idle one would risk
+    /// a second corpse. Defaults to [`connect`](Self::connect) —
+    /// correct for every transport that does not pool.
+    fn connect_fresh(
+        &self,
+        ep: Endpoint,
+        scheme: Scheme,
+    ) -> impl Future<Output = Result<Self::Conn>> + Send {
+        async move { self.connect(ep, scheme).await }
+    }
+
+    /// Whether connections from this transport may be reused across
+    /// exchanges. When false (the default), the client requests
+    /// `Connection: close` and tears every connection down after one
+    /// exchange — the pre-pooling behaviour, and what keeps the
+    /// simulated transport's wire bytes unchanged.
+    fn supports_reuse(&self) -> bool {
+        false
+    }
 
     /// Probe every (address, port) pair of `block` in one call.
     ///

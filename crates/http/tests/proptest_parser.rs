@@ -46,6 +46,7 @@ proptest! {
     ) {
         let resp = Response {
             status: StatusCode(code),
+            version: Default::default(),
             headers,
             body: Bytes::from(body.clone()),
         };
@@ -117,6 +118,7 @@ proptest! {
         let req = Request {
             method: Method::Post,
             target: target.clone(),
+            version: Default::default(),
             headers,
             body: Bytes::from(body.clone()),
         };

@@ -253,6 +253,19 @@ impl<T: Transport> Transport for FaultyTransport<T> {
         self.inner.connect(ep, scheme).await
     }
 
+    async fn connect_fresh(&self, ep: Endpoint, scheme: Scheme) -> Result<T::Conn> {
+        // A stale-retry redial is still a connect: it draws from the
+        // same fault lane before reaching the inner transport.
+        if self.plan.fires(FaultLane::Connect, ep) {
+            return Err(Error::Timeout);
+        }
+        self.inner.connect_fresh(ep, scheme).await
+    }
+
+    fn supports_reuse(&self) -> bool {
+        self.inner.supports_reuse()
+    }
+
     async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
         let mut result = self.inner.sweep_block(block, ports).await;
         // Apply this layer's probe-lane draws to every individually

@@ -147,6 +147,18 @@ impl<T: Transport> Transport for KillableTransport<T> {
         self.inner.connect(ep, scheme).await
     }
 
+    async fn connect_fresh(&self, ep: Endpoint, scheme: Scheme) -> Result<T::Conn> {
+        // Stale-retry redials spend budget like any other connect.
+        if !self.switch.admit() {
+            return wedge().await;
+        }
+        self.inner.connect_fresh(ep, scheme).await
+    }
+
+    fn supports_reuse(&self) -> bool {
+        self.inner.supports_reuse()
+    }
+
     async fn sweep_block(&self, block: Cidr, ports: &[u16]) -> BlockSweepResult {
         // Charge exactly what the dense path would have: one operation
         // per (address, port) pair, regardless of how many probes the

@@ -7,8 +7,17 @@
 //!             [--worker-bin PATH] [--json out.json]
 //!             [--metrics-out m.json] [--include-reserved] [--retries N]
 //!             [--fault-rate P] [--checkpoint FILE] [--resume]
-//!             [--checkpoint-every N] [--fleet-shard K/N]
+//!             [--checkpoint-every N] [--fleet-shard K/N] [--pool]
 //! ```
+//!
+//! `--pool` enables keep-alive connection reuse: stage II/III probes of
+//! the same host ride one TCP connection through
+//! [`PooledTransport`](nokeys::http::PooledTransport) instead of paying
+//! a handshake per request. The report is byte-identical either way —
+//! pooling, like parallelism, is excluded from the checkpoint
+//! fingerprint — and the pool's hit/miss/stale-retry counters are
+//! summarized on stderr after the scan. Not available with `--workers`
+//! (each worker process dials its own connections).
 //!
 //! The CLI is a thin client of the scan-as-a-service layer: the flags
 //! build a serializable [`JobSpec`] which a local in-process
@@ -47,12 +56,14 @@
 //! synthetic SYN loss and connect timeouts at per-attempt probability
 //! `P` before any packet reaches the network.
 
-use nokeys::http::transport::TcpTransport;
-use nokeys::http::Client;
+use nokeys::http::transport::{TcpTransport, Transport};
+use nokeys::http::{Client, PooledTransport};
 use nokeys::netsim::{FaultPlan, FaultyTransport};
 use nokeys::scanner::prelude::{
-    CheckpointPolicy, EngineConfig, JobEngine, JobSpec, PortScanConfig, ScanSpec, WorkerLaunch,
+    CheckpointPolicy, EngineConfig, JobEngine, JobOutcome, JobSpec, PortScanConfig, ScanSpec,
+    Telemetry, WorkerLaunch,
 };
+use nokeys::scanner::telemetry::PoolMetrics;
 use nokeys::scanner::PortScanner;
 use nokeys::worker::{default_worker_bin, TransportSpec};
 use std::sync::Arc;
@@ -74,6 +85,7 @@ struct Args {
     checkpoint: Option<std::path::PathBuf>,
     checkpoint_every: u64,
     resume: bool,
+    pool: bool,
 }
 
 fn usage() -> ! {
@@ -84,7 +96,11 @@ fn usage() -> ! {
          \x20                [--fleet-shard K/N] [--retries N] [--fault-rate P]\n\
          \x20                [--include-reserved] [--json FILE] [--metrics-out FILE]\n\
          \x20                [--checkpoint FILE] [--resume] [--checkpoint-every N]\n\
+         \x20                [--pool]\n\
          \n\
+         --pool           reuse keep-alive connections across probes of\n\
+         \x20                the same host (byte-identical report; not\n\
+         \x20                available with --workers)\n\
          --shards N       split this scan across N work-stealing workers\n\
          \x20                (byte-identical report at any N)\n\
          --workers N      lease batch ranges to N external nokeys-worker\n\
@@ -115,6 +131,7 @@ fn parse_args() -> Args {
         checkpoint: None,
         checkpoint_every: 8,
         resume: false,
+        pool: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -210,6 +227,7 @@ fn parse_args() -> Args {
                     .unwrap_or_else(|| usage());
             }
             "--include-reserved" => args.include_reserved = true,
+            "--pool" => args.pool = true,
             "--resume" => args.resume = true,
             "--checkpoint" => {
                 i += 1;
@@ -240,6 +258,10 @@ fn parse_args() -> Args {
     }
     if args.resume && args.checkpoint.is_none() {
         eprintln!("error: --resume requires --checkpoint FILE");
+        usage();
+    }
+    if args.pool && args.workers > 0 {
+        eprintln!("error: --pool cannot span --workers processes");
         usage();
     }
     args
@@ -273,6 +295,22 @@ fn job_spec(args: &Args) -> JobSpec {
         None => CheckpointPolicy::Disabled,
     };
     spec
+}
+
+/// Submit the job and wait, generic over the client's transport — the
+/// only thing `--pool` changes.
+async fn run_job<T: Transport + Clone + 'static>(
+    engine: JobEngine<T>,
+    spec: JobSpec,
+) -> JobOutcome {
+    let handle = engine.submit(spec);
+    match handle.wait().await {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 #[tokio::main]
@@ -348,30 +386,36 @@ async fn main() {
     // checkpoint wiring, retry policy) now travels in the spec. With
     // --workers the engine turns coordinator: the workers rebuild this
     // same transport (TCP + fault plan, no observer) from the launch's
-    // transport spec.
-    let engine = if args.workers > 0 {
+    // transport spec. With --pool the client's transport type changes
+    // (a keep-alive pool around the same faulty TCP transport), nothing
+    // downstream does.
+    let spec = job_spec(&args);
+    let pool_telemetry = Telemetry::new();
+    let outcome = if args.workers > 0 {
         let worker_transport = TransportSpec::Tcp {
             fault_rate: args.fault_rate,
             fault_seed: 0x6e6f_6b65_7973,
         };
         let bin = args.worker_bin.clone().unwrap_or_else(default_worker_bin);
-        JobEngine::with_config(
+        let engine = JobEngine::with_config(
             Client::new(transport.as_ref().clone()),
             EngineConfig {
                 worker_launch: Some(WorkerLaunch::new(bin, worker_transport.to_value())),
                 ..EngineConfig::default()
             },
-        )
+        );
+        run_job(engine, spec).await
+    } else if args.pool {
+        eprintln!("keep-alive connection pooling enabled");
+        let pooled = PooledTransport::new(transport.as_ref().clone())
+            .with_observer(PoolMetrics::observer(&pool_telemetry));
+        run_job(JobEngine::new(Client::new(pooled)), spec).await
     } else {
-        JobEngine::new(Client::new(transport.as_ref().clone()))
-    };
-    let handle = engine.submit(job_spec(&args));
-    let outcome = match handle.wait().await {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+        run_job(
+            JobEngine::new(Client::new(transport.as_ref().clone())),
+            spec,
+        )
+        .await
     };
     let report = outcome.report().expect("scan jobs produce a report");
 
@@ -393,6 +437,16 @@ async fn main() {
         report.total_hosts(),
         report.total_mavs()
     );
+    if args.pool {
+        let snap = pool_telemetry.snapshot();
+        eprintln!(
+            "pool: {} hits, {} misses, {} stale retries, {} evicted",
+            snap.counter("transport.pool.hit"),
+            snap.counter("transport.pool.miss"),
+            snap.counter("transport.pool.stale_retry"),
+            snap.counter("transport.pool.evicted"),
+        );
+    }
 
     if let Some(path) = args.json {
         std::fs::write(

@@ -67,6 +67,51 @@ async fn pipeline_detects_mavs_over_real_tcp() {
     secure_zeppelin.shutdown().await;
 }
 
+/// Connection pooling is a transport knob, not a semantic one: the same
+/// scan with and without it must produce a byte-identical ScanReport,
+/// while the pooled run's telemetry shows connections actually reused.
+#[tokio::test]
+async fn pooled_scan_report_is_byte_identical_to_unpooled() {
+    use nokeys::http::PooledTransport;
+    use nokeys::scanner::telemetry::{PoolMetrics, Telemetry};
+
+    let server = serve(AppId::Gocd, true).await;
+    let ports = vec![server.port];
+    let build = || {
+        PipelineConfig::builder(vec!["127.0.0.1/32".parse().expect("cidr")])
+            .ports(ports.clone())
+            .exclude_reserved(false)
+            .tarpit_port_threshold(3)
+            .build()
+    };
+
+    let plain = nokeys::http::Client::new(TcpTransport::default());
+    let unpooled_report = Pipeline::new(build()).run(&plain).await.expect("unpooled");
+
+    let telemetry = Telemetry::new();
+    let transport = PooledTransport::new(TcpTransport::default())
+        .with_observer(PoolMetrics::observer(&telemetry));
+    let pooled = nokeys::http::Client::new(transport);
+    let pooled_report = Pipeline::new(build()).run(&pooled).await.expect("pooled");
+
+    assert_eq!(
+        serde_json::to_string(&unpooled_report).expect("serializes"),
+        serde_json::to_string(&pooled_report).expect("serializes"),
+        "pooling must not change scan results"
+    );
+    let snap = telemetry.snapshot();
+    assert!(
+        snap.counter("transport.pool.miss") >= 1,
+        "pooled run dialed at least once"
+    );
+    assert!(
+        snap.counter("transport.pool.hit") >= 1,
+        "stage II/III probes of one host share a connection"
+    );
+
+    server.shutdown().await;
+}
+
 #[tokio::test]
 async fn concurrent_portscan_over_real_tcp() {
     let server = serve(AppId::Polynote, true).await;
