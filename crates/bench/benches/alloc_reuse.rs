@@ -1,0 +1,85 @@
+//! Scratch-arena reuse vs. per-probe allocation in the stage-II body
+//! matching hot path, plus the inline header arena vs. a per-field
+//! `String` map.
+//!
+//! `fresh_arena_per_body` models the pre-arena behaviour (every probe
+//! pays view materialization into new buffers); `reused_arena` is the
+//! shipping configuration (one warm arena per worker loop, zero
+//! steady-state allocations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use nokeys_scanner::signatures::all_signatures;
+use nokeys_scanner::{MultiPattern, PreparedBody, Scratch};
+
+/// Body shapes spanning the interesting cases: mixed case and
+/// whitespace (both views materialize), canonical lowercase (views
+/// served in place), and a large page.
+fn bodies() -> Vec<String> {
+    vec![
+        format!(
+            "<html><head><title>Dashboard [Jenkins]</title></head>{}</html>",
+            "<div class=\"Row\">  cell  </div>".repeat(64)
+        ),
+        "{\"kind\": \"Status\", \"apiVersion\": \"v1\", \"reason\": \"Forbidden\"}".to_string(),
+        "all-lowercase-no-whitespace-wp-content-phpmyadmin".repeat(8),
+        format!(
+            "{} MinAPIVersion {}",
+            "Noise  Mixed Case ".repeat(128),
+            "k8s.io"
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let matcher = MultiPattern::new(&all_signatures());
+    let bodies = bodies();
+    let total_bytes: u64 = bodies.iter().map(|b| b.len() as u64).sum();
+
+    let mut group = c.benchmark_group("alloc_reuse");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("fresh_arena_per_body", |b| {
+        b.iter(|| {
+            for body in &bodies {
+                let mut scratch = Scratch::new();
+                black_box(matcher.matched_signatures_scratch(black_box(body), &mut scratch));
+                black_box(scratch.matched());
+            }
+        })
+    });
+    group.bench_function("reused_arena", |b| {
+        let mut scratch = Scratch::new();
+        b.iter(|| {
+            for body in &bodies {
+                black_box(matcher.matched_signatures_scratch(black_box(body), &mut scratch));
+                black_box(scratch.matched());
+            }
+        })
+    });
+    group.bench_function("prepared_body_allocating_reference", |b| {
+        // The pre-arena code path: PreparedBody owns the body and
+        // materializes each view into a fresh String.
+        b.iter(|| {
+            for body in &bodies {
+                let prepared = PreparedBody::new(body.clone());
+                black_box(matcher.matched_signatures(&prepared));
+            }
+        })
+    });
+    group.bench_function("headers_inline_arena", |b| {
+        b.iter(|| {
+            for _ in 0..16 {
+                let mut h = nokeys_http::Headers::new();
+                h.append("Content-Type", "text/html; charset=utf-8");
+                h.append("Content-Length", "4096");
+                h.append("Connection", "keep-alive");
+                h.append("Server", "sim");
+                black_box(h.get("content-type"));
+                black_box(h.connection_keep_alive());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,15 +6,18 @@ use nokeys_apps::assets::fnv1a;
 use nokeys_apps::{AppId, Version};
 use nokeys_http::{Client, Endpoint, Scheme, Transport};
 
-/// Crawl the target's static files and return `(path, hash)` pairs for
-/// every file that exists.
-pub async fn crawl<T: Transport>(
+/// Crawl the target's static files into `out` as `(path, hash)` pairs
+/// for every file that exists. Clears and refills `out`, reusing its
+/// capacity: the crawl paths are `'static`, so the steady state
+/// allocates nothing.
+pub async fn crawl_into<T: Transport>(
     client: &Client<T>,
     kb: &KnowledgeBase,
     ep: Endpoint,
     scheme: Scheme,
-) -> Vec<(String, u64)> {
-    let mut out = Vec::new();
+    out: &mut Vec<(&'static str, u64)>,
+) {
+    out.clear();
     for path in kb.crawl_paths() {
         let Ok(fetched) = client.get_path(ep, scheme, path).await else {
             continue;
@@ -22,9 +25,25 @@ pub async fn crawl<T: Transport>(
         if !fetched.response.status.is_success() {
             continue;
         }
-        out.push((path.to_string(), fnv1a(&fetched.response.body)));
+        out.push((*path, fnv1a(&fetched.response.body)));
     }
-    out
+}
+
+/// Crawl the target's static files and return `(path, hash)` pairs for
+/// every file that exists. Allocating convenience wrapper around
+/// [`crawl_into`] for callers without a scratch arena (the longevity
+/// observer keeps the owned paths in its host state).
+pub async fn crawl<T: Transport>(
+    client: &Client<T>,
+    kb: &KnowledgeBase,
+    ep: Endpoint,
+    scheme: Scheme,
+) -> Vec<(String, u64)> {
+    let mut obs = Vec::new();
+    crawl_into(client, kb, ep, scheme, &mut obs).await;
+    obs.into_iter()
+        .map(|(path, hash)| (path.to_string(), hash))
+        .collect()
 }
 
 /// Crawl and identify in one step.
@@ -34,8 +53,24 @@ pub async fn identify<T: Transport>(
     ep: Endpoint,
     scheme: Scheme,
 ) -> Option<(AppId, Version)> {
-    let observations = crawl(client, kb, ep, scheme).await;
+    let mut observations = Vec::new();
+    crawl_into(client, kb, ep, scheme, &mut observations).await;
     kb.identify(&observations)
+}
+
+/// Crawl and identify, borrowing the observation buffer from the
+/// caller's [`Scratch`](crate::scratch::Scratch) — the stage-III
+/// steady-state path.
+pub async fn identify_scratch<T: Transport>(
+    client: &Client<T>,
+    kb: &KnowledgeBase,
+    ep: Endpoint,
+    scheme: Scheme,
+    scratch: &mut crate::scratch::Scratch,
+) -> Option<(AppId, Version)> {
+    let observations = scratch.crawl_buf();
+    crawl_into(client, kb, ep, scheme, observations).await;
+    kb.identify(observations)
 }
 
 #[cfg(test)]

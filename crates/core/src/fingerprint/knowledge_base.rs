@@ -52,7 +52,11 @@ impl KnowledgeBase {
     /// Identify an application and version from crawled `(path, hash)`
     /// observations: intersect the candidate sets of every observed hash
     /// and return the newest surviving version.
-    pub fn identify(&self, observations: &[(String, u64)]) -> Option<(AppId, Version)> {
+    ///
+    /// Generic over the path type — only the hashes matter — so the
+    /// scratch path's borrowed `&'static str` observations and the
+    /// observer's owned `String` ones share one implementation.
+    pub fn identify<P>(&self, observations: &[(P, u64)]) -> Option<(AppId, Version)> {
         let mut intersection: Option<Vec<Candidate>> = None;
         for (_path, hash) in observations {
             let candidates = self.lookup(*hash);
@@ -77,9 +81,9 @@ impl KnowledgeBase {
     /// Like [`KnowledgeBase::identify`], but returning the full candidate
     /// *version range* (oldest and newest surviving version) instead of
     /// just the newest — useful when reporting fingerprint confidence.
-    pub fn identify_range(
+    pub fn identify_range<P>(
         &self,
-        observations: &[(String, u64)],
+        observations: &[(P, u64)],
     ) -> Option<(AppId, Version, Version)> {
         let mut intersection: Option<Vec<Candidate>> = None;
         for (_path, hash) in observations {
@@ -222,6 +226,6 @@ mod tests {
     fn no_known_hashes_yields_none() {
         let kb = KnowledgeBase::build();
         assert!(kb.identify(&[("/x".to_string(), 1)]).is_none());
-        assert!(kb.identify(&[]).is_none());
+        assert!(kb.identify::<&str>(&[]).is_none());
     }
 }

@@ -73,7 +73,9 @@ impl Fingerprinter {
     }
 
     /// Determine the deployed version of `app` at `ep`: voluntary
-    /// disclosure first, knowledge-base crawl as fallback.
+    /// disclosure first, knowledge-base crawl as fallback. One-off
+    /// entry point over a throwaway scratch arena; the stage-III
+    /// worker loops call [`fingerprint_with`](Self::fingerprint_with).
     pub async fn fingerprint<T: Transport>(
         &self,
         client: &Client<T>,
@@ -81,12 +83,28 @@ impl Fingerprinter {
         ep: Endpoint,
         scheme: Scheme,
     ) -> Option<(Version, FingerprintMethod)> {
+        let mut scratch = crate::scratch::Scratch::new();
+        self.fingerprint_with(client, app, ep, scheme, &mut scratch)
+            .await
+    }
+
+    /// Like [`fingerprint`](Self::fingerprint), borrowing the crawl
+    /// observation buffer from the caller's scratch arena so the
+    /// steady-state fingerprint path allocates nothing.
+    pub async fn fingerprint_with<T: Transport>(
+        &self,
+        client: &Client<T>,
+        app: AppId,
+        ep: Endpoint,
+        scheme: Scheme,
+        scratch: &mut crate::scratch::Scratch,
+    ) -> Option<(Version, FingerprintMethod)> {
         self.metrics.time.record(1);
         if let Some(version) = voluntary::extract(client, app, ep, scheme).await {
             self.metrics.voluntary.incr();
             return Some((version, FingerprintMethod::Voluntary));
         }
-        let identified = crawler::identify(client, &self.kb, ep, scheme)
+        let identified = crawler::identify_scratch(client, &self.kb, ep, scheme, scratch)
             .await
             .filter(|(found_app, _)| *found_app == app)
             .map(|(_, version)| (version, FingerprintMethod::KnowledgeBase));

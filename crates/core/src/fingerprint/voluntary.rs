@@ -8,13 +8,16 @@
 use nokeys_apps::{release_history, AppId, Version};
 use nokeys_http::{Client, Endpoint, Response, Scheme, Transport};
 
-/// Parse a leading `major.minor[.patch]` from `s`.
+/// Parse a leading `major.minor[.patch]` from `s`. Slices the digit
+/// prefix in place — `[0-9.]` is single-byte, so the byte position of
+/// the first non-digit-non-dot is a char boundary — instead of the
+/// `chars().take_while().collect()` copy this used to make per call.
 pub fn parse_version_number(s: &str) -> Option<(u16, u16, u16)> {
-    let digits: String = s
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.')
-        .collect();
+    let s = s.trim_start();
+    let end = s
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(s.len());
+    let digits = &s[..end];
     // Every dot must separate two non-empty digit runs: "1.2." and
     // "1..2" are malformed strings (a trailing or doubled dot), not
     // versions with an implied zero component.
@@ -67,10 +70,10 @@ pub async fn extract<T: Transport>(
 ) -> Option<Version> {
     let triple = match app {
         AppId::Jenkins => {
-            // `X-Jenkins` response header on every page.
+            // `X-Jenkins` response header on every page, parsed out of
+            // the borrowed header slice — no copy.
             let fetched = client.get_path(ep, scheme, "/").await.ok()?;
-            let header = fetched.response.headers.get("x-jenkins")?.to_string();
-            parse_version_number(&header)?
+            parse_version_number(fetched.response.headers.get("x-jenkins")?)?
         }
         AppId::Kubernetes => {
             let resp = fetch_response(client, ep, scheme, "/version").await?;

@@ -45,13 +45,14 @@ pub mod prelude;
 pub mod rate;
 pub mod report;
 pub mod retry;
+pub mod scratch;
 pub mod shard;
 pub mod signatures;
 pub mod telemetry;
 
 pub use checkpoint::{CheckpointError, ConfigFingerprint, ScanCheckpoint};
 pub use jobs::{JobEngine, JobHandle, JobSpec, WorkerLaunch};
-pub use multipattern::MultiPattern;
+pub use multipattern::{MultiPattern, ViewUse};
 pub use pattern::{MatchMode, Pattern, PreparedBody};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineConfigBuilder, PipelineError};
 pub use plugin::{detect_mav, plugin_steps};
@@ -60,5 +61,6 @@ pub use prefilter::{Prefilter, PrefilterHit};
 pub use rate::SharedPacer;
 pub use report::{FingerprintMethod, HostFinding, ScanReport};
 pub use retry::{RetryPolicy, RetryTransport};
+pub use scratch::Scratch;
 pub use shard::{ShardCheckpoint, ShardSegment, ShardStats};
 pub use telemetry::{Telemetry, TelemetrySnapshot};

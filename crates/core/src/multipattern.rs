@@ -116,6 +116,18 @@ impl Automaton {
     }
 }
 
+/// Which transformed views a scratch-based matching pass built, with
+/// the byte length each copied. `None` means the raw body was already
+/// in canonical form and the automaton ran over it in place — exactly
+/// the cases where [`PreparedBody`] skips materialization too.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewUse {
+    /// Bytes copied into the lowered view, if one was needed.
+    pub lower: Option<usize>,
+    /// Bytes copied into the squashed view, if one was needed.
+    pub squashed: Option<usize>,
+}
+
 /// The compiled signature set: one automaton per body view.
 #[derive(Debug, Clone)]
 pub struct MultiPattern {
@@ -171,6 +183,51 @@ impl MultiPattern {
             self.squashed.find_into(body.squashed(), &mut matched);
         }
         matched
+    }
+
+    /// Allocation-free variant of
+    /// [`matched_signatures`](Self::matched_signatures): the match bits
+    /// and any transformed views live in the caller's [`Scratch`] and
+    /// are left in `scratch.matched()` for the caller to read. Returns
+    /// which views a distinct copy was actually built for — the same
+    /// bodies [`PreparedBody`] would report as materialized, so both
+    /// paths drive the `alloc.*` / `stage2.multipattern.view_*`
+    /// counters identically.
+    ///
+    /// [`Scratch`]: crate::scratch::Scratch
+    pub fn matched_signatures_scratch(
+        &self,
+        raw: &str,
+        scratch: &mut crate::scratch::Scratch,
+    ) -> ViewUse {
+        let (matched, lower_buf, squashed_buf) = scratch.matcher_parts();
+        matched.clear();
+        matched.resize(self.apps.len(), false);
+        self.raw.find_into(raw, matched);
+        let mut used = ViewUse {
+            lower: None,
+            squashed: None,
+        };
+        if !self.lower.is_empty() {
+            if crate::scratch::needs_lower(raw) {
+                crate::scratch::lower_into(raw, lower_buf);
+                self.lower.find_into(lower_buf, matched);
+                used.lower = Some(lower_buf.len());
+            } else {
+                // Already lowercase: the raw body *is* the lowered view.
+                self.lower.find_into(raw, matched);
+            }
+        }
+        if !self.squashed.is_empty() {
+            if crate::scratch::needs_squash(raw) {
+                crate::scratch::squash_into(raw, squashed_buf);
+                self.squashed.find_into(squashed_buf, matched);
+                used.squashed = Some(squashed_buf.len());
+            } else {
+                self.squashed.find_into(raw, matched);
+            }
+        }
+        used
     }
 
     /// Per-application match counts — same contract as
@@ -276,6 +333,37 @@ mod tests {
             let body = format!("{}{}{}", &noise[..cut], fragment, &noise[cut..]);
             let prepared = PreparedBody::new(body);
             prop_assert_eq!(mp.match_counts(&prepared), match_counts(&sigs, &prepared));
+        }
+
+        /// The scratch-based pass leaves exactly the bits the
+        /// allocating pass returns, reports the same views as
+        /// materialized, and a single reused arena carries no state
+        /// between bodies.
+        #[test]
+        fn scratch_pass_is_byte_equivalent(
+            bodies in proptest::collection::vec(
+                "[a-zA-Z \t\nk8s\\.iowp\\-content\\[\\]\"{}:]{0,100}", 1..6
+            ),
+        ) {
+            let sigs = all_signatures();
+            let mp = MultiPattern::new(&sigs);
+            let mut scratch = crate::scratch::Scratch::new();
+            for body in &bodies {
+                let prepared = PreparedBody::new(body.as_str());
+                let reference = mp.matched_signatures(&prepared);
+                // Force both views so materialization flags are final.
+                let _ = (prepared.lower(), prepared.squashed());
+                let used = mp.matched_signatures_scratch(body, &mut scratch);
+                prop_assert_eq!(scratch.matched(), &reference[..]);
+                prop_assert_eq!(used.lower.is_some(), prepared.lower_materialized());
+                prop_assert_eq!(used.squashed.is_some(), prepared.squashed_materialized());
+                if let Some(bytes) = used.lower {
+                    prop_assert_eq!(bytes, body.len());
+                }
+                if let Some(bytes) = used.squashed {
+                    prop_assert_eq!(bytes, prepared.squashed().len());
+                }
+            }
         }
     }
 }

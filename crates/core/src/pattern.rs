@@ -152,12 +152,16 @@ fn contains_ignore_whitespace(hay: &str, needle: &str) -> bool {
 /// over a fetched response borrows the response body in place
 /// (via [`Response::body_str`](nokeys_http::Response::body_str))
 /// instead of copying it, and only the lowered/squashed views — when a
-/// signature actually needs them — allocate.
+/// signature actually needs them *and* the raw text is not already in
+/// canonical form — allocate. A body with no ASCII uppercase serves
+/// `lower()` straight from `raw`; a body with no whitespace serves
+/// `squashed()` the same way (the cell caches `None` so the scan runs
+/// once).
 #[derive(Debug)]
 pub struct PreparedBody<'a> {
     pub raw: std::borrow::Cow<'a, str>,
-    lower: std::cell::OnceCell<String>,
-    squashed: std::cell::OnceCell<String>,
+    lower: std::cell::OnceCell<Option<String>>,
+    squashed: std::cell::OnceCell<Option<String>>,
 }
 
 impl<'a> PreparedBody<'a> {
@@ -169,26 +173,43 @@ impl<'a> PreparedBody<'a> {
         }
     }
 
-    /// Lowercased view (computed once).
+    /// Lowercased view. Computed (and allocated) at most once, and not
+    /// at all when the raw body contains no ASCII uppercase.
     pub fn lower(&self) -> &str {
-        self.lower.get_or_init(|| self.raw.to_ascii_lowercase())
+        match self.lower.get_or_init(|| {
+            crate::scratch::needs_lower(&self.raw).then(|| self.raw.to_ascii_lowercase())
+        }) {
+            Some(view) => view,
+            None => &self.raw,
+        }
     }
 
-    /// Whitespace-stripped view (computed once).
+    /// Whitespace-stripped view. Computed byte-wise at most once, and
+    /// not at all when the raw body contains no whitespace.
     pub fn squashed(&self) -> &str {
-        self.squashed
-            .get_or_init(|| self.raw.chars().filter(|c| !c.is_whitespace()).collect())
+        match self.squashed.get_or_init(|| {
+            crate::scratch::needs_squash(&self.raw).then(|| {
+                let mut out = String::with_capacity(self.raw.len());
+                crate::scratch::squash_into(&self.raw, &mut out);
+                out
+            })
+        }) {
+            Some(view) => view,
+            None => &self.raw,
+        }
     }
 
-    /// Whether the lowered view has been materialized (telemetry's
-    /// "multipattern vs. view" accounting).
+    /// Whether a distinct lowered view has been materialized
+    /// (telemetry's "multipattern vs. view" accounting). False when
+    /// `lower()` was answered by the raw body in place.
     pub fn lower_materialized(&self) -> bool {
-        self.lower.get().is_some()
+        self.lower.get().is_some_and(Option::is_some)
     }
 
-    /// Whether the whitespace-stripped view has been materialized.
+    /// Whether a distinct whitespace-stripped view has been
+    /// materialized.
     pub fn squashed_materialized(&self) -> bool {
-        self.squashed.get().is_some()
+        self.squashed.get().is_some_and(Option::is_some)
     }
 }
 
@@ -246,6 +267,28 @@ mod tests {
         assert_eq!(body.squashed(), "AbCd");
         // Second call returns the same data (cache hit).
         assert_eq!(body.lower(), "a b\tc\nd");
+        assert!(body.lower_materialized() && body.squashed_materialized());
+    }
+
+    #[test]
+    fn canonical_bodies_serve_views_without_materializing() {
+        // No ASCII uppercase: lower() is the raw body, borrowed.
+        let body = PreparedBody::from("already lowercase ä 123");
+        assert_eq!(body.lower(), "already lowercase ä 123");
+        assert!(
+            !body.lower_materialized(),
+            "uppercase-free body must not allocate a lowered view"
+        );
+        // But it does contain whitespace, so squashed still copies.
+        assert_eq!(body.squashed(), "alreadylowercaseä123");
+        assert!(body.squashed_materialized());
+
+        // No whitespace: squashed() is the raw body, borrowed.
+        let tight = PreparedBody::from("NoWhitespaceHere");
+        assert_eq!(tight.squashed(), "NoWhitespaceHere");
+        assert!(!tight.squashed_materialized());
+        assert_eq!(tight.lower(), "nowhitespacehere");
+        assert!(tight.lower_materialized());
     }
 
     proptest! {
@@ -286,6 +329,27 @@ mod tests {
                     "{:?} on {:?}", p, haystack
                 );
             }
+        }
+
+        /// The borrow-when-canonical and byte-wise-squash micro-fixes
+        /// change representation, never content: both views equal the
+        /// old `to_ascii_lowercase` / `chars().filter().collect()`
+        /// reference on arbitrary bodies.
+        #[test]
+        fn views_equal_allocating_reference(haystack in "[a-zA-Z \t\n\u{a0}\u{2028}éβ.:\"{}]{0,120}") {
+            let body = PreparedBody::new(haystack.clone());
+            prop_assert_eq!(body.lower(), haystack.to_ascii_lowercase());
+            let squash_ref: String = haystack.chars().filter(|c| !c.is_whitespace()).collect();
+            prop_assert_eq!(body.squashed(), squash_ref);
+            // A view materializes iff the body is not already canonical.
+            prop_assert_eq!(
+                body.lower_materialized(),
+                crate::scratch::needs_lower(&haystack)
+            );
+            prop_assert_eq!(
+                body.squashed_materialized(),
+                crate::scratch::needs_squash(&haystack)
+            );
         }
 
         /// Whitespace mode is invariant under whitespace insertion.

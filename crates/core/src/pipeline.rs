@@ -130,6 +130,16 @@ pub struct PipelineConfig {
     /// capped-exponential backoff on the virtual clock). Use
     /// [`RetryPolicy::disabled`] to scan without retries.
     pub retry: RetryPolicy,
+    /// Reuse one per-worker [`Scratch`](crate::scratch::Scratch) arena
+    /// across each stage II/III worker loop (default `true`); `false`
+    /// allocates a fresh arena per probe/host. Both settings produce
+    /// byte-identical reports and telemetry — the knob exists for the
+    /// equivalence suite and for A/B benching, and is deliberately
+    /// *not* part of the checkpoint
+    /// [`ConfigFingerprint`](crate::checkpoint::ConfigFingerprint):
+    /// toggling a pure performance setting must not invalidate a
+    /// resumable scan.
+    pub scratch_reuse: bool,
     /// Telemetry registry the pipeline records into. `None` gives the
     /// pipeline a private registry, still reachable through
     /// [`Pipeline::telemetry`]; pass a shared one to aggregate several
@@ -160,12 +170,12 @@ impl PipelineConfig {
             parallelism: 8,
             shards: 1,
             retry: RetryPolicy::default(),
+            scratch_reuse: true,
             telemetry: None,
             checkpoint_path: None,
             checkpoint_every: 8,
         }
     }
-
 }
 
 /// Fluent builder for [`PipelineConfig`].
@@ -189,6 +199,7 @@ pub struct PipelineConfigBuilder {
     parallelism: usize,
     shards: usize,
     retry: RetryPolicy,
+    scratch_reuse: bool,
     telemetry: Option<Telemetry>,
     checkpoint_path: Option<PathBuf>,
     checkpoint_every: u64,
@@ -300,6 +311,14 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Reuse per-worker scratch arenas across the stage II/III loops
+    /// (default `true`). Purely a performance setting: reports and
+    /// telemetry are byte-identical either way.
+    pub fn scratch_reuse(mut self, enabled: bool) -> Self {
+        self.scratch_reuse = enabled;
+        self
+    }
+
     /// Record pipeline metrics into a shared telemetry registry.
     pub fn telemetry(mut self, telemetry: Telemetry) -> Self {
         self.telemetry = Some(telemetry);
@@ -347,6 +366,7 @@ impl PipelineConfigBuilder {
             parallelism: self.parallelism,
             shards: self.shards,
             retry: self.retry,
+            scratch_reuse: self.scratch_reuse,
             telemetry: self.telemetry,
             checkpoint_path: self.checkpoint_path,
             checkpoint_every: self.checkpoint_every,
@@ -429,6 +449,7 @@ pub(crate) struct BatchProcessor {
     verify: bool,
     fingerprint: bool,
     parallelism: usize,
+    scratch_reuse: bool,
 }
 
 /// Shared state of one stage-III verify fan-out: hosts are claimed from
@@ -758,16 +779,17 @@ impl BatchProcessor {
     pub(crate) fn new(config: &PipelineConfig, telemetry: &Telemetry) -> Self {
         BatchProcessor {
             telemetry: telemetry.clone(),
-            prefilter: Arc::new(Prefilter::with_telemetry_and_retry(
-                telemetry,
-                config.retry.clone(),
-            )),
+            prefilter: Arc::new(
+                Prefilter::with_telemetry_and_retry(telemetry, config.retry.clone())
+                    .with_scratch_reuse(config.scratch_reuse),
+            ),
             fingerprinter: Arc::new(Fingerprinter::with_telemetry(telemetry)),
             metrics: PipelineMetrics::new(telemetry),
             tarpit_port_threshold: config.tarpit_port_threshold,
             verify: config.verify,
             fingerprint: config.fingerprint,
             parallelism: config.parallelism.max(1),
+            scratch_reuse: config.scratch_reuse,
         }
     }
 
@@ -834,8 +856,13 @@ impl BatchProcessor {
         // the findings list is identical to a sequential run.
         let verify = self.verify;
         let fingerprint = self.fingerprint;
+        let scratch_reuse = self.scratch_reuse;
         if parallelism <= 1 || per_host.len() <= 1 {
+            let mut scratch = crate::scratch::Scratch::new();
             for (_ip, hits) in per_host {
+                if !scratch_reuse {
+                    scratch = crate::scratch::Scratch::new();
+                }
                 let findings = Self::verify_host(
                     client.clone(),
                     self.telemetry.clone(),
@@ -843,6 +870,7 @@ impl BatchProcessor {
                     verify,
                     fingerprint,
                     hits,
+                    &mut scratch,
                 )
                 .await;
                 self.metrics.note_findings(&findings);
@@ -867,6 +895,10 @@ impl BatchProcessor {
             let telemetry = self.telemetry.clone();
             let fingerprinter = Arc::clone(&self.fingerprinter);
             join_set.spawn(async move {
+                // One scratch arena per persistent verify worker: every
+                // host this worker claims fingerprints through the same
+                // reusable buffers.
+                let mut scratch = crate::scratch::Scratch::new();
                 loop {
                     let i = queue
                         .cursor
@@ -879,6 +911,9 @@ impl BatchProcessor {
                         .expect("verify slot lock never poisoned")
                         .take()
                         .expect("each host index is claimed exactly once");
+                    if !scratch_reuse {
+                        scratch = crate::scratch::Scratch::new();
+                    }
                     let findings = Self::verify_host(
                         client.clone(),
                         telemetry.clone(),
@@ -886,6 +921,7 @@ impl BatchProcessor {
                         verify,
                         fingerprint,
                         hits,
+                        &mut scratch,
                     )
                     .await;
                     let _ = queue.results[i].set(findings);
@@ -931,6 +967,7 @@ impl BatchProcessor {
         verify: bool,
         fingerprint: bool,
         hits: Vec<PrefilterHit>,
+        scratch: &mut crate::scratch::Scratch,
     ) -> Vec<HostFinding> {
         // Which endpoints does each candidate application appear on, and
         // which application is each endpoint's *strongest* match?
@@ -978,7 +1015,7 @@ impl BatchProcessor {
             };
             if fingerprint {
                 if let Some((version, method)) = fingerprinter
-                    .fingerprint(&client, app, hit.endpoint, hit.scheme)
+                    .fingerprint_with(&client, app, hit.endpoint, hit.scheme, scratch)
                     .await
                 {
                     finding.version = Some(version);
@@ -1032,6 +1069,7 @@ mod tests {
             .verify(false)
             .parallelism(4)
             .retries(5)
+            .scratch_reuse(false)
             .telemetry(telemetry)
             .checkpoint_path("/tmp/nokeys-checkpoint.json")
             .checkpoint_every(3)
@@ -1047,6 +1085,7 @@ mod tests {
         assert!(!config.verify);
         assert_eq!(config.parallelism, 4);
         assert_eq!(config.retry.max_attempts, 5);
+        assert!(!config.scratch_reuse);
         assert!(config.telemetry.is_some());
         assert_eq!(
             config.checkpoint_path.as_deref(),
@@ -1157,6 +1196,7 @@ mod tests {
         assert_eq!(built.shards, 1);
         assert_eq!(built.portscan.ports.len(), 12);
         assert_eq!(built.retry.attempts(), 3);
+        assert!(built.scratch_reuse, "arena reuse is on by default");
     }
 
     #[tokio::test]

@@ -7,10 +7,10 @@
 //! before the expensive stage III.
 
 use crate::multipattern::MultiPattern;
-use crate::pattern::PreparedBody;
 use crate::retry::{RetryMetrics, RetryPolicy};
+use crate::scratch::Scratch;
 use crate::signatures::{all_signatures, rank_candidates, Signature};
-use crate::telemetry::{Counter, Histogram, Telemetry, Timer};
+use crate::telemetry::{AllocMetrics, Counter, Histogram, Telemetry, Timer};
 use nokeys_apps::AppId;
 use nokeys_http::{Client, Endpoint, Scheme, Transport};
 use serde::Serialize;
@@ -109,6 +109,14 @@ pub struct Prefilter {
     /// pipeline passes its configured policy.
     retry: RetryPolicy,
     fetch_retry: RetryMetrics,
+    /// Deterministic `alloc.*` accounting for the scratch hot path.
+    alloc: AllocMetrics,
+    /// When true (the default) each worker loop reuses one [`Scratch`]
+    /// across its whole probe stream; when false every probe gets a
+    /// fresh arena. Both run the identical code path and record the
+    /// identical counters — the toggle exists so the equivalence suite
+    /// can prove reuse changes nothing observable.
+    scratch_reuse: bool,
 }
 
 impl Default for Prefilter {
@@ -136,13 +144,24 @@ impl Prefilter {
         let matcher = MultiPattern::new(&signatures);
         let metrics = PrefilterMetrics::new(telemetry, &signatures);
         let fetch_retry = RetryMetrics::new(telemetry, "fetch");
+        let alloc = AllocMetrics::new(telemetry);
         Prefilter {
             signatures,
             matcher,
             metrics,
             retry,
             fetch_retry,
+            alloc,
+            scratch_reuse: true,
         }
+    }
+
+    /// Toggle per-worker scratch-arena reuse (on by default). Off means
+    /// a fresh arena per probe; results and telemetry are byte-identical
+    /// either way.
+    pub fn with_scratch_reuse(mut self, enabled: bool) -> Self {
+        self.scratch_reuse = enabled;
+        self
     }
 
     /// Schemes to try on `port` ("we checked if they speak HTTP or
@@ -157,11 +176,33 @@ impl Prefilter {
     }
 
     /// Probe a single endpoint; returns the hit (if any signature
-    /// matched) plus which schemes answered.
+    /// matched) plus which schemes answered. One-off entry point: uses
+    /// a throwaway scratch arena. The worker loops call
+    /// [`probe_endpoint_scratch`](Self::probe_endpoint_scratch) with a
+    /// long-lived one instead.
     pub async fn probe_endpoint<T: Transport>(
         &self,
         client: &Client<T>,
         ep: Endpoint,
+    ) -> (Option<PrefilterHit>, PortProtocolStats) {
+        let mut scratch = Scratch::new();
+        self.probe_endpoint_scratch(client, ep, &mut scratch).await
+    }
+
+    /// Probe a single endpoint, borrowing all matching buffers from
+    /// `scratch`. The steady-state stage-II hot path: with a reused
+    /// arena, view materialization and the multipattern pass allocate
+    /// nothing.
+    ///
+    /// The `alloc.*` counters recorded here are pure functions of the
+    /// response stream (never of the arena's actual capacity history),
+    /// so they are byte-identical at any parallelism and with reuse on
+    /// or off.
+    pub async fn probe_endpoint_scratch<T: Transport>(
+        &self,
+        client: &Client<T>,
+        ep: Endpoint,
+        scratch: &mut Scratch,
     ) -> (Option<PrefilterHit>, PortProtocolStats) {
         let mut stats = PortProtocolStats::default();
         let mut hit: Option<PrefilterHit> = None;
@@ -188,23 +229,28 @@ impl Prefilter {
                 }
             }
             self.metrics.redirects.observe(fetched.redirects as u64);
+            self.alloc
+                .record_headers(fetched.response.headers.spilled());
             if hit.is_none() {
-                let body = PreparedBody::new(fetched.response.body_str());
+                let body = fetched.response.body_str();
                 self.metrics.bodies_matched.incr();
-                self.metrics.body_bytes.observe(body.raw.len() as u64);
-                let matched = self.matcher.matched_signatures(&body);
-                for (i, fired) in matched.iter().enumerate() {
+                self.metrics.body_bytes.observe(body.len() as u64);
+                let used = self.matcher.matched_signatures_scratch(&body, scratch);
+                for (i, fired) in scratch.matched().iter().enumerate() {
                     if *fired {
                         self.metrics.signature_hits[i].incr();
                     }
                 }
-                if body.lower_materialized() {
+                if let Some(bytes) = used.lower {
                     self.metrics.view_lower.incr();
+                    self.alloc.record_lower_view(bytes);
                 }
-                if body.squashed_materialized() {
+                if let Some(bytes) = used.squashed {
                     self.metrics.view_squashed.incr();
+                    self.alloc.record_squashed_view(bytes);
                 }
-                let candidates = rank_candidates(self.matcher.counts_from_matched(&matched));
+                let candidates =
+                    rank_candidates(self.matcher.counts_from_matched(scratch.matched()));
                 if !candidates.is_empty() {
                     hit = Some(PrefilterHit {
                         endpoint: ep,
@@ -256,8 +302,12 @@ impl Prefilter {
         endpoints: &[Endpoint],
     ) -> PrefilterResult {
         let mut result = PrefilterResult::default();
+        let mut scratch = Scratch::new();
         for &ep in endpoints {
-            let (hit, stats) = self.probe_endpoint(client, ep).await;
+            if !self.scratch_reuse {
+                scratch = Scratch::new();
+            }
+            let (hit, stats) = self.probe_endpoint_scratch(client, ep, &mut scratch).await;
             self.absorb_probe(&mut result, ep, hit, stats);
         }
         result
@@ -305,6 +355,9 @@ impl Prefilter {
             let client = client.clone();
             let queue = Arc::clone(&queue);
             join_set.spawn(async move {
+                // One arena per persistent worker loop: every probe
+                // this worker claims borrows the same buffers.
+                let mut scratch = Scratch::new();
                 loop {
                     let i = queue
                         .cursor
@@ -312,7 +365,12 @@ impl Prefilter {
                     if i >= queue.endpoints.len() {
                         break;
                     }
-                    let (hit, stats) = prefilter.probe_endpoint(&client, queue.endpoints[i]).await;
+                    if !prefilter.scratch_reuse {
+                        scratch = Scratch::new();
+                    }
+                    let (hit, stats) = prefilter
+                        .probe_endpoint_scratch(&client, queue.endpoints[i], &mut scratch)
+                        .await;
                     let _ = queue.results[i].set((hit, stats));
                 }
             });

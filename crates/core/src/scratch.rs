@@ -1,0 +1,197 @@
+//! Per-worker scratch arena for the stage II/III hot path.
+//!
+//! Every probe used to allocate fresh lowered/squashed body views, a
+//! fresh per-signature match vector, and (during fingerprinting) a
+//! fresh crawl-observation list. The worker loops are persistent
+//! (cursor-fed since PR 6), so those buffers are trivially reusable:
+//! a [`Scratch`] is owned by exactly one worker, lives for the whole
+//! scan, and every probe borrows its buffers instead of allocating.
+//!
+//! # Ownership rules
+//!
+//! - A `Scratch` is **never shared**: one per worker task (or one per
+//!   sequential loop). Nothing in it is `Sync`-guarded because nothing
+//!   ever needs to be — the borrow checker enforces exclusivity.
+//! - Buffer contents are **dead between probes**. Every entry point
+//!   (`MultiPattern::matched_signatures_scratch`,
+//!   `crawler::identify_scratch`) clears what it uses before filling
+//!   it; no probe ever observes a previous probe's bytes.
+//! - Capacity is **monotone**: buffers grow to the high-water mark of
+//!   the stream and stay there. With the default [`Scratch::RESERVE`]
+//!   pre-size, bodies at or under 16 KiB (the stage-II read cap is in
+//!   the same regime) never reallocate at all.
+//!
+//! # Why determinism survives reuse
+//!
+//! Buffer *capacity* is scheduling-dependent (which worker saw the
+//! biggest body first), so nothing observable may depend on it. The
+//! `alloc.*` telemetry family therefore never reports live allocator
+//! state: every counter is a pure function of the deterministic probe
+//! stream (body content and length classified against the fixed
+//! `RESERVE` constant), so fixed-seed runs stay byte-identical at any
+//! parallelism, shard count, or scratch on/off setting.
+
+/// Reusable per-worker buffers for view materialization, multipattern
+/// matching, and fingerprint crawling.
+#[derive(Debug)]
+pub struct Scratch {
+    /// ASCII-lowercased body view (`lower_into`).
+    lower: String,
+    /// Whitespace-stripped body view (`squash_into`).
+    squashed: String,
+    /// Per-signature match bits for the multipattern pass.
+    matched: Vec<bool>,
+    /// Crawl observations `(path, body hash)` for KB fingerprinting.
+    crawl: Vec<(&'static str, u64)>,
+}
+
+impl Scratch {
+    /// Pre-reserved capacity for each view buffer, and the fixed
+    /// size-class boundary the `alloc.scratch.{hit,grow}` counters
+    /// classify against. A materialized view longer than this *would*
+    /// force a reallocation in a freshly-reserved arena, so the
+    /// classified grow count is a deterministic upper bound on real
+    /// steady-state reallocations: classified grows == 0 proves the
+    /// arena never grew.
+    pub const RESERVE: usize = 16 * 1024;
+
+    /// A scratch arena with both view buffers pre-sized to
+    /// [`RESERVE`](Self::RESERVE).
+    pub fn new() -> Self {
+        Scratch {
+            lower: String::with_capacity(Self::RESERVE),
+            squashed: String::with_capacity(Self::RESERVE),
+            matched: Vec::with_capacity(128),
+            crawl: Vec::with_capacity(16),
+        }
+    }
+
+    /// Split borrow for the multipattern pass: match bits plus the two
+    /// view buffers, all disjoint.
+    pub(crate) fn matcher_parts(&mut self) -> (&mut Vec<bool>, &mut String, &mut String) {
+        (&mut self.matched, &mut self.lower, &mut self.squashed)
+    }
+
+    /// The per-signature match bits left by the most recent
+    /// [`MultiPattern::matched_signatures_scratch`](crate::MultiPattern::matched_signatures_scratch)
+    /// call.
+    pub fn matched(&self) -> &[bool] {
+        &self.matched
+    }
+
+    /// The crawl-observation buffer for KB fingerprinting.
+    pub(crate) fn crawl_buf(&mut self) -> &mut Vec<(&'static str, u64)> {
+        &mut self.crawl
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fill `out` with the ASCII-lowercased copy of `raw`.
+///
+/// Equivalent to `raw.to_ascii_lowercase()` but reuses `out`'s
+/// capacity: no allocation unless `raw.len()` exceeds it.
+pub fn lower_into(raw: &str, out: &mut String) {
+    out.clear();
+    out.push_str(raw);
+    out.make_ascii_lowercase();
+}
+
+/// Fill `out` with `raw` minus all Unicode whitespace.
+///
+/// Byte-wise run copy: finds each whitespace char and copies the
+/// non-whitespace run before it with one `push_str`, instead of the
+/// per-char `chars().filter().collect()` the view used to do.
+/// Equivalent output, reuses `out`'s capacity.
+pub fn squash_into(raw: &str, out: &mut String) {
+    out.clear();
+    let mut rest = raw;
+    while let Some(pos) = rest.find(char::is_whitespace) {
+        out.push_str(&rest[..pos]);
+        let ws = rest[pos..].chars().next().map_or(1, char::len_utf8);
+        rest = &rest[pos + ws..];
+    }
+    out.push_str(rest);
+}
+
+/// True when the body would need a distinct lowercase view: any ASCII
+/// uppercase byte present. Shared by `PreparedBody::lower`, the
+/// scratch matcher, and the `alloc.views.lower` classification so all
+/// three agree byte-for-byte.
+pub fn needs_lower(raw: &str) -> bool {
+    raw.bytes().any(|b| b.is_ascii_uppercase())
+}
+
+/// True when the body would need a distinct squashed view: any
+/// whitespace present. Counterpart of [`needs_lower`] for the
+/// `squashed` view and `alloc.views.squashed`.
+pub fn needs_squash(raw: &str) -> bool {
+    raw.chars().any(char::is_whitespace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_into_matches_reference() {
+        let mut buf = String::new();
+        for raw in ["", "abc", "ABC def", "ÄÖÜ mixed CASE", "já Æ"] {
+            lower_into(raw, &mut buf);
+            assert_eq!(buf, raw.to_ascii_lowercase(), "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn squash_into_matches_reference() {
+        let mut buf = String::new();
+        for raw in [
+            "",
+            "abc",
+            "a b\tc\nd",
+            "  leading and trailing  ",
+            "non\u{a0}breaking\u{2003}spaces",
+            "tabs\t\t\tand\r\nnewlines",
+        ] {
+            squash_into(raw, &mut buf);
+            let reference: String = raw.chars().filter(|c| !c.is_whitespace()).collect();
+            assert_eq!(buf, reference, "input {raw:?}");
+        }
+    }
+
+    #[test]
+    fn buffers_reuse_capacity_across_calls() {
+        let mut buf = String::new();
+        squash_into("a b c d e f", &mut buf);
+        let cap = buf.capacity();
+        squash_into("x y", &mut buf);
+        assert_eq!(buf, "xy");
+        assert_eq!(
+            buf.capacity(),
+            cap,
+            "shorter input must not shrink or realloc"
+        );
+    }
+
+    #[test]
+    fn view_need_predicates() {
+        assert!(needs_lower("aBc"));
+        assert!(!needs_lower("abc 123 ä"));
+        assert!(needs_squash("a b"));
+        assert!(needs_squash("a\u{a0}b"));
+        assert!(!needs_squash("abc"));
+    }
+
+    #[test]
+    fn scratch_preallocates_reserve() {
+        let mut s = Scratch::new();
+        let (matched, lower, squashed) = s.matcher_parts();
+        assert!(lower.capacity() >= Scratch::RESERVE);
+        assert!(squashed.capacity() >= Scratch::RESERVE);
+        assert!(matched.capacity() >= 90, "fits the 90-signature corpus");
+    }
+}

@@ -573,6 +573,7 @@ pub struct PoolMetrics {
     misses: Counter,
     stale_retries: Counter,
     evicted: Counter,
+    expired: Counter,
 }
 
 impl PoolMetrics {
@@ -583,6 +584,7 @@ impl PoolMetrics {
             misses: telemetry.counter("transport.pool.miss"),
             stale_retries: telemetry.counter("transport.pool.stale_retry"),
             evicted: telemetry.counter("transport.pool.evicted"),
+            expired: telemetry.counter("transport.pool.expired"),
         }
     }
 
@@ -594,6 +596,7 @@ impl PoolMetrics {
             PoolEvent::Miss => self.misses.incr(),
             PoolEvent::StaleRetry => self.stale_retries.incr(),
             PoolEvent::Evicted => self.evicted.incr(),
+            PoolEvent::Expired => self.expired.incr(),
         }
     }
 
@@ -604,6 +607,92 @@ impl PoolMetrics {
     ) -> impl Fn(nokeys_http::pool::PoolEvent) + Send + Sync + 'static {
         let metrics = PoolMetrics::new(telemetry);
         move |event| metrics.record(event)
+    }
+}
+
+/// The `alloc.*` family: deterministic allocation telemetry for the
+/// scratch-arena hot path.
+///
+/// Nothing here samples the live allocator. Worker scheduling decides
+/// which worker's arena sees which body, so real buffer-capacity
+/// history is not deterministic — but *classified* allocation demand
+/// is: every counter below is a pure function of the probe stream
+/// (body content, body length, header shape), identical at any
+/// parallelism or shard count and with scratch reuse on or off.
+///
+/// - `alloc.views.lower` / `alloc.views.squashed` — bodies whose
+///   matched content actually required a distinct view (contains
+///   ASCII uppercase / contains whitespace). Bodies already in
+///   canonical form are matched in place and counted nowhere.
+/// - `alloc.view_bytes.lower` / `alloc.view_bytes.squashed` — bytes
+///   those views copied.
+/// - `alloc.scratch.hit` / `alloc.scratch.grow` — each materialized
+///   view classified against the fixed [`Scratch::RESERVE`] size
+///   class. A "grow" is a view a freshly-reserved arena could not
+///   hold without reallocating, so the grow count is a deterministic
+///   upper bound on real arena reallocations: zero grows proves the
+///   steady state allocated nothing.
+/// - `alloc.headers.inline` / `alloc.headers.spilled` — probe
+///   responses whose header block fit the inline representation vs.
+///   spilled to the heap.
+///
+/// [`Scratch::RESERVE`]: crate::scratch::Scratch::RESERVE
+#[derive(Clone, Debug)]
+pub struct AllocMetrics {
+    views_lower: Counter,
+    views_squashed: Counter,
+    view_bytes_lower: Counter,
+    view_bytes_squashed: Counter,
+    scratch_hit: Counter,
+    scratch_grow: Counter,
+    headers_inline: Counter,
+    headers_spilled: Counter,
+}
+
+impl AllocMetrics {
+    /// Register the `alloc.*` counters in `telemetry`.
+    pub fn new(telemetry: &Telemetry) -> Self {
+        AllocMetrics {
+            views_lower: telemetry.counter("alloc.views.lower"),
+            views_squashed: telemetry.counter("alloc.views.squashed"),
+            view_bytes_lower: telemetry.counter("alloc.view_bytes.lower"),
+            view_bytes_squashed: telemetry.counter("alloc.view_bytes.squashed"),
+            scratch_hit: telemetry.counter("alloc.scratch.hit"),
+            scratch_grow: telemetry.counter("alloc.scratch.grow"),
+            headers_inline: telemetry.counter("alloc.headers.inline"),
+            headers_spilled: telemetry.counter("alloc.headers.spilled"),
+        }
+    }
+
+    /// Count one materialized `lower` view of `bytes` bytes.
+    pub fn record_lower_view(&self, bytes: usize) {
+        self.views_lower.incr();
+        self.view_bytes_lower.add(bytes as u64);
+        self.classify(bytes);
+    }
+
+    /// Count one materialized `squashed` view of `bytes` bytes.
+    pub fn record_squashed_view(&self, bytes: usize) {
+        self.views_squashed.incr();
+        self.view_bytes_squashed.add(bytes as u64);
+        self.classify(bytes);
+    }
+
+    /// Count one probe response's header block.
+    pub fn record_headers(&self, spilled: bool) {
+        if spilled {
+            self.headers_spilled.incr();
+        } else {
+            self.headers_inline.incr();
+        }
+    }
+
+    fn classify(&self, bytes: usize) {
+        if bytes <= crate::scratch::Scratch::RESERVE {
+            self.scratch_hit.incr();
+        } else {
+            self.scratch_grow.incr();
+        }
     }
 }
 
@@ -812,6 +901,7 @@ mod tests {
             PoolEvent::Hit,
             PoolEvent::StaleRetry,
             PoolEvent::Evicted,
+            PoolEvent::Expired,
         ] {
             observe(event);
         }
@@ -820,7 +910,36 @@ mod tests {
         assert_eq!(snap.counter("transport.pool.miss"), 1);
         assert_eq!(snap.counter("transport.pool.stale_retry"), 1);
         assert_eq!(snap.counter("transport.pool.evicted"), 1);
-        assert_eq!(snap.prefixed_total("transport.pool."), 5);
+        assert_eq!(snap.counter("transport.pool.expired"), 1);
+        assert_eq!(snap.prefixed_total("transport.pool."), 6);
+    }
+
+    #[test]
+    fn alloc_metrics_classify_against_the_fixed_reserve() {
+        let t = Telemetry::new();
+        let m = AllocMetrics::new(&t);
+        m.record_lower_view(100);
+        m.record_lower_view(crate::scratch::Scratch::RESERVE);
+        m.record_squashed_view(crate::scratch::Scratch::RESERVE + 1);
+        m.record_headers(false);
+        m.record_headers(false);
+        m.record_headers(true);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("alloc.views.lower"), 2);
+        assert_eq!(snap.counter("alloc.views.squashed"), 1);
+        assert_eq!(
+            snap.counter("alloc.view_bytes.lower"),
+            100 + crate::scratch::Scratch::RESERVE as u64
+        );
+        assert_eq!(
+            snap.counter("alloc.view_bytes.squashed"),
+            crate::scratch::Scratch::RESERVE as u64 + 1
+        );
+        // Boundary: a view exactly at RESERVE still fits the arena.
+        assert_eq!(snap.counter("alloc.scratch.hit"), 2);
+        assert_eq!(snap.counter("alloc.scratch.grow"), 1);
+        assert_eq!(snap.counter("alloc.headers.inline"), 2);
+        assert_eq!(snap.counter("alloc.headers.spilled"), 1);
     }
 
     #[test]

@@ -116,8 +116,7 @@ impl<T: Transport> Client<T> {
             req.headers.set("Host", url.host_header());
         }
         if !req.headers.contains("user-agent") {
-            req.headers
-                .set("User-Agent", self.config.user_agent.clone());
+            req.headers.set("User-Agent", &self.config.user_agent);
         }
         if !req.headers.contains("connection") && !self.transport.supports_reuse() {
             req.headers.set("Connection", "close");
@@ -222,6 +221,13 @@ enum Outcome {
 /// buffered byte (no unsynchronized trailing data), we did not request
 /// close, and the server's version/`Connection` headers agree
 /// (HTTP/1.1 defaults to keep-alive, HTTP/1.0 must opt in).
+///
+/// The read buffer is borrowed from the connection's recycle slot when
+/// one exists, and handed back (cleared, capacity intact) after a
+/// reusable exchange — so the N probes a scan sends down one pooled
+/// keep-alive connection share a single buffer allocation. Parsed
+/// responses copy their bodies out of the buffer ([`Parsed::Complete`]
+/// owns its bytes), which is what makes handing it back sound.
 async fn exchange_once<C: Connection>(
     conn: &mut C,
     wire: &[u8],
@@ -244,7 +250,9 @@ async fn exchange_once<C: Connection>(
     if let Err(e) = conn.flush().await {
         return stale_or_fatal(e.into(), true);
     }
-    let mut buf = BytesMut::with_capacity(4096);
+    let mut buf = conn
+        .take_recycled_buf()
+        .unwrap_or_else(|| BytesMut::with_capacity(4096));
     let mut eof = false;
     let mut scanner = HeadScanner::new();
     loop {
@@ -258,6 +266,10 @@ async fn exchange_once<C: Connection>(
                         Version::Http10 => resp.headers.connection_keep_alive(),
                     };
                 conn.set_reusable(keep);
+                if keep {
+                    buf.clear();
+                    conn.store_recycled_buf(buf);
+                }
                 return Outcome::Done(resp);
             }
             Ok(Parsed::Partial) => {

@@ -1,16 +1,86 @@
 //! Case-insensitive, order-preserving header map.
+//!
+//! Storage is an inline arena: field names and values are copied into a
+//! fixed byte buffer and addressed by `(offset, length)` spans, with a
+//! fixed-size entry table in front. A typical scan response (≤ 8 fields,
+//! well under 1 KiB of header text) therefore lives entirely inside the
+//! `Headers` value — building one performs **zero heap allocations**.
+//! Larger messages transparently spill the excess entries/text to a
+//! `Vec`/`String`; the `alloc.headers.*` telemetry in the scanner counts
+//! how often that happens via [`Headers::spilled`].
 
 use crate::error::{Error, Result};
 use std::fmt;
+
+/// Bytes of header text stored inline before spilling to the heap.
+const INLINE_TEXT: usize = 1024;
+/// Header fields stored inline before spilling to the heap.
+const INLINE_ENTRIES: usize = 8;
+/// High bit of a span offset: set when the span lives in `spill_text`.
+const SPILL_TAG: u32 = 1 << 31;
+
+/// A byte range in the inline buffer or (when tagged) the spill string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Span {
+    off: u32,
+    len: u32,
+}
+
+impl Span {
+    const EMPTY: Span = Span { off: 0, len: 0 };
+}
+
+/// One header field: spans for its name and value.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    name: Span,
+    value: Span,
+}
+
+impl Entry {
+    const EMPTY: Entry = Entry {
+        name: Span::EMPTY,
+        value: Span::EMPTY,
+    };
+}
 
 /// An ordered multimap of HTTP header fields.
 ///
 /// Lookup is case-insensitive (per RFC 9110) while the original casing and
 /// insertion order are preserved for serialization, which keeps wire output
 /// stable and therefore testable.
-#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+///
+/// Equality, `Debug`, and serde all go through the logical `(name, value)`
+/// pair sequence, never the storage representation, so a map that spilled
+/// (or that carries dead arena bytes after a [`remove`](Headers::remove))
+/// compares equal to an inline-only map with the same fields.
+#[derive(Clone)]
 pub struct Headers {
-    entries: Vec<(String, String)>,
+    /// Inline text arena; names and values are appended back to back.
+    text: [u8; INLINE_TEXT],
+    /// Bytes of `text` in use.
+    text_len: u32,
+    /// Overflow text for spans that did not fit `text`.
+    spill_text: String,
+    /// First [`INLINE_ENTRIES`] fields.
+    inline: [Entry; INLINE_ENTRIES],
+    /// Total number of fields (inline + spilled).
+    len: usize,
+    /// Fields beyond [`INLINE_ENTRIES`].
+    spill: Vec<Entry>,
+}
+
+impl Default for Headers {
+    fn default() -> Self {
+        Headers {
+            text: [0; INLINE_TEXT],
+            text_len: 0,
+            spill_text: String::new(),
+            inline: [Entry::EMPTY; INLINE_ENTRIES],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
 }
 
 impl Headers {
@@ -19,38 +89,126 @@ impl Headers {
         Self::default()
     }
 
+    /// Resolve a span to its text. Spans always cover exactly the bytes
+    /// of one pushed `&str`, so the slice is valid UTF-8 by construction.
+    fn text(&self, span: Span) -> &str {
+        let (buf, off) = if span.off & SPILL_TAG != 0 {
+            (self.spill_text.as_bytes(), (span.off & !SPILL_TAG) as usize)
+        } else {
+            (&self.text[..], span.off as usize)
+        };
+        std::str::from_utf8(&buf[off..off + span.len as usize])
+            .expect("header spans cover whole pushed strings")
+    }
+
+    /// Copy `s` into the arena — inline if it fits, spilling otherwise.
+    fn push_text(&mut self, s: &str) -> Span {
+        let len = u32::try_from(s.len()).expect("header field under 4 GiB");
+        let off = self.text_len as usize;
+        if off + s.len() <= INLINE_TEXT {
+            self.text[off..off + s.len()].copy_from_slice(s.as_bytes());
+            self.text_len += len;
+            Span {
+                off: off as u32,
+                len,
+            }
+        } else {
+            let off = self.spill_text.len() as u32;
+            self.spill_text.push_str(s);
+            Span {
+                off: off | SPILL_TAG,
+                len,
+            }
+        }
+    }
+
+    fn entry(&self, i: usize) -> Entry {
+        if i < INLINE_ENTRIES {
+            self.inline[i]
+        } else {
+            self.spill[i - INLINE_ENTRIES]
+        }
+    }
+
+    fn set_entry(&mut self, i: usize, e: Entry) {
+        if i < INLINE_ENTRIES {
+            self.inline[i] = e;
+        } else {
+            self.spill[i - INLINE_ENTRIES] = e;
+        }
+    }
+
+    fn push_entry(&mut self, e: Entry) {
+        if self.len < INLINE_ENTRIES {
+            self.inline[self.len] = e;
+        } else {
+            self.spill.push(e);
+        }
+        self.len += 1;
+    }
+
+    fn truncate_entries(&mut self, n: usize) {
+        if n >= self.len {
+            return;
+        }
+        self.spill.truncate(n.saturating_sub(INLINE_ENTRIES));
+        self.len = n;
+    }
+
+    /// Whether any part of this map hit the heap: more than
+    /// [`INLINE_ENTRIES`] fields, or header text past [`INLINE_TEXT`]
+    /// bytes. For append-only maps (every parsed message) this is a pure
+    /// function of the field list, which is what lets the scanner's
+    /// `alloc.headers.{inline,spilled}` counters stay deterministic.
+    pub fn spilled(&self) -> bool {
+        !self.spill.is_empty() || !self.spill_text.is_empty()
+    }
+
     /// Append a header field, keeping any existing fields of the same name.
-    pub fn append(&mut self, name: impl Into<String>, value: impl Into<String>) {
-        self.entries.push((name.into(), value.into()));
+    pub fn append(&mut self, name: impl AsRef<str>, value: impl AsRef<str>) {
+        let name = self.push_text(name.as_ref());
+        let value = self.push_text(value.as_ref());
+        self.push_entry(Entry { name, value });
     }
 
     /// Replace all fields of `name` with a single field carrying `value`.
-    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+    pub fn set(&mut self, name: &str, value: impl AsRef<str>) {
         self.remove(name);
-        self.entries.push((name.to_string(), value.into()));
+        self.append(name, value);
     }
 
     /// Remove all fields of `name`, returning how many were removed.
+    ///
+    /// Compacts the entry table only; the removed fields' arena bytes
+    /// stay behind as dead space. Header maps are tiny and short-lived,
+    /// so reclaiming would cost more than it saves.
     pub fn remove(&mut self, name: &str) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
-        before - self.entries.len()
+        let mut kept = 0usize;
+        for i in 0..self.len {
+            let e = self.entry(i);
+            let matches = self.text(e.name).eq_ignore_ascii_case(name);
+            if !matches {
+                if kept != i {
+                    self.set_entry(kept, e);
+                }
+                kept += 1;
+            }
+        }
+        let removed = self.len - kept;
+        self.truncate_entries(kept);
+        removed
     }
 
     /// First value of `name`, if present.
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.entries
-            .iter()
-            .find(|(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+        self.get_all(name).next()
     }
 
     /// All values of `name`, in insertion order.
     pub fn get_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a str> + 'a {
-        self.entries
-            .iter()
+        self.iter()
             .filter(move |(n, _)| n.eq_ignore_ascii_case(name))
-            .map(|(_, v)| v.as_str())
+            .map(|(_, v)| v)
     }
 
     /// Whether a field of `name` exists.
@@ -113,17 +271,20 @@ impl Headers {
 
     /// Number of fields (counting duplicates).
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// Whether the map is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Iterate over `(name, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+        (0..self.len).map(move |i| {
+            let e = self.entry(i);
+            (self.text(e.name), self.text(e.value))
+        })
     }
 }
 
@@ -137,6 +298,12 @@ fn parse_content_length(value: &str) -> Result<usize> {
         .map_err(|_| Error::Malformed("content-length overflow"))
 }
 
+impl fmt::Debug for Headers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.iter()).finish()
+    }
+}
+
 impl fmt::Display for Headers {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for (n, v) in self.iter() {
@@ -146,14 +313,39 @@ impl fmt::Display for Headers {
     }
 }
 
-impl<N: Into<String>, V: Into<String>> FromIterator<(N, V)> for Headers {
+impl PartialEq for Headers {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for Headers {}
+
+impl serde::Serialize for Headers {
+    fn serialize<S: serde::Serializer>(
+        &self,
+        serializer: S,
+    ) -> std::result::Result<S::Ok, S::Error> {
+        serializer.collect_seq(self.iter())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Headers {
+    fn deserialize<D: serde::Deserializer<'de>>(
+        deserializer: D,
+    ) -> std::result::Result<Self, D::Error> {
+        let entries: Vec<(String, String)> = serde::Deserialize::deserialize(deserializer)?;
+        Ok(entries.into_iter().collect())
+    }
+}
+
+impl<N: AsRef<str>, V: AsRef<str>> FromIterator<(N, V)> for Headers {
     fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
-        Headers {
-            entries: iter
-                .into_iter()
-                .map(|(n, v)| (n.into(), v.into()))
-                .collect(),
+        let mut headers = Headers::new();
+        for (n, v) in iter {
+            headers.append(n, v);
         }
+        headers
     }
 }
 
@@ -267,5 +459,89 @@ mod tests {
             .collect();
         assert_eq!(h.remove("X-A"), 2);
         assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn typical_responses_stay_inline() {
+        let mut h = Headers::new();
+        for i in 0..INLINE_ENTRIES {
+            h.append(format!("X-Header-{i}"), "value");
+        }
+        assert_eq!(h.len(), INLINE_ENTRIES);
+        assert!(!h.spilled(), "≤ 8 small fields must not hit the heap");
+        h.append("X-One-More", "spills");
+        assert!(h.spilled());
+        assert_eq!(h.get("x-one-more"), Some("spills"));
+    }
+
+    #[test]
+    fn oversized_text_spills_but_reads_back() {
+        let long = "v".repeat(INLINE_TEXT);
+        let mut h = Headers::new();
+        h.append("X-Big", &long);
+        assert!(h.spilled(), "text past the inline arena spills");
+        assert_eq!(h.get("X-Big"), Some(long.as_str()));
+        // Later small fields still work (and land wherever there's room).
+        h.append("X-Small", "s");
+        assert_eq!(h.get("x-small"), Some("s"));
+        assert_eq!(h.len(), 2);
+    }
+
+    #[test]
+    fn entry_spill_survives_remove_compaction() {
+        let mut h = Headers::new();
+        for i in 0..12 {
+            h.append(format!("X-{i}"), format!("{i}"));
+        }
+        assert_eq!(h.remove("X-3"), 1);
+        assert_eq!(h.len(), 11);
+        // Every surviving field is still addressable, across the
+        // inline/spill boundary the compaction shifted entries over.
+        for i in (0..12).filter(|&i| i != 3) {
+            assert_eq!(
+                h.get(&format!("x-{i}")),
+                Some(format!("{i}").as_str()),
+                "X-{i}"
+            );
+        }
+        assert!(h.get(&"X-3".to_string()).is_none());
+    }
+
+    #[test]
+    fn equality_is_logical_not_representational() {
+        // h1: built append-only. h2: same logical fields, but its arena
+        // carries dead bytes from a removed field.
+        let h1: Headers = [("A", "1"), ("B", "2")].into_iter().collect();
+        let mut h2 = Headers::new();
+        h2.append("A", "1");
+        h2.append("Dead", "x");
+        h2.append("B", "2");
+        h2.remove("Dead");
+        assert_eq!(h1, h2);
+        // And serde sees the same logical sequence.
+        assert_eq!(
+            serde_json::to_string(&h1).unwrap(),
+            serde_json::to_string(&h2).unwrap()
+        );
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let mut h = Headers::new();
+        h.append("Content-Type", "text/html");
+        h.append("Set-Cookie", "a=1");
+        h.append("set-cookie", "b=2");
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Headers = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        // Order and duplicate fields survive.
+        assert_eq!(
+            back.iter().collect::<Vec<_>>(),
+            vec![
+                ("Content-Type", "text/html"),
+                ("Set-Cookie", "a=1"),
+                ("set-cookie", "b=2"),
+            ]
+        );
     }
 }

@@ -102,6 +102,22 @@ pub trait Connection: AsyncRead + AsyncWrite + Unpin + Send {
     fn set_reusable(&mut self, reusable: bool) {
         let _ = reusable;
     }
+
+    /// Hand back a read buffer stored by a previous exchange on this
+    /// connection, if the connection carries one. The client asks
+    /// before allocating its response buffer, so keep-alive exchanges
+    /// on a pooled connection reuse one buffer instead of allocating
+    /// 4 KiB each. The default (no recycling) returns `None`.
+    fn take_recycled_buf(&mut self) -> Option<bytes::BytesMut> {
+        None
+    }
+
+    /// Store a cleared read buffer for the next exchange on this
+    /// connection. Called by the client only when the exchange left the
+    /// connection reusable; the default drops the buffer.
+    fn store_recycled_buf(&mut self, buf: bytes::BytesMut) {
+        let _ = buf;
+    }
 }
 
 /// Outcome of sweeping one block with [`Transport::sweep_block`].

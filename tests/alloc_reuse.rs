@@ -1,0 +1,174 @@
+//! Scratch-arena reuse is invisible in the output, and the `alloc.*`
+//! telemetry that proves the zero-allocation hot path is itself
+//! deterministic.
+//!
+//! The counters are pure functions of the deterministic probe stream
+//! (body content, header shape) — never of buffer-capacity history or
+//! worker scheduling — so a fixed-seed scan must produce byte-identical
+//! reports *and* byte-identical `alloc.*` counters at any parallelism,
+//! any shard count, faults on or off, and with arena reuse on or off.
+//! `alloc.scratch.grow` counts views larger than the arena's fixed
+//! reserve: zero grows means a warmed arena never reallocates, which is
+//! the steady-state zero-heap-allocation claim in checkable form.
+
+use nokeys::http::Client;
+use nokeys::netsim::{SimTransport, Universe, UniverseConfig};
+use nokeys::scanner::{Pipeline, PipelineConfig, ScanReport, Telemetry, TelemetrySnapshot};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// One full pipeline run over the tiny universe with every knob the
+/// alloc telemetry must be independent of.
+async fn run(
+    seed: u64,
+    parallelism: usize,
+    shards: usize,
+    fault_rate: f64,
+    scratch_reuse: bool,
+) -> (ScanReport, TelemetrySnapshot) {
+    let config = UniverseConfig::tiny(seed);
+    let telemetry = Telemetry::new();
+    let mut transport = SimTransport::new(Arc::new(Universe::generate(config.clone())));
+    if fault_rate > 0.0 {
+        transport = transport.with_fault_injection(fault_rate);
+    }
+    let pipeline = Pipeline::new(
+        PipelineConfig::builder(vec![config.space])
+            .parallelism(parallelism)
+            .shards(shards)
+            .retries(3)
+            .scratch_reuse(scratch_reuse)
+            .telemetry(telemetry.clone())
+            .build(),
+    );
+    let client = Client::new(transport);
+    let report = pipeline.run(&client).await.expect("pipeline failed");
+    (report, telemetry.snapshot())
+}
+
+fn json(report: &ScanReport) -> String {
+    serde_json::to_string(report).expect("report serializes")
+}
+
+/// The tentpole equivalence: across the full knob matrix — reuse
+/// {on, off} × parallelism {1, 8} × shards {1, 4}, with and without
+/// faults — report and telemetry (including the `alloc.*` family) are
+/// byte-identical to the baseline run.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn alloc_telemetry_is_identical_across_the_knob_matrix() {
+    for fault_rate in [0.0, 0.05] {
+        let (baseline, baseline_snap) = run(42, 8, 1, fault_rate, true).await;
+        assert!(
+            baseline_snap.counter("alloc.views.lower")
+                + baseline_snap.counter("alloc.views.squashed")
+                > 0,
+            "views must materialize for this test to mean anything"
+        );
+        for scratch_reuse in [true, false] {
+            for parallelism in [1usize, 8] {
+                for shards in [1usize, 4] {
+                    let (report, snap) =
+                        run(42, parallelism, shards, fault_rate, scratch_reuse).await;
+                    let label = format!(
+                        "reuse={scratch_reuse}, p{parallelism}, K={shards}, faults {fault_rate}"
+                    );
+                    assert_eq!(json(&baseline), json(&report), "report diverged ({label})");
+                    assert_eq!(
+                        baseline_snap.to_json(),
+                        snap.to_json(),
+                        "telemetry diverged ({label})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The `alloc.*` family reconciles with the stage-II counters it
+/// shadows, and the scan is allocation-clean in steady state: every
+/// materialized view fits the arena's reserve (zero grows), so a
+/// reused arena serves the whole scan without reallocating.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn alloc_counters_reconcile_and_prove_zero_steady_state_growth() {
+    let (_, snap) = run(42, 8, 1, 0.0, true).await;
+
+    let lower = snap.counter("alloc.views.lower");
+    let squashed = snap.counter("alloc.views.squashed");
+    assert!(lower > 0, "lowercase views fired");
+    assert!(squashed > 0, "squashed views fired");
+
+    // Exactly one alloc record per materialized multipattern view.
+    assert_eq!(lower, snap.counter("stage2.multipattern.view_lower"));
+    assert_eq!(squashed, snap.counter("stage2.multipattern.view_squashed"));
+
+    // Every view is classified, exactly once, as hit or grow...
+    assert_eq!(
+        snap.counter("alloc.scratch.hit") + snap.counter("alloc.scratch.grow"),
+        lower + squashed,
+        "hit/grow classification must cover every view"
+    );
+    // ...and on the simulated universe nothing outgrows the reserve:
+    // a warmed arena never reallocates, for the entire scan.
+    assert_eq!(
+        snap.counter("alloc.scratch.grow"),
+        0,
+        "a view outgrew the scratch reserve on the sim universe"
+    );
+
+    // A materialized view copies at least one byte.
+    assert!(snap.counter("alloc.view_bytes.lower") >= lower);
+    assert!(snap.counter("alloc.view_bytes.squashed") >= squashed);
+
+    // Header accounting covers every stage-II response exactly once.
+    assert_eq!(
+        snap.counter("alloc.headers.inline") + snap.counter("alloc.headers.spilled"),
+        snap.counter("stage2.http_responses") + snap.counter("stage2.https_responses"),
+        "every response's header storage is classified exactly once"
+    );
+    assert!(
+        snap.counter("alloc.headers.inline") > 0,
+        "typical scan responses stay in the inline header arena"
+    );
+}
+
+/// Fixtures for the proptest: each case re-enters from a plain closure,
+/// so the runtime and per-seed baselines cannot live in an async body.
+fn proptest_runtime() -> &'static tokio::runtime::Runtime {
+    static RT: OnceLock<tokio::runtime::Runtime> = OnceLock::new();
+    RT.get_or_init(|| {
+        tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(4)
+            .enable_all()
+            .build()
+            .expect("tokio runtime")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 4,
+        // The runs are deterministic; shrinking re-runs buy nothing.
+        max_shrink_iters: 2,
+        ..ProptestConfig::default()
+    })]
+
+    /// Randomized corner of the matrix: for arbitrary seeds and knob
+    /// combinations, a fresh-arena-per-probe run reproduces the
+    /// reused-arena run byte for byte.
+    #[test]
+    fn scratch_reuse_is_unobservable_for_any_seed(
+        seed in 1u64..1_000,
+        parallelism in prop_oneof![Just(1usize), Just(8)],
+        shards in prop_oneof![Just(1usize), Just(4)],
+        faulty in proptest::bool::ANY,
+    ) {
+        let rt = proptest_runtime();
+        let fault_rate = if faulty { 0.05 } else { 0.0 };
+        let (with_reuse, reuse_snap) =
+            rt.block_on(run(seed, parallelism, shards, fault_rate, true));
+        let (without, without_snap) =
+            rt.block_on(run(seed, parallelism, shards, fault_rate, false));
+        prop_assert_eq!(json(&with_reuse), json(&without));
+        prop_assert_eq!(reuse_snap.to_json(), without_snap.to_json());
+    }
+}
